@@ -1,0 +1,97 @@
+// Ablation study of GMR design choices beyond the paper's figures (see
+// DESIGN.md §2): local search on/off, algebraic simplification's effect on
+// the tree-cache hit rate, Gaussian sigma ramp-down on/off, and the value of
+// knowledge seeding (full vs minimal initial derivations).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/timer.h"
+
+namespace {
+
+using namespace gmr;
+
+struct AblationResult {
+  const char* name;
+  double train_rmse = 0.0;
+  double test_rmse = 0.0;
+  double cache_hit_pct = 0.0;
+  double seconds = 0.0;
+};
+
+AblationResult RunVariant(const char* name,
+                          const river::RiverDataset& dataset,
+                          const core::RiverPriorKnowledge& knowledge,
+                          const bench::Scale& scale,
+                          void (*tweak)(core::GmrConfig*), int runs) {
+  AblationResult ablation;
+  ablation.name = name;
+  for (int run = 0; run < runs; ++run) {
+    core::GmrConfig config =
+        bench::MakeGmrConfig(scale, 300 + static_cast<std::uint64_t>(run));
+    tweak(&config);
+    Timer timer;
+    const core::GmrRunResult result =
+        core::RunGmr(dataset, knowledge, config);
+    ablation.seconds += timer.ElapsedSeconds();
+    ablation.train_rmse += result.train_rmse;
+    ablation.test_rmse += result.test_rmse;
+    const auto& stats = result.search.eval_stats;
+    ablation.cache_hit_pct += 100.0 * stats.CacheHitRate();
+  }
+  ablation.train_rmse /= runs;
+  ablation.test_rmse /= runs;
+  ablation.cache_hit_pct /= runs;
+  ablation.seconds /= runs;
+  return ablation;
+}
+
+}  // namespace
+
+int main() {
+  bench::Scale scale = bench::Scale::FromEnvironment();
+  scale.population = std::min(scale.population, 30);
+  scale.generations = std::min(scale.generations, 15);
+  const int runs = std::max(3, scale.runs);
+
+  const river::RiverDataset dataset = bench::MakeDataset(scale);
+  const core::RiverPriorKnowledge knowledge =
+      core::BuildRiverPriorKnowledge();
+
+  std::printf("[Ablations] GMR design choices (%d runs each)\n\n", runs);
+
+  std::vector<AblationResult> results;
+  results.push_back(RunVariant(
+      "baseline", dataset, knowledge, scale,
+      [](core::GmrConfig*) {}, runs));
+  results.push_back(RunVariant(
+      "no local search", dataset, knowledge, scale,
+      [](core::GmrConfig* c) { c->tag3p.local_search_steps = 0; }, runs));
+  results.push_back(RunVariant(
+      "no simplification", dataset, knowledge, scale,
+      [](core::GmrConfig* c) {
+        c->tag3p.speedups.simplify_before_eval = false;
+      },
+      runs));
+  results.push_back(RunVariant(
+      "no sigma ramp-down", dataset, knowledge, scale,
+      [](core::GmrConfig* c) { c->tag3p.sigma_rampdown_generations = 0; },
+      runs));
+  results.push_back(RunVariant(
+      "minimal init (size 2)", dataset, knowledge, scale,
+      [](core::GmrConfig* c) { c->tag3p.bounds.max_size = 8; }, runs));
+  results.push_back(RunVariant(
+      "no elitism", dataset, knowledge, scale,
+      [](core::GmrConfig* c) { c->tag3p.elite_size = 0; }, runs));
+
+  std::printf("%-22s %12s %12s %12s %10s\n", "Variant", "train RMSE",
+              "test RMSE", "cache-hit%", "sec/run");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (const AblationResult& r : results) {
+    std::printf("%-22s %12.3f %12.3f %11.0f%% %10.2f\n", r.name,
+                r.train_rmse, r.test_rmse, r.cache_hit_pct, r.seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table V and Figure 1: forecasting accuracy of all fifteen
+// methods (knowledge-driven, data-driven, model calibration, model revision)
+// on the synthetic Nakdong-like dataset.
+//
+// Scale: set GMR_BENCH_SCALE=full for a paper-scale run (hours); the default
+// quick scale preserves the ranking shape in minutes.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/timer.h"
+#include "expr/print.h"
+
+int main() {
+  using namespace gmr;
+  const bench::Scale scale = bench::Scale::FromEnvironment();
+  std::printf(
+      "[Table V / Figure 1] accuracy comparison — %d data years "
+      "(%d train), GP population %d x %d generations, %d runs\n\n",
+      scale.data_years, scale.train_years, scale.population,
+      scale.generations, scale.runs);
+
+  const river::RiverDataset dataset = bench::MakeDataset(scale);
+  std::vector<bench::AccuracyRow> rows;
+  Timer timer;
+
+  rows.push_back(bench::RunManualMethod(dataset));
+  std::printf("MANUAL done (%.1fs)\n", timer.ElapsedSeconds());
+
+  for (auto& row : bench::RunRnnMethods(dataset, scale)) {
+    rows.push_back(std::move(row));
+  }
+  std::printf("RNN done (%.1fs)\n", timer.ElapsedSeconds());
+
+  for (auto& row : bench::RunArimaxMethods(dataset)) {
+    rows.push_back(std::move(row));
+  }
+  std::printf("ARIMAX done (%.1fs)\n", timer.ElapsedSeconds());
+
+  for (auto& row : bench::RunCalibrationMethods(dataset, scale)) {
+    rows.push_back(std::move(row));
+  }
+  std::printf("calibration done (%.1fs)\n", timer.ElapsedSeconds());
+
+  rows.push_back(bench::RunGggpMethod(dataset, scale));
+  std::printf("GGGP done (%.1fs)\n", timer.ElapsedSeconds());
+
+  const bench::GmrOutcome gmr = bench::RunGmrMethod(dataset, scale);
+  rows.push_back(gmr.row);
+  std::printf("GMR done (%.1fs)\n\n", timer.ElapsedSeconds());
+
+  bench::PrintTableV(rows);
+
+  // Show the best revised process for inspection (Section IV-E flavor).
+  double best = 1e300;
+  const core::GmrRunResult* best_run = nullptr;
+  for (const auto& run : gmr.runs) {
+    if (run.test_rmse < best) {
+      best = run.test_rmse;
+      best_run = &run;
+    }
+  }
+  if (best_run != nullptr) {
+    std::printf("\nBest revised process (GMR):\n%s",
+                core::DescribeModel(best_run->best_equations).c_str());
+  }
+  return 0;
+}

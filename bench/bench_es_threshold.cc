@@ -1,0 +1,98 @@
+// Reproduces Figure 11: the effect of evaluation short-circuiting (ES) as
+// the threshold is varied (No ES, TH-0.7, TH-1.0, TH-1.3) on
+//   - the number of evaluated time steps,
+//   - train RMSE and test RMSE of the best models,
+//   - the percentage of best models that were fully evaluated.
+// Values are reported relative to ES TH-1.0, as in the figure.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool es;
+  double threshold;
+};
+
+struct Measurement {
+  double time_steps = 0.0;
+  double train_rmse = 0.0;
+  double test_rmse = 0.0;
+  double fully_evaluated_pct = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace gmr;
+  bench::Scale scale = bench::Scale::FromEnvironment();
+  scale.population = std::min(scale.population, 30);
+  scale.generations = std::min(scale.generations, 12);
+  const int runs = std::max(scale.runs, 4);
+
+  const river::RiverDataset dataset = bench::MakeDataset(scale);
+  const core::RiverPriorKnowledge knowledge =
+      core::BuildRiverPriorKnowledge();
+
+  const Variant variants[] = {
+      {"No ES", false, 1.0},
+      {"ES TH-0.7", true, 0.7},
+      {"ES TH-1.0", true, 1.0},
+      {"ES TH-1.3", true, 1.3},
+  };
+
+  std::printf("[Figure 11] effect of ES thresholds (%d runs each)\n\n", runs);
+
+  std::vector<Measurement> results;
+  for (const Variant& variant : variants) {
+    Measurement m;
+    for (int run = 0; run < runs; ++run) {
+      core::GmrConfig config =
+          bench::MakeGmrConfig(scale, 40 + static_cast<std::uint64_t>(run));
+      config.tag3p.speedups.short_circuiting = variant.es;
+      config.tag3p.speedups.es_threshold = variant.threshold;
+      const core::GmrRunResult result =
+          core::RunGmr(dataset, knowledge, config);
+      m.time_steps +=
+          static_cast<double>(result.search.eval_stats.time_steps_evaluated);
+      m.train_rmse += result.train_rmse;
+      m.test_rmse += result.test_rmse;
+      m.fully_evaluated_pct += result.best.fully_evaluated ? 100.0 : 0.0;
+    }
+    m.time_steps /= runs;
+    m.train_rmse /= runs;
+    m.test_rmse /= runs;
+    m.fully_evaluated_pct /= runs;
+    results.push_back(m);
+  }
+
+  const Measurement& reference = results[2];  // ES TH-1.0
+  std::printf("%-10s %16s %12s %12s %18s\n", "Variant", "# eval steps",
+              "RMSE(train)", "RMSE(test)", "% fully-eval best");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-10s %16.0f %12.3f %12.3f %17.0f%%\n", variants[i].name,
+                results[i].time_steps, results[i].train_rmse,
+                results[i].test_rmse, results[i].fully_evaluated_pct);
+  }
+  std::printf("\nrelative to ES TH-1.0 (the Figure 11 encoding):\n");
+  std::printf("%-10s %16s %12s %12s %18s\n", "Variant", "# eval steps",
+              "RMSE(train)", "RMSE(test)", "% fully-eval best");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto rel = [](double v, double ref) {
+      return ref == 0.0 ? 0.0 : v / ref;
+    };
+    std::printf("%-10s %16.2f %12.2f %12.2f %18.2f\n", variants[i].name,
+                rel(results[i].time_steps, reference.time_steps),
+                rel(results[i].train_rmse, reference.train_rmse),
+                rel(results[i].test_rmse, reference.test_rmse),
+                rel(results[i].fully_evaluated_pct,
+                    reference.fully_evaluated_pct));
+  }
+  return 0;
+}

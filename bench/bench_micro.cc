@@ -1,0 +1,196 @@
+// Micro-benchmarks (google-benchmark) of the hot paths behind the Figure 10
+// speedups: expression evaluation through both backends, algebraic
+// simplification, TAG expansion, hydrological routing, and the genetic
+// operators.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/river_grammar.h"
+#include "expr/compile.h"
+#include "expr/eval.h"
+#include "expr/jit.h"
+#include "expr/simplify.h"
+#include "gp/operators.h"
+#include "river/biology.h"
+#include "river/network.h"
+#include "river/parameters.h"
+#include "river/simulate.h"
+#include "river/synthetic.h"
+#include "river/variables.h"
+#include "tag/generate.h"
+
+namespace {
+
+using namespace gmr;
+
+std::vector<double> BenchVariables() {
+  std::vector<double> vars(river::kNumVariables, 1.0);
+  vars[river::kBPhy] = 10.0;
+  vars[river::kBZoo] = 2.0;
+  vars[river::kVlgt] = 20.0;
+  vars[river::kVtmp] = 18.0;
+  vars[river::kVn] = 2.0;
+  vars[river::kVp] = 0.05;
+  vars[river::kVsi] = 3.0;
+  return vars;
+}
+
+void BM_EvalInterpreted(benchmark::State& state) {
+  const auto equation = river::PhytoplanktonDerivative();
+  const auto params = gp::PriorMeans(river::RiverParameterPriors());
+  const auto vars = BenchVariables();
+  expr::EvalContext ctx;
+  ctx.variables = vars.data();
+  ctx.num_variables = vars.size();
+  ctx.parameters = params.data();
+  ctx.num_parameters = params.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::EvalExpr(*equation, ctx));
+  }
+}
+BENCHMARK(BM_EvalInterpreted);
+
+void BM_EvalCompiled(benchmark::State& state) {
+  const auto equation = river::PhytoplanktonDerivative();
+  const auto program = expr::Compile(*equation);
+  const auto params = gp::PriorMeans(river::RiverParameterPriors());
+  const auto vars = BenchVariables();
+  expr::EvalContext ctx;
+  ctx.variables = vars.data();
+  ctx.num_variables = vars.size();
+  ctx.parameters = params.data();
+  ctx.num_parameters = params.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program.Run(ctx));
+  }
+}
+BENCHMARK(BM_EvalCompiled);
+
+void BM_EvalJit(benchmark::State& state) {
+  // True runtime compilation (cc + dlopen), the paper's actual RC
+  // mechanism. Skipped when no compiler is on the system.
+  if (!expr::JitAvailable()) {
+    state.SkipWithError("no C compiler");
+    return;
+  }
+  const auto equation = river::PhytoplanktonDerivative();
+  std::string error;
+  const auto program = expr::JitProgram::Compile(*equation, &error);
+  if (program == nullptr) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  const auto params = gp::PriorMeans(river::RiverParameterPriors());
+  const auto vars = BenchVariables();
+  expr::EvalContext ctx;
+  ctx.variables = vars.data();
+  ctx.num_variables = vars.size();
+  ctx.parameters = params.data();
+  ctx.num_parameters = params.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program->Run(ctx));
+  }
+}
+BENCHMARK(BM_EvalJit);
+
+void BM_Compile(benchmark::State& state) {
+  const auto equation = river::PhytoplanktonDerivative();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::Compile(*equation));
+  }
+}
+BENCHMARK(BM_Compile);
+
+void BM_Simplify(benchmark::State& state) {
+  const auto equation = river::PhytoplanktonDerivative();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::Simplify(equation));
+  }
+}
+BENCHMARK(BM_Simplify);
+
+void BM_TagExpand(benchmark::State& state) {
+  const core::RiverPriorKnowledge knowledge =
+      core::BuildRiverPriorKnowledge();
+  Rng rng(3);
+  const tag::DerivationPtr genotype = tag::GrowRandom(
+      knowledge.grammar, knowledge.seed_alpha_index,
+      static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tag::ExpandToExpressions(knowledge.grammar, *genotype));
+  }
+}
+BENCHMARK(BM_TagExpand)->Arg(4)->Arg(16)->Arg(50);
+
+void BM_GeneticOperators(benchmark::State& state) {
+  const core::RiverPriorKnowledge knowledge =
+      core::BuildRiverPriorKnowledge();
+  Rng rng(5);
+  gp::Individual a;
+  a.genotype = tag::GrowRandom(knowledge.grammar, 0, 12, rng);
+  a.parameters = gp::PriorMeans(knowledge.priors);
+  gp::Individual b;
+  b.genotype = tag::GrowRandom(knowledge.grammar, 0, 12, rng);
+  b.parameters = a.parameters;
+  const gp::SizeBounds bounds{2, 50};
+  for (auto _ : state) {
+    gp::Individual ca = a.Clone();
+    gp::Individual cb = b.Clone();
+    benchmark::DoNotOptimize(
+        gp::Crossover(knowledge.grammar, bounds, 5, &ca, &cb, rng));
+    gp::GaussianMutation(knowledge.priors, 1.0, &ca, rng);
+  }
+}
+BENCHMARK(BM_GeneticOperators);
+
+void BM_SimulateYear(benchmark::State& state) {
+  river::SyntheticConfig config;
+  config.years = 2;
+  config.train_years = 1;
+  const river::RiverDataset dataset = river::GenerateNakdongLike(config);
+  const auto equations = river::ManualProcess();
+  const auto params = gp::PriorMeans(river::RiverParameterPriors());
+  const bool compiled = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(river::SimulateBPhy(
+        equations, params, dataset, 0, 365, 5.0, 1.0,
+        river::SimulationConfig{}, compiled));
+  }
+}
+BENCHMARK(BM_SimulateYear)->Arg(0)->Arg(1);
+
+void BM_HydrologyRoute(benchmark::State& state) {
+  const river::RiverNetwork network = river::RiverNetwork::Nakdong();
+  const std::size_t days = static_cast<std::size_t>(state.range(0));
+  river::HydrologicalProcess::Input input;
+  input.attributes.resize(network.num_stations());
+  input.rainfall.resize(network.num_stations());
+  input.base_flow.assign(network.num_stations(), 0.0);
+  for (std::size_t s = 0; s < network.num_stations(); ++s) {
+    if (network.station(static_cast<int>(s)).is_virtual) continue;
+    input.attributes[s].assign(10, std::vector<double>(days, 1.0));
+    input.rainfall[s].assign(days, 1.0);
+    input.base_flow[s] = 10.0;
+  }
+  const river::HydrologicalProcess hydrology(&network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hydrology.Route(input));
+  }
+}
+BENCHMARK(BM_HydrologyRoute)->Arg(365)->Arg(1825);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    river::SyntheticConfig config;
+    config.years = 2;
+    config.train_years = 1;
+    benchmark::DoNotOptimize(river::GenerateNakdongLike(config));
+  }
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

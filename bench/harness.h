@@ -1,0 +1,77 @@
+#ifndef GMR_BENCH_HARNESS_H_
+#define GMR_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/gmr.h"
+#include "core/river_grammar.h"
+#include "river/dataset.h"
+#include "river/synthetic.h"
+
+namespace gmr::bench {
+
+/// Shared experiment scale. "quick" (default) finishes the whole bench
+/// directory in minutes on a laptop; "full" approaches the paper's setup
+/// (13 data years, population 200, 100 generations) and takes hours.
+/// Select with the GMR_BENCH_SCALE environment variable (quick|full).
+struct Scale {
+  int data_years = 8;
+  int train_years = 6;
+  std::uint64_t data_seed = 7;
+
+  /// The GP budget matches the paper (population 200, 100 generations,
+  /// local search); evaluation short-circuiting + caching keep a full run
+  /// in single-digit seconds, so even "quick" scale uses it.
+  int population = 200;
+  int generations = 100;
+  int local_search_steps = 3;
+  int runs = 8;  ///< Independent GMR runs; the best test-RMSE model reports.
+  int gggp_runs = 3;  ///< GGGP runs (large population makes each run slow).
+
+  std::size_t calibration_budget = 3000;
+
+  int lstm_epochs = 60;
+  int lstm_hidden_cap_all = 32;
+
+  static Scale FromEnvironment();
+};
+
+/// One row of Table V.
+struct AccuracyRow {
+  std::string method_class;
+  std::string method;
+  core::AccuracyReport report;
+};
+
+/// Renders rows in the Table V layout, underlining the best test column
+/// values, and prints the Figure 1 summary (best vs second-best deltas).
+void PrintTableV(const std::vector<AccuracyRow>& rows);
+
+/// Builds the shared dataset for the given scale.
+river::RiverDataset MakeDataset(const Scale& scale);
+
+/// Table V method runners. Each returns its row(s) on `dataset`.
+AccuracyRow RunManualMethod(const river::RiverDataset& dataset);
+std::vector<AccuracyRow> RunCalibrationMethods(
+    const river::RiverDataset& dataset, const Scale& scale);
+std::vector<AccuracyRow> RunArimaxMethods(const river::RiverDataset& dataset);
+std::vector<AccuracyRow> RunRnnMethods(const river::RiverDataset& dataset,
+                                       const Scale& scale);
+AccuracyRow RunGggpMethod(const river::RiverDataset& dataset,
+                          const Scale& scale);
+
+/// Runs GMR `scale.runs` times and returns (row, all run results).
+struct GmrOutcome {
+  AccuracyRow row;
+  std::vector<core::GmrRunResult> runs;
+};
+GmrOutcome RunGmrMethod(const river::RiverDataset& dataset,
+                        const Scale& scale);
+
+/// GMR configuration for the scale (shared by several benches).
+core::GmrConfig MakeGmrConfig(const Scale& scale, std::uint64_t seed);
+
+}  // namespace gmr::bench
+
+#endif  // GMR_BENCH_HARNESS_H_

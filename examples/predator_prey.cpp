@@ -1,0 +1,285 @@
+// GMR on a second domain ("Application to Other Problems", Section III-C):
+// revising a Lotka-Volterra predator-prey model.
+//
+// The expert seed is the classic textbook system
+//     dx/dt = x * (C_a - C_b * y)          (prey)
+//     dy/dt = y * (C_c * x - C_d)          (predator)
+// while the data-generating truth additionally contains
+//   - logistic prey self-limitation  (- C_a * x^2 / K), and
+//   - temperature-dependent predator mortality (C_d scaled by temperature).
+// Prior knowledge marks both equations as extensible with {x, y, T, R}
+// operands, exactly like the river grammar's connector/extender scheme —
+// this example shows the whole pipeline (grammar, priors, fitness, engine)
+// through the domain-agnostic public API, with no river code involved.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "expr/ast.h"
+#include "expr/compile.h"
+#include "expr/print.h"
+#include "expr/simplify.h"
+#include "gp/tag3p.h"
+#include "tag/generate.h"
+
+namespace {
+
+using namespace gmr;
+namespace e = gmr::expr;
+namespace t = gmr::tag;
+
+// Variable slots: state x, y plus the observed temperature driver.
+enum Slot { kX = 0, kY = 1, kTemp = 2, kNumSlots = 3 };
+
+// Parameter slots.
+enum Param { kA = 0, kB = 1, kC = 2, kD = 3, kNumParams = 4 };
+
+e::ExprPtr Var(int slot) {
+  static const char* names[] = {"x", "y", "T"};
+  return e::Variable(slot, names[slot]);
+}
+e::ExprPtr Par(int slot) {
+  static const char* names[] = {"C_a", "C_b", "C_c", "C_d"};
+  return e::Parameter(slot, names[slot]);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic data: integrate the "true" extended system under a seasonal
+// temperature driver and observe the prey with noise.
+struct Series {
+  std::vector<double> temperature;
+  std::vector<double> observed_prey;
+  double x0 = 2.0;
+  double y0 = 1.0;
+  std::size_t train_end = 0;
+};
+
+Series GenerateData(std::size_t days, std::size_t train_days,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  Series series;
+  series.train_end = train_days;
+  series.temperature.resize(days);
+  series.observed_prey.resize(days);
+  double x = series.x0;
+  double y = series.y0;
+  constexpr double kCarryingCapacity = 8.0;
+  for (std::size_t day = 0; day < days; ++day) {
+    const double temp =
+        15.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(day) / 365.0) +
+        rng.Gaussian(0.0, 0.4);
+    series.temperature[day] = temp;
+    const int substeps = 8;
+    for (int s = 0; s < substeps; ++s) {
+      const double dt = 1.0 / substeps;
+      // Truth: logistic prey + temperature-scaled predator death.
+      const double dx = x * (0.6 * (1.0 - x / kCarryingCapacity) - 0.3 * y);
+      const double death = 0.4 * (0.02 * temp + 0.6);
+      const double dy = y * (0.25 * x - death);
+      x = std::max(x + dt * dx, 1e-3);
+      y = std::max(y + dt * dy, 1e-3);
+    }
+    series.observed_prey[day] = x * (1.0 + rng.Gaussian(0.0, 0.02));
+  }
+  return series;
+}
+
+// ---------------------------------------------------------------------------
+// Prior knowledge: the textbook seed with one extension point per equation.
+t::Grammar BuildGrammar() {
+  t::Grammar grammar;
+  const t::Symbol exp = t::kExpSymbol;
+
+  // dx/dt = { x * (C_a - C_b * y) } Ext1
+  e::ExprPtr prey = e::Mul(Var(kX), e::Sub(Par(kA), e::Mul(Par(kB), Var(kY))));
+  // dy/dt = { y * (C_c * x - C_d) } Ext2
+  e::ExprPtr predator =
+      e::Mul(Var(kY), e::Sub(e::Mul(Par(kC), Var(kX)), Par(kD)));
+
+  std::vector<t::TagNodePtr> equations;
+  equations.push_back(t::WrapperNode("ExtC1", t::FromExpr(prey, exp)));
+  equations.push_back(t::WrapperNode("ExtC2", t::FromExpr(predator, exp)));
+  grammar.AddAlphaTree(
+      t::ElementaryTree("lotka-volterra", t::SystemNode(std::move(equations))));
+
+  // Revisions: per extension point, connectors (+ a scaled operand) and
+  // extenders {+,-,*,/} over {x, y, T, R}.
+  for (int ext = 1; ext <= 2; ++ext) {
+    const t::Symbol extc = "ExtC" + std::to_string(ext);
+    const t::Symbol exte = "ExtE" + std::to_string(ext);
+    auto operand = [&](int slot) -> t::TagNodePtr {
+      if (slot < 0) return t::SlotNode("R");
+      std::vector<t::TagNodePtr> kids;
+      kids.push_back(t::WrapperNode(exte, t::LeafNode(Var(slot))));
+      kids.push_back(t::SlotNode("R"));
+      return t::OperatorNode(exte, e::NodeKind::kMul, std::move(kids));
+    };
+    for (int slot : {(int)kX, (int)kY, (int)kTemp, -1}) {
+      std::vector<t::TagNodePtr> kids;
+      kids.push_back(t::FootNode(extc));
+      kids.push_back(t::WrapperNode(exte, operand(slot)));
+      grammar.AddBetaTree(t::ElementaryTree(
+          "conn" + std::to_string(ext),
+          t::OperatorNode(extc, e::NodeKind::kAdd, std::move(kids))));
+    }
+    for (e::NodeKind op : {e::NodeKind::kAdd, e::NodeKind::kSub,
+                           e::NodeKind::kMul, e::NodeKind::kDiv}) {
+      for (int slot : {(int)kX, (int)kY, (int)kTemp, -1}) {
+        std::vector<t::TagNodePtr> kids;
+        kids.push_back(t::FootNode(exte));
+        kids.push_back(t::WrapperNode(
+            exte, slot < 0 ? t::SlotNode("R") : t::LeafNode(Var(slot))));
+        grammar.AddBetaTree(t::ElementaryTree(
+            "ext" + std::to_string(ext),
+            t::OperatorNode(exte, op, std::move(kids))));
+      }
+    }
+  }
+  grammar.SetSlotSpec("R", t::SlotSpec{0.0, 1.0});
+  return grammar;
+}
+
+// ---------------------------------------------------------------------------
+// Fitness: free-run the candidate system; running RMSE against observed prey.
+class PreyFitness : public gp::SequentialFitness {
+ public:
+  PreyFitness(const Series* series, std::size_t begin, std::size_t end)
+      : series_(series), begin_(begin), end_(end) {}
+
+  std::size_t num_cases() const override { return end_ - begin_; }
+  std::size_t num_parameters() const override { return kNumParams; }
+
+  std::unique_ptr<gp::SequentialEvaluation> Begin(
+      const std::vector<e::ExprPtr>& equations,
+      const std::vector<double>& parameters,
+      bool use_compiled_backend) const override {
+    class Eval : public gp::SequentialEvaluation {
+     public:
+      Eval(const std::vector<e::ExprPtr>& eqs, std::vector<double> params,
+           bool compiled, const Series* series, std::size_t begin,
+           std::size_t end)
+          : params_(std::move(params)),
+            series_(series),
+            t_(begin),
+            end_(end),
+            x_(series->x0),
+            y_(series->y0),
+            compiled_(compiled) {
+        if (compiled) {
+          for (const auto& eq : eqs) programs_.push_back(e::Compile(*eq));
+        } else {
+          equations_ = eqs;
+        }
+      }
+      bool Step() override {
+        double vars[kNumSlots];
+        vars[kTemp] = series_->temperature[t_];
+        const int substeps = 4;
+        for (int s = 0; s < substeps; ++s) {
+          vars[kX] = x_;
+          vars[kY] = y_;
+          e::EvalContext ctx{vars, kNumSlots, params_.data(),
+                             params_.size()};
+          const double dx =
+              compiled_ ? programs_[0].Run(ctx)
+                        : e::EvalExpr(*equations_[0], ctx);
+          const double dy =
+              compiled_ ? programs_[1].Run(ctx)
+                        : e::EvalExpr(*equations_[1], ctx);
+          const double dt = 1.0 / substeps;
+          x_ = std::min(std::max(x_ + dt * dx, 1e-3), 1e3);
+          y_ = std::min(std::max(y_ + dt * dy, 1e-3), 1e3);
+        }
+        const double err = x_ - series_->observed_prey[t_];
+        sse_ += err * err;
+        ++steps_;
+        ++t_;
+        return t_ < end_;
+      }
+      double CurrentFitness() const override {
+        return steps_ == 0 ? 0.0
+                           : std::sqrt(sse_ / static_cast<double>(steps_));
+      }
+      std::size_t steps_taken() const override { return steps_; }
+
+     private:
+      std::vector<e::ExprPtr> equations_;
+      std::vector<e::CompiledProgram> programs_;
+      std::vector<double> params_;
+      const Series* series_;
+      std::size_t t_;
+      std::size_t end_;
+      double x_;
+      double y_;
+      bool compiled_;
+      double sse_ = 0.0;
+      std::size_t steps_ = 0;
+    };
+    return std::make_unique<Eval>(equations, parameters,
+                                  use_compiled_backend, series_, begin_,
+                                  end_);
+  }
+
+ private:
+  const Series* series_;
+  std::size_t begin_;
+  std::size_t end_;
+};
+
+}  // namespace
+
+int main() {
+  const Series series = GenerateData(/*days=*/730, /*train_days=*/548, 11);
+  const t::Grammar grammar = BuildGrammar();
+  std::printf("grammar: %zu alpha, %zu beta trees\n",
+              grammar.num_alpha_trees(), grammar.num_beta_trees());
+
+  // Priors on the textbook rate constants (deliberately off the truth).
+  gp::ParameterPriors priors{
+      {"C_a", 0.5, 0.1, 1.5},
+      {"C_b", 0.25, 0.05, 1.0},
+      {"C_c", 0.2, 0.05, 1.0},
+      {"C_d", 0.5, 0.1, 1.5},
+  };
+
+  const PreyFitness train_fitness(&series, 0, series.train_end);
+  const PreyFitness test_fitness(&series, 0, series.observed_prey.size());
+
+  // Seed-model baseline.
+  {
+    tag::DerivationNode seed;
+    const auto equations = tag::ExpandToExpressions(grammar, seed);
+    auto eval = train_fitness.Begin(equations, gp::PriorMeans(priors), true);
+    while (eval->Step()) {
+    }
+    std::printf("textbook Lotka-Volterra train RMSE: %.4f\n",
+                eval->CurrentFitness());
+  }
+
+  gp::Tag3pConfig config;
+  config.population_size = 100;
+  config.max_generations = 40;
+  config.local_search_steps = 3;
+  config.sigma_rampdown_generations = 8;
+  config.seed = 5;
+  config.speedups.tree_caching = true;
+  config.speedups.short_circuiting = true;
+  config.speedups.runtime_compilation = true;
+  gp::Tag3pEngine engine(&grammar, &train_fitness, priors, config);
+  const gp::Tag3pResult result = engine.Run();
+
+  auto equations = tag::ExpandToExpressions(grammar, *result.best.genotype);
+  for (auto& eq : equations) eq = e::Simplify(eq);
+  std::printf("revised system (train RMSE %.4f):\n", result.best.fitness);
+  std::printf("  dx/dt = %s\n", e::ToString(*equations[0]).c_str());
+  std::printf("  dy/dt = %s\n", e::ToString(*equations[1]).c_str());
+  std::printf("parameters:");
+  for (std::size_t i = 0; i < priors.size(); ++i) {
+    std::printf(" %s=%.3f", priors[i].name.c_str(),
+                result.best.parameters[i]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "baselines/arimax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "common/metrics.h"
+#include "common/stats.h"
+
+namespace gmr::baselines {
+namespace {
+
+/// Fits one ARMAX(p, q) by conditional least squares given residual
+/// estimates from the Hannan-Rissanen first stage. Returns false on a
+/// singular regression.
+bool FitOrder(const std::vector<double>& y,
+              const std::vector<std::vector<double>>& exogenous,
+              const std::vector<double>& residuals, std::size_t train_end,
+              int p, int q, std::vector<double>* coefficients,
+              double* aic) {
+  const std::size_t k = exogenous.size();
+  const std::size_t start = static_cast<std::size_t>(std::max(p, q));
+  GMR_CHECK_LT(start, train_end);
+  const std::size_t rows = train_end - start;
+  const std::size_t cols =
+      1 + static_cast<std::size_t>(p) + static_cast<std::size_t>(q) + k;
+
+  Matrix x(rows, cols);
+  std::vector<double> target(rows);
+  for (std::size_t t = start; t < train_end; ++t) {
+    const std::size_t r = t - start;
+    std::size_t c = 0;
+    x.At(r, c++) = 1.0;
+    for (int i = 1; i <= p; ++i) {
+      x.At(r, c++) = y[t - static_cast<std::size_t>(i)];
+    }
+    for (int j = 1; j <= q; ++j) {
+      x.At(r, c++) = residuals[t - static_cast<std::size_t>(j)];
+    }
+    for (std::size_t e = 0; e < k; ++e) x.At(r, c++) = exogenous[e][t];
+    target[r] = y[t];
+  }
+  if (!LeastSquares(x, target, coefficients)) return false;
+
+  const std::vector<double> fitted = x.MultiplyVector(*coefficients);
+  const double ll = GaussianLogLikelihood(fitted, target);
+  *aic = Aic(ll, cols + 1);  // +1 for the residual variance.
+  return true;
+}
+
+/// One-step-ahead prediction at time t given observed history and running
+/// residuals.
+double Predict(const std::vector<double>& y,
+               const std::vector<std::vector<double>>& exogenous,
+               const std::vector<double>& residuals,
+               const std::vector<double>& coefficients, int p, int q,
+               std::size_t t) {
+  std::size_t c = 0;
+  double pred = coefficients[c++];
+  for (int i = 1; i <= p; ++i) {
+    pred += coefficients[c++] * y[t - static_cast<std::size_t>(i)];
+  }
+  for (int j = 1; j <= q; ++j) {
+    pred += coefficients[c++] * residuals[t - static_cast<std::size_t>(j)];
+  }
+  for (const auto& series : exogenous) pred += coefficients[c++] * series[t];
+  return pred;
+}
+
+}  // namespace
+
+ArimaxResult FitArimax(const std::vector<double>& y,
+                       const std::vector<std::vector<double>>& raw_exogenous,
+                       std::size_t train_end, const ArimaxConfig& config) {
+  GMR_CHECK_GT(train_end, static_cast<std::size_t>(config.long_ar_order +
+                                                   config.max_p +
+                                                   config.max_q + 2));
+  GMR_CHECK_LT(train_end, y.size());
+  for (const auto& series : raw_exogenous) {
+    GMR_CHECK_EQ(series.size(), y.size());
+  }
+
+  // Standardize the regressors on training statistics: exogenous series
+  // span orders of magnitude (conductivity in the hundreds, phosphorus in
+  // thousandths), and an unstandardized wide regression (the -ALL
+  // variants) is numerically fragile.
+  std::vector<std::vector<double>> exogenous;
+  exogenous.reserve(raw_exogenous.size());
+  for (const auto& series : raw_exogenous) {
+    const std::vector<double> train_slice(
+        series.begin(), series.begin() + static_cast<std::ptrdiff_t>(train_end));
+    const Standardizer standardizer = FitStandardizer(train_slice);
+    exogenous.push_back(StandardizeSeries(standardizer, series));
+  }
+
+  // Hannan-Rissanen stage 1: long-AR (+ exogenous) regression provides
+  // residual estimates to serve as lagged-innovation regressors.
+  std::vector<double> residuals(y.size(), 0.0);
+  {
+    const int m = config.long_ar_order;
+    const std::size_t start = static_cast<std::size_t>(m);
+    const std::size_t rows = train_end - start;
+    const std::size_t cols = 1 + static_cast<std::size_t>(m) +
+                             exogenous.size();
+    Matrix x(rows, cols);
+    std::vector<double> target(rows);
+    for (std::size_t t = start; t < train_end; ++t) {
+      const std::size_t r = t - start;
+      std::size_t c = 0;
+      x.At(r, c++) = 1.0;
+      for (int i = 1; i <= m; ++i) {
+        x.At(r, c++) = y[t - static_cast<std::size_t>(i)];
+      }
+      for (const auto& series : exogenous) x.At(r, c++) = series[t];
+      target[r] = y[t];
+    }
+    std::vector<double> beta;
+    GMR_CHECK_MSG(LeastSquares(x, target, &beta),
+                  "long-AR stage is singular");
+    const std::vector<double> fitted = x.MultiplyVector(beta);
+    for (std::size_t t = start; t < train_end; ++t) {
+      residuals[t] = y[t] - fitted[t - start];
+    }
+  }
+
+  // Stage 2: AIC grid search over (p, q).
+  ArimaxResult best;
+  best.aic = std::numeric_limits<double>::infinity();
+  for (int p = 1; p <= config.max_p; ++p) {
+    for (int q = 0; q <= config.max_q; ++q) {
+      std::vector<double> coefficients;
+      double aic = 0.0;
+      if (!FitOrder(y, exogenous, residuals, train_end, p, q, &coefficients,
+                    &aic)) {
+        continue;
+      }
+      if (aic < best.aic) {
+        best.aic = aic;
+        best.p = p;
+        best.q = q;
+        best.coefficients = std::move(coefficients);
+      }
+    }
+  }
+  GMR_CHECK_MSG(!best.coefficients.empty(), "no ARMAX order could be fit");
+
+  // Training accuracy: one-step-ahead over the usable training range.
+  const std::size_t start = static_cast<std::size_t>(
+      std::max({best.p, best.q, config.long_ar_order}));
+  std::vector<double> train_pred;
+  std::vector<double> train_obs;
+  for (std::size_t t = start; t < train_end; ++t) {
+    train_pred.push_back(Predict(y, exogenous, residuals, best.coefficients,
+                                 best.p, best.q, t));
+    train_obs.push_back(y[t]);
+  }
+  best.train_rmse = Rmse(train_pred, train_obs);
+  best.train_mae = Mae(train_pred, train_obs);
+
+  // Test: recursive one-step-ahead with running residual updates (the
+  // observation becomes available after each prediction).
+  std::vector<double> test_obs;
+  for (std::size_t t = train_end; t < y.size(); ++t) {
+    const double pred = Predict(y, exogenous, residuals, best.coefficients,
+                                best.p, best.q, t);
+    residuals[t] = y[t] - pred;
+    best.test_predictions.push_back(pred);
+    test_obs.push_back(y[t]);
+  }
+  best.test_rmse = Rmse(best.test_predictions, test_obs);
+  best.test_mae = Mae(best.test_predictions, test_obs);
+  return best;
+}
+
+}  // namespace gmr::baselines

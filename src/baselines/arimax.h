@@ -1,0 +1,45 @@
+#ifndef GMR_BASELINES_ARIMAX_H_
+#define GMR_BASELINES_ARIMAX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gmr::baselines {
+
+/// ARMAX(p, q) time-series baseline with exogenous regressors
+/// (paper Section IV-B2; substitute for pmdarima's AutoARIMA — see
+/// DESIGN.md §4). Orders are selected by AIC over a grid, coefficients by
+/// Hannan-Rissanen conditional least squares; evaluation is recursive
+/// one-step-ahead forecasting, matching the paper's setup of predicting the
+/// next value from currently observed variables.
+struct ArimaxConfig {
+  int max_p = 5;  ///< AR order grid: 1..max_p.
+  int max_q = 2;  ///< MA order grid: 0..max_q.
+  /// Long-AR order of the Hannan-Rissanen first stage.
+  int long_ar_order = 10;
+};
+
+struct ArimaxResult {
+  int p = 0;
+  int q = 0;
+  double aic = 0.0;
+  /// [intercept, phi_1..phi_p, theta_1..theta_q, beta_1..beta_k].
+  std::vector<double> coefficients;
+  double train_rmse = 0.0;
+  double train_mae = 0.0;
+  double test_rmse = 0.0;
+  double test_mae = 0.0;
+  /// One-step-ahead test predictions, parallel to the test period.
+  std::vector<double> test_predictions;
+};
+
+/// Fits on y[0..train_end) with exogenous series `exogenous[k][t]` (all of
+/// length y.size()) and evaluates on the remainder. Requires train_end to
+/// leave enough lags (> long_ar_order + max_p + max_q).
+ArimaxResult FitArimax(const std::vector<double>& y,
+                       const std::vector<std::vector<double>>& exogenous,
+                       std::size_t train_end, const ArimaxConfig& config);
+
+}  // namespace gmr::baselines
+
+#endif  // GMR_BASELINES_ARIMAX_H_

@@ -1,0 +1,409 @@
+#include "baselines/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace gmr::baselines {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// A flat parameter tensor with Adam state.
+struct Tensor {
+  std::vector<double> value;
+  std::vector<double> grad;
+  std::vector<double> m;
+  std::vector<double> v;
+
+  void Init(std::size_t n, double scale, Rng& rng) {
+    value.resize(n);
+    for (double& w : value) w = rng.Gaussian(0.0, scale);
+    grad.assign(n, 0.0);
+    m.assign(n, 0.0);
+    v.assign(n, 0.0);
+  }
+};
+
+/// One LSTM layer: z = W x + U h + b with gate order (i, f, g, o).
+struct LstmLayer {
+  std::size_t input = 0;
+  std::size_t hidden = 0;
+  Tensor w;  // [4H x I]
+  Tensor u;  // [4H x H]
+  Tensor b;  // [4H]
+
+  void Init(std::size_t in, std::size_t hid, Rng& rng) {
+    input = in;
+    hidden = hid;
+    const double scale = 1.0 / std::sqrt(static_cast<double>(in + hid));
+    w.Init(4 * hid * in, scale, rng);
+    u.Init(4 * hid * hid, scale, rng);
+    b.Init(4 * hid, 0.0, rng);
+    // Forget-gate bias starts positive (standard practice).
+    for (std::size_t j = hid; j < 2 * hid; ++j) b.value[j] = 1.0;
+  }
+};
+
+/// Per-timestep forward cache for BPTT.
+struct StepCache {
+  std::vector<double> x;       // layer input
+  std::vector<double> i, f, g, o;
+  std::vector<double> c, tanh_c;
+  std::vector<double> h;
+  std::vector<double> c_prev, h_prev;
+};
+
+struct Network {
+  std::vector<LstmLayer> layers;
+  Tensor head1_w;  // [H x H]
+  Tensor head1_b;  // [H]
+  Tensor head2_w;  // [H]
+  Tensor head2_b;  // [1]
+  std::size_t hidden = 0;
+
+  std::vector<Tensor*> AllTensors() {
+    std::vector<Tensor*> all;
+    for (LstmLayer& layer : layers) {
+      all.push_back(&layer.w);
+      all.push_back(&layer.u);
+      all.push_back(&layer.b);
+    }
+    all.push_back(&head1_w);
+    all.push_back(&head1_b);
+    all.push_back(&head2_w);
+    all.push_back(&head2_b);
+    return all;
+  }
+};
+
+/// Forward pass of one layer for one timestep.
+void LayerForward(const LstmLayer& layer, const std::vector<double>& x,
+                  const std::vector<double>& h_prev,
+                  const std::vector<double>& c_prev, StepCache* cache) {
+  const std::size_t hid = layer.hidden;
+  std::vector<double> z(4 * hid);
+  for (std::size_t j = 0; j < 4 * hid; ++j) {
+    double sum = layer.b.value[j];
+    const double* wr = &layer.w.value[j * layer.input];
+    for (std::size_t k = 0; k < layer.input; ++k) sum += wr[k] * x[k];
+    const double* ur = &layer.u.value[j * hid];
+    for (std::size_t k = 0; k < hid; ++k) sum += ur[k] * h_prev[k];
+    z[j] = sum;
+  }
+  cache->x = x;
+  cache->h_prev = h_prev;
+  cache->c_prev = c_prev;
+  cache->i.resize(hid);
+  cache->f.resize(hid);
+  cache->g.resize(hid);
+  cache->o.resize(hid);
+  cache->c.resize(hid);
+  cache->tanh_c.resize(hid);
+  cache->h.resize(hid);
+  for (std::size_t j = 0; j < hid; ++j) {
+    cache->i[j] = Sigmoid(z[j]);
+    cache->f[j] = Sigmoid(z[hid + j]);
+    cache->g[j] = std::tanh(z[2 * hid + j]);
+    cache->o[j] = Sigmoid(z[3 * hid + j]);
+    cache->c[j] = cache->f[j] * c_prev[j] + cache->i[j] * cache->g[j];
+    cache->tanh_c[j] = std::tanh(cache->c[j]);
+    cache->h[j] = cache->o[j] * cache->tanh_c[j];
+  }
+}
+
+/// Backward pass of one layer for one timestep. dh/dc are gradients flowing
+/// into h(t)/c(t); outputs gradients for h(t-1), c(t-1) and the layer input.
+void LayerBackward(LstmLayer& layer, const StepCache& cache,
+                   const std::vector<double>& dh, const std::vector<double>& dc_in,
+                   std::vector<double>* dh_prev, std::vector<double>* dc_prev,
+                   std::vector<double>* dx) {
+  const std::size_t hid = layer.hidden;
+  std::vector<double> dz(4 * hid);
+  dc_prev->assign(hid, 0.0);
+  for (std::size_t j = 0; j < hid; ++j) {
+    const double do_ = dh[j] * cache.tanh_c[j];
+    double dc = dc_in[j] + dh[j] * cache.o[j] *
+                               (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
+    const double di = dc * cache.g[j];
+    const double df = dc * cache.c_prev[j];
+    const double dg = dc * cache.i[j];
+    (*dc_prev)[j] = dc * cache.f[j];
+    dz[j] = di * cache.i[j] * (1.0 - cache.i[j]);
+    dz[hid + j] = df * cache.f[j] * (1.0 - cache.f[j]);
+    dz[2 * hid + j] = dg * (1.0 - cache.g[j] * cache.g[j]);
+    dz[3 * hid + j] = do_ * cache.o[j] * (1.0 - cache.o[j]);
+  }
+  dh_prev->assign(hid, 0.0);
+  dx->assign(layer.input, 0.0);
+  for (std::size_t j = 0; j < 4 * hid; ++j) {
+    const double d = dz[j];
+    if (d == 0.0) continue;
+    double* wg = &layer.w.grad[j * layer.input];
+    const double* wv = &layer.w.value[j * layer.input];
+    for (std::size_t k = 0; k < layer.input; ++k) {
+      wg[k] += d * cache.x[k];
+      (*dx)[k] += d * wv[k];
+    }
+    double* ug = &layer.u.grad[j * hid];
+    const double* uv = &layer.u.value[j * hid];
+    for (std::size_t k = 0; k < hid; ++k) {
+      ug[k] += d * cache.h_prev[k];
+      (*dh_prev)[k] += d * uv[k];
+    }
+    layer.b.grad[j] += d;
+  }
+}
+
+/// Head forward: y = w2 . relu(W1 h + b1) + b2.
+double HeadForward(const Network& net, const std::vector<double>& h,
+                   std::vector<double>* hidden_act) {
+  const std::size_t hid = net.hidden;
+  hidden_act->resize(hid);
+  for (std::size_t j = 0; j < hid; ++j) {
+    double sum = net.head1_b.value[j];
+    const double* wr = &net.head1_w.value[j * hid];
+    for (std::size_t k = 0; k < hid; ++k) sum += wr[k] * h[k];
+    (*hidden_act)[j] = sum > 0.0 ? sum : 0.0;  // ReLU
+  }
+  double y = net.head2_b.value[0];
+  for (std::size_t j = 0; j < hid; ++j) {
+    y += net.head2_w.value[j] * (*hidden_act)[j];
+  }
+  return y;
+}
+
+/// Head backward: returns gradient wrt h.
+std::vector<double> HeadBackward(Network& net, const std::vector<double>& h,
+                                 const std::vector<double>& hidden_act,
+                                 double dy) {
+  const std::size_t hid = net.hidden;
+  std::vector<double> dhidden(hid);
+  for (std::size_t j = 0; j < hid; ++j) {
+    net.head2_w.grad[j] += dy * hidden_act[j];
+    dhidden[j] = hidden_act[j] > 0.0 ? dy * net.head2_w.value[j] : 0.0;
+  }
+  net.head2_b.grad[0] += dy;
+  std::vector<double> dh(hid, 0.0);
+  for (std::size_t j = 0; j < hid; ++j) {
+    const double d = dhidden[j];
+    if (d == 0.0) continue;
+    double* wg = &net.head1_w.grad[j * hid];
+    const double* wv = &net.head1_w.value[j * hid];
+    for (std::size_t k = 0; k < hid; ++k) {
+      wg[k] += d * h[k];
+      dh[k] += d * wv[k];
+    }
+    net.head1_b.grad[j] += d;
+  }
+  return dh;
+}
+
+void AdamStep(Network& net, const LstmConfig& config, std::size_t step) {
+  const double bias1 =
+      1.0 - std::pow(config.beta1, static_cast<double>(step));
+  const double bias2 =
+      1.0 - std::pow(config.beta2, static_cast<double>(step));
+  for (Tensor* tensor : net.AllTensors()) {
+    for (std::size_t i = 0; i < tensor->value.size(); ++i) {
+      // Decoupled weight decay, applied with the learning rate.
+      const double g =
+          tensor->grad[i] + config.weight_decay * tensor->value[i];
+      tensor->m[i] = config.beta1 * tensor->m[i] + (1.0 - config.beta1) * g;
+      tensor->v[i] =
+          config.beta2 * tensor->v[i] + (1.0 - config.beta2) * g * g;
+      const double mhat = tensor->m[i] / bias1;
+      const double vhat = tensor->v[i] / bias2;
+      tensor->value[i] -=
+          config.learning_rate * mhat / (std::sqrt(vhat) + 1e-8);
+      tensor->grad[i] = 0.0;
+    }
+  }
+}
+
+/// Stateful full-sequence prediction (standardized domain).
+std::vector<double> PredictSequence(
+    const Network& net, const std::vector<std::vector<double>>& inputs) {
+  const std::size_t num_layers = net.layers.size();
+  const std::size_t hid = net.hidden;
+  std::vector<std::vector<double>> h(num_layers,
+                                     std::vector<double>(hid, 0.0));
+  std::vector<std::vector<double>> c(num_layers,
+                                     std::vector<double>(hid, 0.0));
+  std::vector<double> predictions(inputs.size());
+  StepCache cache;
+  std::vector<double> head_hidden;
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    std::vector<double> x = inputs[t];
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      LayerForward(net.layers[l], x, h[l], c[l], &cache);
+      h[l] = cache.h;
+      c[l] = cache.c;
+      x = cache.h;
+    }
+    predictions[t] = HeadForward(net, x, &head_hidden);
+  }
+  return predictions;
+}
+
+}  // namespace
+
+LstmResult TrainAndEvaluateLstm(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& y, std::size_t train_end,
+    const LstmConfig& config) {
+  GMR_CHECK_GT(features.size(), 0u);
+  GMR_CHECK_GT(train_end, static_cast<std::size_t>(config.window + 2));
+  GMR_CHECK_LT(train_end, y.size());
+  const std::size_t num_features = features.size();
+  const std::size_t num_days = y.size();
+
+  // Standardize features and target on training statistics.
+  std::vector<Standardizer> feature_standardizers(num_features);
+  std::vector<std::vector<double>> inputs(num_days,
+                                          std::vector<double>(num_features));
+  for (std::size_t k = 0; k < num_features; ++k) {
+    const std::vector<double> train_slice(
+        features[k].begin(),
+        features[k].begin() + static_cast<std::ptrdiff_t>(train_end));
+    feature_standardizers[k] = FitStandardizer(train_slice);
+    for (std::size_t t = 0; t < num_days; ++t) {
+      inputs[t][k] = feature_standardizers[k].Transform(features[k][t]);
+    }
+  }
+  const std::vector<double> y_train_slice(
+      y.begin(), y.begin() + static_cast<std::ptrdiff_t>(train_end));
+  const Standardizer y_standardizer = FitStandardizer(y_train_slice);
+
+  // Targets: next-day biomass (standardized). The last usable input day is
+  // num_days - 2.
+  std::vector<double> targets(num_days, 0.0);
+  for (std::size_t t = 0; t + 1 < num_days; ++t) {
+    targets[t] = y_standardizer.Transform(y[t + 1]);
+  }
+
+  Rng rng(config.seed);
+  Network net;
+  std::size_t hidden = config.hidden_size > 0
+                           ? static_cast<std::size_t>(config.hidden_size)
+                           : num_features;
+  hidden = std::min(hidden, static_cast<std::size_t>(config.hidden_cap));
+  net.hidden = hidden;
+  net.layers.resize(static_cast<std::size_t>(config.num_layers));
+  for (std::size_t l = 0; l < net.layers.size(); ++l) {
+    net.layers[l].Init(l == 0 ? num_features : hidden, hidden, rng);
+  }
+  const double head_scale = 1.0 / std::sqrt(static_cast<double>(hidden));
+  net.head1_w.Init(hidden * hidden, head_scale, rng);
+  net.head1_b.Init(hidden, 0.0, rng);
+  net.head2_w.Init(hidden, head_scale, rng);
+  net.head2_b.Init(1, 0.0, rng);
+
+  // Evaluation helper (unstandardized RMSE/MAE, one-step-ahead).
+  auto evaluate = [&](double* train_rmse, double* train_mae,
+                      double* test_rmse, double* test_mae) {
+    const std::vector<double> z = PredictSequence(net, inputs);
+    std::vector<double> train_pred, train_obs, test_pred, test_obs;
+    for (std::size_t t = 0; t + 1 < num_days; ++t) {
+      const double pred = y_standardizer.Inverse(z[t]);
+      const double obs = y[t + 1];
+      if (t + 1 < train_end) {
+        train_pred.push_back(pred);
+        train_obs.push_back(obs);
+      } else {
+        test_pred.push_back(pred);
+        test_obs.push_back(obs);
+      }
+    }
+    *train_rmse = Rmse(train_pred, train_obs);
+    *train_mae = Mae(train_pred, train_obs);
+    *test_rmse = Rmse(test_pred, test_obs);
+    *test_mae = Mae(test_pred, test_obs);
+  };
+
+  LstmResult result;
+  result.best_test_rmse = 1e300;
+  const std::size_t window = static_cast<std::size_t>(config.window);
+  const std::size_t num_layers = net.layers.size();
+  std::size_t adam_step = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Truncated BPTT over consecutive windows; hidden state carries across
+    // windows within the epoch, gradients do not.
+    std::vector<std::vector<double>> h(num_layers,
+                                       std::vector<double>(hidden, 0.0));
+    std::vector<std::vector<double>> c(num_layers,
+                                       std::vector<double>(hidden, 0.0));
+    for (std::size_t begin = 0; begin + 1 < train_end; begin += window) {
+      const std::size_t end = std::min(begin + window, train_end - 1);
+      const std::size_t len = end - begin;
+      if (len == 0) break;
+      // Forward with caches.
+      std::vector<std::vector<StepCache>> caches(
+          num_layers, std::vector<StepCache>(len));
+      std::vector<std::vector<double>> head_hidden(len);
+      std::vector<double> predictions(len);
+      for (std::size_t s = 0; s < len; ++s) {
+        std::vector<double> x = inputs[begin + s];
+        for (std::size_t l = 0; l < num_layers; ++l) {
+          LayerForward(net.layers[l], x, h[l], c[l], &caches[l][s]);
+          h[l] = caches[l][s].h;
+          c[l] = caches[l][s].c;
+          x = caches[l][s].h;
+        }
+        predictions[s] = HeadForward(net, x, &head_hidden[s]);
+      }
+      // Backward through the window.
+      std::vector<std::vector<double>> dh(num_layers,
+                                          std::vector<double>(hidden, 0.0));
+      std::vector<std::vector<double>> dc(num_layers,
+                                          std::vector<double>(hidden, 0.0));
+      for (std::size_t s = len; s > 0; --s) {
+        const std::size_t idx = s - 1;
+        const double dy = 2.0 *
+                          (predictions[idx] - targets[begin + idx]) /
+                          static_cast<double>(len);
+        std::vector<double> dtop = HeadBackward(
+            net, caches[num_layers - 1][idx].h, head_hidden[idx], dy);
+        for (std::size_t l = num_layers; l > 0; --l) {
+          const std::size_t layer = l - 1;
+          std::vector<double> dh_total = dh[layer];
+          for (std::size_t j = 0; j < hidden; ++j) dh_total[j] += dtop[j];
+          std::vector<double> dh_prev, dc_prev, dx;
+          LayerBackward(net.layers[layer], caches[layer][idx], dh_total,
+                        dc[layer], &dh_prev, &dc_prev, &dx);
+          dh[layer] = std::move(dh_prev);
+          dc[layer] = std::move(dc_prev);
+          dtop = std::move(dx);  // Flows into the layer below as dh of its h.
+        }
+      }
+      // Gradient clipping for stability.
+      for (Tensor* tensor : net.AllTensors()) {
+        for (double& g : tensor->grad) {
+          g = std::min(std::max(g, -5.0), 5.0);
+        }
+      }
+      AdamStep(net, config, ++adam_step);
+    }
+
+    double train_rmse, train_mae, test_rmse, test_mae;
+    evaluate(&train_rmse, &train_mae, &test_rmse, &test_mae);
+    result.curve.emplace_back(train_rmse, test_rmse);
+    if (test_rmse < result.best_test_rmse) {
+      result.best_test_rmse = test_rmse;
+      result.best_test_mae = test_mae;
+    }
+    result.train_rmse = train_rmse;
+    result.train_mae = train_mae;
+    result.test_rmse = test_rmse;
+    result.test_mae = test_mae;
+  }
+  result.final_train_rmse = result.train_rmse;
+  return result;
+}
+
+}  // namespace gmr::baselines

@@ -1,0 +1,58 @@
+#ifndef GMR_BASELINES_LSTM_H_
+#define GMR_BASELINES_LSTM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gmr::baselines {
+
+/// From-scratch LSTM forecaster reproducing the paper's RNN baseline
+/// (Appendix B; substitute for the PyTorch implementation — see DESIGN.md
+/// §4): a two-layer LSTM whose hidden size equals the number of input
+/// features, a two-layer dense head, Adam (alpha 0.01, beta1 0.9,
+/// beta2 0.999, weight decay 5e-4), standardized inputs, MSE loss. It
+/// predicts the next-day phytoplankton biomass from the variables observed
+/// at the current day.
+struct LstmConfig {
+  int num_layers = 2;
+  /// Hidden size; 0 = number of input features (the paper's choice),
+  /// clamped to hidden_cap for tractability on wide inputs.
+  int hidden_size = 0;
+  int hidden_cap = 64;
+  int epochs = 150;
+  /// Truncated-BPTT window length (days).
+  int window = 30;
+  double learning_rate = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double weight_decay = 5e-4;
+  std::uint64_t seed = 1;
+};
+
+struct LstmResult {
+  /// Metrics of the final trained model (one-step-ahead).
+  double train_rmse = 0.0;
+  double train_mae = 0.0;
+  double test_rmse = 0.0;
+  double test_mae = 0.0;
+  /// Best test RMSE over epochs and the final-epoch value — their gap is
+  /// the overfitting the paper reports (test RMSE rising as training
+  /// continues).
+  double best_test_rmse = 0.0;
+  double best_test_mae = 0.0;
+  double final_train_rmse = 0.0;
+  /// Per-epoch (train RMSE, test RMSE) learning curve.
+  std::vector<std::pair<double, double>> curve;
+};
+
+/// Trains on features[k][t] (k series of length y.size()) against next-day
+/// y, splitting at train_end, and evaluates one-step-ahead.
+LstmResult TrainAndEvaluateLstm(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& y, std::size_t train_end,
+    const LstmConfig& config);
+
+}  // namespace gmr::baselines
+
+#endif  // GMR_BASELINES_LSTM_H_

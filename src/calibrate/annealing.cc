@@ -1,0 +1,50 @@
+#include <cmath>
+
+#include "calibrate/methods.h"
+
+namespace gmr::calibrate {
+
+CalibrationResult SaCalibrator::Calibrate(const Objective& objective,
+                                          const BoxBounds& bounds,
+                                          const std::vector<double>& initial,
+                                          std::size_t budget,
+                                          Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  std::vector<double> current = initial;
+  double current_f = f(current);
+
+  // Initial temperature set so a typical early uphill move (~10% of the
+  // initial objective) is accepted with probability ~0.5; geometric cooling
+  // tuned to the budget.
+  const double initial_temperature =
+      std::max(0.1 * current_f / std::log(2.0), 1e-6);
+  double temperature = initial_temperature;
+  const double cooling =
+      std::pow(1e-4, 1.0 / static_cast<double>(std::max<std::size_t>(
+                          budget, std::size_t{2})));
+  const std::size_t dim = bounds.dim();
+
+  while (!f.Exhausted()) {
+    std::vector<double> candidate = current;
+    // Perturb a random subset of coordinates with bound-scaled steps that
+    // shrink as the system cools.
+    const double scale = 0.02 + 0.2 * temperature / initial_temperature;
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (!rng.Bernoulli(0.5)) continue;
+      candidate[d] +=
+          rng.Gaussian(0.0, scale * (bounds.hi[d] - bounds.lo[d]));
+    }
+    bounds.Clamp(&candidate);
+    const double candidate_f = f(candidate);
+    const double delta = candidate_f - current_f;
+    if (delta <= 0.0 ||
+        rng.Bernoulli(std::exp(-delta / std::max(temperature, 1e-12)))) {
+      current = std::move(candidate);
+      current_f = candidate_f;
+    }
+    temperature *= cooling;
+  }
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+}  // namespace gmr::calibrate

@@ -1,0 +1,44 @@
+#include "calibrate/calibrator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gmr::calibrate {
+
+void BoxBounds::Clamp(std::vector<double>* x) const {
+  GMR_CHECK_EQ(x->size(), lo.size());
+  for (std::size_t i = 0; i < x->size(); ++i) {
+    (*x)[i] = std::min(std::max((*x)[i], lo[i]), hi[i]);
+  }
+}
+
+std::vector<double> BoxBounds::Sample(Rng& rng) const {
+  std::vector<double> x(lo.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.Uniform(lo[i], hi[i]);
+  return x;
+}
+
+BoxBounds BoundsFromPriors(const gp::ParameterPriors& priors) {
+  BoxBounds bounds;
+  bounds.lo.reserve(priors.size());
+  bounds.hi.reserve(priors.size());
+  for (const gp::ParameterPrior& prior : priors) {
+    bounds.lo.push_back(prior.lo);
+    bounds.hi.push_back(prior.hi);
+  }
+  return bounds;
+}
+
+double BudgetedObjective::operator()(const std::vector<double>& x) {
+  if (used_ >= budget_) return 1e300;
+  ++used_;
+  const double f = (*objective_)(x);
+  if (f < best_f_) {
+    best_f_ = f;
+    best_x_ = x;
+  }
+  return f;
+}
+
+}  // namespace gmr::calibrate

@@ -1,0 +1,80 @@
+#ifndef GMR_CALIBRATE_CALIBRATOR_H_
+#define GMR_CALIBRATE_CALIBRATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "gp/parameter_prior.h"
+
+namespace gmr::calibrate {
+
+/// Box constraints on the parameter vector (from the Table III priors).
+struct BoxBounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  std::size_t dim() const { return lo.size(); }
+  /// Clamps x into the box, in place.
+  void Clamp(std::vector<double>* x) const;
+  /// Uniform sample inside the box.
+  std::vector<double> Sample(Rng& rng) const;
+};
+
+BoxBounds BoundsFromPriors(const gp::ParameterPriors& priors);
+
+/// Minimization objective over a parameter vector (train RMSE of the fixed
+/// MANUAL process in the river task).
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct CalibrationResult {
+  std::vector<double> best_parameters;
+  double best_objective = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// A model-calibration method (paper Section IV-B3): optimizes the values of
+/// the process parameters without revising the form of the equations.
+class Calibrator {
+ public:
+  virtual ~Calibrator() = default;
+
+  /// Method name as reported in Table V ("GA", "SCE-UA", ...).
+  virtual const char* name() const = 0;
+
+  /// Minimizes `objective` within `bounds`, spending at most `budget`
+  /// objective evaluations. `initial` is the expert starting point (prior
+  /// means).
+  virtual CalibrationResult Calibrate(const Objective& objective,
+                                      const BoxBounds& bounds,
+                                      const std::vector<double>& initial,
+                                      std::size_t budget, Rng& rng) const = 0;
+};
+
+/// Budget-tracking helper shared by the implementations.
+class BudgetedObjective {
+ public:
+  BudgetedObjective(const Objective* objective, std::size_t budget)
+      : objective_(objective), budget_(budget) {}
+
+  /// Evaluates and tracks the incumbent. Returns +inf once the budget is
+  /// exhausted (callers should also poll Exhausted()).
+  double operator()(const std::vector<double>& x);
+
+  bool Exhausted() const { return used_ >= budget_; }
+  std::size_t used() const { return used_; }
+  const std::vector<double>& best_x() const { return best_x_; }
+  double best_f() const { return best_f_; }
+
+ private:
+  const Objective* objective_;
+  std::size_t budget_;
+  std::size_t used_ = 0;
+  std::vector<double> best_x_;
+  double best_f_ = 1e300;
+};
+
+}  // namespace gmr::calibrate
+
+#endif  // GMR_CALIBRATE_CALIBRATOR_H_

@@ -1,0 +1,80 @@
+#include <algorithm>
+
+#include "calibrate/methods.h"
+#include "common/check.h"
+
+namespace gmr::calibrate {
+namespace {
+
+struct Member {
+  std::vector<double> x;
+  double f = 1e300;
+};
+
+const Member& Tournament(const std::vector<Member>& population, int size,
+                         Rng& rng) {
+  const Member* best = nullptr;
+  for (int i = 0; i < size; ++i) {
+    const Member& candidate = population[rng.PickIndex(population)];
+    if (best == nullptr || candidate.f < best->f) best = &candidate;
+  }
+  return *best;
+}
+
+}  // namespace
+
+CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
+                                          const BoxBounds& bounds,
+                                          const std::vector<double>& initial,
+                                          std::size_t budget,
+                                          Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  const std::size_t dim = bounds.dim();
+  const std::size_t pop_size = std::max<std::size_t>(20, 2 * dim);
+  constexpr double kBlxAlpha = 0.3;
+  constexpr double kMutationProb = 0.15;
+  constexpr int kTournament = 3;
+  constexpr std::size_t kElites = 2;
+
+  std::vector<Member> population;
+  population.push_back({initial, f(initial)});
+  while (population.size() < pop_size && !f.Exhausted()) {
+    Member m;
+    m.x = bounds.Sample(rng);
+    m.f = f(m.x);
+    population.push_back(std::move(m));
+  }
+
+  while (!f.Exhausted()) {
+    std::sort(population.begin(), population.end(),
+              [](const Member& a, const Member& b) { return a.f < b.f; });
+    std::vector<Member> next(population.begin(),
+                             population.begin() +
+                                 std::min(kElites, population.size()));
+    while (next.size() < population.size() && !f.Exhausted()) {
+      const Member& pa = Tournament(population, kTournament, rng);
+      const Member& pb = Tournament(population, kTournament, rng);
+      Member child;
+      child.x.resize(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        // BLX-alpha blend crossover.
+        const double lo = std::min(pa.x[d], pb.x[d]);
+        const double hi = std::max(pa.x[d], pb.x[d]);
+        const double span = hi - lo;
+        child.x[d] =
+            rng.Uniform(lo - kBlxAlpha * span, hi + kBlxAlpha * span);
+        if (rng.Bernoulli(kMutationProb)) {
+          child.x[d] +=
+              rng.Gaussian(0.0, 0.1 * (bounds.hi[d] - bounds.lo[d]));
+        }
+      }
+      bounds.Clamp(&child.x);
+      child.f = f(child.x);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+}  // namespace gmr::calibrate

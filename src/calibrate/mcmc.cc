@@ -1,0 +1,177 @@
+#include <algorithm>
+#include <cmath>
+
+#include "calibrate/methods.h"
+
+namespace gmr::calibrate {
+namespace {
+
+/// Concentrated Gaussian log-likelihood up to constants: maximizing it is
+/// minimizing log(RMSE). The scale plays the role of the number of
+/// observations and controls posterior peakedness.
+constexpr double kLikelihoodScale = 200.0;
+
+double LogLikelihood(double rmse) {
+  return -kLikelihoodScale * std::log(std::max(rmse, 1e-12));
+}
+
+}  // namespace
+
+CalibrationResult McmcCalibrator::Calibrate(const Objective& objective,
+                                            const BoxBounds& bounds,
+                                            const std::vector<double>& initial,
+                                            std::size_t budget,
+                                            Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  const std::size_t dim = bounds.dim();
+  std::vector<double> current = initial;
+  double current_ll = LogLikelihood(f(current));
+
+  // Adaptive random-walk Metropolis: the global step scale adapts toward
+  // the canonical ~23% acceptance rate.
+  double step_scale = 0.05;
+  double acceptance_ema = 0.23;
+  while (!f.Exhausted()) {
+    std::vector<double> candidate = current;
+    for (std::size_t d = 0; d < dim; ++d) {
+      candidate[d] +=
+          rng.Gaussian(0.0, step_scale * (bounds.hi[d] - bounds.lo[d]));
+    }
+    bounds.Clamp(&candidate);
+    const double candidate_ll = LogLikelihood(f(candidate));
+    const double log_alpha = candidate_ll - current_ll;
+    const bool accept =
+        log_alpha >= 0.0 || rng.Bernoulli(std::exp(log_alpha));
+    if (accept) {
+      current = std::move(candidate);
+      current_ll = candidate_ll;
+    }
+    acceptance_ema = 0.99 * acceptance_ema + 0.01 * (accept ? 1.0 : 0.0);
+    step_scale *= acceptance_ema > 0.23 ? 1.01 : 0.99;
+    step_scale = std::min(std::max(step_scale, 1e-4), 0.5);
+  }
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
+                                             const BoxBounds& bounds,
+                                             const std::vector<double>& initial,
+                                             std::size_t budget,
+                                             Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  const std::size_t dim = bounds.dim();
+  const std::size_t num_chains = std::max<std::size_t>(8, dim / 2);
+
+  std::vector<std::vector<double>> chains(num_chains);
+  std::vector<double> lls(num_chains);
+  chains[0] = initial;
+  lls[0] = LogLikelihood(f(chains[0]));
+  for (std::size_t c = 1; c < num_chains && !f.Exhausted(); ++c) {
+    chains[c] = bounds.Sample(rng);
+    lls[c] = LogLikelihood(f(chains[c]));
+  }
+
+  constexpr double kCrossover = 0.3;  // CR: per-dimension update probability
+  while (!f.Exhausted()) {
+    for (std::size_t c = 0; c < num_chains && !f.Exhausted(); ++c) {
+      // DE proposal from two other chains; subspace crossover selects the
+      // dimensions that move.
+      std::size_t r1 = rng.PickIndex(chains);
+      std::size_t r2 = rng.PickIndex(chains);
+      while (r1 == c) r1 = rng.PickIndex(chains);
+      while (r2 == c || r2 == r1) r2 = rng.PickIndex(chains);
+
+      std::vector<bool> move(dim);
+      std::size_t d_eff = 0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        move[d] = rng.Bernoulli(kCrossover);
+        if (move[d]) ++d_eff;
+      }
+      if (d_eff == 0) {
+        const std::size_t d = static_cast<std::size_t>(
+            rng.UniformInt(static_cast<std::uint64_t>(dim)));
+        move[d] = true;
+        d_eff = 1;
+      }
+      // gamma = 2.38 / sqrt(2 d'); unit jumps 10% of the time enable mode
+      // hopping (Vrugt 2016).
+      const double gamma =
+          rng.Bernoulli(0.1)
+              ? 1.0
+              : 2.38 / std::sqrt(2.0 * static_cast<double>(d_eff));
+
+      std::vector<double> candidate = chains[c];
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (!move[d]) continue;
+        const double e =
+            rng.Gaussian(0.0, 1e-3 * (bounds.hi[d] - bounds.lo[d]));
+        candidate[d] += gamma * (chains[r1][d] - chains[r2][d]) + e;
+      }
+      bounds.Clamp(&candidate);
+      const double candidate_ll = LogLikelihood(f(candidate));
+      const double log_alpha = candidate_ll - lls[c];
+      if (log_alpha >= 0.0 || rng.Bernoulli(std::exp(log_alpha))) {
+        chains[c] = std::move(candidate);
+        lls[c] = candidate_ll;
+      }
+    }
+  }
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+CalibrationResult DeMczCalibrator::Calibrate(const Objective& objective,
+                                             const BoxBounds& bounds,
+                                             const std::vector<double>& initial,
+                                             std::size_t budget,
+                                             Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  const std::size_t dim = bounds.dim();
+  const std::size_t num_chains = 3;  // DE-MCz needs few parallel chains.
+  const double gamma_base = 2.38 / std::sqrt(2.0 * static_cast<double>(dim));
+
+  // Archive Z of past states, seeded with an initial sample.
+  std::vector<std::vector<double>> archive;
+  archive.push_back(initial);
+  for (std::size_t i = 0; i < std::max<std::size_t>(10, dim) && !f.Exhausted();
+       ++i) {
+    archive.push_back(bounds.Sample(rng));
+  }
+
+  std::vector<std::vector<double>> chains(num_chains);
+  std::vector<double> lls(num_chains);
+  for (std::size_t c = 0; c < num_chains && !f.Exhausted(); ++c) {
+    chains[c] = c == 0 ? initial : bounds.Sample(rng);
+    lls[c] = LogLikelihood(f(chains[c]));
+  }
+
+  std::size_t iteration = 0;
+  while (!f.Exhausted()) {
+    for (std::size_t c = 0; c < num_chains && !f.Exhausted(); ++c) {
+      // Proposal difference sampled from the archive, not the chains.
+      std::size_t r1 = rng.PickIndex(archive);
+      std::size_t r2 = rng.PickIndex(archive);
+      while (r2 == r1 && archive.size() > 1) r2 = rng.PickIndex(archive);
+      const double gamma = rng.Bernoulli(0.1) ? 1.0 : gamma_base;
+      std::vector<double> candidate = chains[c];
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double e =
+            rng.Gaussian(0.0, 1e-3 * (bounds.hi[d] - bounds.lo[d]));
+        candidate[d] += gamma * (archive[r1][d] - archive[r2][d]) + e;
+      }
+      bounds.Clamp(&candidate);
+      const double candidate_ll = LogLikelihood(f(candidate));
+      const double log_alpha = candidate_ll - lls[c];
+      if (log_alpha >= 0.0 || rng.Bernoulli(std::exp(log_alpha))) {
+        chains[c] = std::move(candidate);
+        lls[c] = candidate_ll;
+      }
+    }
+    // Thin: append the chain states to Z every few sweeps.
+    if (++iteration % 5 == 0) {
+      for (const auto& chain : chains) archive.push_back(chain);
+    }
+  }
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+}  // namespace gmr::calibrate

@@ -1,0 +1,120 @@
+#ifndef GMR_CALIBRATE_METHODS_H_
+#define GMR_CALIBRATE_METHODS_H_
+
+#include <memory>
+#include <vector>
+
+#include "calibrate/calibrator.h"
+
+namespace gmr::calibrate {
+
+/// The nine model-calibration baselines of paper Section IV-B3. Each method
+/// follows the core update rule of its published form (citations in the
+/// paper); all optimize the same bounded parameter vector on the same
+/// objective, as in the SPOTPY setup the paper used.
+
+/// (a) GA: real-coded genetic algorithm — tournament selection, BLX-alpha
+/// blend crossover, Gaussian mutation, elitism.
+class GaCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "GA"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// (b) MC: uniform Monte Carlo random search.
+class MonteCarloCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "MC"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// (c) LHS: Latin hypercube sampling in successive stratified batches.
+class LhsCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "LHS"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// (d) MLE: maximum likelihood via Nelder-Mead simplex with restarts
+/// (minimizing RMSE is equivalent to maximizing the concentrated Gaussian
+/// likelihood).
+class MleCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "MLE"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// (e) MCMC: adaptive random-walk Metropolis; the likelihood is the
+/// concentrated Gaussian likelihood of the residuals.
+class McmcCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "MCMC"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// (f) SA: simulated annealing with geometric cooling.
+class SaCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "SA"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// (g) DREAM: differential evolution adaptive Metropolis (Vrugt 2016):
+/// multiple chains, DE proposals with subspace crossover, outlier-safe
+/// Metropolis acceptance.
+class DreamCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "DREAM"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// (h) SCE-UA: shuffled complex evolution (Duan et al. 1994): the
+/// population is partitioned into complexes, each evolved by competitive
+/// simplex (CCE) steps, then shuffled.
+class SceUaCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "SCE-UA"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// (i) DE-MCz: differential evolution Markov chain with a sampled archive Z
+/// (ter Braak & Vrugt 2008).
+class DeMczCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "DE-MCz"; }
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const override;
+};
+
+/// All nine calibrators, in Table V order.
+std::vector<std::unique_ptr<Calibrator>> AllCalibrators();
+
+}  // namespace gmr::calibrate
+
+#endif  // GMR_CALIBRATE_METHODS_H_

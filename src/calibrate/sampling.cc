@@ -1,0 +1,50 @@
+#include <algorithm>
+
+#include "calibrate/methods.h"
+#include "common/check.h"
+
+namespace gmr::calibrate {
+
+CalibrationResult MonteCarloCalibrator::Calibrate(
+    const Objective& objective, const BoxBounds& bounds,
+    const std::vector<double>& initial, std::size_t budget, Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  f(initial);  // The expert point is always worth one evaluation.
+  while (!f.Exhausted()) f(bounds.Sample(rng));
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+CalibrationResult LhsCalibrator::Calibrate(const Objective& objective,
+                                           const BoxBounds& bounds,
+                                           const std::vector<double>& initial,
+                                           std::size_t budget,
+                                           Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  f(initial);
+  const std::size_t dim = bounds.dim();
+  // Stratified batches: each batch of size m places exactly one sample in
+  // each of m equiprobable strata per dimension, with independently
+  // shuffled stratum assignments per dimension.
+  const std::size_t batch = std::max<std::size_t>(10, dim);
+  while (!f.Exhausted()) {
+    std::vector<std::vector<std::size_t>> strata(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      strata[d].resize(batch);
+      for (std::size_t i = 0; i < batch; ++i) strata[d][i] = i;
+      rng.Shuffle(strata[d]);
+    }
+    for (std::size_t i = 0; i < batch && !f.Exhausted(); ++i) {
+      std::vector<double> x(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double cell_lo =
+            static_cast<double>(strata[d][i]) / static_cast<double>(batch);
+        const double u = (cell_lo + rng.Uniform() / static_cast<double>(batch));
+        x[d] = bounds.lo[d] + u * (bounds.hi[d] - bounds.lo[d]);
+      }
+      f(x);
+    }
+  }
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+}  // namespace gmr::calibrate

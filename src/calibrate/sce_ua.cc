@@ -1,0 +1,130 @@
+#include <algorithm>
+#include <cmath>
+
+#include "calibrate/methods.h"
+
+namespace gmr::calibrate {
+namespace {
+
+struct Point {
+  std::vector<double> x;
+  double f = 1e300;
+};
+
+bool ByFitness(const Point& a, const Point& b) { return a.f < b.f; }
+
+}  // namespace
+
+CalibrationResult SceUaCalibrator::Calibrate(
+    const Objective& objective, const BoxBounds& bounds,
+    const std::vector<double>& initial, std::size_t budget, Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  const std::size_t dim = bounds.dim();
+
+  // Standard SCE-UA sizing (Duan et al. 1994): p complexes of m = 2n+1
+  // points each; subcomplexes of q = n+1 points evolve by competitive
+  // simplex steps.
+  const std::size_t num_complexes = 4;
+  const std::size_t complex_size = 2 * dim + 1;
+  const std::size_t subcomplex_size = dim + 1;
+  const std::size_t pop_size = num_complexes * complex_size;
+
+  std::vector<Point> population;
+  population.push_back({initial, f(initial)});
+  while (population.size() < pop_size && !f.Exhausted()) {
+    Point p;
+    p.x = bounds.Sample(rng);
+    p.f = f(p.x);
+    population.push_back(std::move(p));
+  }
+
+  while (!f.Exhausted()) {
+    std::sort(population.begin(), population.end(), ByFitness);
+
+    // Partition into complexes by rank striping (complex k receives points
+    // k, k+p, k+2p, ...).
+    for (std::size_t k = 0; k < num_complexes && !f.Exhausted(); ++k) {
+      std::vector<std::size_t> members;
+      for (std::size_t j = k; j < population.size(); j += num_complexes) {
+        members.push_back(j);
+      }
+
+      // CCE: several evolution steps per complex.
+      for (std::size_t step = 0; step < subcomplex_size && !f.Exhausted();
+           ++step) {
+        // Triangular selection favors better-ranked members.
+        std::vector<std::size_t> sub;
+        while (sub.size() < std::min(subcomplex_size, members.size())) {
+          const double u = rng.Uniform();
+          const std::size_t rank = static_cast<std::size_t>(
+              (1.0 - std::sqrt(1.0 - u)) *
+              static_cast<double>(members.size()));
+          const std::size_t pick =
+              members[std::min(rank, members.size() - 1)];
+          if (std::find(sub.begin(), sub.end(), pick) == sub.end()) {
+            sub.push_back(pick);
+          }
+        }
+        std::sort(sub.begin(), sub.end(), [&](std::size_t a, std::size_t b) {
+          return population[a].f < population[b].f;
+        });
+        const std::size_t worst = sub.back();
+
+        // Centroid of the subcomplex excluding the worst point.
+        std::vector<double> centroid(dim, 0.0);
+        for (std::size_t i = 0; i + 1 < sub.size(); ++i) {
+          for (std::size_t d = 0; d < dim; ++d) {
+            centroid[d] += population[sub[i]].x[d];
+          }
+        }
+        for (double& c : centroid) {
+          c /= static_cast<double>(sub.size() - 1);
+        }
+
+        // Reflection.
+        std::vector<double> reflected(dim);
+        for (std::size_t d = 0; d < dim; ++d) {
+          reflected[d] = 2.0 * centroid[d] - population[worst].x[d];
+        }
+        bounds.Clamp(&reflected);
+        double rf = f(reflected);
+        if (rf < population[worst].f) {
+          population[worst] = {std::move(reflected), rf};
+          continue;
+        }
+        // Contraction.
+        std::vector<double> contracted(dim);
+        for (std::size_t d = 0; d < dim; ++d) {
+          contracted[d] = 0.5 * (centroid[d] + population[worst].x[d]);
+        }
+        double cf = f(contracted);
+        if (cf < population[worst].f) {
+          population[worst] = {std::move(contracted), cf};
+          continue;
+        }
+        // Random replacement (mutation) when both fail.
+        std::vector<double> random_point = bounds.Sample(rng);
+        const double qf = f(random_point);
+        population[worst] = {std::move(random_point), qf};
+      }
+    }
+    // Implicit shuffle: the next iteration re-sorts and re-stripes.
+  }
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+std::vector<std::unique_ptr<Calibrator>> AllCalibrators() {
+  std::vector<std::unique_ptr<Calibrator>> calibrators;
+  calibrators.push_back(std::make_unique<GaCalibrator>());
+  calibrators.push_back(std::make_unique<MonteCarloCalibrator>());
+  calibrators.push_back(std::make_unique<LhsCalibrator>());
+  calibrators.push_back(std::make_unique<MleCalibrator>());
+  calibrators.push_back(std::make_unique<McmcCalibrator>());
+  calibrators.push_back(std::make_unique<SaCalibrator>());
+  calibrators.push_back(std::make_unique<DreamCalibrator>());
+  calibrators.push_back(std::make_unique<SceUaCalibrator>());
+  calibrators.push_back(std::make_unique<DeMczCalibrator>());
+  return calibrators;
+}
+
+}  // namespace gmr::calibrate

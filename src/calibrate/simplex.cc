@@ -1,0 +1,110 @@
+#include <algorithm>
+#include <cmath>
+
+#include "calibrate/methods.h"
+
+namespace gmr::calibrate {
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double f = 1e300;
+};
+
+/// One Nelder-Mead run from `start` until the simplex collapses or the
+/// budget runs out. Minimizing RMSE is the maximum-likelihood estimate
+/// under the concentrated Gaussian likelihood, so this doubles as MLE.
+void NelderMead(BudgetedObjective& f, const BoxBounds& bounds,
+                const std::vector<double>& start, double step_fraction,
+                Rng& rng) {
+  const std::size_t dim = bounds.dim();
+  std::vector<Vertex> simplex;
+  simplex.reserve(dim + 1);
+  {
+    Vertex v0{start, f(start)};
+    simplex.push_back(v0);
+  }
+  for (std::size_t d = 0; d < dim && !f.Exhausted(); ++d) {
+    Vertex v;
+    v.x = start;
+    const double span = bounds.hi[d] - bounds.lo[d];
+    v.x[d] += step_fraction * span * (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+    bounds.Clamp(&v.x);
+    v.f = f(v.x);
+    simplex.push_back(std::move(v));
+  }
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  while (!f.Exhausted()) {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+    // Convergence: simplex collapsed in objective value.
+    if (simplex.back().f - simplex.front().f < 1e-10) break;
+
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i = 0; i + 1 < simplex.size(); ++i) {
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += simplex[i].x[d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(simplex.size() - 1);
+
+    Vertex& worst = simplex.back();
+    auto affine = [&](double t) {
+      std::vector<double> x(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        x[d] = centroid[d] + t * (centroid[d] - worst.x[d]);
+      }
+      bounds.Clamp(&x);
+      return x;
+    };
+
+    Vertex reflected{affine(kAlpha), 0.0};
+    reflected.f = f(reflected.x);
+    if (reflected.f < simplex.front().f) {
+      Vertex expanded{affine(kGamma), 0.0};
+      expanded.f = f(expanded.x);
+      worst = expanded.f < reflected.f ? std::move(expanded)
+                                       : std::move(reflected);
+      continue;
+    }
+    if (reflected.f < simplex[simplex.size() - 2].f) {
+      worst = std::move(reflected);
+      continue;
+    }
+    Vertex contracted{affine(-kRho), 0.0};
+    contracted.f = f(contracted.x);
+    if (contracted.f < worst.f) {
+      worst = std::move(contracted);
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 1; i < simplex.size() && !f.Exhausted(); ++i) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        simplex[i].x[d] = simplex[0].x[d] +
+                          kSigma * (simplex[i].x[d] - simplex[0].x[d]);
+      }
+      simplex[i].f = f(simplex[i].x);
+    }
+  }
+}
+
+}  // namespace
+
+CalibrationResult MleCalibrator::Calibrate(const Objective& objective,
+                                           const BoxBounds& bounds,
+                                           const std::vector<double>& initial,
+                                           std::size_t budget,
+                                           Rng& rng) const {
+  BudgetedObjective f(&objective, budget);
+  // First descent from the expert point, then random restarts.
+  NelderMead(f, bounds, initial, /*step_fraction=*/0.15, rng);
+  while (!f.Exhausted()) {
+    NelderMead(f, bounds, bounds.Sample(rng), /*step_fraction=*/0.25, rng);
+  }
+  return {f.best_x(), f.best_f(), f.used()};
+}
+
+}  // namespace gmr::calibrate

@@ -1,0 +1,48 @@
+#ifndef GMR_COMMON_CHECK_H_
+#define GMR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Checked-assertion macros. The project does not use exceptions (see
+/// DESIGN.md); programmer errors abort with a source location, and
+/// recoverable runtime failures are reported through return values.
+
+#define GMR_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GMR_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define GMR_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GMR_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Equality/relational variants that print both operands on failure.
+#define GMR_CHECK_OP(op, a, b)                                              \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      std::fprintf(stderr,                                                  \
+                   "GMR_CHECK failed at %s:%d: %s %s %s (%.17g vs %.17g)\n",\
+                   __FILE__, __LINE__, #a, #op, #b,                         \
+                   static_cast<double>(a), static_cast<double>(b));         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define GMR_CHECK_EQ(a, b) GMR_CHECK_OP(==, a, b)
+#define GMR_CHECK_NE(a, b) GMR_CHECK_OP(!=, a, b)
+#define GMR_CHECK_LT(a, b) GMR_CHECK_OP(<, a, b)
+#define GMR_CHECK_LE(a, b) GMR_CHECK_OP(<=, a, b)
+#define GMR_CHECK_GT(a, b) GMR_CHECK_OP(>, a, b)
+#define GMR_CHECK_GE(a, b) GMR_CHECK_OP(>=, a, b)
+
+#endif  // GMR_COMMON_CHECK_H_

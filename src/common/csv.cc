@@ -1,0 +1,80 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gmr {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < column_names.size(); ++i) {
+    if (column_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> CsvTable::Column(const std::string& name) const {
+  const int idx = ColumnIndex(name);
+  GMR_CHECK_MSG(idx >= 0, name.c_str());
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row[static_cast<size_t>(idx)]);
+  return out;
+}
+
+bool WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::size_t i = 0; i < table.column_names.size(); ++i) {
+    if (i > 0) out << ',';
+    out << table.column_names[i];
+  }
+  out << '\n';
+  out.precision(12);
+  for (const auto& row : table.rows) {
+    GMR_CHECK_EQ(row.size(), table.column_names.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadCsv(const std::string& path, CsvTable* table) {
+  std::ifstream in(path);
+  if (!in) return false;
+  table->column_names.clear();
+  table->rows.clear();
+
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) table->column_names.push_back(cell);
+  }
+  if (table->column_names.empty()) return false;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    row.reserve(table->column_names.size());
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) return false;
+      row.push_back(v);
+    }
+    if (row.size() != table->column_names.size()) return false;
+    table->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace gmr

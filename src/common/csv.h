@@ -1,0 +1,32 @@
+#ifndef GMR_COMMON_CSV_H_
+#define GMR_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace gmr {
+
+/// A rectangular table of doubles with named columns, used to export the
+/// synthetic dataset and benchmark series, and to re-import them in tests.
+struct CsvTable {
+  std::vector<std::string> column_names;
+  /// rows[i][j] is row i, column j; all rows have column_names.size() cells.
+  std::vector<std::vector<double>> rows;
+
+  /// Index of a named column, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Extracts one column as a series. Aborts if the column is missing.
+  std::vector<double> Column(const std::string& name) const;
+};
+
+/// Writes `table` to `path`. Returns false on I/O failure.
+bool WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Reads a CSV with a header row of column names and numeric cells.
+/// Returns false on I/O or parse failure.
+bool ReadCsv(const std::string& path, CsvTable* table);
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_CSV_H_

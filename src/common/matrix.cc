@@ -1,0 +1,128 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gmr {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::At(std::size_t r, std::size_t c) {
+  GMR_CHECK_LT(r, rows_);
+  GMR_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(std::size_t r, std::size_t c) const {
+  GMR_CHECK_LT(r, rows_);
+  GMR_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::Multiply(const Matrix& rhs) const {
+  GMR_CHECK_EQ(cols_, rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.data_[i * rhs.cols_ + j] += a * rhs.data_[k * rhs.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& x) const {
+  GMR_CHECK_EQ(cols_, x.size());
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) sum += data_[i * cols_ + j] * x[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.data_[j * rows_ + i] = data_[i * cols_ + j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& rhs) const {
+  GMR_CHECK_EQ(rows_, rhs.rows_);
+  GMR_CHECK_EQ(cols_, rhs.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + rhs.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out.At(i, i) = 1.0;
+  return out;
+}
+
+bool CholeskySolve(const Matrix& a, const std::vector<double>& b,
+                   double ridge, std::vector<double>* x) {
+  GMR_CHECK_EQ(a.rows(), a.cols());
+  GMR_CHECK_EQ(a.rows(), b.size());
+  const std::size_t n = a.rows();
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j) + (i == j ? ridge : 0.0);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l.At(i, j) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  // Forward solve L z = b.
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.At(i, k) * z[k];
+    z[i] = sum / l.At(i, i);
+  }
+  // Back solve L^T x = z.
+  x->assign(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = z[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l.At(k, i) * (*x)[k];
+    (*x)[i] = sum / l.At(i, i);
+  }
+  return true;
+}
+
+bool LeastSquares(const Matrix& x, const std::vector<double>& y,
+                  std::vector<double>* beta) {
+  GMR_CHECK_EQ(x.rows(), y.size());
+  const Matrix xt = x.Transpose();
+  const Matrix xtx = xt.Multiply(x);
+  const std::vector<double> xty = xt.MultiplyVector(y);
+  return CholeskySolve(xtx, xty, 1e-8, beta);
+}
+
+}  // namespace gmr

@@ -1,0 +1,65 @@
+#ifndef GMR_COMMON_MATRIX_H_
+#define GMR_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gmr {
+
+/// Minimal dense row-major matrix used by the ARIMAX least-squares fit and
+/// the LSTM baseline. Not a general linear-algebra library: it provides only
+/// the operations those baselines need (products, transpose, and a
+/// regularized symmetric solve).
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& At(std::size_t r, std::size_t c);
+  double At(std::size_t r, std::size_t c) const;
+
+  /// Direct access to the row-major backing store.
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Matrix product; requires this->cols() == rhs.rows().
+  Matrix Multiply(const Matrix& rhs) const;
+
+  /// Matrix-vector product; requires cols() == x.size().
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  Matrix Transpose() const;
+
+  /// Elementwise sum; requires identical shapes.
+  Matrix Add(const Matrix& rhs) const;
+
+  /// Scales every element by s.
+  Matrix Scale(double s) const;
+
+  static Matrix Identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves (A + ridge*I) x = b for symmetric positive-definite A via Cholesky
+/// decomposition. Returns false (and leaves x unspecified) if the matrix is
+/// not positive definite even after regularization.
+bool CholeskySolve(const Matrix& a, const std::vector<double>& b,
+                   double ridge, std::vector<double>* x);
+
+/// Ordinary least squares: minimizes ||X beta - y||^2 with a tiny ridge term
+/// for numerical stability. Returns false on a singular system.
+bool LeastSquares(const Matrix& x, const std::vector<double>& y,
+                  std::vector<double>* beta);
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_MATRIX_H_

@@ -1,0 +1,68 @@
+#include "common/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gmr {
+
+double Mse(const std::vector<double>& predicted,
+           const std::vector<double>& observed) {
+  GMR_CHECK_EQ(predicted.size(), observed.size());
+  GMR_CHECK_GT(predicted.size(), 0u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - observed[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+double Rmse(const std::vector<double>& predicted,
+            const std::vector<double>& observed) {
+  return std::sqrt(Mse(predicted, observed));
+}
+
+double Mae(const std::vector<double>& predicted,
+           const std::vector<double>& observed) {
+  GMR_CHECK_EQ(predicted.size(), observed.size());
+  GMR_CHECK_GT(predicted.size(), 0u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    sum += std::fabs(predicted[i] - observed[i]);
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+double GaussianLogLikelihood(const std::vector<double>& predicted,
+                             const std::vector<double>& observed) {
+  const double n = static_cast<double>(predicted.size());
+  double sigma2 = Mse(predicted, observed);
+  if (sigma2 <= 0.0) sigma2 = 1e-300;  // Degenerate perfect fit.
+  return -0.5 * n * (std::log(2.0 * M_PI * sigma2) + 1.0);
+}
+
+double Aic(double log_likelihood, std::size_t num_parameters) {
+  return 2.0 * static_cast<double>(num_parameters) - 2.0 * log_likelihood;
+}
+
+double NashSutcliffe(const std::vector<double>& predicted,
+                     const std::vector<double>& observed) {
+  GMR_CHECK_EQ(predicted.size(), observed.size());
+  GMR_CHECK_GT(predicted.size(), 0u);
+  double mean = 0.0;
+  for (double y : observed) mean += y;
+  mean /= static_cast<double>(observed.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double e = predicted[i] - observed[i];
+    const double d = observed[i] - mean;
+    num += e * e;
+    den += d * d;
+  }
+  if (den == 0.0) return num == 0.0 ? 1.0 : -1e300;
+  return 1.0 - num / den;
+}
+
+}  // namespace gmr

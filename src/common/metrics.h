@@ -1,0 +1,41 @@
+#ifndef GMR_COMMON_METRICS_H_
+#define GMR_COMMON_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gmr {
+
+/// Forecast-accuracy metrics used throughout the paper's evaluation
+/// (Section IV-C): RMSE (quadratic score) and MAE (linear score), plus the
+/// information criteria used by the ARIMAX order search and MLE calibration.
+
+/// Root mean square error between predictions and observations.
+/// Requires equal, non-zero lengths.
+double Rmse(const std::vector<double>& predicted,
+            const std::vector<double>& observed);
+
+/// Mean absolute error between predictions and observations.
+double Mae(const std::vector<double>& predicted,
+           const std::vector<double>& observed);
+
+/// Mean squared error.
+double Mse(const std::vector<double>& predicted,
+           const std::vector<double>& observed);
+
+/// Gaussian log-likelihood of residuals with variance estimated from the
+/// residuals themselves (concentrated likelihood).
+double GaussianLogLikelihood(const std::vector<double>& predicted,
+                             const std::vector<double>& observed);
+
+/// Akaike information criterion: 2k - 2 log L.
+double Aic(double log_likelihood, std::size_t num_parameters);
+
+/// Nash-Sutcliffe model efficiency, a standard hydrology skill score
+/// (1 = perfect, 0 = no better than the observed mean).
+double NashSutcliffe(const std::vector<double>& predicted,
+                     const std::vector<double>& observed);
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_METRICS_H_

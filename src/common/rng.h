@@ -1,0 +1,78 @@
+#ifndef GMR_COMMON_RNG_H_
+#define GMR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gmr {
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// Every stochastic component in the library takes an `Rng&` so that runs are
+/// reproducible from a single seed. The generator is cheap to copy, which
+/// lets tests snapshot and replay random streams.
+class Rng {
+ public:
+  /// Seeds the generator with SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Returns the next raw 64-bit output.
+  std::uint64_t NextUint64();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double Uniform();
+
+  /// Returns a double uniformly distributed in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns an integer uniformly distributed in [0, n). Requires n > 0.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  /// Returns an integer uniformly distributed in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Returns a standard normal variate (Box-Muller, cached pair).
+  double Gaussian();
+
+  /// Returns a normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Returns a normal variate truncated (by clamping) to [lo, hi], as used by
+  /// the paper's Gaussian parameter mutation ("if the sampled value lies
+  /// outside of the given range, the boundary value is used instead").
+  double TruncatedGaussian(double mean, double stddev, double lo, double hi);
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a non-empty container.
+  template <typename T>
+  std::size_t PickIndex(const std::vector<T>& items) {
+    return static_cast<std::size_t>(UniformInt(items.size()));
+  }
+
+  /// Draws `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_RNG_H_

@@ -1,0 +1,106 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gmr {
+
+double Mean(const std::vector<double>& xs) {
+  GMR_CHECK_GT(xs.size(), 0u);
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  const double mu = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  return std::sqrt(Variance(xs));
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  GMR_CHECK_EQ(xs.size(), ys.size());
+  GMR_CHECK_GT(xs.size(), 0u);
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Standardizer FitStandardizer(const std::vector<double>& xs) {
+  Standardizer s;
+  s.mean = Mean(xs);
+  s.stddev = std::max(StdDev(xs), 1e-12);
+  return s;
+}
+
+std::vector<double> StandardizeSeries(const Standardizer& s,
+                                      const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = s.Transform(xs[i]);
+  return out;
+}
+
+std::vector<double> LinearInterpolate(
+    const std::vector<std::size_t>& sample_indices,
+    const std::vector<double>& sample_values, std::size_t length) {
+  GMR_CHECK_EQ(sample_indices.size(), sample_values.size());
+  GMR_CHECK_GT(sample_indices.size(), 0u);
+  for (std::size_t i = 1; i < sample_indices.size(); ++i) {
+    GMR_CHECK_LT(sample_indices[i - 1], sample_indices[i]);
+  }
+  GMR_CHECK_LT(sample_indices.back(), length);
+
+  std::vector<double> out(length);
+  // Flat extrapolation before the first and after the last sample.
+  for (std::size_t t = 0; t <= sample_indices.front(); ++t) {
+    out[t] = sample_values.front();
+  }
+  for (std::size_t t = sample_indices.back(); t < length; ++t) {
+    out[t] = sample_values.back();
+  }
+  for (std::size_t k = 0; k + 1 < sample_indices.size(); ++k) {
+    const std::size_t t0 = sample_indices[k];
+    const std::size_t t1 = sample_indices[k + 1];
+    const double v0 = sample_values[k];
+    const double v1 = sample_values[k + 1];
+    for (std::size_t t = t0; t <= t1; ++t) {
+      const double w = static_cast<double>(t - t0) /
+                       static_cast<double>(t1 - t0);
+      out[t] = v0 + w * (v1 - v0);
+    }
+  }
+  return out;
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  GMR_CHECK_GT(xs.size(), 0u);
+  GMR_CHECK_GE(q, 0.0);
+  GMR_CHECK_LE(q, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace gmr

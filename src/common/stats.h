@@ -1,0 +1,55 @@
+#ifndef GMR_COMMON_STATS_H_
+#define GMR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gmr {
+
+/// Descriptive statistics and series transforms shared by the data-driven
+/// baselines and the ecological analysis.
+
+/// Arithmetic mean. Requires a non-empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance (divides by N).
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Standardization parameters for one feature.
+struct Standardizer {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  double Transform(double x) const { return (x - mean) / stddev; }
+  double Inverse(double z) const { return z * stddev + mean; }
+};
+
+/// Fits a Standardizer on `xs` (stddev clamped away from zero).
+Standardizer FitStandardizer(const std::vector<double>& xs);
+
+/// Applies `s` elementwise.
+std::vector<double> StandardizeSeries(const Standardizer& s,
+                                      const std::vector<double>& xs);
+
+/// Linear interpolation of a sparsely-sampled series, matching the paper's
+/// preprocessing ("for those variables measured with a longer interval, we
+/// performed linear interpolation"). `sample_indices` must be strictly
+/// increasing positions in [0, length); values outside the first/last sample
+/// are held flat. Requires at least one sample.
+std::vector<double> LinearInterpolate(
+    const std::vector<std::size_t>& sample_indices,
+    const std::vector<double>& sample_values, std::size_t length);
+
+/// `q`-quantile (0 <= q <= 1) by linear interpolation of order statistics.
+double Quantile(std::vector<double> xs, double q);
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_STATS_H_

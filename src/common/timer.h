@@ -1,0 +1,28 @@
+#ifndef GMR_COMMON_TIMER_H_
+#define GMR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gmr {
+
+/// Wall-clock stopwatch used by the speedup benchmarks (paper Section IV-F).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_TIMER_H_

@@ -1,0 +1,66 @@
+#ifndef GMR_CORE_ANALYSIS_H_
+#define GMR_CORE_ANALYSIS_H_
+
+#include <vector>
+
+#include "expr/ast.h"
+#include "river/dataset.h"
+#include "river/simulate.h"
+
+namespace gmr::core {
+
+/// One candidate model for the ecological analysis: its (simplified)
+/// equations and parameter vector.
+struct CandidateModel {
+  std::vector<expr::ExprPtr> equations;
+  std::vector<double> parameters;
+};
+
+/// Figure 9 analysis: selectivity of each temporal variable among the best
+/// models, split by the sign of its influence on phytoplankton growth
+/// (determined by perturbing the variable's series and re-simulating).
+struct SelectivityEntry {
+  int variable_slot = 0;
+  /// Percent of models whose equations reference the variable.
+  double selected_pct = 0.0;
+  /// Of the selected models, percent whose perturbation response is
+  /// positive / negative / negligible. Sums to selected_pct.
+  double correlated_pct = 0.0;
+  double inversely_correlated_pct = 0.0;
+  double uncorrelated_pct = 0.0;
+};
+
+struct SelectivityReport {
+  std::vector<SelectivityEntry> entries;  // One per analyzed variable slot.
+};
+
+/// Analysis knobs.
+struct SelectivityConfig {
+  /// Relative perturbation applied to a variable's driver series.
+  double perturbation = 0.10;
+  /// |mean response| below this fraction of the baseline biomass mean
+  /// counts as uncorrelated.
+  double uncorrelated_threshold = 0.005;
+  /// Variable slots to analyze (defaults to the Figure 9 set inside
+  /// AnalyzeSelectivity when empty).
+  std::vector<int> slots;
+  river::SimulationConfig simulation;
+};
+
+/// Runs the Figure 9 analysis over `models` on the training period of
+/// `dataset`.
+SelectivityReport AnalyzeSelectivity(const std::vector<CandidateModel>& models,
+                                     const river::RiverDataset& dataset,
+                                     const SelectivityConfig& config);
+
+/// Mean relative change of simulated B_Phy when `variable_slot`'s series is
+/// scaled by (1 + perturbation) — the perturbation-response statistic behind
+/// the correlation classification.
+double PerturbationResponse(const CandidateModel& model,
+                            const river::RiverDataset& dataset,
+                            int variable_slot, double perturbation,
+                            const river::SimulationConfig& simulation);
+
+}  // namespace gmr::core
+
+#endif  // GMR_CORE_ANALYSIS_H_

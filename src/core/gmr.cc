@@ -1,0 +1,79 @@
+#include "core/gmr.h"
+
+#include "common/metrics.h"
+#include "expr/print.h"
+#include "expr/simplify.h"
+
+namespace gmr::core {
+
+AccuracyReport EvaluateAccuracy(const std::vector<expr::ExprPtr>& equations,
+                                const std::vector<double>& parameters,
+                                const river::RiverDataset& dataset,
+                                const river::SimulationConfig& simulation) {
+  AccuracyReport report;
+  const std::vector<double> train_pred = river::SimulateBPhy(
+      equations, parameters, dataset, 0, dataset.train_end,
+      dataset.initial_bphy, dataset.initial_bzoo, simulation,
+      /*compiled=*/true);
+  const std::vector<double> train_obs(
+      dataset.observed_bphy.begin(),
+      dataset.observed_bphy.begin() +
+          static_cast<std::ptrdiff_t>(dataset.train_end));
+  report.train_rmse = Rmse(train_pred, train_obs);
+  report.train_mae = Mae(train_pred, train_obs);
+
+  const std::vector<double> test_pred = river::SimulateBPhy(
+      equations, parameters, dataset, dataset.train_end, dataset.num_days,
+      dataset.test_initial_bphy, dataset.test_initial_bzoo, simulation,
+      /*compiled=*/true);
+  const std::vector<double> test_obs(
+      dataset.observed_bphy.begin() +
+          static_cast<std::ptrdiff_t>(dataset.train_end),
+      dataset.observed_bphy.end());
+  report.test_rmse = Rmse(test_pred, test_obs);
+  report.test_mae = Mae(test_pred, test_obs);
+  return report;
+}
+
+GmrRunResult RunGmr(const river::RiverDataset& dataset,
+                    const RiverPriorKnowledge& knowledge,
+                    const GmrConfig& config) {
+  const river::RiverFitness fitness =
+      river::RiverFitness::ForTraining(&dataset, config.simulation);
+
+  gp::Tag3pConfig tag3p = config.tag3p;
+  tag3p.seed_alpha_index = knowledge.seed_alpha_index;
+  gp::Tag3pEngine engine(&knowledge.grammar, &fitness, knowledge.priors,
+                         tag3p);
+
+  GmrRunResult result;
+  result.search = engine.Run();
+  result.best = result.search.best.Clone();
+
+  result.best_equations =
+      tag::ExpandToExpressions(knowledge.grammar, *result.best.genotype);
+  for (auto& eq : result.best_equations) eq = expr::Simplify(eq);
+
+  const AccuracyReport report = EvaluateAccuracy(
+      result.best_equations, result.best.parameters, dataset,
+      config.simulation);
+  result.train_rmse = report.train_rmse;
+  result.train_mae = report.train_mae;
+  result.test_rmse = report.test_rmse;
+  result.test_mae = report.test_mae;
+  return result;
+}
+
+std::string DescribeModel(const std::vector<expr::ExprPtr>& equations) {
+  std::string out;
+  const char* names[] = {"dB_Phy/dt", "dB_Zoo/dt"};
+  for (std::size_t i = 0; i < equations.size(); ++i) {
+    out += i < 2 ? names[i] : "eq";
+    out += " = ";
+    out += expr::ToString(*equations[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gmr::core

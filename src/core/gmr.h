@@ -1,0 +1,64 @@
+#ifndef GMR_CORE_GMR_H_
+#define GMR_CORE_GMR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/river_grammar.h"
+#include "gp/tag3p.h"
+#include "river/dataset.h"
+#include "river/simulate.h"
+
+namespace gmr::core {
+
+/// Top-level configuration of a GMR run on the river task. The defaults
+/// follow Appendix B (population 200, 100 generations, elite 2, tournament
+/// 5, chromosome size 2-50, operator probabilities 0.3/0.3/0.3/0.1,
+/// 5 local-search steps), with all three speedups enabled.
+struct GmrConfig {
+  gp::Tag3pConfig tag3p;
+  river::SimulationConfig simulation;
+
+  GmrConfig() {
+    tag3p.speedups.tree_caching = true;
+    tag3p.speedups.short_circuiting = true;
+    tag3p.speedups.runtime_compilation = true;
+  }
+};
+
+/// Outcome of one GMR run, with train/test accuracy of the best model.
+struct GmrRunResult {
+  gp::Individual best;
+  /// Simplified revised equations {dB_Phy/dt, dB_Zoo/dt}.
+  std::vector<expr::ExprPtr> best_equations;
+  double train_rmse = 0.0;
+  double train_mae = 0.0;
+  double test_rmse = 0.0;
+  double test_mae = 0.0;
+  gp::Tag3pResult search;
+};
+
+/// Runs genetic model revision on `dataset` under `knowledge`.
+GmrRunResult RunGmr(const river::RiverDataset& dataset,
+                    const RiverPriorKnowledge& knowledge,
+                    const GmrConfig& config);
+
+/// Train/test RMSE and MAE of an arbitrary process (equations + parameter
+/// vector) on `dataset` — shared by every method's reporting.
+struct AccuracyReport {
+  double train_rmse = 0.0;
+  double train_mae = 0.0;
+  double test_rmse = 0.0;
+  double test_mae = 0.0;
+};
+AccuracyReport EvaluateAccuracy(const std::vector<expr::ExprPtr>& equations,
+                                const std::vector<double>& parameters,
+                                const river::RiverDataset& dataset,
+                                const river::SimulationConfig& simulation);
+
+/// Pretty-prints the revised process for ecological inspection.
+std::string DescribeModel(const std::vector<expr::ExprPtr>& equations);
+
+}  // namespace gmr::core
+
+#endif  // GMR_CORE_GMR_H_

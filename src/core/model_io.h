@@ -1,0 +1,39 @@
+#ifndef GMR_CORE_MODEL_IO_H_
+#define GMR_CORE_MODEL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "expr/parser.h"
+
+namespace gmr::core {
+
+/// A revised model ready for persistence: equations plus the calibrated
+/// constant-parameter values (named per the symbol table used to save).
+struct SavedModel {
+  std::vector<expr::ExprPtr> equations;
+  std::vector<double> parameters;
+};
+
+/// Serializes a model to a small line-oriented text format:
+///
+///   # gmr-model v1
+///   equation <infix expression>
+///   param <name> = <value>
+///
+/// Expressions print through the exact round-tripping printer, so constants
+/// survive bit-exactly. Returns false on I/O failure.
+bool SaveModel(const std::string& path, const SavedModel& model,
+               const std::vector<std::string>& parameter_names);
+
+/// Loads a model saved by SaveModel, resolving identifiers through
+/// `symbols`. Parameter values are assigned by name into the slot given by
+/// `symbols.parameters`; missing parameters default to 0. Returns false on
+/// I/O, parse, or schema errors (diagnostic in *error).
+bool LoadModel(const std::string& path, const expr::SymbolTable& symbols,
+               SavedModel* model, std::string* error);
+
+}  // namespace gmr::core
+
+#endif  // GMR_CORE_MODEL_IO_H_

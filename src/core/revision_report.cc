@@ -1,0 +1,56 @@
+#include "core/revision_report.h"
+
+#include <cstdio>
+
+namespace gmr::core {
+namespace {
+
+void Walk(const tag::Grammar& grammar, const tag::DerivationNode& node,
+          bool is_root, int depth, RevisionSummary* summary) {
+  const tag::ElementaryTree& elementary =
+      tag::ElementaryTreeOf(grammar, node, is_root);
+  for (const auto& child : node.children) {
+    RevisionEntry entry;
+    entry.depth = depth;
+    entry.site_label =
+        elementary
+            .adjoinable_labels()[static_cast<std::size_t>(child.address_index)];
+    entry.beta_name = grammar.beta(child.node->tree_index).name();
+    entry.lexemes = child.node->lexemes;
+    summary->entries.push_back(std::move(entry));
+    Walk(grammar, *child.node, /*is_root=*/false, depth + 1, summary);
+  }
+}
+
+}  // namespace
+
+std::string RevisionSummary::ToString() const {
+  std::string out;
+  for (const RevisionEntry& entry : entries) {
+    out.append(static_cast<std::size_t>(2 * entry.depth), ' ');
+    out += entry.site_label;
+    out += " <- ";
+    out += entry.beta_name;
+    if (!entry.lexemes.empty()) {
+      out += " (";
+      for (std::size_t i = 0; i < entry.lexemes.size(); ++i) {
+        if (i > 0) out += ", ";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4g", entry.lexemes[i]);
+        out += buf;
+      }
+      out += ')';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+RevisionSummary SummarizeRevisions(const tag::Grammar& grammar,
+                                   const tag::DerivationNode& root) {
+  RevisionSummary summary;
+  Walk(grammar, root, /*is_root=*/true, 0, &summary);
+  return summary;
+}
+
+}  // namespace gmr::core

@@ -1,0 +1,42 @@
+#ifndef GMR_CORE_REVISION_REPORT_H_
+#define GMR_CORE_REVISION_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "tag/derivation.h"
+#include "tag/grammar.h"
+
+namespace gmr::core {
+
+/// One applied revision: an adjunction in the derivation tree.
+struct RevisionEntry {
+  /// Nesting depth (0 = adjoined directly into the seed process).
+  int depth = 0;
+  /// Label of the site the beta tree adjoined at (e.g. "ExtC1", "ExtE9").
+  std::string site_label;
+  /// Name of the beta tree (e.g. "conn:ExtC1+V_alk").
+  std::string beta_name;
+  /// The node's lexeme constants.
+  std::vector<double> lexemes;
+};
+
+/// Structured summary of the revisions a derivation tree encodes — the
+/// "which extension point received what" view used by the ecological
+/// analysis of Section IV-E. Entries appear in preorder.
+struct RevisionSummary {
+  std::vector<RevisionEntry> entries;
+
+  std::size_t num_revisions() const { return entries.size(); }
+
+  /// Multi-line human-readable rendering (indented by nesting depth).
+  std::string ToString() const;
+};
+
+/// Walks the derivation tree and names every adjunction against `grammar`.
+RevisionSummary SummarizeRevisions(const tag::Grammar& grammar,
+                                   const tag::DerivationNode& root);
+
+}  // namespace gmr::core
+
+#endif  // GMR_CORE_REVISION_REPORT_H_

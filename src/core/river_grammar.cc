@@ -1,0 +1,213 @@
+#include "core/river_grammar.h"
+
+#include <string>
+#include <vector>
+
+#include "river/biology.h"
+#include "river/parameters.h"
+#include "river/variables.h"
+
+namespace gmr::core {
+namespace {
+
+namespace e = gmr::expr;
+namespace t = gmr::tag;
+namespace r = gmr::river;
+
+std::string ConnectorLabel(int ext) { return "ExtC" + std::to_string(ext); }
+std::string ExtenderLabel(int ext) { return "ExtE" + std::to_string(ext); }
+
+/// An extension operand: either a concrete temporal variable or the random
+/// lexeme slot R.
+struct Operand {
+  int variable_slot = -1;  // -1 means R.
+
+  /// Bare operand (extenders): the variable itself, or the R slot.
+  t::TagNodePtr MakeLeaf() const {
+    if (variable_slot < 0) return t::SlotNode("R");
+    return t::LeafNode(r::Var(variable_slot));
+  }
+
+  /// Scaled operand (connectors): `var * R`. Raw temporal variables span
+  /// orders of magnitude (conductivity in the hundreds, phosphorus in
+  /// thousandths), so a connector that introduced a bare variable would be
+  /// almost always lethal and the revision unreachable by hill climbing.
+  /// Entering with a tunable coefficient R in [0, 1] keeps intermediate
+  /// revisions viable — the "more careful design of alpha- and beta-trees"
+  /// the paper calls for in Section III-A2. Both factors stay extensible.
+  t::TagNodePtr MakeScaled(const t::Symbol& exte) const {
+    if (variable_slot < 0) return t::SlotNode("R");
+    std::vector<t::TagNodePtr> children;
+    children.push_back(
+        t::WrapperNode(exte, t::LeafNode(r::Var(variable_slot))));
+    children.push_back(t::SlotNode("R"));
+    return t::OperatorNode(exte, e::NodeKind::kMul, std::move(children));
+  }
+
+  std::string Name() const {
+    return variable_slot < 0 ? "R" : r::VariableName(variable_slot);
+  }
+};
+
+/// Beta-tree generation for one extension point: "we then generate a list
+/// of beta-trees for each combination of variables and operators"
+/// (Section III-B3).
+void AddExtensionBetas(int ext, e::NodeKind connector_op,
+                       const std::vector<Operand>& operands,
+                       t::Grammar* grammar) {
+  const std::string extc = ConnectorLabel(ext);
+  const std::string exte = ExtenderLabel(ext);
+
+  // Connectors: the single allowed operator applied to the seed process,
+  // with the fresh (scaled) operand wrapped in the extender symbol so that
+  // further revisions of the operand go through extender trees only.
+  for (const Operand& operand : operands) {
+    std::vector<t::TagNodePtr> children;
+    children.push_back(t::FootNode(extc));
+    children.push_back(t::WrapperNode(exte, operand.MakeScaled(exte)));
+    grammar->AddBetaTree(t::ElementaryTree(
+        "conn:" + extc + e::KindName(connector_op) + operand.Name(),
+        t::OperatorNode(extc, connector_op, std::move(children))));
+  }
+
+  // Binary extenders: {+, -, *, /} x operands, foot (the existing
+  // sub-expression) on the left.
+  const e::NodeKind binary_ops[] = {e::NodeKind::kAdd, e::NodeKind::kSub,
+                                    e::NodeKind::kMul, e::NodeKind::kDiv};
+  for (e::NodeKind op : binary_ops) {
+    for (const Operand& operand : operands) {
+      std::vector<t::TagNodePtr> children;
+      children.push_back(t::FootNode(exte));
+      children.push_back(t::WrapperNode(exte, operand.MakeLeaf()));
+      grammar->AddBetaTree(t::ElementaryTree(
+          "ext:" + exte + e::KindName(op) + operand.Name(),
+          t::OperatorNode(exte, op, std::move(children))));
+    }
+  }
+
+  // Unary extenders: log/exp applied to the existing sub-expression.
+  for (e::NodeKind op : {e::NodeKind::kLog, e::NodeKind::kExp}) {
+    std::vector<t::TagNodePtr> children;
+    children.push_back(t::FootNode(exte));
+    grammar->AddBetaTree(t::ElementaryTree(
+        "ext:" + exte + e::KindName(op),
+        t::OperatorNode(exte, op, std::move(children))));
+  }
+}
+
+std::vector<Operand> Operands(std::vector<int> slots) {
+  std::vector<Operand> operands;
+  for (int slot : slots) operands.push_back(Operand{slot});
+  operands.push_back(Operand{-1});  // R
+  return operands;
+}
+
+/// Builds the seed alpha tree encoding Eqs. (5)-(6): the two equations of
+/// the MANUAL process under one system root, with the extensible
+/// subprocesses wrapped in their connector symbols.
+t::TagNodePtr BuildSeedTree() {
+  using K = e::NodeKind;
+  const t::Symbol exp = t::kExpSymbol;
+
+  // mu_Phy = {C_UA * f * g * h} Ext3
+  t::TagNodePtr mu_phy =
+      t::WrapperNode(ConnectorLabel(3), t::FromExpr(r::MuPhy(), exp));
+  // gamma_Phy = {C_BRA} Ext5
+  t::TagNodePtr gamma_phy =
+      t::WrapperNode(ConnectorLabel(5), t::FromExpr(r::GammaPhy(), exp));
+  // phi = {C_MFR * lambda_Phy} Ext6 (the grazing-pressure occurrence in
+  // dB_Phy/dt).
+  t::TagNodePtr phi_eq1 =
+      t::WrapperNode(ConnectorLabel(6), t::FromExpr(r::Phi(), exp));
+
+  // dB_Phy/dt = {B_Phy * (mu_Phy - gamma_Phy) - B_Zoo * phi} Ext1
+  std::vector<t::TagNodePtr> growth_children;
+  growth_children.push_back(std::move(mu_phy));
+  growth_children.push_back(std::move(gamma_phy));
+  t::TagNodePtr growth =
+      t::OperatorNode(exp, K::kSub, std::move(growth_children));
+  std::vector<t::TagNodePtr> lhs_children;
+  lhs_children.push_back(t::LeafNode(r::Var(r::kBPhy)));
+  lhs_children.push_back(std::move(growth));
+  t::TagNodePtr lhs = t::OperatorNode(exp, K::kMul, std::move(lhs_children));
+  std::vector<t::TagNodePtr> graze_children;
+  graze_children.push_back(t::LeafNode(r::Var(r::kBZoo)));
+  graze_children.push_back(std::move(phi_eq1));
+  t::TagNodePtr graze =
+      t::OperatorNode(exp, K::kMul, std::move(graze_children));
+  std::vector<t::TagNodePtr> eq1_children;
+  eq1_children.push_back(std::move(lhs));
+  eq1_children.push_back(std::move(graze));
+  t::TagNodePtr eq1 = t::WrapperNode(
+      ConnectorLabel(1),
+      t::OperatorNode(exp, K::kSub, std::move(eq1_children)));
+
+  // mu_Zoo = {C_UZ * lambda_Phy} Ext7
+  t::TagNodePtr mu_zoo =
+      t::WrapperNode(ConnectorLabel(7), t::FromExpr(r::MuZoo(), exp));
+  // gamma_Zoo = {C_BRZ} Ext8 + C_BMT * phi
+  std::vector<t::TagNodePtr> gz_children;
+  gz_children.push_back(t::WrapperNode(
+      ConnectorLabel(8), t::LeafNode(r::Param(r::kCBRZ))));
+  gz_children.push_back(t::FromExpr(
+      e::Mul(r::Param(r::kCBMT), r::Phi()), exp));
+  t::TagNodePtr gamma_zoo =
+      t::OperatorNode(exp, K::kAdd, std::move(gz_children));
+  // delta_Zoo = {C_DZ} Ext9
+  t::TagNodePtr delta_zoo = t::WrapperNode(
+      ConnectorLabel(9), t::LeafNode(r::Param(r::kCDZ)));
+
+  // dB_Zoo/dt = {B_Zoo * (mu_Zoo - (gamma_Zoo + delta_Zoo))} Ext2
+  std::vector<t::TagNodePtr> loss_children;
+  loss_children.push_back(std::move(gamma_zoo));
+  loss_children.push_back(std::move(delta_zoo));
+  t::TagNodePtr losses =
+      t::OperatorNode(exp, K::kAdd, std::move(loss_children));
+  std::vector<t::TagNodePtr> net_children;
+  net_children.push_back(std::move(mu_zoo));
+  net_children.push_back(std::move(losses));
+  t::TagNodePtr net = t::OperatorNode(exp, K::kSub, std::move(net_children));
+  std::vector<t::TagNodePtr> eq2_children;
+  eq2_children.push_back(t::LeafNode(r::Var(r::kBZoo)));
+  eq2_children.push_back(std::move(net));
+  t::TagNodePtr eq2 = t::WrapperNode(
+      ConnectorLabel(2),
+      t::OperatorNode(exp, K::kMul, std::move(eq2_children)));
+
+  // "Multiple equations can be encoded as a single alpha-tree by ...
+  // combining them into one alpha-tree under a new, common root node."
+  std::vector<t::TagNodePtr> equations;
+  equations.push_back(std::move(eq1));
+  equations.push_back(std::move(eq2));
+  return t::SystemNode(std::move(equations));
+}
+
+}  // namespace
+
+RiverPriorKnowledge BuildRiverPriorKnowledge() {
+  RiverPriorKnowledge knowledge;
+  knowledge.priors = r::RiverParameterPriors();
+
+  knowledge.seed_alpha_index = knowledge.grammar.AddAlphaTree(
+      t::ElementaryTree("seed:Eqs(5)-(6)", BuildSeedTree()));
+
+  // Table II.
+  AddExtensionBetas(1, e::NodeKind::kAdd,
+                    Operands({r::kVcd, r::kVph, r::kValk}),
+                    &knowledge.grammar);
+  AddExtensionBetas(2, e::NodeKind::kAdd, Operands({r::kVsd}),
+                    &knowledge.grammar);
+  AddExtensionBetas(3, e::NodeKind::kAdd,
+                    Operands({r::kVdo, r::kVph, r::kValk}),
+                    &knowledge.grammar);
+  for (int ext = 5; ext <= 9; ++ext) {
+    AddExtensionBetas(ext, e::NodeKind::kMul, Operands({r::kVtmp}),
+                      &knowledge.grammar);
+  }
+
+  // "R denotes a random variable between 0 and 1" (Table II).
+  knowledge.grammar.SetSlotSpec("R", tag::SlotSpec{0.0, 1.0});
+  return knowledge;
+}
+
+}  // namespace gmr::core

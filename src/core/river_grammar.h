@@ -1,0 +1,40 @@
+#ifndef GMR_CORE_RIVER_GRAMMAR_H_
+#define GMR_CORE_RIVER_GRAMMAR_H_
+
+#include "gp/parameter_prior.h"
+#include "tag/grammar.h"
+
+namespace gmr::core {
+
+/// The three kinds of prior knowledge the GMR framework consumes
+/// (paper Section III-B3), instantiated for the river task:
+///  - plausible processes: the seed alpha tree encoding Eqs. (5)-(6) with
+///    extension points Ext1-Ext3, Ext5-Ext9;
+///  - plausible revisions: connector/extender beta trees generated from the
+///    variable and operator lists of Table II;
+///  - parameter priors: Table III means and exploration bounds.
+struct RiverPriorKnowledge {
+  tag::Grammar grammar;
+  gp::ParameterPriors priors;
+  int seed_alpha_index = 0;
+};
+
+/// Builds the full river prior knowledge. The paper's extension-point
+/// numbering (with no Ext4) is preserved:
+///   Ext1 on dB_Phy/dt   — connector +, variables {V_cd, V_ph, V_alk, R}
+///   Ext2 on dB_Zoo/dt   — connector +, variables {V_sd, R}
+///   Ext3 on mu_Phy      — connector +, variables {V_do, V_ph, V_alk, R}
+///   Ext5 on gamma_Phy   — connector *, variables {V_tmp, R}
+///   Ext6 on phi         — connector *, variables {V_tmp, R}
+///   Ext7 on mu_Zoo      — connector *, variables {V_tmp, R}
+///   Ext8 on C_BRZ       — connector *, variables {V_tmp, R}
+///   Ext9 on delta_Zoo   — connector *, variables {V_tmp, R}
+/// Extenders use {+, -, *, /, log, exp} over the same variable lists.
+RiverPriorKnowledge BuildRiverPriorKnowledge();
+
+/// Number of extension points (diagnostic).
+inline constexpr int kNumExtensionPoints = 8;
+
+}  // namespace gmr::core
+
+#endif  // GMR_CORE_RIVER_GRAMMAR_H_

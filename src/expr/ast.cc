@@ -1,0 +1,202 @@
+#include "expr/ast.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "common/check.h"
+
+namespace gmr::expr {
+namespace {
+
+std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void CollectSlots(const Expr& node, NodeKind kind, std::set<int>* out) {
+  if (node.kind() == kind) out->insert(node.slot());
+  for (const auto& child : node.children()) CollectSlots(*child, kind, out);
+}
+
+}  // namespace
+
+Expr::Expr(NodeKind kind, double value, int slot, std::string name,
+           std::vector<ExprPtr> children)
+    : kind_(kind),
+      value_(value),
+      slot_(slot),
+      name_(std::move(name)),
+      children_(std::move(children)) {
+  GMR_CHECK_EQ(static_cast<int>(children_.size()), Arity(kind_));
+  for (const auto& child : children_) GMR_CHECK(child != nullptr);
+}
+
+std::size_t Expr::NodeCount() const {
+  std::size_t count = 1;
+  for (const auto& child : children_) count += child->NodeCount();
+  return count;
+}
+
+std::size_t Expr::Height() const {
+  std::size_t max_child = 0;
+  for (const auto& child : children_) {
+    max_child = std::max(max_child, child->Height());
+  }
+  return 1 + max_child;
+}
+
+std::uint64_t Expr::StructuralHash() const {
+  if (hash_computed_) return cached_hash_;
+  std::uint64_t h = static_cast<std::uint64_t>(kind_) * 0xff51afd7ed558ccdULL;
+  switch (kind_) {
+    case NodeKind::kConstant:
+      h = MixHash(h, DoubleBits(value_));
+      break;
+    case NodeKind::kParameter:
+    case NodeKind::kVariable:
+      h = MixHash(h, static_cast<std::uint64_t>(slot_) + 1);
+      break;
+    default:
+      for (const auto& child : children_) {
+        h = MixHash(h, child->StructuralHash());
+      }
+      break;
+  }
+  cached_hash_ = h;
+  hash_computed_ = true;
+  return h;
+}
+
+bool StructurallyEqual(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case NodeKind::kConstant:
+      return a.value() == b.value();
+    case NodeKind::kParameter:
+    case NodeKind::kVariable:
+      return a.slot() == b.slot();
+    default:
+      break;
+  }
+  if (a.children().size() != b.children().size()) return false;
+  for (std::size_t i = 0; i < a.children().size(); ++i) {
+    if (!StructurallyEqual(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr Constant(double value) {
+  return std::make_shared<Expr>(NodeKind::kConstant, value, -1, "",
+                                std::vector<ExprPtr>{});
+}
+
+ExprPtr Parameter(int slot, std::string name) {
+  GMR_CHECK_GE(slot, 0);
+  return std::make_shared<Expr>(NodeKind::kParameter, 0.0, slot,
+                                std::move(name), std::vector<ExprPtr>{});
+}
+
+ExprPtr Variable(int slot, std::string name) {
+  GMR_CHECK_GE(slot, 0);
+  return std::make_shared<Expr>(NodeKind::kVariable, 0.0, slot,
+                                std::move(name), std::vector<ExprPtr>{});
+}
+
+ExprPtr MakeBinary(NodeKind kind, ExprPtr a, ExprPtr b) {
+  GMR_CHECK_EQ(Arity(kind), 2);
+  std::vector<ExprPtr> children;
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return std::make_shared<Expr>(kind, 0.0, -1, "", std::move(children));
+}
+
+ExprPtr MakeUnary(NodeKind kind, ExprPtr a) {
+  GMR_CHECK_EQ(Arity(kind), 1);
+  std::vector<ExprPtr> children;
+  children.push_back(std::move(a));
+  return std::make_shared<Expr>(kind, 0.0, -1, "", std::move(children));
+}
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return MakeBinary(NodeKind::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return MakeBinary(NodeKind::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return MakeBinary(NodeKind::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return MakeBinary(NodeKind::kDiv, std::move(a), std::move(b));
+}
+ExprPtr Min(ExprPtr a, ExprPtr b) {
+  return MakeBinary(NodeKind::kMin, std::move(a), std::move(b));
+}
+ExprPtr Max(ExprPtr a, ExprPtr b) {
+  return MakeBinary(NodeKind::kMax, std::move(a), std::move(b));
+}
+ExprPtr Neg(ExprPtr a) { return MakeUnary(NodeKind::kNeg, std::move(a)); }
+ExprPtr Log(ExprPtr a) { return MakeUnary(NodeKind::kLog, std::move(a)); }
+ExprPtr Exp(ExprPtr a) { return MakeUnary(NodeKind::kExp, std::move(a)); }
+
+int Arity(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kConstant:
+    case NodeKind::kParameter:
+    case NodeKind::kVariable:
+      return 0;
+    case NodeKind::kNeg:
+    case NodeKind::kLog:
+    case NodeKind::kExp:
+      return 1;
+    case NodeKind::kAdd:
+    case NodeKind::kSub:
+    case NodeKind::kMul:
+    case NodeKind::kDiv:
+    case NodeKind::kMin:
+    case NodeKind::kMax:
+      return 2;
+  }
+  GMR_CHECK_MSG(false, "unknown NodeKind");
+  return 0;
+}
+
+const char* KindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kConstant: return "const";
+    case NodeKind::kParameter: return "param";
+    case NodeKind::kVariable: return "var";
+    case NodeKind::kAdd: return "+";
+    case NodeKind::kSub: return "-";
+    case NodeKind::kMul: return "*";
+    case NodeKind::kDiv: return "/";
+    case NodeKind::kMin: return "min";
+    case NodeKind::kMax: return "max";
+    case NodeKind::kNeg: return "neg";
+    case NodeKind::kLog: return "log";
+    case NodeKind::kExp: return "exp";
+  }
+  return "?";
+}
+
+std::vector<int> ReferencedVariableSlots(const Expr& root) {
+  std::set<int> slots;
+  CollectSlots(root, NodeKind::kVariable, &slots);
+  return std::vector<int>(slots.begin(), slots.end());
+}
+
+std::vector<int> ReferencedParameterSlots(const Expr& root) {
+  std::set<int> slots;
+  CollectSlots(root, NodeKind::kParameter, &slots);
+  return std::vector<int>(slots.begin(), slots.end());
+}
+
+}  // namespace gmr::expr

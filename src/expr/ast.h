@@ -1,0 +1,119 @@
+#ifndef GMR_EXPR_AST_H_
+#define GMR_EXPR_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gmr::expr {
+
+/// Node kinds of the process-equation expression language. The binary
+/// arithmetic operators and {log, exp} are exactly the connector/extender
+/// operator set of the paper (Table II); min/max appear in the expert
+/// nutrient-limitation and temperature-response terms of Eqs. (1)-(2).
+enum class NodeKind : std::uint8_t {
+  kConstant,   // Literal number (e.g., a substituted lexeme value).
+  kParameter,  // Named constant parameter (Table III), indexed slot.
+  kVariable,   // Named temporal variable or state (Table IV), indexed slot.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // Protected: |denominator| < kDivEpsilon evaluates to 1.
+  kMin,
+  kMax,
+  kNeg,
+  kLog,  // Protected: log(|x|), 0 when |x| < kLogEpsilon.
+  kExp,  // Clamped argument to avoid overflow.
+};
+
+/// Protected-operator constants (standard GP conventions; see Koza 1993).
+inline constexpr double kDivEpsilon = 1e-9;
+inline constexpr double kLogEpsilon = 1e-12;
+inline constexpr double kExpArgClamp = 80.0;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Trees are shared via ExprPtr, so subtrees can
+/// be reused freely across individuals (crossover never copies).
+class Expr {
+ public:
+  /// Leaf constructors; use the factory helpers below instead of these.
+  Expr(NodeKind kind, double value, int slot, std::string name,
+       std::vector<ExprPtr> children);
+
+  NodeKind kind() const { return kind_; }
+
+  /// Literal value (kConstant only).
+  double value() const { return value_; }
+
+  /// Slot into the parameter/variable vector (kParameter/kVariable only).
+  int slot() const { return slot_; }
+
+  /// Display name (kParameter/kVariable only).
+  const std::string& name() const { return name_; }
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  bool IsLeaf() const { return children_.empty(); }
+
+  /// Number of nodes in the subtree rooted here.
+  std::size_t NodeCount() const;
+
+  /// Height of the subtree (a leaf has height 1).
+  std::size_t Height() const;
+
+  /// Structural hash: equal trees hash equal; collisions are possible but
+  /// the tree cache confirms with StructurallyEqual.
+  std::uint64_t StructuralHash() const;
+
+ private:
+  NodeKind kind_;
+  double value_ = 0.0;
+  int slot_ = -1;
+  std::string name_;
+  std::vector<ExprPtr> children_;
+  mutable std::uint64_t cached_hash_ = 0;
+  mutable bool hash_computed_ = false;
+};
+
+/// True when the two trees are structurally identical (same shape, kinds,
+/// slots, and literal values).
+bool StructurallyEqual(const Expr& a, const Expr& b);
+
+/// Factory helpers.
+ExprPtr Constant(double value);
+ExprPtr Parameter(int slot, std::string name);
+ExprPtr Variable(int slot, std::string name);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr Min(ExprPtr a, ExprPtr b);
+ExprPtr Max(ExprPtr a, ExprPtr b);
+ExprPtr Neg(ExprPtr a);
+ExprPtr Log(ExprPtr a);
+ExprPtr Exp(ExprPtr a);
+
+/// Builds a binary node of the given kind. Aborts for non-binary kinds.
+ExprPtr MakeBinary(NodeKind kind, ExprPtr a, ExprPtr b);
+
+/// Builds a unary node of the given kind. Aborts for non-unary kinds.
+ExprPtr MakeUnary(NodeKind kind, ExprPtr a);
+
+/// Number of operands the kind takes (0 for leaves, 1 or 2 otherwise).
+int Arity(NodeKind kind);
+
+/// Printable operator/leaf name ("+", "min", "exp", ...).
+const char* KindName(NodeKind kind);
+
+/// Collects the distinct variable slots referenced by the tree, sorted.
+std::vector<int> ReferencedVariableSlots(const Expr& root);
+
+/// Collects the distinct parameter slots referenced by the tree, sorted.
+std::vector<int> ReferencedParameterSlots(const Expr& root);
+
+}  // namespace gmr::expr
+
+#endif  // GMR_EXPR_AST_H_

@@ -1,0 +1,101 @@
+#include "expr/compile.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gmr::expr {
+
+CompiledProgram Compile(const Expr& root) {
+  CompiledProgram program;
+  // Postorder emission: children first, then the operator.
+  struct Frame {
+    const Expr* node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({&root, 0});
+  std::size_t depth = 0;
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_child < top.node->children().size()) {
+      const Expr* child = top.node->children()[top.next_child].get();
+      ++top.next_child;
+      stack.push_back({child, 0});
+      continue;
+    }
+    const Expr& n = *top.node;
+    CompiledProgram::Instruction ins;
+    ins.op = n.kind();
+    switch (n.kind()) {
+      case NodeKind::kConstant:
+        ins.immediate = n.value();
+        ++depth;
+        break;
+      case NodeKind::kParameter:
+      case NodeKind::kVariable:
+        ins.slot = n.slot();
+        ++depth;
+        break;
+      default:
+        // A k-ary operator pops k values and pushes one.
+        depth -= static_cast<std::size_t>(Arity(n.kind())) - 1;
+        break;
+    }
+    max_depth = std::max(max_depth, depth);
+    program.ops_.push_back(ins);
+    stack.pop_back();
+  }
+  GMR_CHECK_EQ(depth, 1u);
+  program.max_stack_ = max_depth;
+  program.stack_.resize(max_depth);
+  return program;
+}
+
+double CompiledProgram::Run(const EvalContext& ctx) const {
+  GMR_CHECK(!ops_.empty());
+  double* stack = stack_.data();
+  std::size_t top = 0;
+  const Instruction* ins = ops_.data();
+  const Instruction* end = ins + ops_.size();
+  for (; ins != end; ++ins) {
+    switch (ins->op) {
+      case NodeKind::kConstant:
+        stack[top++] = ins->immediate;
+        break;
+      case NodeKind::kParameter:
+        stack[top++] = ctx.parameters[ins->slot];
+        break;
+      case NodeKind::kVariable:
+        stack[top++] = ctx.variables[ins->slot];
+        break;
+      case NodeKind::kAdd:
+        --top;
+        stack[top - 1] += stack[top];
+        break;
+      case NodeKind::kSub:
+        --top;
+        stack[top - 1] -= stack[top];
+        break;
+      case NodeKind::kMul:
+        --top;
+        stack[top - 1] *= stack[top];
+        break;
+      case NodeKind::kNeg:
+      case NodeKind::kLog:
+      case NodeKind::kExp:
+        stack[top - 1] = ApplyUnary(ins->op, stack[top - 1]);
+        break;
+      default: {
+        const double b = stack[--top];
+        stack[top - 1] = ApplyBinary(ins->op, stack[top - 1], b);
+        break;
+      }
+    }
+  }
+  GMR_CHECK_EQ(top, 1u);
+  return stack[0];
+}
+
+}  // namespace gmr::expr

@@ -1,0 +1,59 @@
+#ifndef GMR_EXPR_COMPILE_H_
+#define GMR_EXPR_COMPILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/ast.h"
+#include "expr/eval.h"
+
+namespace gmr::expr {
+
+/// Runtime-compilation backend.
+///
+/// The paper compiles each candidate process to C source with g++ and
+/// dlopen()s the result so that the thousands of per-time-step evaluations
+/// during fitness evaluation run compiled code instead of re-parsing the
+/// tree. This library substitutes an in-process equivalent: the tree is
+/// flattened once into a postfix instruction tape executed by a tight stack
+/// VM with a preallocated stack (no recursion, no virtual dispatch, no
+/// pointer chasing). The measured effect — compiled-form evaluation replacing
+/// repeated tree walking inside the GP loop — is the same mechanism (see
+/// DESIGN.md section 4).
+class CompiledProgram {
+ public:
+  /// Executes the program. Semantics are bit-identical to EvalExpr on the
+  /// source tree (both call the same ApplyUnary/ApplyBinary kernels).
+  double Run(const EvalContext& ctx) const;
+
+  /// Number of instructions in the tape.
+  std::size_t size() const { return ops_.size(); }
+
+  /// True when Compile has not been run (or the source was empty).
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  friend CompiledProgram Compile(const Expr& root);
+
+  struct Instruction {
+    NodeKind op;
+    // kConstant: immediate; kParameter/kVariable: slot index.
+    double immediate = 0.0;
+    std::int32_t slot = -1;
+  };
+
+  std::vector<Instruction> ops_;
+  std::size_t max_stack_ = 0;
+  // Evaluation scratch space, sized once at compile time. Programs are
+  // evaluated thousands of times per fitness case sequence; reusing the
+  // buffer keeps Run() allocation-free. A CompiledProgram is therefore not
+  // safe to Run() from two threads concurrently (clone it instead).
+  mutable std::vector<double> stack_;
+};
+
+/// Flattens `root` into a CompiledProgram (postorder).
+CompiledProgram Compile(const Expr& root);
+
+}  // namespace gmr::expr
+
+#endif  // GMR_EXPR_COMPILE_H_

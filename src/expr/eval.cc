@@ -1,0 +1,28 @@
+#include "expr/eval.h"
+
+#include "common/check.h"
+
+namespace gmr::expr {
+
+double EvalExpr(const Expr& node, const EvalContext& ctx) {
+  switch (node.kind()) {
+    case NodeKind::kConstant:
+      return node.value();
+    case NodeKind::kParameter:
+      GMR_CHECK_LT(static_cast<std::size_t>(node.slot()),
+                   ctx.num_parameters);
+      return ctx.parameters[node.slot()];
+    case NodeKind::kVariable:
+      GMR_CHECK_LT(static_cast<std::size_t>(node.slot()), ctx.num_variables);
+      return ctx.variables[node.slot()];
+    case NodeKind::kNeg:
+    case NodeKind::kLog:
+    case NodeKind::kExp:
+      return ApplyUnary(node.kind(), EvalExpr(*node.children()[0], ctx));
+    default:
+      return ApplyBinary(node.kind(), EvalExpr(*node.children()[0], ctx),
+                         EvalExpr(*node.children()[1], ctx));
+  }
+}
+
+}  // namespace gmr::expr

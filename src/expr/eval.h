@@ -1,0 +1,76 @@
+#ifndef GMR_EXPR_EVAL_H_
+#define GMR_EXPR_EVAL_H_
+
+#include <cstddef>
+
+#include "expr/ast.h"
+
+namespace gmr::expr {
+
+/// Read-only evaluation environment: the temporal-variable slots (Table IV
+/// values imported from observed data at each time step, plus model state
+/// such as B_Phy and B_Zoo) and the constant-parameter slots (Table III
+/// values owned by the individual being evaluated).
+struct EvalContext {
+  const double* variables = nullptr;
+  std::size_t num_variables = 0;
+  const double* parameters = nullptr;
+  std::size_t num_parameters = 0;
+};
+
+/// The baseline evaluation backend: a recursive walk of the expression tree
+/// at every time step ("repeated tree parsing" in the paper's terminology).
+/// Protected-operator semantics are defined in ast.h and are shared with the
+/// compiled backend, which must produce bit-identical results.
+double EvalExpr(const Expr& node, const EvalContext& ctx);
+
+/// Shared scalar semantics of each operator, used by both backends.
+/// Defined inline: these sit on the innermost loop of fitness evaluation.
+double ApplyUnary(NodeKind kind, double a);
+double ApplyBinary(NodeKind kind, double a, double b);
+
+// Implementation details only below here.
+
+inline double ApplyUnary(NodeKind kind, double a) {
+  switch (kind) {
+    case NodeKind::kNeg:
+      return -a;
+    case NodeKind::kLog: {
+      const double m = a < 0.0 ? -a : a;
+      return m < kLogEpsilon ? 0.0 : __builtin_log(m);
+    }
+    case NodeKind::kExp: {
+      double x = a;
+      if (x > kExpArgClamp) x = kExpArgClamp;
+      if (x < -kExpArgClamp) x = -kExpArgClamp;
+      return __builtin_exp(x);
+    }
+    default:
+      return 0.0;  // Unreachable for well-formed trees.
+  }
+}
+
+inline double ApplyBinary(NodeKind kind, double a, double b) {
+  switch (kind) {
+    case NodeKind::kAdd:
+      return a + b;
+    case NodeKind::kSub:
+      return a - b;
+    case NodeKind::kMul:
+      return a * b;
+    case NodeKind::kDiv: {
+      const double m = b < 0.0 ? -b : b;
+      return m < kDivEpsilon ? 1.0 : a / b;
+    }
+    case NodeKind::kMin:
+      return a < b ? a : b;
+    case NodeKind::kMax:
+      return a > b ? a : b;
+    default:
+      return 0.0;  // Unreachable for well-formed trees.
+  }
+}
+
+}  // namespace gmr::expr
+
+#endif  // GMR_EXPR_EVAL_H_

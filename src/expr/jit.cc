@@ -1,0 +1,182 @@
+#include "expr/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gmr::expr {
+namespace {
+
+/// Preamble with the protected-operator kernels, kept textually in sync
+/// with the semantics of eval.h.
+const char kPreamble[] = R"(#include <math.h>
+static double gmr_pdiv(double a, double b) {
+  return fabs(b) < 1e-9 ? 1.0 : a / b;
+}
+static double gmr_plog(double a) {
+  double m = fabs(a);
+  return m < 1e-12 ? 0.0 : log(m);
+}
+static double gmr_pexp(double a) {
+  if (a > 80.0) a = 80.0;
+  if (a < -80.0) a = -80.0;
+  return exp(a);
+}
+static double gmr_min(double a, double b) { return a < b ? a : b; }
+static double gmr_max(double a, double b) { return a > b ? a : b; }
+)";
+
+void EmitNode(const Expr& node, std::ostringstream& out) {
+  switch (node.kind()) {
+    case NodeKind::kConstant: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", node.value());
+      out << buf;
+      return;
+    }
+    case NodeKind::kParameter:
+      out << "p[" << node.slot() << "]";
+      return;
+    case NodeKind::kVariable:
+      out << "v[" << node.slot() << "]";
+      return;
+    case NodeKind::kAdd:
+    case NodeKind::kSub:
+    case NodeKind::kMul:
+      out << '(';
+      EmitNode(*node.children()[0], out);
+      out << ' ' << KindName(node.kind()) << ' ';
+      EmitNode(*node.children()[1], out);
+      out << ')';
+      return;
+    case NodeKind::kDiv:
+      out << "gmr_pdiv(";
+      EmitNode(*node.children()[0], out);
+      out << ", ";
+      EmitNode(*node.children()[1], out);
+      out << ')';
+      return;
+    case NodeKind::kMin:
+    case NodeKind::kMax:
+      out << (node.kind() == NodeKind::kMin ? "gmr_min(" : "gmr_max(");
+      EmitNode(*node.children()[0], out);
+      out << ", ";
+      EmitNode(*node.children()[1], out);
+      out << ')';
+      return;
+    case NodeKind::kNeg:
+      out << "(-";
+      EmitNode(*node.children()[0], out);
+      out << ')';
+      return;
+    case NodeKind::kLog:
+      out << "gmr_plog(";
+      EmitNode(*node.children()[0], out);
+      out << ')';
+      return;
+    case NodeKind::kExp:
+      out << "gmr_pexp(";
+      EmitNode(*node.children()[0], out);
+      out << ')';
+      return;
+  }
+}
+
+/// The compiler command, probed once. Empty when none works.
+const std::string& CompilerCommand() {
+  static const std::string* const command = [] {
+    for (const char* candidate : {"cc", "gcc", "clang"}) {
+      const std::string probe =
+          std::string(candidate) + " --version > /dev/null 2>&1";
+      if (std::system(probe.c_str()) == 0) {
+        return new std::string(candidate);
+      }
+    }
+    return new std::string();
+  }();
+  return *command;
+}
+
+std::string UniqueStem() {
+  static std::atomic<int> counter{0};
+  std::ostringstream stem;
+  const char* tmpdir = std::getenv("TMPDIR");
+  stem << (tmpdir != nullptr ? tmpdir : "/tmp") << "/gmr_jit_" << getpid()
+       << '_' << counter.fetch_add(1);
+  return stem.str();
+}
+
+}  // namespace
+
+std::string GenerateCSource(const Expr& root) {
+  std::ostringstream out;
+  out << kPreamble;
+  out << "double gmr_eval(const double* v, const double* p) {\n  return ";
+  EmitNode(root, out);
+  out << ";\n}\n";
+  return out.str();
+}
+
+bool JitAvailable() { return !CompilerCommand().empty(); }
+
+std::unique_ptr<JitProgram> JitProgram::Compile(const Expr& root,
+                                                std::string* error) {
+  if (!JitAvailable()) {
+    if (error != nullptr) *error = "no C compiler found on this system";
+    return nullptr;
+  }
+  const std::string stem = UniqueStem();
+  const std::string source_path = stem + ".c";
+  const std::string library_path = stem + ".so";
+
+  std::unique_ptr<JitProgram> program(new JitProgram());
+  program->source_ = GenerateCSource(root);
+  {
+    std::ofstream out(source_path);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + source_path;
+      return nullptr;
+    }
+    out << program->source_;
+  }
+
+  const std::string command = CompilerCommand() + " -O2 -shared -fPIC -o " +
+                              library_path + " " + source_path +
+                              " -lm > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  std::remove(source_path.c_str());
+  if (status != 0) {
+    if (error != nullptr) *error = "compiler failed: " + command;
+    return nullptr;
+  }
+
+  program->handle_ = dlopen(library_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (program->handle_ == nullptr) {
+    if (error != nullptr) *error = std::string("dlopen: ") + dlerror();
+    std::remove(library_path.c_str());
+    return nullptr;
+  }
+  program->fn_ = reinterpret_cast<Fn>(dlsym(program->handle_, "gmr_eval"));
+  if (program->fn_ == nullptr) {
+    if (error != nullptr) *error = "dlsym failed for gmr_eval";
+    dlclose(program->handle_);
+    std::remove(library_path.c_str());
+    return nullptr;
+  }
+  program->library_path_ = library_path;
+  return program;
+}
+
+JitProgram::~JitProgram() {
+  if (handle_ != nullptr) dlclose(handle_);
+  if (!library_path_.empty()) std::remove(library_path_.c_str());
+}
+
+}  // namespace gmr::expr

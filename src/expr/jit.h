@@ -1,0 +1,64 @@
+#ifndef GMR_EXPR_JIT_H_
+#define GMR_EXPR_JIT_H_
+
+#include <memory>
+#include <string>
+
+#include "expr/ast.h"
+#include "expr/eval.h"
+
+namespace gmr::expr {
+
+/// True runtime compilation — the paper's actual mechanism: "a program
+/// encoded in the tree is converted into the corresponding source code,
+/// compiled at runtime, and dynamically loaded" (Section III-D), relying on
+/// "the G++ compiler suite" (Extensibility section).
+///
+/// JitProgram emits C source for the expression (with the same protected
+/// operator semantics as eval.h), invokes the system C compiler to build a
+/// shared object in a temporary directory, and dlopen()s it. Compilation
+/// costs ~100 ms per expression, so this backend pays off only when an
+/// expression is evaluated many thousands of times (long series, many
+/// runs); the in-process bytecode backend (compile.h) is the default RC
+/// implementation inside the GP loop. See DESIGN.md §4.
+class JitProgram {
+ public:
+  /// Compiles `root`. Returns nullptr (with a diagnostic in *error) when no
+  /// compiler is available or compilation fails.
+  static std::unique_ptr<JitProgram> Compile(const Expr& root,
+                                             std::string* error);
+
+  ~JitProgram();
+
+  JitProgram(const JitProgram&) = delete;
+  JitProgram& operator=(const JitProgram&) = delete;
+
+  /// Evaluates the compiled function; bit-compatible with EvalExpr except
+  /// where the C compiler re-associates floating point (it is invoked
+  /// without -ffast-math, so results match exactly in practice).
+  double Run(const EvalContext& ctx) const {
+    return fn_(ctx.variables, ctx.parameters);
+  }
+
+  /// The generated C source (for inspection/testing).
+  const std::string& source() const { return source_; }
+
+ private:
+  JitProgram() = default;
+
+  using Fn = double (*)(const double*, const double*);
+  Fn fn_ = nullptr;
+  void* handle_ = nullptr;
+  std::string library_path_;
+  std::string source_;
+};
+
+/// True when a working C compiler was found on this system (checked once).
+bool JitAvailable();
+
+/// Generates the C source for `root` without compiling (exposed for tests).
+std::string GenerateCSource(const Expr& root);
+
+}  // namespace gmr::expr
+
+#endif  // GMR_EXPR_JIT_H_

@@ -1,0 +1,44 @@
+#ifndef GMR_EXPR_PARSER_H_
+#define GMR_EXPR_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "expr/ast.h"
+
+namespace gmr::expr {
+
+/// Maps leaf names to slots for the parser. A name present in both maps is
+/// resolved as a variable.
+struct SymbolTable {
+  std::map<std::string, int> variables;
+  std::map<std::string, int> parameters;
+};
+
+/// Outcome of a Parse call. On failure `expr` is null and `error` holds a
+/// human-readable message with the offending position.
+struct ParseResult {
+  ExprPtr expr;
+  std::string error;
+
+  bool ok() const { return expr != nullptr; }
+};
+
+/// Parses infix expression text into an AST. Grammar:
+///
+///   expr    := term (('+' | '-') term)*
+///   term    := unary (('*' | '/') unary)*
+///   unary   := '-' unary | primary
+///   primary := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')'
+///            | '(' expr ')'
+///
+/// Recognized functions: min, max, log, exp (the operator set of the
+/// grammar in Table II plus the expert min/max forms). Identifiers resolve
+/// through `symbols`; unknown identifiers are an error. This is a
+/// convenience front end for tests, examples, and defining seed processes —
+/// the GP engine itself operates on trees, never on text.
+ParseResult Parse(const std::string& text, const SymbolTable& symbols);
+
+}  // namespace gmr::expr
+
+#endif  // GMR_EXPR_PARSER_H_

@@ -1,0 +1,116 @@
+#include "expr/print.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmr::expr {
+namespace {
+
+std::string FormatNumber(double v) {
+  // Shortest representation that round-trips exactly, so printed models can
+  // be re-parsed without losing calibrated constants.
+  char buf[64];
+  for (int precision : {6, 9, 12, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string LeafName(const Expr& node) {
+  if (!node.name().empty()) return node.name();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%c%d",
+                node.kind() == NodeKind::kParameter ? 'p' : 'v', node.slot());
+  return buf;
+}
+
+/// Binding strength used to decide when parentheses are needed.
+int Precedence(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kAdd:
+    case NodeKind::kSub:
+      return 1;
+    case NodeKind::kMul:
+    case NodeKind::kDiv:
+      return 2;
+    case NodeKind::kNeg:
+      return 3;
+    default:
+      return 4;  // Leaves and function-call syntax never need parens.
+  }
+}
+
+void Render(const Expr& node, int parent_precedence, std::string* out) {
+  switch (node.kind()) {
+    case NodeKind::kConstant:
+      *out += FormatNumber(node.value());
+      return;
+    case NodeKind::kParameter:
+    case NodeKind::kVariable:
+      *out += LeafName(node);
+      return;
+    case NodeKind::kNeg:
+      *out += "-";
+      Render(*node.children()[0], Precedence(NodeKind::kNeg), out);
+      return;
+    case NodeKind::kLog:
+    case NodeKind::kExp:
+    case NodeKind::kMin:
+    case NodeKind::kMax: {
+      *out += KindName(node.kind());
+      *out += '(';
+      for (std::size_t i = 0; i < node.children().size(); ++i) {
+        if (i > 0) *out += ", ";
+        Render(*node.children()[i], 0, out);
+      }
+      *out += ')';
+      return;
+    }
+    default: {
+      const int prec = Precedence(node.kind());
+      const bool parens = prec < parent_precedence;
+      if (parens) *out += '(';
+      Render(*node.children()[0], prec, out);
+      *out += ' ';
+      *out += KindName(node.kind());
+      *out += ' ';
+      // The right operand is always parenthesized at equal precedence so
+      // the printed text re-parses with the exact same tree grouping
+      // (floating-point evaluation is association-sensitive).
+      Render(*node.children()[1], prec + 1, out);
+      if (parens) *out += ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const Expr& root) {
+  std::string out;
+  Render(root, 0, &out);
+  return out;
+}
+
+std::string ToSExpression(const Expr& root) {
+  switch (root.kind()) {
+    case NodeKind::kConstant:
+      return FormatNumber(root.value());
+    case NodeKind::kParameter:
+    case NodeKind::kVariable:
+      return LeafName(root);
+    default: {
+      std::string out = "(";
+      out += KindName(root.kind());
+      for (const auto& child : root.children()) {
+        out += ' ';
+        out += ToSExpression(*child);
+      }
+      out += ')';
+      return out;
+    }
+  }
+}
+
+}  // namespace gmr::expr

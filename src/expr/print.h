@@ -1,0 +1,21 @@
+#ifndef GMR_EXPR_PRINT_H_
+#define GMR_EXPR_PRINT_H_
+
+#include <string>
+
+#include "expr/ast.h"
+
+namespace gmr::expr {
+
+/// Renders the expression as infix text with minimal parentheses, e.g.
+/// "B_Phy * (mu_Phy - 1.5)". Parameters and variables print their names;
+/// unnamed slots print as p<slot> / v<slot>.
+std::string ToString(const Expr& root);
+
+/// Renders the expression as an S-expression, e.g. "(* B_Phy (- mu_Phy
+/// 1.5))". Useful for unambiguous golden tests.
+std::string ToSExpression(const Expr& root);
+
+}  // namespace gmr::expr
+
+#endif  // GMR_EXPR_PRINT_H_

@@ -1,0 +1,130 @@
+#include "expr/simplify.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "expr/eval.h"
+
+namespace gmr::expr {
+namespace {
+
+bool IsConst(const ExprPtr& e, double v) {
+  return e->kind() == NodeKind::kConstant && e->value() == v;
+}
+
+bool IsAnyConst(const ExprPtr& e) {
+  return e->kind() == NodeKind::kConstant;
+}
+
+bool Commutative(NodeKind kind) {
+  return kind == NodeKind::kAdd || kind == NodeKind::kMul ||
+         kind == NodeKind::kMin || kind == NodeKind::kMax;
+}
+
+/// Total order on trees for canonicalizing commutative operands: by kind,
+/// then slot/value, then recursively by children. Returns <0, 0, >0.
+int CompareTrees(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) {
+    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case NodeKind::kConstant:
+      if (a.value() < b.value()) return -1;
+      if (a.value() > b.value()) return 1;
+      return 0;
+    case NodeKind::kParameter:
+    case NodeKind::kVariable:
+      if (a.slot() < b.slot()) return -1;
+      if (a.slot() > b.slot()) return 1;
+      return 0;
+    default:
+      break;
+  }
+  for (std::size_t i = 0;
+       i < a.children().size() && i < b.children().size(); ++i) {
+    const int c = CompareTrees(*a.children()[i], *b.children()[i]);
+    if (c != 0) return c;
+  }
+  if (a.children().size() < b.children().size()) return -1;
+  if (a.children().size() > b.children().size()) return 1;
+  return 0;
+}
+
+ExprPtr SimplifyNode(const ExprPtr& original, NodeKind kind,
+                     std::vector<ExprPtr> kids) {
+  // Constant folding with the shared protected kernels.
+  if (kids.size() == 1 && IsAnyConst(kids[0])) {
+    return Constant(ApplyUnary(kind, kids[0]->value()));
+  }
+  if (kids.size() == 2 && IsAnyConst(kids[0]) && IsAnyConst(kids[1])) {
+    return Constant(ApplyBinary(kind, kids[0]->value(), kids[1]->value()));
+  }
+
+  switch (kind) {
+    case NodeKind::kAdd:
+      if (IsConst(kids[0], 0.0)) return kids[1];
+      if (IsConst(kids[1], 0.0)) return kids[0];
+      break;
+    case NodeKind::kSub:
+      if (IsConst(kids[1], 0.0)) return kids[0];
+      if (StructurallyEqual(*kids[0], *kids[1])) return Constant(0.0);
+      break;
+    case NodeKind::kMul:
+      if (IsConst(kids[0], 1.0)) return kids[1];
+      if (IsConst(kids[1], 1.0)) return kids[0];
+      if (IsConst(kids[0], 0.0) || IsConst(kids[1], 0.0)) {
+        return Constant(0.0);
+      }
+      break;
+    case NodeKind::kDiv:
+      if (IsConst(kids[1], 1.0)) return kids[0];
+      // Protected division returns 1 when the denominator vanishes, so
+      // x/x == 1 holds for every value of x.
+      if (StructurallyEqual(*kids[0], *kids[1])) return Constant(1.0);
+      break;
+    case NodeKind::kMin:
+    case NodeKind::kMax:
+      if (StructurallyEqual(*kids[0], *kids[1])) return kids[0];
+      break;
+    case NodeKind::kNeg:
+      if (kids[0]->kind() == NodeKind::kNeg) return kids[0]->children()[0];
+      break;
+    default:
+      break;
+  }
+
+  // Canonical operand order for commutative operators.
+  if (kids.size() == 2 && Commutative(kind) &&
+      CompareTrees(*kids[0], *kids[1]) > 0) {
+    std::swap(kids[0], kids[1]);
+  }
+
+  // Reuse the original node when nothing changed (keeps sharing intact).
+  if (original != nullptr && original->kind() == kind &&
+      original->children().size() == kids.size()) {
+    bool same = true;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      if (original->children()[i] != kids[i]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return original;
+  }
+
+  if (kids.size() == 1) return MakeUnary(kind, std::move(kids[0]));
+  return MakeBinary(kind, std::move(kids[0]), std::move(kids[1]));
+}
+
+}  // namespace
+
+ExprPtr Simplify(const ExprPtr& root) {
+  GMR_CHECK(root != nullptr);
+  if (root->IsLeaf()) return root;
+  std::vector<ExprPtr> kids;
+  kids.reserve(root->children().size());
+  for (const auto& child : root->children()) kids.push_back(Simplify(child));
+  return SimplifyNode(root, root->kind(), std::move(kids));
+}
+
+}  // namespace gmr::expr

@@ -1,0 +1,25 @@
+#ifndef GMR_EXPR_SIMPLIFY_H_
+#define GMR_EXPR_SIMPLIFY_H_
+
+#include "expr/ast.h"
+
+namespace gmr::expr {
+
+/// Algebraic simplification.
+///
+/// The paper's tree cache "improves the hit rate by algebraically
+/// simplifying the trees before they are evaluated": distinct genotypes that
+/// denote the same function should map to the same cache key. Simplify
+/// performs constant folding over literal constants and identity/annihilator
+/// rewrites, and canonically orders commutative operands so that x+y and y+x
+/// produce identical trees.
+///
+/// Rewrites preserve the protected-operator semantics of eval.h. In
+/// particular x/x rewrites to 1 (protected division already returns 1 when
+/// the denominator vanishes), and constants are folded with the same
+/// protected kernels used at evaluation time.
+ExprPtr Simplify(const ExprPtr& root);
+
+}  // namespace gmr::expr
+
+#endif  // GMR_EXPR_SIMPLIFY_H_

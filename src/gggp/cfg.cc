@@ -1,0 +1,96 @@
+#include "gggp/cfg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gmr::gggp {
+
+expr::ExprPtr GrowRandomExpr(const CfgGrammar& grammar, int max_depth,
+                             Rng& rng) {
+  const bool leaf = max_depth <= 1 || rng.Bernoulli(0.3);
+  if (leaf) {
+    const double dice = rng.Uniform();
+    if (dice < 0.4 && !grammar.variable_slots.empty()) {
+      const std::size_t i = rng.PickIndex(grammar.variable_slots);
+      return expr::Variable(grammar.variable_slots[i],
+                            grammar.variable_names[i]);
+    }
+    if (dice < 0.6 && !grammar.parameter_slots.empty()) {
+      const std::size_t i = rng.PickIndex(grammar.parameter_slots);
+      return expr::Parameter(grammar.parameter_slots[i],
+                             grammar.parameter_names[i]);
+    }
+    return expr::Constant(rng.Uniform(grammar.const_lo, grammar.const_hi));
+  }
+  const bool unary =
+      !grammar.unary_ops.empty() &&
+      (grammar.binary_ops.empty() || rng.Bernoulli(0.2));
+  if (unary) {
+    return expr::MakeUnary(grammar.unary_ops[rng.PickIndex(grammar.unary_ops)],
+                           GrowRandomExpr(grammar, max_depth - 1, rng));
+  }
+  GMR_CHECK(!grammar.binary_ops.empty());
+  return expr::MakeBinary(
+      grammar.binary_ops[rng.PickIndex(grammar.binary_ops)],
+      GrowRandomExpr(grammar, max_depth - 1, rng),
+      GrowRandomExpr(grammar, max_depth - 1, rng));
+}
+
+std::size_t CountNodes(const expr::Expr& root) { return root.NodeCount(); }
+
+const expr::Expr& NodeAt(const expr::Expr& root, std::size_t index) {
+  GMR_CHECK_LT(index, root.NodeCount());
+  if (index == 0) return root;
+  std::size_t offset = 1;
+  for (const auto& child : root.children()) {
+    const std::size_t size = child->NodeCount();
+    if (index < offset + size) return NodeAt(*child, index - offset);
+    offset += size;
+  }
+  GMR_CHECK_MSG(false, "unreachable");
+  return root;
+}
+
+expr::ExprPtr ReplaceNodeAt(const expr::ExprPtr& root, std::size_t index,
+                            const expr::ExprPtr& replacement) {
+  GMR_CHECK_LT(index, root->NodeCount());
+  if (index == 0) return replacement;
+  std::size_t offset = 1;
+  std::vector<expr::ExprPtr> kids;
+  kids.reserve(root->children().size());
+  bool replaced = false;
+  for (const auto& child : root->children()) {
+    const std::size_t size = child->NodeCount();
+    if (!replaced && index < offset + size) {
+      kids.push_back(ReplaceNodeAt(child, index - offset, replacement));
+      replaced = true;
+    } else {
+      kids.push_back(child);
+    }
+    offset += size;
+  }
+  GMR_CHECK(replaced);
+  if (kids.size() == 1) return expr::MakeUnary(root->kind(), kids[0]);
+  return expr::MakeBinary(root->kind(), kids[0], kids[1]);
+}
+
+expr::ExprPtr JitterConstants(const expr::ExprPtr& root, double sigma_scale,
+                              Rng& rng) {
+  if (root->kind() == expr::NodeKind::kConstant) {
+    const double v = root->value();
+    const double sigma = std::max(std::fabs(v) / 4.0, 0.05) * sigma_scale;
+    return expr::Constant(rng.Gaussian(v, sigma));
+  }
+  if (root->IsLeaf()) return root;
+  std::vector<expr::ExprPtr> kids;
+  kids.reserve(root->children().size());
+  for (const auto& child : root->children()) {
+    kids.push_back(JitterConstants(child, sigma_scale, rng));
+  }
+  if (kids.size() == 1) return expr::MakeUnary(root->kind(), kids[0]);
+  return expr::MakeBinary(root->kind(), kids[0], kids[1]);
+}
+
+}  // namespace gmr::gggp

@@ -1,0 +1,54 @@
+#ifndef GMR_GGGP_CFG_H_
+#define GMR_GGGP_CFG_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "expr/ast.h"
+
+namespace gmr::gggp {
+
+/// The context-free expression grammar used by the GGGP baseline:
+///   Exp -> Exp op Exp | log(Exp) | exp(Exp) | Var | Param | Const
+/// with one generic non-terminal. Compared to the TAG grammar of GMR, it
+/// has no extension-point locality and no connector/extender discipline —
+/// any subtree may be replaced by any expression — which is exactly the
+/// difference the paper's GMR-vs-GGGP comparison isolates.
+struct CfgGrammar {
+  /// Variable slots terminals may reference (with display names parallel).
+  std::vector<int> variable_slots;
+  std::vector<std::string> variable_names;
+  /// Parameter slots terminals may reference.
+  std::vector<int> parameter_slots;
+  std::vector<std::string> parameter_names;
+  /// Constant initialization range.
+  double const_lo = 0.0;
+  double const_hi = 1.0;
+  /// Operators available to interior nodes.
+  std::vector<expr::NodeKind> binary_ops;
+  std::vector<expr::NodeKind> unary_ops;
+};
+
+/// Grows a random expression of at most `max_depth`.
+expr::ExprPtr GrowRandomExpr(const CfgGrammar& grammar, int max_depth,
+                             Rng& rng);
+
+/// Number of nodes in `root` (preorder indexable).
+std::size_t CountNodes(const expr::Expr& root);
+
+/// The `index`-th node in preorder (0 = root).
+const expr::Expr& NodeAt(const expr::Expr& root, std::size_t index);
+
+/// Returns a copy of `root` with the preorder `index`-th subtree replaced
+/// by `replacement` (subtrees are shared, so this only rebuilds the spine).
+expr::ExprPtr ReplaceNodeAt(const expr::ExprPtr& root, std::size_t index,
+                            const expr::ExprPtr& replacement);
+
+/// Returns a copy of `root` with every literal constant jittered by a
+/// relative Gaussian step (the CFG analog of GMR's lexeme mutation).
+expr::ExprPtr JitterConstants(const expr::ExprPtr& root, double sigma_scale,
+                              Rng& rng);
+
+}  // namespace gmr::gggp
+
+#endif  // GMR_GGGP_CFG_H_

@@ -1,0 +1,203 @@
+#include "gggp/gggp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "river/parameters.h"
+#include "river/variables.h"
+
+namespace gmr::gggp {
+namespace {
+
+/// Shared evaluation with optional short-circuiting against the best fully
+/// evaluated fitness so far (same scheme as Algorithm 1; GGGP gets the same
+/// speedups as GMR for a fair comparison).
+class Evaluator {
+ public:
+  Evaluator(const gp::SequentialFitness* fitness,
+            const gp::SpeedupConfig& config)
+      : fitness_(fitness), config_(config) {}
+
+  double Evaluate(const GggpIndividual& individual) {
+    ++evaluations_;
+    const std::size_t num_cases = fitness_->num_cases();
+    auto eval = fitness_->Begin(individual.equations, individual.parameters,
+                                config_.runtime_compilation);
+    double fitness = 0.0;
+    std::size_t i = 0;
+    while (i < num_cases) {
+      const bool more = eval->Step();
+      fitness = eval->CurrentFitness();
+      ++i;
+      if (config_.short_circuiting && best_prev_full_ < 1e299 &&
+          i < num_cases &&
+          fitness > best_prev_full_ * config_.es_threshold) {
+        const double estimate = config_.extrapolate(fitness, i, num_cases);
+        if (estimate > best_prev_full_) return estimate;
+      }
+      if (!more) break;
+    }
+    if (fitness < best_prev_full_) best_prev_full_ = fitness;
+    return fitness;
+  }
+
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  const gp::SequentialFitness* fitness_;
+  gp::SpeedupConfig config_;
+  double best_prev_full_ = 1e300;
+  std::size_t evaluations_ = 0;
+};
+
+const GggpIndividual& Tournament(const std::vector<GggpIndividual>& population,
+                                 int size, Rng& rng) {
+  const GggpIndividual* best = nullptr;
+  for (int i = 0; i < size; ++i) {
+    const GggpIndividual& candidate = population[rng.PickIndex(population)];
+    if (best == nullptr || candidate.fitness < best->fitness) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+}  // namespace
+
+CfgGrammar RiverCfgGrammar() {
+  CfgGrammar grammar;
+  for (int slot = 0; slot < river::kNumVariables; ++slot) {
+    grammar.variable_slots.push_back(slot);
+    grammar.variable_names.push_back(river::VariableName(slot));
+  }
+  for (int slot = 0; slot < river::kNumParameters; ++slot) {
+    grammar.parameter_slots.push_back(slot);
+    grammar.parameter_names.push_back(river::ParameterName(slot));
+  }
+  grammar.binary_ops = {expr::NodeKind::kAdd, expr::NodeKind::kSub,
+                        expr::NodeKind::kMul, expr::NodeKind::kDiv};
+  grammar.unary_ops = {expr::NodeKind::kLog, expr::NodeKind::kExp};
+  return grammar;
+}
+
+GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
+                   const CfgGrammar& grammar,
+                   const gp::ParameterPriors& priors,
+                   const gp::SequentialFitness& fitness,
+                   const GggpConfig& config) {
+  GMR_CHECK(!seed_equations.empty());
+  Rng rng(config.seed);
+  Evaluator evaluator(&fitness, config.speedups);
+  const std::vector<double> means = gp::PriorMeans(priors);
+
+  auto mutate_structure = [&](GggpIndividual* individual) {
+    const std::size_t eq = rng.PickIndex(individual->equations);
+    expr::ExprPtr& tree = individual->equations[eq];
+    const std::size_t index =
+        static_cast<std::size_t>(rng.UniformInt(tree->NodeCount()));
+    const expr::ExprPtr grown =
+        GrowRandomExpr(grammar, config.grow_depth, rng);
+    expr::ExprPtr candidate = ReplaceNodeAt(tree, index, grown);
+    if (candidate->NodeCount() <= config.max_equation_nodes) {
+      tree = std::move(candidate);
+    }
+  };
+
+  // Initial population: the input process with progressively more random
+  // structural edits (index 0 is the unmodified expert process).
+  std::vector<GggpIndividual> population;
+  population.reserve(static_cast<std::size_t>(config.population_size));
+  while (population.size() <
+         static_cast<std::size_t>(config.population_size)) {
+    GggpIndividual individual;
+    individual.equations = seed_equations;
+    individual.parameters = means;
+    const int edits = static_cast<int>(population.size() % 4);
+    for (int e = 0; e < edits; ++e) mutate_structure(&individual);
+    individual.fitness = evaluator.Evaluate(individual);
+    population.push_back(std::move(individual));
+  }
+
+  GggpResult result;
+  for (int generation = 0; generation < config.max_generations;
+       ++generation) {
+    const int k = config.sigma_rampdown_generations;
+    const int rampdown_start = config.max_generations - k;
+    double sigma_scale = 1.0;
+    if (k > 0 && generation >= rampdown_start) {
+      const double progress = static_cast<double>(generation - rampdown_start) /
+                              static_cast<double>(k);
+      sigma_scale = 1.0 + (config.sigma_final_scale - 1.0) * progress;
+    }
+
+    std::sort(population.begin(), population.end(),
+              [](const GggpIndividual& a, const GggpIndividual& b) {
+                return a.fitness < b.fitness;
+              });
+    result.best_fitness_history.push_back(population.front().fitness);
+
+    std::vector<GggpIndividual> next(
+        population.begin(),
+        population.begin() + std::min<std::size_t>(
+                                 static_cast<std::size_t>(config.elite_size),
+                                 population.size()));
+    while (next.size() < population.size()) {
+      const double dice = rng.Uniform();
+      if (dice < config.p_crossover) {
+        GggpIndividual a = Tournament(population, config.tournament_size, rng);
+        const GggpIndividual& b =
+            Tournament(population, config.tournament_size, rng);
+        // Subtree crossover within the same equation index.
+        const std::size_t eq = rng.PickIndex(a.equations);
+        const expr::ExprPtr& donor = b.equations[eq];
+        const std::size_t from =
+            static_cast<std::size_t>(rng.UniformInt(donor->NodeCount()));
+        const std::size_t to = static_cast<std::size_t>(
+            rng.UniformInt(a.equations[eq]->NodeCount()));
+        expr::ExprPtr sub = std::shared_ptr<const expr::Expr>(
+            donor, &NodeAt(*donor, from));
+        expr::ExprPtr candidate = ReplaceNodeAt(a.equations[eq], to, sub);
+        if (candidate->NodeCount() <= config.max_equation_nodes) {
+          a.equations[eq] = std::move(candidate);
+          a.fitness = evaluator.Evaluate(a);
+        }
+        next.push_back(std::move(a));
+      } else if (dice < config.p_crossover + config.p_subtree_mutation) {
+        GggpIndividual child =
+            Tournament(population, config.tournament_size, rng);
+        mutate_structure(&child);
+        child.fitness = evaluator.Evaluate(child);
+        next.push_back(std::move(child));
+      } else if (dice < config.p_crossover + config.p_subtree_mutation +
+                            config.p_gaussian_mutation) {
+        GggpIndividual child =
+            Tournament(population, config.tournament_size, rng);
+        for (std::size_t i = 0; i < priors.size(); ++i) {
+          child.parameters[i] = rng.TruncatedGaussian(
+              child.parameters[i], priors[i].InitialSigma() * sigma_scale,
+              priors[i].lo, priors[i].hi);
+        }
+        for (auto& eq : child.equations) {
+          eq = JitterConstants(eq, sigma_scale, rng);
+        }
+        child.fitness = evaluator.Evaluate(child);
+        next.push_back(std::move(child));
+      } else {
+        next.push_back(Tournament(population, config.tournament_size, rng));
+      }
+    }
+    population = std::move(next);
+  }
+
+  std::sort(population.begin(), population.end(),
+            [](const GggpIndividual& a, const GggpIndividual& b) {
+              return a.fitness < b.fitness;
+            });
+  result.best = population.front();
+  result.best_fitness_history.push_back(result.best.fitness);
+  result.evaluations = evaluator.evaluations();
+  return result;
+}
+
+}  // namespace gmr::gggp

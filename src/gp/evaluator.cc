@@ -1,0 +1,150 @@
+#include "gp/evaluator.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "expr/simplify.h"
+
+namespace gmr::gp {
+namespace {
+
+std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+double ExtrapolateIdentity(double fitness, std::size_t /*steps*/,
+                           std::size_t /*total_steps*/) {
+  return fitness;
+}
+
+double ExtrapolateGrowth(double fitness, std::size_t steps,
+                         std::size_t total_steps) {
+  if (steps == 0) return fitness;
+  const double ratio = static_cast<double>(total_steps) /
+                       static_cast<double>(steps);
+  return fitness * std::pow(ratio, 0.25);
+}
+
+FitnessEvaluator::FitnessEvaluator(const tag::Grammar* grammar,
+                                   const SequentialFitness* fitness,
+                                   SpeedupConfig config)
+    : grammar_(grammar), fitness_(fitness), config_(config) {
+  GMR_CHECK(grammar_ != nullptr);
+  GMR_CHECK(fitness_ != nullptr);
+}
+
+std::vector<expr::ExprPtr> FitnessEvaluator::Phenotype(
+    const Individual& individual) const {
+  std::vector<expr::ExprPtr> equations =
+      tag::ExpandToExpressions(*grammar_, *individual.genotype);
+  if (config_.simplify_before_eval) {
+    for (auto& eq : equations) eq = expr::Simplify(eq);
+  }
+  return equations;
+}
+
+std::uint64_t FitnessEvaluator::CacheKey(
+    const std::vector<expr::ExprPtr>& equations,
+    const std::vector<double>& parameters) const {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (const auto& eq : equations) h = MixHash(h, eq->StructuralHash());
+  for (double p : parameters) h = MixHash(h, DoubleBits(p));
+  return h;
+}
+
+double FitnessEvaluator::RunEvaluation(
+    const std::vector<expr::ExprPtr>& equations,
+    const std::vector<double>& parameters, bool* fully_evaluated) {
+  const std::size_t num_cases = fitness_->num_cases();
+  std::unique_ptr<SequentialEvaluation> eval =
+      fitness_->Begin(equations, parameters, config_.runtime_compilation);
+
+  // Algorithm 1: Evaluation Short-Circuiting. With ES disabled the loop
+  // degenerates to a plain full pass.
+  *fully_evaluated = true;
+  double fitness = 0.0;
+  std::size_t i = 0;
+  while (i < num_cases) {
+    const bool more = eval->Step();
+    fitness = eval->CurrentFitness();
+    ++i;
+    if (config_.short_circuiting && std::isfinite(best_prev_full_) &&
+        i < num_cases) {
+      if (fitness > best_prev_full_ * config_.es_threshold) {
+        const double est_fitness =
+            config_.extrapolate(fitness, i, num_cases);
+        if (est_fitness > best_prev_full_) {
+          stats_.time_steps_evaluated += i;
+          ++stats_.short_circuited;
+          *fully_evaluated = false;
+          return est_fitness;  // Short circuiting.
+        }
+      }
+    }
+    if (!more) break;
+  }
+  stats_.time_steps_evaluated += i;
+  ++stats_.full_evaluations;
+  if (fitness < best_prev_full_) best_prev_full_ = fitness;
+  return fitness;  // Full evaluation.
+}
+
+void FitnessEvaluator::Evaluate(Individual* individual) {
+  Timer timer;
+  std::vector<expr::ExprPtr> equations = Phenotype(*individual);
+
+  if (config_.tree_caching) {
+    ++stats_.cache_lookups;
+    const std::uint64_t key = CacheKey(equations, individual->parameters);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      individual->fitness = it->second;
+      // A cached value may originate from a short-circuited evaluation;
+      // conservatively report it as not-fully-evaluated only when ES is on
+      // and the value is worse than the current full-evaluation frontier.
+      individual->fully_evaluated =
+          !config_.short_circuiting || it->second <= best_prev_full_;
+      stats_.eval_seconds += timer.ElapsedSeconds();
+      return;
+    }
+    bool fully = false;
+    const double fitness =
+        RunEvaluation(equations, individual->parameters, &fully);
+    cache_.emplace(key, fitness);
+    individual->fitness = fitness;
+    individual->fully_evaluated = fully;
+    ++stats_.individuals_evaluated;
+    stats_.eval_seconds += timer.ElapsedSeconds();
+    return;
+  }
+
+  bool fully = false;
+  individual->fitness =
+      RunEvaluation(equations, individual->parameters, &fully);
+  individual->fully_evaluated = fully;
+  ++stats_.individuals_evaluated;
+  stats_.eval_seconds += timer.ElapsedSeconds();
+}
+
+double FitnessEvaluator::EvaluateFull(const Individual& individual) const {
+  std::vector<expr::ExprPtr> equations = Phenotype(individual);
+  std::unique_ptr<SequentialEvaluation> eval = fitness_->Begin(
+      equations, individual.parameters, config_.runtime_compilation);
+  while (eval->Step()) {
+  }
+  return eval->CurrentFitness();
+}
+
+}  // namespace gmr::gp

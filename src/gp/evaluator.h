@@ -1,0 +1,88 @@
+#ifndef GMR_GP_EVALUATOR_H_
+#define GMR_GP_EVALUATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "gp/fitness.h"
+#include "gp/individual.h"
+#include "tag/grammar.h"
+
+namespace gmr::gp {
+
+/// Aggregate evaluation statistics, the measurements behind Figures 10
+/// and 11.
+struct EvalStats {
+  std::size_t individuals_evaluated = 0;  ///< Calls that ran the simulation.
+  std::size_t cache_hits = 0;
+  std::size_t cache_lookups = 0;
+  std::size_t full_evaluations = 0;
+  std::size_t short_circuited = 0;
+  std::size_t time_steps_evaluated = 0;
+  double eval_seconds = 0.0;
+
+  double CacheHitRate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+};
+
+/// Evaluates individuals against a SequentialFitness, applying the enabled
+/// speedup techniques: tree caching (with algebraic simplification),
+/// evaluation short-circuiting (Algorithm 1), and runtime compilation.
+/// Tracks bestPrevFull — the best fitness seen from *full* evaluations —
+/// which gates the short-circuit test.
+class FitnessEvaluator {
+ public:
+  FitnessEvaluator(const tag::Grammar* grammar,
+                   const SequentialFitness* fitness, SpeedupConfig config);
+
+  /// Evaluates `individual` in place: sets fitness and fully_evaluated.
+  void Evaluate(Individual* individual);
+
+  /// Evaluates without consulting or polluting the cache and without
+  /// short-circuiting; used for final reporting of best models.
+  double EvaluateFull(const Individual& individual) const;
+
+  /// Expands and (optionally) simplifies the individual's equations — its
+  /// phenotype.
+  std::vector<expr::ExprPtr> Phenotype(const Individual& individual) const;
+
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats{}; }
+
+  const SpeedupConfig& config() const { return config_; }
+
+  /// Resets bestPrevFull (e.g. between independent runs).
+  void ResetBestPrevFull() {
+    best_prev_full_ = std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  /// 64-bit key combining the structural hashes of the (simplified)
+  /// equations with the parameter bits. Collisions are possible in
+  /// principle but negligible in practice (documented trade-off; the
+  /// paper's cache has the same property).
+  std::uint64_t CacheKey(const std::vector<expr::ExprPtr>& equations,
+                         const std::vector<double>& parameters) const;
+
+  /// Runs Algorithm 1 (or a plain full pass when ES is off).
+  double RunEvaluation(const std::vector<expr::ExprPtr>& equations,
+                       const std::vector<double>& parameters,
+                       bool* fully_evaluated);
+
+  const tag::Grammar* grammar_;
+  const SequentialFitness* fitness_;
+  SpeedupConfig config_;
+  EvalStats stats_;
+  double best_prev_full_ = std::numeric_limits<double>::infinity();
+  std::unordered_map<std::uint64_t, double> cache_;
+};
+
+}  // namespace gmr::gp
+
+#endif  // GMR_GP_EVALUATOR_H_

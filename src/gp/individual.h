@@ -1,0 +1,42 @@
+#ifndef GMR_GP_INDIVIDUAL_H_
+#define GMR_GP_INDIVIDUAL_H_
+
+#include <limits>
+#include <vector>
+
+#include "tag/derivation.h"
+
+namespace gmr::gp {
+
+/// A GP individual: the TAG derivation tree (genotype encoding the revised
+/// process structure) plus its own copy of the constant-parameter vector
+/// (Table III values, optimized by Gaussian mutation).
+struct Individual {
+  tag::DerivationPtr genotype;
+  std::vector<double> parameters;
+
+  /// Minimization fitness (RMSE in the river task). Infinity = unevaluated.
+  double fitness = std::numeric_limits<double>::infinity();
+
+  /// True when `fitness` came from a full (non-short-circuited) evaluation.
+  bool fully_evaluated = false;
+
+  bool IsEvaluated() const {
+    return fitness != std::numeric_limits<double>::infinity();
+  }
+
+  Individual Clone() const {
+    Individual copy;
+    copy.genotype = genotype->Clone();
+    copy.parameters = parameters;
+    copy.fitness = fitness;
+    copy.fully_evaluated = fully_evaluated;
+    return copy;
+  }
+
+  std::size_t Size() const { return genotype->NodeCount(); }
+};
+
+}  // namespace gmr::gp
+
+#endif  // GMR_GP_INDIVIDUAL_H_

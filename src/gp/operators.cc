@@ -1,0 +1,186 @@
+#include "gp/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gmr::gp {
+namespace {
+
+void MarkUnevaluated(Individual* individual) {
+  individual->fitness = std::numeric_limits<double>::infinity();
+  individual->fully_evaluated = false;
+}
+
+/// Root label of the beta tree referenced by the non-root node behind `ref`.
+const tag::Symbol& BetaRootLabel(const tag::Grammar& grammar,
+                                 const tag::NodeRef& ref) {
+  return grammar.beta(ref.node()->tree_index).root_label();
+}
+
+void MutateLexemes(tag::DerivationNode* node, double sigma_scale, Rng& rng) {
+  for (double& lexeme : node->lexemes) {
+    // Relative sigma keeps the step size proportional to the value while the
+    // floor lets near-zero lexemes escape zero.
+    const double sigma =
+        std::max(std::fabs(lexeme) / 4.0, 0.05) * sigma_scale;
+    lexeme = rng.Gaussian(lexeme, sigma);
+  }
+  for (auto& child : node->children) {
+    MutateLexemes(child.node.get(), sigma_scale, rng);
+  }
+}
+
+}  // namespace
+
+std::vector<double> PriorMeans(const ParameterPriors& priors) {
+  std::vector<double> means;
+  means.reserve(priors.size());
+  for (const ParameterPrior& prior : priors) means.push_back(prior.mean);
+  return means;
+}
+
+bool Crossover(const tag::Grammar& grammar, const SizeBounds& bounds,
+               int max_retries, Individual* a, Individual* b, Rng& rng) {
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    std::vector<tag::NodeRef> refs_a = tag::CollectNodeRefs(a->genotype.get());
+    std::vector<tag::NodeRef> refs_b = tag::CollectNodeRefs(b->genotype.get());
+    if (refs_a.empty() || refs_b.empty()) return false;
+
+    const tag::NodeRef& ra = refs_a[rng.PickIndex(refs_a)];
+    const tag::NodeRef& rb = refs_b[rng.PickIndex(refs_b)];
+
+    // Compatibility: each subtree must be adjoinable where the other is
+    // attached, i.e. the two beta root labels must agree.
+    if (BetaRootLabel(grammar, ra) != BetaRootLabel(grammar, rb)) continue;
+
+    const std::size_t size_a = a->Size();
+    const std::size_t size_b = b->Size();
+    const std::size_t sub_a = ra.node()->NodeCount();
+    const std::size_t sub_b = rb.node()->NodeCount();
+    const std::size_t new_a = size_a - sub_a + sub_b;
+    const std::size_t new_b = size_b - sub_b + sub_a;
+    if (new_a < bounds.min_size || new_a > bounds.max_size ||
+        new_b < bounds.min_size || new_b > bounds.max_size) {
+      continue;
+    }
+
+    std::swap(ra.parent->children[ra.child_index].node,
+              rb.parent->children[rb.child_index].node);
+    MarkUnevaluated(a);
+    MarkUnevaluated(b);
+    return true;
+  }
+  return false;
+}
+
+bool SubtreeMutation(const tag::Grammar& grammar, const SizeBounds& bounds,
+                     Individual* individual, Rng& rng) {
+  std::vector<tag::NodeRef> refs =
+      tag::CollectNodeRefs(individual->genotype.get());
+  if (refs.empty()) {
+    // Degenerate tree (root only): fall back to an insertion so mutation
+    // still explores.
+    return PointInsertion(grammar, bounds, individual, rng);
+  }
+  const tag::NodeRef& ref = refs[rng.PickIndex(refs)];
+  const tag::Symbol label = BetaRootLabel(grammar, ref);
+  const std::size_t old_size = ref.node()->NodeCount();
+
+  // "Replaced with a new subtree, which is of similar size ... and
+  // compatible" — grow a replacement rooted at a beta with the same label.
+  tag::DerivationPtr replacement =
+      tag::GrowRandomSubtree(grammar, label, old_size, rng);
+  if (replacement == nullptr) return false;
+
+  const std::size_t total = individual->Size();
+  const std::size_t new_total =
+      total - old_size + replacement->NodeCount();
+  if (new_total < bounds.min_size || new_total > bounds.max_size) {
+    return false;
+  }
+  ref.parent->children[ref.child_index].node = std::move(replacement);
+  MarkUnevaluated(individual);
+  return true;
+}
+
+void GaussianMutation(const ParameterPriors& priors, double sigma_scale,
+                      Individual* individual, Rng& rng) {
+  GMR_CHECK_EQ(priors.size(), individual->parameters.size());
+  for (std::size_t i = 0; i < priors.size(); ++i) {
+    const ParameterPrior& prior = priors[i];
+    const double sigma = prior.InitialSigma() * sigma_scale;
+    // The current value is the mean; the sample is clamped to the expert
+    // exploration bounds.
+    individual->parameters[i] = rng.TruncatedGaussian(
+        individual->parameters[i], sigma, prior.lo, prior.hi);
+  }
+  MutateLexemes(individual->genotype.get(), sigma_scale, rng);
+  MarkUnevaluated(individual);
+}
+
+bool PointInsertion(const tag::Grammar& grammar, const SizeBounds& bounds,
+                    Individual* individual, Rng& rng) {
+  if (individual->Size() + 1 > bounds.max_size) return false;
+  if (!tag::InsertRandomBeta(grammar, individual->genotype.get(), rng)) {
+    return false;
+  }
+  MarkUnevaluated(individual);
+  return true;
+}
+
+bool PointDeletion(const SizeBounds& bounds, Individual* individual,
+                   Rng& rng) {
+  if (individual->Size() <= bounds.min_size) return false;
+  if (!tag::DeleteRandomLeaf(individual->genotype.get(), rng)) return false;
+  MarkUnevaluated(individual);
+  return true;
+}
+
+namespace {
+
+void CollectLexemeSlots(tag::DerivationNode* node,
+                        std::vector<double*>* slots) {
+  for (double& lexeme : node->lexemes) slots->push_back(&lexeme);
+  for (auto& child : node->children) {
+    CollectLexemeSlots(child.node.get(), slots);
+  }
+}
+
+}  // namespace
+
+bool LexemeTweak(Individual* individual, Rng& rng) {
+  std::vector<double*> slots;
+  CollectLexemeSlots(individual->genotype.get(), &slots);
+  if (slots.empty()) return false;
+  double& lexeme = *slots[rng.PickIndex(slots)];
+  if (std::fabs(lexeme) < 1e-12) {
+    lexeme = rng.Gaussian(0.0, 0.1);  // Restart a dead (zero) lexeme.
+  } else if (rng.Bernoulli(0.05)) {
+    lexeme = -lexeme;  // Occasional sign flip escapes the wrong half-line.
+  } else {
+    // Log-normal multiplicative step: scale-free tuning that can travel
+    // orders of magnitude in a few accepted steps.
+    lexeme *= std::exp(rng.Gaussian(0.0, 0.4));
+  }
+  MarkUnevaluated(individual);
+  return true;
+}
+
+bool ParameterTweak(const ParameterPriors& priors, Individual* individual,
+                    Rng& rng) {
+  if (priors.empty()) return false;
+  GMR_CHECK_EQ(priors.size(), individual->parameters.size());
+  const std::size_t i =
+      static_cast<std::size_t>(rng.UniformInt(priors.size()));
+  const ParameterPrior& prior = priors[i];
+  individual->parameters[i] = rng.TruncatedGaussian(
+      individual->parameters[i], 0.5 * prior.InitialSigma(), prior.lo,
+      prior.hi);
+  MarkUnevaluated(individual);
+  return true;
+}
+
+}  // namespace gmr::gp

@@ -1,0 +1,74 @@
+#ifndef GMR_GP_OPERATORS_H_
+#define GMR_GP_OPERATORS_H_
+
+#include "common/rng.h"
+#include "gp/individual.h"
+#include "gp/parameter_prior.h"
+#include "tag/generate.h"
+#include "tag/grammar.h"
+
+namespace gmr::gp {
+
+/// Size bounds on individuals (derivation-tree node counts). Operators must
+/// keep individuals within [min_size, max_size].
+struct SizeBounds {
+  std::size_t min_size = 2;
+  std::size_t max_size = 50;
+};
+
+/// Crossover (Figure 6(a)-(b)): selects random derivation subtrees of the
+/// two parents, checks compatibility (each subtree's beta root label must
+/// match the label at the other's adjunction site — in this encoding both
+/// attachment sites carry the beta root label, so compatibility reduces to
+/// equal root labels), and swaps them. "Otherwise, the previous process is
+/// retried unless the retry count has reached some predefined limit."
+/// Returns true when a swap was performed; parents are modified in place.
+bool Crossover(const tag::Grammar& grammar, const SizeBounds& bounds,
+               int max_retries, Individual* a, Individual* b, Rng& rng);
+
+/// Subtree mutation (Figure 6(c)-(d)): replaces a random derivation subtree
+/// with a freshly grown one of similar size, compatible with the removed
+/// subtree. Returns true on success (a tree with only a root is left
+/// unchanged unless a site exists for insertion-style growth).
+bool SubtreeMutation(const tag::Grammar& grammar, const SizeBounds& bounds,
+                     Individual* individual, Rng& rng);
+
+/// Gaussian mutation of constants (Section III-B3): every entry of the
+/// parameter vector is redrawn from a Gaussian centered on its *current*
+/// value ("it becomes the new mean of the Gaussian distribution") with
+/// sigma = prior.InitialSigma() * sigma_scale, clamped to the prior bounds.
+/// Lexeme constants in the derivation tree mutate the same way with a
+/// relative sigma (they have no expert bounds — revised models may contain
+/// constants far outside the initialization range, cf. paper Eq. (7)).
+void GaussianMutation(const ParameterPriors& priors, double sigma_scale,
+                      Individual* individual, Rng& rng);
+
+/// Local-search point insertion: one random compatible adjunction
+/// (Figure 6(e)-(f)). Respects bounds. Returns true if applied.
+bool PointInsertion(const tag::Grammar& grammar, const SizeBounds& bounds,
+                    Individual* individual, Rng& rng);
+
+/// Local-search point deletion: removes one random leaf derivation node
+/// (Figure 6(g)-(h)). Respects bounds. Returns true if applied.
+bool PointDeletion(const SizeBounds& bounds, Individual* individual,
+                   Rng& rng);
+
+/// Local-search parameter tweak (an extension over the paper's
+/// insertion/deletion pair, see DESIGN.md): redraws ONE random constant
+/// parameter from its truncated prior around the current value with half
+/// the usual sigma — fine-grained hill climbing on parameters that the
+/// all-at-once Gaussian mutation cannot provide. Returns false when the
+/// individual has no parameters.
+bool ParameterTweak(const ParameterPriors& priors, Individual* individual,
+                    Rng& rng);
+
+/// Local-search lexeme tweak (extension, companion to ParameterTweak):
+/// multiplies ONE random lexeme constant of the derivation tree by a
+/// log-normal step (and flips its sign occasionally), the fine-grained
+/// counterpart of the all-lexeme jitter inside Gaussian mutation. Returns
+/// false when the derivation has no lexemes.
+bool LexemeTweak(Individual* individual, Rng& rng);
+
+}  // namespace gmr::gp
+
+#endif  // GMR_GP_OPERATORS_H_

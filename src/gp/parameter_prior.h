@@ -1,0 +1,38 @@
+#ifndef GMR_GP_PARAMETER_PRIOR_H_
+#define GMR_GP_PARAMETER_PRIOR_H_
+
+#include <string>
+#include <vector>
+
+namespace gmr::gp {
+
+/// Prior knowledge about one constant model parameter (paper Table III):
+/// the expected value and the exploration bounds. Parameter values are
+/// assumed to follow a truncated Gaussian centered on the expected value;
+/// Gaussian mutation samples from it and clamps to [lo, hi].
+struct ParameterPrior {
+  std::string name;
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+
+  /// Initial mutation standard deviation: 1/4 of the parameter mean
+  /// ("as that covers the range of most observable parameter values"),
+  /// falling back to 1/8 of the exploration range for zero means.
+  double InitialSigma() const {
+    const double from_mean = mean < 0 ? -mean / 4.0 : mean / 4.0;
+    const double from_range = (hi - lo) / 8.0;
+    return from_mean > 0.0 ? from_mean : from_range;
+  }
+};
+
+using ParameterPriors = std::vector<ParameterPrior>;
+
+/// The vector of prior means — the initial parameter values of every
+/// individual ("in the beginning, parameters are set to the expected
+/// value").
+std::vector<double> PriorMeans(const ParameterPriors& priors);
+
+}  // namespace gmr::gp
+
+#endif  // GMR_GP_PARAMETER_PRIOR_H_

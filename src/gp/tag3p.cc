@@ -1,0 +1,214 @@
+#include "gp/tag3p.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace gmr::gp {
+
+Tag3pEngine::Tag3pEngine(const tag::Grammar* grammar,
+                         const SequentialFitness* fitness,
+                         ParameterPriors priors, Tag3pConfig config)
+    : grammar_(grammar),
+      priors_(std::move(priors)),
+      config_(config),
+      evaluator_(grammar, fitness, config.speedups),
+      rng_(config.seed) {
+  GMR_CHECK(grammar_ != nullptr);
+  GMR_CHECK_GT(config_.population_size, 0);
+  GMR_CHECK_GE(config_.elite_size, 0);
+  GMR_CHECK_LE(config_.elite_size, config_.population_size);
+  GMR_CHECK_GT(config_.tournament_size, 0);
+  GMR_CHECK_EQ(priors_.size(), fitness->num_parameters());
+}
+
+std::vector<Individual> Tag3pEngine::InitializePopulation() {
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(config_.population_size));
+  const std::vector<double> means = PriorMeans(priors_);
+  while (population.size() <
+         static_cast<std::size_t>(config_.population_size)) {
+    // "TAG3P selects an individual size between MINSIZE and MAXSIZE ...
+    // picks up beta-trees and their adjoining addresses at random, and
+    // performs adjoining."
+    const std::size_t target = static_cast<std::size_t>(rng_.UniformInt(
+        static_cast<int>(config_.bounds.min_size),
+        static_cast<int>(config_.bounds.max_size)));
+    Individual individual;
+    individual.genotype = tag::GrowRandom(
+        *grammar_, config_.seed_alpha_index, target, rng_);
+    // "In the beginning, parameters are set to the expected value."
+    individual.parameters = means;
+    population.push_back(std::move(individual));
+  }
+  return population;
+}
+
+const Individual& Tag3pEngine::TournamentSelect(
+    const std::vector<Individual>& population) {
+  const Individual* best = nullptr;
+  for (int i = 0; i < config_.tournament_size; ++i) {
+    const Individual& candidate =
+        population[rng_.PickIndex(population)];
+    if (best == nullptr || candidate.fitness < best->fitness) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+double Tag3pEngine::SigmaScale(int generation) const {
+  const int k = config_.sigma_rampdown_generations;
+  const int start = config_.max_generations - k;
+  if (k <= 0 || generation < start) return 1.0;
+  const double progress = static_cast<double>(generation - start) /
+                          static_cast<double>(std::max(k, 1));
+  return 1.0 + (config_.sigma_final_scale - 1.0) * progress;
+}
+
+void Tag3pEngine::LocalSearch(Individual* individual) {
+  // Stochastic hill climbing: insertion/deletion (and optionally a
+  // single-parameter tweak) with equal probability, "adopting the change if
+  // it improves the fitness" (Section III-D).
+  const int num_moves = config_.local_search_parameter_tweak ? 4 : 2;
+  for (int step = 0; step < config_.local_search_steps; ++step) {
+    Individual candidate = individual->Clone();
+    bool applied = false;
+    switch (rng_.UniformInt(0, num_moves - 1)) {
+      case 0:
+        applied =
+            PointInsertion(*grammar_, config_.bounds, &candidate, rng_);
+        break;
+      case 1:
+        applied = PointDeletion(config_.bounds, &candidate, rng_);
+        break;
+      case 2:
+        applied = LexemeTweak(&candidate, rng_);
+        break;
+      default:
+        applied = priors_.empty() ? LexemeTweak(&candidate, rng_)
+                                  : ParameterTweak(priors_, &candidate, rng_);
+        break;
+    }
+    if (!applied) continue;
+    evaluator_.Evaluate(&candidate);
+    if (candidate.fitness < individual->fitness) {
+      *individual = std::move(candidate);
+    }
+  }
+}
+
+Tag3pResult Tag3pEngine::Run() {
+  Tag3pResult result;
+  std::vector<Individual> population = InitializePopulation();
+  for (Individual& individual : population) {
+    evaluator_.Evaluate(&individual);
+  }
+
+  for (int generation = 0; generation < config_.max_generations;
+       ++generation) {
+    Timer gen_timer;
+    const double sigma_scale = SigmaScale(generation);
+
+    // Sort ascending by fitness so elites are at the front.
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness < b.fitness;
+              });
+
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (int e = 0; e < config_.elite_size; ++e) {
+      next.push_back(population[static_cast<std::size_t>(e)].Clone());
+    }
+
+    while (next.size() < population.size()) {
+      const double dice = rng_.Uniform();
+      if (dice < config_.p_crossover && population.size() >= 2) {
+        Individual a = TournamentSelect(population).Clone();
+        Individual b = TournamentSelect(population).Clone();
+        if (Crossover(*grammar_, config_.bounds, config_.crossover_retries,
+                      &a, &b, rng_)) {
+          evaluator_.Evaluate(&a);
+          evaluator_.Evaluate(&b);
+          LocalSearch(&a);
+          LocalSearch(&b);
+        }
+        next.push_back(std::move(a));
+        if (next.size() < population.size()) next.push_back(std::move(b));
+      } else if (dice < config_.p_crossover + config_.p_subtree_mutation) {
+        Individual child = TournamentSelect(population).Clone();
+        if (SubtreeMutation(*grammar_, config_.bounds, &child, rng_)) {
+          evaluator_.Evaluate(&child);
+          LocalSearch(&child);
+        }
+        next.push_back(std::move(child));
+      } else if (dice < config_.p_crossover + config_.p_subtree_mutation +
+                            config_.p_gaussian_mutation) {
+        Individual child = TournamentSelect(population).Clone();
+        GaussianMutation(priors_, sigma_scale, &child, rng_);
+        evaluator_.Evaluate(&child);
+        LocalSearch(&child);
+        next.push_back(std::move(child));
+      } else {
+        // Replication.
+        next.push_back(TournamentSelect(population).Clone());
+      }
+    }
+    population = std::move(next);
+
+    // Any individual left unevaluated (e.g. failed operator application)
+    // still carries its parent's fitness except fresh failures; evaluate
+    // defensively.
+    for (Individual& individual : population) {
+      if (!individual.IsEvaluated()) evaluator_.Evaluate(&individual);
+    }
+
+    // Memetic elite polish: fine-tune the constants of the generation's
+    // best individual by hill climbing (see Tag3pConfig::elite_polish_steps).
+    if (config_.elite_polish_steps > 0) {
+      Individual* incumbent = &population.front();
+      for (Individual& individual : population) {
+        if (individual.fitness < incumbent->fitness) incumbent = &individual;
+      }
+      for (int step = 0; step < config_.elite_polish_steps; ++step) {
+        Individual candidate = incumbent->Clone();
+        const bool tweak_lexeme = priors_.empty() || rng_.Bernoulli(0.5);
+        const bool applied = tweak_lexeme
+                                 ? LexemeTweak(&candidate, rng_)
+                                 : ParameterTweak(priors_, &candidate, rng_);
+        if (!applied) continue;
+        evaluator_.Evaluate(&candidate);
+        if (candidate.fitness < incumbent->fitness) {
+          *incumbent = std::move(candidate);
+        }
+      }
+    }
+
+    GenerationStats stats;
+    stats.generation = generation;
+    const Individual* best = &population.front();
+    double sum = 0.0;
+    for (const Individual& individual : population) {
+      sum += individual.fitness;
+      if (individual.fitness < best->fitness) best = &individual;
+    }
+    stats.best_fitness = best->fitness;
+    stats.mean_fitness = sum / static_cast<double>(population.size());
+    stats.best_size = static_cast<double>(best->Size());
+    stats.seconds = gen_timer.ElapsedSeconds();
+    result.history.push_back(stats);
+    if (generation_callback_) generation_callback_(stats);
+  }
+
+  std::sort(population.begin(), population.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.fitness < b.fitness;
+            });
+  result.best = population.front().Clone();
+  result.eval_stats = evaluator_.stats();
+  return result;
+}
+
+}  // namespace gmr::gp

@@ -1,0 +1,116 @@
+#ifndef GMR_GP_TAG3P_H_
+#define GMR_GP_TAG3P_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "gp/evaluator.h"
+#include "gp/fitness.h"
+#include "gp/individual.h"
+#include "gp/operators.h"
+#include "gp/parameter_prior.h"
+#include "tag/grammar.h"
+
+namespace gmr::gp {
+
+/// Configuration of the TAG3P search (paper Appendix B defaults).
+struct Tag3pConfig {
+  int population_size = 200;
+  int max_generations = 100;
+  int elite_size = 2;
+  int tournament_size = 5;
+  SizeBounds bounds{2, 50};
+
+  /// Operator probabilities; replication takes the remainder.
+  double p_crossover = 0.3;
+  double p_subtree_mutation = 0.3;
+  double p_gaussian_mutation = 0.3;
+
+  int crossover_retries = 5;
+
+  /// Stochastic hill-climbing local search steps applied to each offspring
+  /// produced by crossover/mutation (0 disables local search).
+  int local_search_steps = 5;
+
+  /// Includes the single-parameter and single-lexeme tweak moves in local
+  /// search alongside insertion/deletion (see ParameterTweak/LexemeTweak in
+  /// operators.h — extensions over the paper's local search).
+  bool local_search_parameter_tweak = true;
+
+  /// Memetic elite polish (extension, see DESIGN.md): hill-climbing steps
+  /// of parameter/lexeme tweaks applied to the generation's best individual
+  /// after reproduction. This gives a lineage that discovered the right
+  /// structure a fast lane for tuning its constants instead of waiting for
+  /// Gaussian drift. 0 disables.
+  int elite_polish_steps = 25;
+
+  /// Gaussian-mutation sigma "ramped down linearly in the final k
+  /// generations".
+  int sigma_rampdown_generations = 20;
+  double sigma_final_scale = 0.1;
+
+  /// Index of the seed alpha tree the population is grown from.
+  int seed_alpha_index = 0;
+
+  SpeedupConfig speedups;
+  std::uint64_t seed = 1;
+};
+
+/// Per-generation search telemetry.
+struct GenerationStats {
+  int generation = 0;
+  double best_fitness = 0.0;
+  double mean_fitness = 0.0;
+  double best_size = 0.0;
+  double seconds = 0.0;
+};
+
+/// Search outcome.
+struct Tag3pResult {
+  Individual best;
+  std::vector<GenerationStats> history;
+  EvalStats eval_stats;
+};
+
+/// The TAG3P engine (Figure 5): evolves a population of derivation trees
+/// with tournament selection, elitism, the four genetic operators, and
+/// optional hill-climbing local search, under the three speedup techniques.
+/// The engine is domain-agnostic — the problem enters via the grammar
+/// (plausible processes & revisions), the parameter priors, and the
+/// sequential fitness.
+class Tag3pEngine {
+ public:
+  Tag3pEngine(const tag::Grammar* grammar, const SequentialFitness* fitness,
+              ParameterPriors priors, Tag3pConfig config);
+
+  /// Runs the full loop and returns the best individual found.
+  Tag3pResult Run();
+
+  /// Optional per-generation observer (e.g. for progress printing).
+  using GenerationCallback = std::function<void(const GenerationStats&)>;
+  void set_generation_callback(GenerationCallback callback) {
+    generation_callback_ = std::move(callback);
+  }
+
+  /// The evaluator, exposing cache/short-circuit statistics.
+  const FitnessEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  std::vector<Individual> InitializePopulation();
+  const Individual& TournamentSelect(const std::vector<Individual>& population);
+  void LocalSearch(Individual* individual);
+  double SigmaScale(int generation) const;
+
+  const tag::Grammar* grammar_;
+  ParameterPriors priors_;
+  Tag3pConfig config_;
+  FitnessEvaluator evaluator_;
+  Rng rng_;
+  GenerationCallback generation_callback_;
+};
+
+}  // namespace gmr::gp
+
+#endif  // GMR_GP_TAG3P_H_

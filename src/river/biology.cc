@@ -1,0 +1,102 @@
+#include "river/biology.h"
+
+#include "river/parameters.h"
+#include "river/variables.h"
+
+namespace gmr::river {
+
+namespace e = gmr::expr;
+
+e::ExprPtr Var(int variable_slot) {
+  return e::Variable(variable_slot, VariableName(variable_slot));
+}
+
+e::ExprPtr Param(int parameter_slot) {
+  return e::Parameter(parameter_slot, ParameterName(parameter_slot));
+}
+
+e::ExprPtr LambdaPhy() {
+  // (B_Phy - C_Fmin) / (C_FS + B_Phy - C_Fmin)
+  e::ExprPtr food = e::Sub(Var(kBPhy), Param(kCFmin));
+  return e::Div(food, e::Add(Param(kCFS), food));
+}
+
+e::ExprPtr LightResponse() {
+  // (V_eff / C_BL) * exp(1 - V_eff / C_BL) with the self-shaded effective
+  // light V_eff = V_lgt * exp(-C_SH * B_Phy).
+  e::ExprPtr effective_light =
+      e::Mul(Var(kVlgt), e::Exp(e::Neg(e::Mul(Param(kCSH), Var(kBPhy)))));
+  e::ExprPtr ratio = e::Div(effective_light, Param(kCBL));
+  return e::Mul(ratio, e::Exp(e::Sub(e::Constant(1.0), ratio)));
+}
+
+namespace {
+
+e::ExprPtr MichaelisMenten(int nutrient_slot, int half_saturation_slot) {
+  return e::Div(Var(nutrient_slot),
+                e::Add(Param(half_saturation_slot), Var(nutrient_slot)));
+}
+
+e::ExprPtr GaussianTemperature(int optimum_slot) {
+  // exp(-C_PT * (V_tmp - optimum)^2)
+  e::ExprPtr delta = e::Sub(Var(kVtmp), Param(optimum_slot));
+  return e::Exp(e::Neg(e::Mul(Param(kCPT), e::Mul(delta, delta))));
+}
+
+}  // namespace
+
+e::ExprPtr NutrientLimitation() {
+  return e::Min(MichaelisMenten(kVn, kCN),
+                e::Min(MichaelisMenten(kVp, kCP),
+                       MichaelisMenten(kVsi, kCSI)));
+}
+
+e::ExprPtr TemperatureResponse() {
+  return e::Max(GaussianTemperature(kCBTP1), GaussianTemperature(kCBTP2));
+}
+
+e::ExprPtr MuPhy() {
+  return e::Mul(
+      Param(kCUA),
+      e::Mul(LightResponse(),
+             e::Mul(NutrientLimitation(), TemperatureResponse())));
+}
+
+e::ExprPtr GammaPhy() { return Param(kCBRA); }
+
+e::ExprPtr Phi() { return e::Mul(Param(kCMFR), LambdaPhy()); }
+
+e::ExprPtr PhytoplanktonDerivative() {
+  return e::Sub(e::Mul(Var(kBPhy), e::Sub(MuPhy(), GammaPhy())),
+                e::Mul(Var(kBZoo), Phi()));
+}
+
+e::ExprPtr MuZoo() { return e::Mul(Param(kCUZ), LambdaPhy()); }
+
+e::ExprPtr GammaZoo() {
+  return e::Add(Param(kCBRZ), e::Mul(Param(kCBMT), Phi()));
+}
+
+e::ExprPtr DeltaZoo() { return Param(kCDZ); }
+
+e::ExprPtr ZooplanktonDerivative() {
+  return e::Mul(Var(kBZoo),
+                e::Sub(MuZoo(), e::Add(GammaZoo(), DeltaZoo())));
+}
+
+std::vector<e::ExprPtr> ManualProcess() {
+  return {PhytoplanktonDerivative(), ZooplanktonDerivative()};
+}
+
+expr::SymbolTable RiverSymbols() {
+  expr::SymbolTable symbols;
+  for (int slot = 0; slot < kNumVariables; ++slot) {
+    symbols.variables[VariableName(slot)] = slot;
+  }
+  for (int slot = 0; slot < kNumParameters; ++slot) {
+    symbols.parameters[ParameterName(slot)] = slot;
+  }
+  return symbols;
+}
+
+}  // namespace gmr::river

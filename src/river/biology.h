@@ -1,0 +1,73 @@
+#ifndef GMR_RIVER_BIOLOGY_H_
+#define GMR_RIVER_BIOLOGY_H_
+
+#include <vector>
+
+#include "expr/ast.h"
+#include "expr/parser.h"
+
+namespace gmr::river {
+
+/// Builders for the expert ("MANUAL") biological process of paper
+/// Eqs. (1)-(2): the coupled phytoplankton/zooplankton dynamics designed
+/// with a freshwater ecologist. Each function returns the expression over
+/// the variable slots of variables.h and the parameter slots of
+/// parameters.h. These sub-expressions are reused verbatim by the GMR seed
+/// alpha tree (Eqs. (5)-(6)) so that knowledge enters the search exactly as
+/// the paper describes.
+
+/// Leaf helpers bound to the river slot layout.
+expr::ExprPtr Var(int variable_slot);
+expr::ExprPtr Param(int parameter_slot);
+
+/// lambda_Phy = (B_Phy - C_Fmin) / (C_FS + B_Phy - C_Fmin); zooplankton food
+/// saturation.
+expr::ExprPtr LambdaPhy();
+
+/// f(V_lgt) = (V_eff / C_BL) * e^(1 - V_eff / C_BL), a Steele light
+/// response over the self-shaded effective light
+/// V_eff = V_lgt * e^(-C_SH * B_Phy) (see parameters.h on C_SH).
+expr::ExprPtr LightResponse();
+
+/// g(V_n, V_p, V_si) = min of the three Michaelis-Menten nutrient
+/// limitations (Liebig's law of the minimum).
+expr::ExprPtr NutrientLimitation();
+
+/// h(V_tmp) = max of the two Gaussian temperature responses around the
+/// cyanobacteria (C_BTP1) and diatom (C_BTP2) optima.
+expr::ExprPtr TemperatureResponse();
+
+/// mu_Phy = C_UA * f * g * h; photosynthetic productivity.
+expr::ExprPtr MuPhy();
+
+/// gamma_Phy = C_BRA; metabolic degradation.
+expr::ExprPtr GammaPhy();
+
+/// phi = C_MFR * lambda_Phy; grazing pressure of zooplankton.
+expr::ExprPtr Phi();
+
+/// dB_Phy/dt = B_Phy * (mu_Phy - gamma_Phy) - B_Zoo * phi.
+expr::ExprPtr PhytoplanktonDerivative();
+
+/// mu_Zoo = C_UZ * lambda_Phy; zooplankton growth.
+expr::ExprPtr MuZoo();
+
+/// gamma_Zoo = C_BRZ + C_BMT * phi; zooplankton respiration.
+expr::ExprPtr GammaZoo();
+
+/// delta_Zoo = C_DZ; zooplankton death.
+expr::ExprPtr DeltaZoo();
+
+/// dB_Zoo/dt = B_Zoo * (mu_Zoo - gamma_Zoo - delta_Zoo).
+expr::ExprPtr ZooplanktonDerivative();
+
+/// The full MANUAL process: {dB_Phy/dt, dB_Zoo/dt}.
+std::vector<expr::ExprPtr> ManualProcess();
+
+/// Symbol table binding the river variable/parameter names for the parser
+/// (used by tests and examples to write process equations as text).
+expr::SymbolTable RiverSymbols();
+
+}  // namespace gmr::river
+
+#endif  // GMR_RIVER_BIOLOGY_H_

@@ -1,0 +1,49 @@
+#include "river/dataset.h"
+
+#include "common/check.h"
+#include "river/variables.h"
+
+namespace gmr::river {
+
+CsvTable RiverDataset::ToCsv() const {
+  CsvTable table;
+  table.column_names.push_back("day");
+  for (int slot : ObservedVariableSlots()) {
+    table.column_names.push_back(VariableName(slot));
+  }
+  table.column_names.push_back("chla_observed");
+  for (std::size_t t = 0; t < num_days; ++t) {
+    std::vector<double> row;
+    row.push_back(static_cast<double>(t));
+    for (int slot : ObservedVariableSlots()) {
+      row.push_back(drivers[static_cast<std::size_t>(slot)][t]);
+    }
+    row.push_back(observed_bphy[t]);
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+bool RiverDataset::FromCsv(const CsvTable& table, std::size_t train_end,
+                           RiverDataset* dataset) {
+  dataset->num_days = table.rows.size();
+  if (dataset->num_days == 0) return false;
+  dataset->drivers.assign(kNumVariables, {});
+  for (int slot : ObservedVariableSlots()) {
+    const int col = table.ColumnIndex(VariableName(slot));
+    if (col < 0) return false;
+    dataset->drivers[static_cast<std::size_t>(slot)] =
+        table.Column(VariableName(slot));
+  }
+  if (table.ColumnIndex("chla_observed") < 0) return false;
+  dataset->observed_bphy = table.Column("chla_observed");
+  if (train_end == 0 || train_end >= dataset->num_days) return false;
+  dataset->train_end = train_end;
+  dataset->initial_bphy = dataset->observed_bphy.front();
+  dataset->test_initial_bphy = dataset->observed_bphy[train_end];
+  dataset->initial_bzoo = 1.0;
+  dataset->test_initial_bzoo = 1.0;
+  return true;
+}
+
+}  // namespace gmr::river

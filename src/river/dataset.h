@@ -1,0 +1,62 @@
+#ifndef GMR_RIVER_DATASET_H_
+#define GMR_RIVER_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace gmr::river {
+
+/// The modeling dataset after preprocessing (Section IV-A): daily series of
+/// every temporal variable at the forecast station (already routed through
+/// the hydrological process), the observed algal biomass there, and the
+/// train/test split.
+struct RiverDataset {
+  std::size_t num_days = 0;
+
+  /// drivers[slot][t] for the observed variable slots of variables.h
+  /// (kVlgt..kVsd); the state slots kBPhy/kBZoo have empty series.
+  std::vector<std::vector<double>> drivers;
+
+  /// Observed chlorophyll-a (phytoplankton biomass proxy) at the target
+  /// station, daily after linear interpolation of the weekly samples.
+  std::vector<double> observed_bphy;
+
+  /// Days on which chlorophyll-a was actually measured (before
+  /// interpolation).
+  std::vector<std::size_t> bphy_sample_days;
+
+  /// Per-station routed driver series for the data-driven "-ALL" baselines
+  /// (RNN-ALL / ARIMAX-ALL): station_drivers[s][k][t], where k indexes
+  /// ObservedVariableSlots() order and s indexes station_names. Empty when
+  /// only sink data was loaded.
+  std::vector<std::string> station_names;
+  std::vector<std::vector<std::vector<double>>> station_drivers;
+
+  /// First day of the test period: [0, train_end) trains, the rest tests
+  /// (paper: 1996-2005 train, 2006-2008 test).
+  std::size_t train_end = 0;
+
+  /// Initial state for simulations starting at day 0 (train) and at
+  /// train_end (test).
+  double initial_bphy = 5.0;
+  double initial_bzoo = 1.0;
+  double test_initial_bphy = 5.0;
+  double test_initial_bzoo = 1.0;
+
+  std::size_t NumTestDays() const { return num_days - train_end; }
+
+  /// Exports the sink drivers + observation as a CSV table.
+  CsvTable ToCsv() const;
+
+  /// Rebuilds a dataset from ToCsv output (split metadata passed
+  /// separately). Returns false on schema mismatch.
+  static bool FromCsv(const CsvTable& table, std::size_t train_end,
+                      RiverDataset* dataset);
+};
+
+}  // namespace gmr::river
+
+#endif  // GMR_RIVER_DATASET_H_

@@ -1,0 +1,220 @@
+#include "river/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gmr::river {
+
+int RiverNetwork::AddStation(const std::string& name, bool is_virtual) {
+  stations_.push_back(Station{name, is_virtual});
+  return static_cast<int>(stations_.size()) - 1;
+}
+
+void RiverNetwork::AddReach(int from, int to, int travel_days,
+                            double retention) {
+  GMR_CHECK_GE(from, 0);
+  GMR_CHECK_LT(static_cast<std::size_t>(from), stations_.size());
+  GMR_CHECK_GE(to, 0);
+  GMR_CHECK_LT(static_cast<std::size_t>(to), stations_.size());
+  GMR_CHECK_NE(from, to);
+  GMR_CHECK_GE(travel_days, 0);
+  GMR_CHECK_GE(retention, 0.0);
+  GMR_CHECK_LT(retention, 1.0);
+  reaches_.push_back(Reach{from, to, travel_days, retention});
+}
+
+const Station& RiverNetwork::station(int id) const {
+  GMR_CHECK_GE(id, 0);
+  GMR_CHECK_LT(static_cast<std::size_t>(id), stations_.size());
+  return stations_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> RiverNetwork::InboundReaches(int station_id) const {
+  std::vector<int> inbound;
+  for (std::size_t i = 0; i < reaches_.size(); ++i) {
+    if (reaches_[i].to == station_id) inbound.push_back(static_cast<int>(i));
+  }
+  return inbound;
+}
+
+int RiverNetwork::Sink() const {
+  int sink = -1;
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    bool has_outbound = false;
+    for (const Reach& reach : reaches_) {
+      if (reach.from == static_cast<int>(s)) {
+        has_outbound = true;
+        break;
+      }
+    }
+    if (!has_outbound) {
+      GMR_CHECK_MSG(sink == -1, "network has multiple sinks");
+      sink = static_cast<int>(s);
+    }
+  }
+  GMR_CHECK_MSG(sink != -1, "network has no sink");
+  return sink;
+}
+
+std::vector<int> RiverNetwork::TopologicalOrder() const {
+  std::vector<int> in_degree(stations_.size(), 0);
+  for (const Reach& reach : reaches_) ++in_degree[static_cast<size_t>(reach.to)];
+  std::vector<int> frontier;
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    if (in_degree[s] == 0) frontier.push_back(static_cast<int>(s));
+  }
+  std::vector<int> order;
+  while (!frontier.empty()) {
+    const int station = frontier.back();
+    frontier.pop_back();
+    order.push_back(station);
+    for (const Reach& reach : reaches_) {
+      if (reach.from != station) continue;
+      if (--in_degree[static_cast<std::size_t>(reach.to)] == 0) {
+        frontier.push_back(reach.to);
+      }
+    }
+  }
+  GMR_CHECK_MSG(order.size() == stations_.size(), "network has a cycle");
+  return order;
+}
+
+int RiverNetwork::FindStation(const std::string& name) const {
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    if (stations_[s].name == name) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+RiverNetwork RiverNetwork::Nakdong() {
+  RiverNetwork network;
+  const int s1 = network.AddStation("S1");
+  const int s2 = network.AddStation("S2");
+  const int s3 = network.AddStation("S3");
+  const int s4 = network.AddStation("S4");
+  const int s5 = network.AddStation("S5");
+  const int s6 = network.AddStation("S6");
+  const int t1 = network.AddStation("T1");
+  const int t2 = network.AddStation("T2");
+  const int t3 = network.AddStation("T3");
+  const int vs_s6_t3 = network.AddStation("VS(S6*T3)", /*is_virtual=*/true);
+  const int vs_s4_t2 = network.AddStation("VS(S4*T2)", /*is_virtual=*/true);
+  const int vs_s3_t1 = network.AddStation("VS(S3*T1)", /*is_virtual=*/true);
+
+  // Travel times: inter-station distances of Figure 8 at ~30 km/day,
+  // rounded up to whole days; tributary joints are short (<= 7.1 km).
+  network.AddReach(s6, vs_s6_t3, /*travel_days=*/1, /*retention=*/0.3);
+  network.AddReach(t3, vs_s6_t3, 1, 0.3);
+  network.AddReach(vs_s6_t3, s5, 1, 0.2);    // remainder of S6-S5: 27.5 km
+  network.AddReach(s5, s4, 2, 0.3);          // S5-S4: 42 km
+  network.AddReach(s4, vs_s4_t2, 1, 0.3);
+  network.AddReach(t2, vs_s4_t2, 1, 0.3);    // T2 joint: 7.1 km
+  network.AddReach(vs_s4_t2, s3, 1, 0.2);    // remainder of S4-S3: 28.5 km
+  network.AddReach(s3, vs_s3_t1, 1, 0.3);
+  network.AddReach(t1, vs_s3_t1, 1, 0.3);    // T1 joint: 5.5 km
+  network.AddReach(vs_s3_t1, s2, 1, 0.2);    // remainder of S3-S2: 22.3 km
+  network.AddReach(s2, s1, 1, 0.3);          // S2-S1: 32.8 km
+  return network;
+}
+
+HydrologicalProcess::HydrologicalProcess(const RiverNetwork* network)
+    : network_(network) {
+  GMR_CHECK(network_ != nullptr);
+}
+
+HydrologicalProcess::Output HydrologicalProcess::Route(
+    const Input& input) const {
+  const std::size_t num_stations = network_->num_stations();
+  GMR_CHECK_EQ(input.rainfall.size(), num_stations);
+  GMR_CHECK_EQ(input.attributes.size(), num_stations);
+  GMR_CHECK_EQ(input.base_flow.size(), num_stations);
+
+  // All non-empty series must agree on length; attribute counts must agree
+  // across stations that have local measurements.
+  std::size_t num_days = 0;
+  std::size_t num_attributes = 0;
+  for (std::size_t s = 0; s < num_stations; ++s) {
+    if (!input.rainfall[s].empty()) num_days = input.rainfall[s].size();
+    if (!input.attributes[s].empty()) {
+      num_attributes = input.attributes[s].size();
+    }
+  }
+  GMR_CHECK_GT(num_days, 0u);
+  GMR_CHECK_GT(num_attributes, 0u);
+
+  Output out;
+  out.flow.assign(num_stations, std::vector<double>(num_days, 0.0));
+  out.attributes.assign(
+      num_stations,
+      std::vector<std::vector<double>>(num_attributes,
+                                       std::vector<double>(num_days, 0.0)));
+
+  const std::vector<int> order = network_->TopologicalOrder();
+
+  // Per-station retention: r_B is taken from the station's inbound... the
+  // retained fraction belongs to the downstream station of each reach; for
+  // stations with no inbound reach use a default.
+  std::vector<double> retention(num_stations, 0.3);
+  for (const Reach& reach : network_->reaches()) {
+    retention[static_cast<std::size_t>(reach.to)] = reach.retention;
+  }
+
+  for (int station : order) {
+    const auto s = static_cast<std::size_t>(station);
+    const std::vector<int> inbound = network_->InboundReaches(station);
+    const bool has_local = !input.attributes[s].empty();
+    const double r_b = retention[s];
+
+    for (std::size_t t = 0; t < num_days; ++t) {
+      // R_B of Eq. (9): local inflow = rainfall runoff plus a steady base
+      // inflow (groundwater and unmodeled headwater), both carrying the
+      // local catchment's attribute signature.
+      const double rain =
+          input.rainfall[s].empty() ? 0.0 : input.rainfall[s][t];
+      const double local_inflow = rain + input.base_flow[s];
+      double flow = local_inflow;
+      if (t > 0) flow += r_b * out.flow[s][t - 1];
+
+      // Mass-weighted attribute accumulation.
+      std::vector<double> mass(num_attributes, 0.0);
+      if (t > 0) {
+        for (std::size_t k = 0; k < num_attributes; ++k) {
+          mass[k] = r_b * out.flow[s][t - 1] * out.attributes[s][k][t - 1];
+        }
+      }
+      if (has_local && local_inflow > 0.0) {
+        for (std::size_t k = 0; k < num_attributes; ++k) {
+          mass[k] += local_inflow * input.attributes[s][k][t];
+        }
+      }
+      for (int reach_id : inbound) {
+        const Reach& reach =
+            network_->reaches()[static_cast<std::size_t>(reach_id)];
+        const auto a = static_cast<std::size_t>(reach.from);
+        const std::size_t lag = static_cast<std::size_t>(reach.travel_days);
+        const std::size_t tau = t >= lag ? t - lag : 0;
+        const double r_a = retention[a];
+        const double inflow = (1.0 - r_a) * out.flow[a][tau];
+        flow += inflow;
+        for (std::size_t k = 0; k < num_attributes; ++k) {
+          mass[k] += inflow * out.attributes[a][k][tau];
+        }
+      }
+
+      out.flow[s][t] = flow;
+      if (flow > 1e-12) {
+        for (std::size_t k = 0; k < num_attributes; ++k) {
+          out.attributes[s][k][t] = mass[k] / flow;
+        }
+      } else if (has_local) {
+        for (std::size_t k = 0; k < num_attributes; ++k) {
+          out.attributes[s][k][t] = input.attributes[s][k][t];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gmr::river

@@ -1,0 +1,56 @@
+#include "river/parameters.h"
+
+#include "common/check.h"
+
+namespace gmr::river {
+
+const char* ParameterName(int slot) {
+  switch (slot) {
+    case kCUA: return "C_UA";
+    case kCUZ: return "C_UZ";
+    case kCBRA: return "C_BRA";
+    case kCBRZ: return "C_BRZ";
+    case kCMFR: return "C_MFR";
+    case kCDZ: return "C_DZ";
+    case kCFS: return "C_FS";
+    case kCBTP1: return "C_BTP1";
+    case kCBTP2: return "C_BTP2";
+    case kCFmin: return "C_Fmin";
+    case kCBL: return "C_BL";
+    case kCN: return "C_N";
+    case kCP: return "C_P";
+    case kCSI: return "C_SI";
+    case kCBMT: return "C_BMT";
+    case kCPT: return "C_PT";
+    case kCSH: return "C_SH";
+    default:
+      GMR_CHECK_MSG(false, "bad parameter slot");
+      return "?";
+  }
+}
+
+gp::ParameterPriors RiverParameterPriors() {
+  // Values transcribed from paper Table III. C_BL's listed bounds (24, 30)
+  // bracket the mean 26.78.
+  gp::ParameterPriors priors(kNumParameters);
+  priors[kCUA] = {"C_UA", 1.89, 0.1, 4.0};
+  priors[kCUZ] = {"C_UZ", 0.15, 0.0, 0.3};
+  priors[kCBRA] = {"C_BRA", 0.021, 0.0, 0.17};
+  priors[kCBRZ] = {"C_BRZ", 0.05, 0.0, 0.2};
+  priors[kCMFR] = {"C_MFR", 0.19, 0.01, 0.8};
+  priors[kCDZ] = {"C_DZ", 0.04, 0.01, 0.1};
+  priors[kCFS] = {"C_FS", 5.0, 4.0, 6.0};
+  priors[kCBTP1] = {"C_BTP1", 27.0, 20.0, 34.0};
+  priors[kCBTP2] = {"C_BTP2", 5.0, 1.0, 20.0};
+  priors[kCFmin] = {"C_Fmin", 1.0, 0.1, 1.9};
+  priors[kCBL] = {"C_BL", 26.78, 24.0, 30.0};
+  priors[kCN] = {"C_N", 0.0351, 0.02, 0.05};
+  priors[kCP] = {"C_P", 0.00167, 0.001, 0.02};
+  priors[kCSI] = {"C_SI", 0.00467, 0.001, 0.2};
+  priors[kCBMT] = {"C_BMT", 0.04, 0.01, 0.07};
+  priors[kCPT] = {"C_PT", 0.005, 0.003, 0.2};
+  priors[kCSH] = {"C_SH", 0.006, 0.001, 0.03};
+  return priors;
+}
+
+}  // namespace gmr::river

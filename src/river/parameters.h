@@ -1,0 +1,44 @@
+#ifndef GMR_RIVER_PARAMETERS_H_
+#define GMR_RIVER_PARAMETERS_H_
+
+#include "gp/parameter_prior.h"
+
+namespace gmr::river {
+
+/// Slot layout of the constant parameters of the biological process
+/// (paper Table III, in table order).
+enum ParameterSlot : int {
+  kCUA = 0,    ///< Max growth rate of phytoplankton [1/day].
+  kCUZ = 1,    ///< Max growth rate of zooplankton [1/day].
+  kCBRA = 2,   ///< Breath (respiration) rate of phytoplankton [1/day].
+  kCBRZ = 3,   ///< Breath rate of zooplankton [1/day].
+  kCMFR = 4,   ///< Maximum feeding rate [1/day].
+  kCDZ = 5,    ///< Death rate of zooplankton [1/day].
+  kCFS = 6,    ///< Half-saturation constant of food [ug/L].
+  kCBTP1 = 7,  ///< Blue-green (cyanobacteria) optimal temperature [C].
+  kCBTP2 = 8,  ///< Diatom optimal temperature [C].
+  kCFmin = 9,  ///< Minimum food concentration [ug/L].
+  kCBL = 10,   ///< Best light for phytoplankton [MJ/m^2/day].
+  kCN = 11,    ///< Half-saturation constant of nitrogen [mg/L].
+  kCP = 12,    ///< Half-saturation constant of phosphorus [mg/L].
+  kCSI = 13,   ///< Half-saturation constant of silica [mg/L].
+  kCBMT = 14,  ///< Breath multiplier on grazing.
+  kCPT = 15,   ///< Temperature coefficient for phytoplankton growth [1/C^2].
+  kCSH = 16,   ///< Self-shading light-attenuation coefficient [L/ug].
+               ///< Deviation from Table III: standard limnological
+               ///< self-shading added so the model class contains a
+               ///< biomass-bounding mechanism (see DESIGN.md §4).
+  kNumParameters = 17,
+};
+
+/// Display name of each parameter slot ("C_UA", ...).
+const char* ParameterName(int slot);
+
+/// The expert priors of Table III: mean and exploration bounds per
+/// parameter, in slot order. These drive both Gaussian mutation in GMR and
+/// the box bounds of every model-calibration baseline.
+gp::ParameterPriors RiverParameterPriors();
+
+}  // namespace gmr::river
+
+#endif  // GMR_RIVER_PARAMETERS_H_

@@ -1,0 +1,227 @@
+#include "river/simulate.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "expr/eval.h"
+#include "river/parameters.h"
+#include "river/variables.h"
+
+namespace gmr::river {
+
+ProcessRunner::ProcessRunner(const std::vector<expr::ExprPtr>& equations,
+                             const std::vector<double>* parameters,
+                             bool compiled)
+    : equations_(equations), parameters_(parameters), compiled_(compiled) {
+  GMR_CHECK_EQ(equations_.size(), 2u);
+  GMR_CHECK(parameters_ != nullptr);
+  if (compiled_) {
+    programs_.reserve(equations_.size());
+    for (const auto& eq : equations_) programs_.push_back(expr::Compile(*eq));
+  }
+}
+
+void ProcessRunner::Derivatives(const double* variables,
+                                std::size_t num_variables, double* d_bphy,
+                                double* d_bzoo) const {
+  expr::EvalContext ctx;
+  ctx.variables = variables;
+  ctx.num_variables = num_variables;
+  ctx.parameters = parameters_->data();
+  ctx.num_parameters = parameters_->size();
+  if (compiled_) {
+    *d_bphy = programs_[0].Run(ctx);
+    *d_bzoo = programs_[1].Run(ctx);
+  } else {
+    *d_bphy = expr::EvalExpr(*equations_[0], ctx);
+    *d_bzoo = expr::EvalExpr(*equations_[1], ctx);
+  }
+}
+
+namespace {
+
+double ClampState(double value, const SimulationConfig& config) {
+  if (!std::isfinite(value)) return config.state_max;
+  if (value < config.state_min) return config.state_min;
+  if (value > config.state_max) return config.state_max;
+  return value;
+}
+
+/// Shared integration state for SimulateBPhy and RiverEvaluation.
+class Integrator {
+ public:
+  Integrator(const std::vector<expr::ExprPtr>& equations,
+             const std::vector<double>* parameters, bool compiled,
+             const RiverDataset* dataset, double initial_bphy,
+             double initial_bzoo, const SimulationConfig& config)
+      : runner_(equations, parameters, compiled),
+        dataset_(dataset),
+        config_(config),
+        bphy_(ClampState(initial_bphy, config)),
+        bzoo_(ClampState(initial_bzoo, config)) {}
+
+  /// Integrates one day using the drivers of day `t` and returns the
+  /// end-of-day B_Phy.
+  double AdvanceDay(std::size_t t) {
+    double variables[kNumVariables];
+    for (int slot = kVlgt; slot < kNumVariables; ++slot) {
+      variables[slot] = dataset_->drivers[static_cast<std::size_t>(slot)][t];
+    }
+    const double dt = 1.0 / static_cast<double>(config_.substeps);
+    for (int step = 0; step < config_.substeps; ++step) {
+      if (config_.method == IntegrationMethod::kRk4) {
+        Rk4Step(variables, dt);
+      } else {
+        EulerStep(variables, dt);
+      }
+    }
+    return bphy_;
+  }
+
+ private:
+  void EulerStep(double* variables, double dt) {
+    variables[kBPhy] = bphy_;
+    variables[kBZoo] = bzoo_;
+    double d_bphy = 0.0;
+    double d_bzoo = 0.0;
+    runner_.Derivatives(variables, kNumVariables, &d_bphy, &d_bzoo);
+    bphy_ = ClampState(bphy_ + dt * d_bphy, config_);
+    bzoo_ = ClampState(bzoo_ + dt * d_bzoo, config_);
+  }
+
+  void Rk4Step(double* variables, double dt) {
+    double k_bphy[4];
+    double k_bzoo[4];
+    const double offsets[4] = {0.0, 0.5, 0.5, 1.0};
+    for (int stage = 0; stage < 4; ++stage) {
+      const double o = offsets[stage];
+      variables[kBPhy] =
+          o == 0.0 ? bphy_ : bphy_ + o * dt * k_bphy[stage - 1];
+      variables[kBZoo] =
+          o == 0.0 ? bzoo_ : bzoo_ + o * dt * k_bzoo[stage - 1];
+      runner_.Derivatives(variables, kNumVariables, &k_bphy[stage],
+                          &k_bzoo[stage]);
+    }
+    bphy_ = ClampState(
+        bphy_ + dt / 6.0 *
+                    (k_bphy[0] + 2.0 * k_bphy[1] + 2.0 * k_bphy[2] +
+                     k_bphy[3]),
+        config_);
+    bzoo_ = ClampState(
+        bzoo_ + dt / 6.0 *
+                    (k_bzoo[0] + 2.0 * k_bzoo[1] + 2.0 * k_bzoo[2] +
+                     k_bzoo[3]),
+        config_);
+  }
+
+  ProcessRunner runner_;
+  const RiverDataset* dataset_;
+  SimulationConfig config_;
+  double bphy_;
+  double bzoo_;
+};
+
+class RiverEvaluation : public gp::SequentialEvaluation {
+ public:
+  RiverEvaluation(const std::vector<expr::ExprPtr>& equations,
+                  const std::vector<double>& parameters, bool compiled,
+                  const RiverDataset* dataset, std::size_t t_begin,
+                  std::size_t t_end, double initial_bphy,
+                  double initial_bzoo, const SimulationConfig& config)
+      : parameters_(parameters),
+        integrator_(equations, &parameters_, compiled, dataset, initial_bphy,
+                    initial_bzoo, config),
+        dataset_(dataset),
+        t_(t_begin),
+        t_end_(t_end) {}
+
+  bool Step() override {
+    GMR_CHECK_LT(t_, t_end_);
+    const double predicted = integrator_.AdvanceDay(t_);
+    const double observed = dataset_->observed_bphy[t_];
+    const double error = predicted - observed;
+    sse_ += error * error;
+    ++steps_;
+    ++t_;
+    return t_ < t_end_;
+  }
+
+  double CurrentFitness() const override {
+    if (steps_ == 0) return 0.0;
+    return std::sqrt(sse_ / static_cast<double>(steps_));
+  }
+
+  std::size_t steps_taken() const override { return steps_; }
+
+ private:
+  // Owns a copy so the integrator's pointer stays valid for the lifetime of
+  // the evaluation regardless of caller storage.
+  std::vector<double> parameters_;
+  Integrator integrator_;
+  const RiverDataset* dataset_;
+  std::size_t t_;
+  std::size_t t_end_;
+  double sse_ = 0.0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace
+
+std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
+                                 const std::vector<double>& parameters,
+                                 const RiverDataset& dataset,
+                                 std::size_t t_begin, std::size_t t_end,
+                                 double initial_bphy, double initial_bzoo,
+                                 const SimulationConfig& config,
+                                 bool compiled) {
+  GMR_CHECK_LE(t_end, dataset.num_days);
+  GMR_CHECK_LE(t_begin, t_end);
+  Integrator integrator(equations, &parameters, compiled, &dataset,
+                        initial_bphy, initial_bzoo, config);
+  std::vector<double> predicted;
+  predicted.reserve(t_end - t_begin);
+  for (std::size_t t = t_begin; t < t_end; ++t) {
+    predicted.push_back(integrator.AdvanceDay(t));
+  }
+  return predicted;
+}
+
+RiverFitness::RiverFitness(const RiverDataset* dataset, std::size_t t_begin,
+                           std::size_t t_end, double initial_bphy,
+                           double initial_bzoo, SimulationConfig config)
+    : dataset_(dataset),
+      t_begin_(t_begin),
+      t_end_(t_end),
+      initial_bphy_(initial_bphy),
+      initial_bzoo_(initial_bzoo),
+      config_(config) {
+  GMR_CHECK(dataset_ != nullptr);
+  GMR_CHECK_LT(t_begin_, t_end_);
+  GMR_CHECK_LE(t_end_, dataset_->num_days);
+}
+
+RiverFitness RiverFitness::ForTraining(const RiverDataset* dataset,
+                                       SimulationConfig config) {
+  return RiverFitness(dataset, 0, dataset->train_end, dataset->initial_bphy,
+                      dataset->initial_bzoo, config);
+}
+
+RiverFitness RiverFitness::ForTest(const RiverDataset* dataset,
+                                   SimulationConfig config) {
+  return RiverFitness(dataset, dataset->train_end, dataset->num_days,
+                      dataset->test_initial_bphy, dataset->test_initial_bzoo,
+                      config);
+}
+
+std::size_t RiverFitness::num_parameters() const { return kNumParameters; }
+
+std::unique_ptr<gp::SequentialEvaluation> RiverFitness::Begin(
+    const std::vector<expr::ExprPtr>& equations,
+    const std::vector<double>& parameters,
+    bool use_compiled_backend) const {
+  return std::make_unique<RiverEvaluation>(
+      equations, parameters, use_compiled_backend, dataset_, t_begin_,
+      t_end_, initial_bphy_, initial_bzoo_, config_);
+}
+
+}  // namespace gmr::river

@@ -1,0 +1,103 @@
+#ifndef GMR_RIVER_SIMULATE_H_
+#define GMR_RIVER_SIMULATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "expr/ast.h"
+#include "expr/compile.h"
+#include "gp/fitness.h"
+#include "river/dataset.h"
+
+namespace gmr::river {
+
+/// Time-stepping scheme for the biological process.
+enum class IntegrationMethod {
+  kEuler,  ///< Forward Euler (the default; cheap and robust under clamping).
+  kRk4,    ///< Classic 4th-order Runge-Kutta (drivers held constant within
+           ///< the day, as the data is daily).
+};
+
+/// Numerical integration settings for the biological process.
+struct SimulationConfig {
+  IntegrationMethod method = IntegrationMethod::kEuler;
+  /// Substeps per day; >1 improves stability of fast grazing dynamics
+  /// without changing the daily fitness cases.
+  int substeps = 2;
+  /// Biomass clamp: keeps candidate processes (which may be wildly wrong
+  /// during search) from producing NaN/Inf cascades. Divergent candidates
+  /// hit the clamp and collect a large but finite error.
+  double state_min = 0.01;
+  double state_max = 1e4;
+};
+
+/// Evaluates the two process derivatives (dB_Phy/dt, dB_Zoo/dt) through
+/// either backend: interpreted tree walking or compiled bytecode
+/// ("runtime compilation").
+class ProcessRunner {
+ public:
+  ProcessRunner(const std::vector<expr::ExprPtr>& equations,
+                const std::vector<double>* parameters, bool compiled);
+
+  /// Computes both derivatives for the given variable vector (layout of
+  /// variables.h, parameters bound at construction).
+  void Derivatives(const double* variables, std::size_t num_variables,
+                   double* d_bphy, double* d_bzoo) const;
+
+ private:
+  std::vector<expr::ExprPtr> equations_;
+  const std::vector<double>* parameters_;
+  bool compiled_;
+  std::vector<expr::CompiledProgram> programs_;
+};
+
+/// Simulates the biological process over dataset days [t_begin, t_end),
+/// returning the predicted B_Phy series (one value per day).
+std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
+                                 const std::vector<double>& parameters,
+                                 const RiverDataset& dataset,
+                                 std::size_t t_begin, std::size_t t_end,
+                                 double initial_bphy, double initial_bzoo,
+                                 const SimulationConfig& config,
+                                 bool compiled);
+
+/// The river fitness problem: one fitness case per day; fitness is the
+/// running RMSE between simulated and observed B_Phy (the paper's fitness
+/// function). Supports both evaluation backends as required by
+/// gp::SequentialFitness.
+class RiverFitness : public gp::SequentialFitness {
+ public:
+  /// Evaluates days [t_begin, t_end) starting from the given initial state.
+  RiverFitness(const RiverDataset* dataset, std::size_t t_begin,
+               std::size_t t_end, double initial_bphy, double initial_bzoo,
+               SimulationConfig config = SimulationConfig{});
+
+  /// Convenience: the training-period fitness of `dataset`.
+  static RiverFitness ForTraining(const RiverDataset* dataset,
+                                  SimulationConfig config = {});
+  /// Convenience: the test-period fitness of `dataset`.
+  static RiverFitness ForTest(const RiverDataset* dataset,
+                              SimulationConfig config = {});
+
+  std::size_t num_cases() const override { return t_end_ - t_begin_; }
+  std::size_t num_parameters() const override;
+
+  std::unique_ptr<gp::SequentialEvaluation> Begin(
+      const std::vector<expr::ExprPtr>& equations,
+      const std::vector<double>& parameters,
+      bool use_compiled_backend) const override;
+
+  const RiverDataset& dataset() const { return *dataset_; }
+
+ private:
+  const RiverDataset* dataset_;
+  std::size_t t_begin_;
+  std::size_t t_end_;
+  double initial_bphy_;
+  double initial_bzoo_;
+  SimulationConfig config_;
+};
+
+}  // namespace gmr::river
+
+#endif  // GMR_RIVER_SIMULATE_H_

@@ -1,0 +1,383 @@
+#include "river/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "river/parameters.h"
+#include "river/variables.h"
+
+namespace gmr::river {
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// First-order autoregressive noise generator.
+class Ar1 {
+ public:
+  Ar1(double rho, double sigma) : rho_(rho), sigma_(sigma) {}
+  double Next(Rng& rng) {
+    state_ = rho_ * state_ + rng.Gaussian(0.0, sigma_);
+    return state_;
+  }
+
+ private:
+  double rho_;
+  double sigma_;
+  double state_ = 0.0;
+};
+
+/// Seasonal signal peaking in mid-summer (day ~196 of the year).
+double Season(std::size_t day) {
+  const double doy = static_cast<double>(day % kDaysPerYear);
+  return std::sin(2.0 * M_PI * (doy - 105.0) / kDaysPerYear);
+}
+
+/// Per-station personality: small offsets so stations differ.
+struct StationTraits {
+  double nutrient_scale = 1.0;
+  double pollution_scale = 1.0;  // conductivity/alkalinity baseline
+  double temp_offset = 0.0;
+  double base_flow = 20.0;
+  double runoff_factor = 1.0;
+};
+
+/// Truth process derivatives: the MANUAL structure plus (optionally) the
+/// hidden mechanisms, plus a self-shading light limitation that bounds
+/// blooms (a carrying-capacity mechanism outside the revision grammar —
+/// it degrades every method equally; see DESIGN.md).
+struct TruthModel {
+  bool hidden = true;
+  std::vector<double> p = TrueParameters();
+
+  void Derivatives(const double* v, double* d_bphy, double* d_bzoo) const {
+    const double bphy = v[kBPhy];
+    const double bzoo = v[kBZoo];
+
+    const double effective_light =
+        v[kVlgt] * std::exp(-p[kCSH] * bphy);  // self-shading
+    const double light_ratio = effective_light / p[kCBL];
+    const double f = light_ratio * std::exp(1.0 - light_ratio);
+    const double gn = v[kVn] / (p[kCN] + v[kVn]);
+    const double gp = v[kVp] / (p[kCP] + v[kVp]);
+    const double gs = v[kVsi] / (p[kCSI] + v[kVsi]);
+    const double g = std::min(gn, std::min(gp, gs));
+    const double d1 = v[kVtmp] - p[kCBTP1];
+    const double d2 = v[kVtmp] - p[kCBTP2];
+    const double h = std::max(std::exp(-p[kCPT] * d1 * d1),
+                              std::exp(-p[kCPT] * d2 * d2));
+
+    const double mu = p[kCUA] * f * g * h;
+    double gamma_phy = p[kCBRA];
+    if (hidden) {
+      // Hidden temperature-dependent respiration (a standard Q10-style
+      // metabolic scaling the MANUAL model omits; expressible through the
+      // Ext5 revisions of the grammar).
+      gamma_phy *= 0.05 * v[kVtmp] + 0.4;
+    }
+    const double food = bphy - p[kCFmin];
+    const double lambda = food / (p[kCFS] + food);
+    const double phi = p[kCMFR] * lambda;
+
+    *d_bphy = bphy * (mu - gamma_phy) - bzoo * phi;
+    if (hidden) {
+      // Hidden alkalinity / aquatic-carbon source term, the analog of the
+      // paper's discovered revision Eq. (8).
+      *d_bphy += 10.0 * v[kValk] / (v[kVph] - v[kVcd] + 848.4);
+    }
+
+    const double mu_zoo = p[kCUZ] * lambda;
+    const double gamma_zoo = p[kCBRZ] + p[kCBMT] * phi;
+    double delta_zoo = p[kCDZ];
+    if (hidden) {
+      // Hidden temperature-dependent zooplankton mortality, the analog of
+      // the paper's discovered revision Eq. (7).
+      delta_zoo *= 0.08 * v[kVtmp] + 0.3;
+    }
+    *d_bzoo = bzoo * (mu_zoo - gamma_zoo - delta_zoo);
+  }
+};
+
+/// Integrates the truth model over local driver series, generating the
+/// biomass-feedback drivers (pH, DO, transparency) along the way. The
+/// feedback drivers at day t use the biomass at the end of day t-1.
+struct TruthRun {
+  std::vector<double> bphy;
+  std::vector<double> bzoo;
+};
+
+TruthRun IntegrateTruth(const TruthModel& model,
+                        std::vector<std::vector<double>>* drivers,
+                        std::size_t num_days, double season_ph_amp,
+                        double noise_scale, Rng& rng,
+                        bool generate_feedback) {
+  TruthRun run;
+  run.bphy.resize(num_days);
+  run.bzoo.resize(num_days);
+  double bphy = 8.0;
+  double bzoo = 1.0;
+  Ar1 ph_noise(0.8, 0.03 * noise_scale);
+  Ar1 do_noise(0.8, 0.25 * noise_scale);
+  Ar1 sd_noise(0.8, 0.06 * noise_scale);
+  double variables[kNumVariables];
+  for (std::size_t t = 0; t < num_days; ++t) {
+    if (generate_feedback) {
+      // Photosynthesis raises pH and DO; biomass reduces transparency.
+      (*drivers)[kVph][t] =
+          Clamp(7.55 + 0.012 * bphy + season_ph_amp * Season(t) +
+                    ph_noise.Next(rng),
+                6.8, 9.4);
+      (*drivers)[kVdo][t] =
+          Clamp(10.0 - 0.22 * ((*drivers)[kVtmp][t] - 15.0) + 0.020 * bphy +
+                    do_noise.Next(rng),
+                4.0, 16.0);
+      (*drivers)[kVsd][t] =
+          Clamp(2.4 - 0.015 * bphy + 0.2 * Season(t) + sd_noise.Next(rng),
+                0.3, 3.5);
+    }
+    for (int slot : ObservedVariableSlots()) {
+      variables[slot] = (*drivers)[static_cast<std::size_t>(slot)][t];
+    }
+    const int substeps = 2;
+    const double dt = 1.0 / substeps;
+    for (int step = 0; step < substeps; ++step) {
+      variables[kBPhy] = bphy;
+      variables[kBZoo] = bzoo;
+      double d_bphy = 0.0;
+      double d_bzoo = 0.0;
+      model.Derivatives(variables, &d_bphy, &d_bzoo);
+      bphy = Clamp(bphy + dt * d_bphy, 0.05, 2000.0);
+      bzoo = Clamp(bzoo + dt * d_bzoo, 0.02, 500.0);
+    }
+    run.bphy[t] = bphy;
+    run.bzoo[t] = bzoo;
+  }
+  return run;
+}
+
+/// Generates the exogenous local drivers of one station.
+void GenerateExogenous(const StationTraits& traits, std::size_t num_days,
+                       double noise_scale, Rng& rng,
+                       std::vector<std::vector<double>>* drivers,
+                       std::vector<double>* rainfall) {
+  drivers->assign(kNumVariables, std::vector<double>(num_days, 0.0));
+  rainfall->assign(num_days, 0.0);
+  Ar1 tmp_noise(0.85, 0.9 * noise_scale);
+  Ar1 lgt_noise(0.6, 2.0 * noise_scale);
+  Ar1 n_noise(0.9, 0.12 * noise_scale);
+  Ar1 p_noise(0.9, 0.006 * noise_scale);
+  Ar1 si_noise(0.9, 0.25 * noise_scale);
+  Ar1 cd_noise(0.9, 7.0 * noise_scale);
+  Ar1 alk_noise(0.95, 1.2 * noise_scale);
+  double rain_memory = 0.0;  // recent-rain nutrient flush
+  for (std::size_t t = 0; t < num_days; ++t) {
+    const double season = Season(t);
+    // Monsoon-flavored rainfall: more frequent and heavier in summer.
+    const double p_rain = 0.12 + 0.18 * std::max(0.0, season);
+    double rain = 0.0;
+    if (rng.Bernoulli(p_rain)) {
+      const double mean = 8.0 + 14.0 * std::max(0.0, season);
+      rain = -mean * std::log(1.0 - rng.Uniform());
+    }
+    (*rainfall)[t] = rain * traits.runoff_factor;
+    rain_memory = 0.7 * rain_memory + rain;
+
+    auto& d = *drivers;
+    d[kVtmp][t] = Clamp(
+        15.0 + traits.temp_offset + 11.0 * season + tmp_noise.Next(rng), 1.0,
+        32.0);
+    d[kVlgt][t] =
+        Clamp(14.0 + 9.0 * season + lgt_noise.Next(rng), 1.0, 30.0);
+    d[kVn][t] = Clamp(traits.nutrient_scale *
+                          (2.2 - 0.7 * season + 0.010 * rain_memory) +
+                          n_noise.Next(rng),
+                      0.4, 6.0);
+    d[kVp][t] = Clamp(traits.nutrient_scale *
+                          (0.060 - 0.020 * season + 0.0006 * rain_memory) +
+                          p_noise.Next(rng),
+                      0.005, 0.30);
+    d[kVsi][t] = Clamp(traits.nutrient_scale *
+                           (3.5 - 1.2 * season + 0.015 * rain_memory) +
+                           si_noise.Next(rng),
+                       0.5, 9.0);
+    // Conductivity tracks dissolved load: correlated with nitrogen and
+    // anthropogenic pollution, diluted by rain.
+    d[kVcd][t] = Clamp(traits.pollution_scale *
+                               (250.0 + 45.0 * (d[kVn][t] - 2.2)) -
+                           25.0 * season - 1.5 * rain + cd_noise.Next(rng),
+                       150.0, 600.0);
+    d[kValk][t] = Clamp(traits.pollution_scale * 48.0 - 6.0 * season +
+                            alk_noise.Next(rng),
+                        20.0, 80.0);
+    // Feedback drivers (pH/DO/SD) are filled by IntegrateTruth.
+  }
+}
+
+/// Applies the sparse-sampling + linear interpolation protocol to a series.
+std::vector<double> Resample(const std::vector<double>& series, int interval,
+                             std::vector<std::size_t>* sample_days) {
+  std::vector<std::size_t> days;
+  std::vector<double> values;
+  for (std::size_t t = 0; t < series.size();
+       t += static_cast<std::size_t>(interval)) {
+    days.push_back(t);
+    values.push_back(series[t]);
+  }
+  if (sample_days != nullptr) *sample_days = days;
+  return LinearInterpolate(days, values, series.size());
+}
+
+}  // namespace
+
+std::vector<double> TrueParameters() {
+  // The truth equals the expert priors (Table III means) except for the
+  // growth scale and the self-shading strength, which model calibration
+  // must correct. Keeping the remaining physiological constants at their
+  // expert values decouples structure discovery from a full 17-parameter
+  // calibration: once C_UA and C_SH are roughly right, the hidden terms
+  // yield a clean fitness gradient (see DESIGN.md on reproduction shape).
+  std::vector<double> p(kNumParameters);
+  p[kCUA] = 1.0;    // expert mean 1.89
+  p[kCUZ] = 0.15;
+  p[kCBRA] = 0.021;
+  p[kCBRZ] = 0.05;
+  p[kCMFR] = 0.19;
+  p[kCDZ] = 0.04;
+  p[kCFS] = 5.0;
+  p[kCBTP1] = 27.0;
+  p[kCBTP2] = 5.0;
+  p[kCFmin] = 1.0;
+  p[kCBL] = 26.78;
+  p[kCN] = 0.0351;
+  p[kCP] = 0.00167;
+  p[kCSI] = 0.00467;
+  p[kCBMT] = 0.04;
+  p[kCPT] = 0.005;
+  p[kCSH] = 0.016;  // expert mean 0.006
+  return p;
+}
+
+RiverDataset GenerateNakdongLike(const SyntheticConfig& config) {
+  GMR_CHECK_GT(config.years, 0);
+  GMR_CHECK_GT(config.train_years, 0);
+  GMR_CHECK_LT(config.train_years, config.years);
+  const std::size_t num_days =
+      static_cast<std::size_t>(config.years) * kDaysPerYear;
+  Rng rng(config.seed);
+
+  const RiverNetwork network = RiverNetwork::Nakdong();
+  const int sink = network.Sink();
+  const std::size_t num_stations = network.num_stations();
+
+  TruthModel truth;
+  truth.hidden = config.plant_hidden_structure;
+
+  // 1) Local drivers per real station (exogenous + truth-feedback).
+  HydrologicalProcess::Input hydro_input;
+  hydro_input.attributes.resize(num_stations);
+  hydro_input.rainfall.resize(num_stations);
+  hydro_input.base_flow.assign(num_stations, 0.0);
+
+  const std::vector<int> observed_slots = ObservedVariableSlots();
+  for (std::size_t s = 0; s < num_stations; ++s) {
+    const Station& station = network.station(static_cast<int>(s));
+    if (station.is_virtual) continue;  // No local measurements.
+
+    StationTraits traits;
+    const bool tributary = station.name[0] == 'T';
+    traits.nutrient_scale = rng.Uniform(0.85, 1.25);
+    traits.pollution_scale =
+        tributary ? rng.Uniform(1.0, 1.4) : rng.Uniform(0.85, 1.1);
+    traits.temp_offset = rng.Uniform(-1.0, 1.0);
+    traits.base_flow = tributary ? rng.Uniform(6.0, 12.0)
+                                 : rng.Uniform(18.0, 30.0);
+    traits.runoff_factor = tributary ? 0.5 : 1.0;
+
+    std::vector<std::vector<double>> local;
+    std::vector<double> rainfall;
+    GenerateExogenous(traits, num_days, config.driver_noise_scale, rng,
+                      &local, &rainfall);
+    IntegrateTruth(truth, &local, num_days, /*season_ph_amp=*/0.12,
+                   config.driver_noise_scale, rng,
+                   /*generate_feedback=*/true);
+
+    // Nutrients are sampled sparsely and interpolated (weekly at the sink,
+    // bi-weekly elsewhere).
+    const int interval = static_cast<int>(s) == sink
+                             ? config.sink_sample_interval_days
+                             : config.other_sample_interval_days;
+    for (int slot : {static_cast<int>(kVn), static_cast<int>(kVp),
+                     static_cast<int>(kVsi)}) {
+      local[static_cast<std::size_t>(slot)] = Resample(
+          local[static_cast<std::size_t>(slot)], interval, nullptr);
+    }
+
+    // Pack the observed slots as hydrology attributes (slot order).
+    auto& attrs = hydro_input.attributes[s];
+    attrs.reserve(observed_slots.size());
+    for (int slot : observed_slots) {
+      attrs.push_back(local[static_cast<std::size_t>(slot)]);
+    }
+    hydro_input.rainfall[s] = std::move(rainfall);
+    hydro_input.base_flow[s] = traits.base_flow;
+  }
+
+  // 2) Hydrological routing to the sink.
+  HydrologicalProcess hydrology(&network);
+  HydrologicalProcess::Output routed = hydrology.Route(hydro_input);
+
+  RiverDataset dataset;
+  dataset.num_days = num_days;
+  dataset.drivers.assign(kNumVariables, {});
+  const auto& sink_attrs = routed.attributes[static_cast<std::size_t>(sink)];
+  for (std::size_t k = 0; k < observed_slots.size(); ++k) {
+    dataset.drivers[static_cast<std::size_t>(observed_slots[k])] =
+        sink_attrs[k];
+  }
+  // Light is local meteorology, not transported water: restore the sink's
+  // own series.
+  dataset.drivers[kVlgt] =
+      hydro_input.attributes[static_cast<std::size_t>(sink)][0];
+
+  // Keep the per-station routed series for the "-ALL" data-driven
+  // baselines (all real stations, sink included).
+  for (std::size_t s = 0; s < num_stations; ++s) {
+    const Station& station = network.station(static_cast<int>(s));
+    if (station.is_virtual) continue;
+    dataset.station_names.push_back(station.name);
+    dataset.station_drivers.push_back(routed.attributes[s]);
+  }
+
+  // 3) Ground-truth plankton at the sink, on the routed drivers (feedback
+  // drivers are already fixed by routing — no regeneration).
+  TruthRun sink_truth =
+      IntegrateTruth(truth, &dataset.drivers, num_days,
+                     /*season_ph_amp=*/0.12, config.driver_noise_scale, rng,
+                     /*generate_feedback=*/false);
+
+  // 4) Noisy weekly sampling of chlorophyll-a + interpolation.
+  std::vector<double> sampled(num_days);
+  for (std::size_t t = 0; t < num_days; ++t) {
+    sampled[t] = std::max(
+        0.05,
+        sink_truth.bphy[t] *
+            (1.0 + rng.Gaussian(0.0, config.observation_noise)));
+  }
+  dataset.observed_bphy =
+      Resample(sampled, config.sink_sample_interval_days,
+               &dataset.bphy_sample_days);
+
+  dataset.train_end =
+      static_cast<std::size_t>(config.train_years) * kDaysPerYear;
+  dataset.initial_bphy = dataset.observed_bphy.front();
+  dataset.initial_bzoo = sink_truth.bzoo.front();
+  dataset.test_initial_bphy = dataset.observed_bphy[dataset.train_end];
+  dataset.test_initial_bzoo = sink_truth.bzoo[dataset.train_end];
+  return dataset;
+}
+
+}  // namespace gmr::river

@@ -1,0 +1,60 @@
+#ifndef GMR_RIVER_SYNTHETIC_H_
+#define GMR_RIVER_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "river/dataset.h"
+#include "river/network.h"
+
+namespace gmr::river {
+
+/// Configuration of the synthetic Nakdong-like dataset (see DESIGN.md §4:
+/// the real 13-year monitoring dataset is not redistributable, so we
+/// generate a surrogate with the same study design).
+struct SyntheticConfig {
+  /// Total years of daily data (paper: 13, 1996-2008).
+  int years = 13;
+  /// Leading years used for training (paper: 10, 1996-2005).
+  int train_years = 10;
+  std::uint64_t seed = 42;
+
+  /// Plants the hidden mechanisms that the paper reports GMR discovering:
+  /// a pH modulation of photosynthesis plus an alkalinity/conductivity
+  /// source term (analog of paper Eq. (8)) and a temperature-dependent
+  /// zooplankton mortality (analog of paper Eq. (7)). The expert MANUAL
+  /// model lacks these, so structural revision has something real to find.
+  bool plant_hidden_structure = true;
+
+  /// Relative lognormal-ish measurement noise on chlorophyll-a samples.
+  double observation_noise = 0.05;
+
+  /// Scales every stochastic innovation in the driver generator (AR(1)
+  /// noises and the biomass-feedback noises). 1.0 is the default weather
+  /// variability; smaller values make the system more deterministically
+  /// driven and raise the free-run predictability ceiling.
+  double driver_noise_scale = 0.6;
+
+  /// Sampling cadence for nutrients & chlorophyll-a: weekly at the sink
+  /// (S1), bi-weekly at the other stations; daily values are linearly
+  /// interpolated (paper Section IV-A).
+  int sink_sample_interval_days = 7;
+  int other_sample_interval_days = 14;
+};
+
+/// Days per synthetic year (no leap days).
+inline constexpr int kDaysPerYear = 365;
+
+/// Generates the full pipeline: per-station exogenous drivers ->
+/// hydrological routing through the Nakdong network -> ground-truth
+/// plankton integration at the sink -> noisy, sparsely-sampled,
+/// interpolated observations. Deterministic in `config.seed`.
+RiverDataset GenerateNakdongLike(const SyntheticConfig& config);
+
+/// The "true" constant-parameter values used by the generator's hidden
+/// process (deliberately off the prior means of Table III, so calibration
+/// has work to do). Exposed for tests and experiment documentation.
+std::vector<double> TrueParameters();
+
+}  // namespace gmr::river
+
+#endif  // GMR_RIVER_SYNTHETIC_H_

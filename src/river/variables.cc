@@ -1,0 +1,42 @@
+#include "river/variables.h"
+
+#include "common/check.h"
+
+namespace gmr::river {
+
+const char* VariableName(int slot) {
+  switch (slot) {
+    case kBPhy: return "B_Phy";
+    case kBZoo: return "B_Zoo";
+    case kVlgt: return "V_lgt";
+    case kVn: return "V_n";
+    case kVp: return "V_p";
+    case kVsi: return "V_si";
+    case kVtmp: return "V_tmp";
+    case kVdo: return "V_do";
+    case kVcd: return "V_cd";
+    case kVph: return "V_ph";
+    case kValk: return "V_alk";
+    case kVsd: return "V_sd";
+    default:
+      GMR_CHECK_MSG(false, "bad variable slot");
+      return "?";
+  }
+}
+
+std::vector<std::string> VariableNames() {
+  std::vector<std::string> names;
+  names.reserve(kNumVariables);
+  for (int slot = 0; slot < kNumVariables; ++slot) {
+    names.push_back(VariableName(slot));
+  }
+  return names;
+}
+
+std::vector<int> ObservedVariableSlots() {
+  std::vector<int> slots;
+  for (int slot = kVlgt; slot < kNumVariables; ++slot) slots.push_back(slot);
+  return slots;
+}
+
+}  // namespace gmr::river

@@ -1,0 +1,40 @@
+#ifndef GMR_RIVER_VARIABLES_H_
+#define GMR_RIVER_VARIABLES_H_
+
+#include <string>
+#include <vector>
+
+namespace gmr::river {
+
+/// Slot layout of the temporal variables seen by the biological process.
+/// Slots 0-1 are the model state (phyto/zooplankton biomass); the rest are
+/// the observed temporal variable parameters of paper Table IV, imported
+/// from the data at each evaluation time step.
+enum VariableSlot : int {
+  kBPhy = 0,   ///< Phytoplankton biomass (state; chlorophyll-a proxy).
+  kBZoo = 1,   ///< Zooplankton biomass (state).
+  kVlgt = 2,   ///< Irradiance (light intensity).
+  kVn = 3,     ///< Nitrogen concentration.
+  kVp = 4,     ///< Phosphorus concentration.
+  kVsi = 5,    ///< Silica concentration.
+  kVtmp = 6,   ///< Water temperature.
+  kVdo = 7,    ///< Dissolved oxygen.
+  kVcd = 8,    ///< Electric conductivity.
+  kVph = 9,    ///< pH.
+  kValk = 10,  ///< Alkalinity.
+  kVsd = 11,   ///< Water transparency (Secchi depth).
+  kNumVariables = 12,
+};
+
+/// Display name of each slot ("B_Phy", "V_lgt", ...).
+const char* VariableName(int slot);
+
+/// All slot names in slot order.
+std::vector<std::string> VariableNames();
+
+/// Slots of the observed (non-state) temporal variables.
+std::vector<int> ObservedVariableSlots();
+
+}  // namespace gmr::river
+
+#endif  // GMR_RIVER_VARIABLES_H_

@@ -1,0 +1,146 @@
+#include "tag/derivation.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace gmr::tag {
+
+DerivationPtr DerivationNode::Clone() const {
+  auto copy = std::make_unique<DerivationNode>();
+  copy->tree_index = tree_index;
+  copy->lexemes = lexemes;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) {
+    copy->children.push_back({child.address_index, child.node->Clone()});
+  }
+  return copy;
+}
+
+std::size_t DerivationNode::NodeCount() const {
+  std::size_t count = 1;
+  for (const auto& child : children) count += child.node->NodeCount();
+  return count;
+}
+
+const ElementaryTree& ElementaryTreeOf(const Grammar& grammar,
+                                       const DerivationNode& node,
+                                       bool is_root) {
+  return is_root ? grammar.alpha(node.tree_index)
+                 : grammar.beta(node.tree_index);
+}
+
+namespace {
+
+/// Expands one derivation node into an instantiated elementary tree with
+/// all lexemes substituted and all child adjunctions applied.
+ElementaryTree::Instance ExpandNode(const Grammar& grammar,
+                                    const DerivationNode& node,
+                                    bool is_root) {
+  const ElementaryTree& elementary = ElementaryTreeOf(grammar, node, is_root);
+  ElementaryTree::Instance instance = elementary.Instantiate();
+
+  GMR_CHECK_EQ(node.lexemes.size(), instance.slots.size());
+  for (std::size_t i = 0; i < instance.slots.size(); ++i) {
+    SubstituteLexeme(instance.slots[i], expr::Constant(node.lexemes[i]));
+  }
+
+  for (const auto& child : node.children) {
+    GMR_CHECK_GE(child.address_index, 0);
+    GMR_CHECK_LT(static_cast<std::size_t>(child.address_index),
+                 instance.adjoinable.size());
+    ElementaryTree::Instance beta_instance =
+        ExpandNode(grammar, *child.node, /*is_root=*/false);
+    Adjoin(&instance.root,
+           instance.adjoinable[static_cast<std::size_t>(child.address_index)],
+           std::move(beta_instance));
+  }
+  return instance;
+}
+
+bool ValidateNode(const Grammar& grammar, const DerivationNode& node,
+                  bool is_root, std::string* error) {
+  const std::size_t table_size =
+      is_root ? grammar.num_alpha_trees() : grammar.num_beta_trees();
+  if (node.tree_index < 0 ||
+      static_cast<std::size_t>(node.tree_index) >= table_size) {
+    *error = "tree index out of range";
+    return false;
+  }
+  const ElementaryTree& elementary = ElementaryTreeOf(grammar, node, is_root);
+  if (node.lexemes.size() != elementary.slot_labels().size()) {
+    *error = "lexeme count does not match slot count in " + elementary.name();
+    return false;
+  }
+  std::set<int> used_addresses;
+  for (const auto& child : node.children) {
+    if (child.address_index < 0 ||
+        static_cast<std::size_t>(child.address_index) >=
+            elementary.adjoinable_labels().size()) {
+      *error = "adjunction address out of range in " + elementary.name();
+      return false;
+    }
+    if (!used_addresses.insert(child.address_index).second) {
+      *error = "duplicate adjunction address in " + elementary.name();
+      return false;
+    }
+    if (child.node == nullptr) {
+      *error = "null child node";
+      return false;
+    }
+    if (static_cast<std::size_t>(child.node->tree_index) >=
+        grammar.num_beta_trees()) {
+      *error = "child beta index out of range";
+      return false;
+    }
+    const Symbol& site_label =
+        elementary
+            .adjoinable_labels()[static_cast<std::size_t>(child.address_index)];
+    const Symbol& beta_label =
+        grammar.beta(child.node->tree_index).root_label();
+    if (site_label != beta_label) {
+      *error = "beta root label '" + beta_label +
+               "' does not match adjunction site '" + site_label + "'";
+      return false;
+    }
+    if (!ValidateNode(grammar, *child.node, /*is_root=*/false, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CollectRefs(DerivationNode* node, std::vector<NodeRef>* out) {
+  for (std::size_t i = 0; i < node->children.size(); ++i) {
+    out->push_back(NodeRef{node, i});
+    CollectRefs(node->children[i].node.get(), out);
+  }
+}
+
+}  // namespace
+
+TagNodePtr Expand(const Grammar& grammar, const DerivationNode& root) {
+  ElementaryTree::Instance instance =
+      ExpandNode(grammar, root, /*is_root=*/true);
+  GMR_CHECK(instance.foot == nullptr);
+  return std::move(instance.root);
+}
+
+std::vector<expr::ExprPtr> ExpandToExpressions(const Grammar& grammar,
+                                               const DerivationNode& root) {
+  TagNodePtr derived = Expand(grammar, root);
+  return LowerToExpressions(*derived);
+}
+
+bool Validate(const Grammar& grammar, const DerivationNode& root,
+              std::string* error) {
+  return ValidateNode(grammar, root, /*is_root=*/true, error);
+}
+
+std::vector<NodeRef> CollectNodeRefs(DerivationNode* root) {
+  std::vector<NodeRef> refs;
+  CollectRefs(root, &refs);
+  return refs;
+}
+
+}  // namespace gmr::tag

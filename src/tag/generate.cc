@@ -1,0 +1,138 @@
+#include "tag/generate.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace gmr::tag {
+namespace {
+
+void CollectOpenSitesAt(const Grammar& grammar, DerivationNode* node,
+                        bool is_root, std::vector<OpenSite>* out) {
+  const ElementaryTree& elementary =
+      ElementaryTreeOf(grammar, *node, is_root);
+  std::set<int> occupied;
+  for (const auto& child : node->children) {
+    occupied.insert(child.address_index);
+  }
+  const auto& labels = elementary.adjoinable_labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int address = static_cast<int>(i);
+    if (occupied.count(address) > 0) continue;
+    if (!grammar.HasCompatibleBeta(labels[i])) continue;
+    out->push_back(OpenSite{node, is_root, address});
+  }
+  for (auto& child : node->children) {
+    CollectOpenSitesAt(grammar, child.node.get(), /*is_root=*/false, out);
+  }
+}
+
+void CollectLeafRefs(DerivationNode* node, std::vector<NodeRef>* out) {
+  for (std::size_t i = 0; i < node->children.size(); ++i) {
+    DerivationNode* child = node->children[i].node.get();
+    if (child->children.empty()) {
+      out->push_back(NodeRef{node, i});
+    } else {
+      CollectLeafRefs(child, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<OpenSite> CollectOpenSites(const Grammar& grammar,
+                                       DerivationNode* root) {
+  std::vector<OpenSite> sites;
+  CollectOpenSitesAt(grammar, root, /*is_root=*/true, &sites);
+  return sites;
+}
+
+DerivationPtr MakeRandomNode(const Grammar& grammar, int tree_index,
+                             bool is_root, Rng& rng) {
+  auto node = std::make_unique<DerivationNode>();
+  node->tree_index = tree_index;
+  const ElementaryTree& elementary =
+      ElementaryTreeOf(grammar, *node, is_root);
+  node->lexemes.reserve(elementary.slot_labels().size());
+  for (const Symbol& label : elementary.slot_labels()) {
+    const SlotSpec spec = grammar.slot_spec(label);
+    node->lexemes.push_back(rng.Uniform(spec.lo, spec.hi));
+  }
+  return node;
+}
+
+DerivationPtr NewSeedDerivation(const Grammar& grammar, int alpha_index,
+                                Rng& rng) {
+  return MakeRandomNode(grammar, alpha_index, /*is_root=*/true, rng);
+}
+
+bool InsertRandomBeta(const Grammar& grammar, DerivationNode* root,
+                      Rng& rng) {
+  std::vector<OpenSite> sites = CollectOpenSites(grammar, root);
+  if (sites.empty()) return false;
+  const OpenSite& site = sites[rng.PickIndex(sites)];
+  const ElementaryTree& elementary =
+      ElementaryTreeOf(grammar, *site.node, site.node_is_root);
+  const Symbol& label =
+      elementary.adjoinable_labels()[static_cast<std::size_t>(
+          site.address_index)];
+  const std::vector<int>& candidates = grammar.BetasWithRootLabel(label);
+  GMR_CHECK(!candidates.empty());
+  const int beta_index = candidates[rng.PickIndex(candidates)];
+  site.node->children.push_back(
+      {site.address_index,
+       MakeRandomNode(grammar, beta_index, /*is_root=*/false, rng)});
+  return true;
+}
+
+bool DeleteRandomLeaf(DerivationNode* root, Rng& rng) {
+  std::vector<NodeRef> leaves;
+  CollectLeafRefs(root, &leaves);
+  if (leaves.empty()) return false;
+  const NodeRef& ref = leaves[rng.PickIndex(leaves)];
+  ref.parent->children.erase(ref.parent->children.begin() +
+                             static_cast<std::ptrdiff_t>(ref.child_index));
+  return true;
+}
+
+DerivationPtr GrowRandom(const Grammar& grammar, int alpha_index,
+                         std::size_t target_size, Rng& rng) {
+  DerivationPtr root = NewSeedDerivation(grammar, alpha_index, rng);
+  while (root->NodeCount() < target_size) {
+    if (!InsertRandomBeta(grammar, root.get(), rng)) break;
+  }
+  return root;
+}
+
+DerivationPtr GrowRandomSubtree(const Grammar& grammar,
+                                const Symbol& site_label,
+                                std::size_t target_size, Rng& rng) {
+  const std::vector<int>& candidates = grammar.BetasWithRootLabel(site_label);
+  if (candidates.empty()) return nullptr;
+  const int beta_index = candidates[rng.PickIndex(candidates)];
+  DerivationPtr root =
+      MakeRandomNode(grammar, beta_index, /*is_root=*/false, rng);
+
+  // Grow below the subtree root until the requested size. Open-site
+  // enumeration treats the beta node as a non-root node.
+  while (root->NodeCount() < target_size) {
+    std::vector<OpenSite> sites;
+    CollectOpenSitesAt(grammar, root.get(), /*is_root=*/false, &sites);
+    if (sites.empty()) break;
+    const OpenSite& site = sites[rng.PickIndex(sites)];
+    const ElementaryTree& elementary =
+        ElementaryTreeOf(grammar, *site.node, site.node_is_root);
+    const Symbol& label =
+        elementary.adjoinable_labels()[static_cast<std::size_t>(
+            site.address_index)];
+    const std::vector<int>& inner = grammar.BetasWithRootLabel(label);
+    GMR_CHECK(!inner.empty());
+    const int inner_index = inner[rng.PickIndex(inner)];
+    site.node->children.push_back(
+        {site.address_index,
+         MakeRandomNode(grammar, inner_index, /*is_root=*/false, rng)});
+  }
+  return root;
+}
+
+}  // namespace gmr::tag

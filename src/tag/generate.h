@@ -1,0 +1,62 @@
+#ifndef GMR_TAG_GENERATE_H_
+#define GMR_TAG_GENERATE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tag/derivation.h"
+
+namespace gmr::tag {
+
+/// An open adjunction site: an address of `node`'s elementary tree that is
+/// not yet occupied and where at least one beta tree of the grammar can
+/// adjoin.
+struct OpenSite {
+  DerivationNode* node = nullptr;
+  bool node_is_root = false;
+  int address_index = 0;
+};
+
+/// Enumerates every open adjunction site in the derivation tree.
+std::vector<OpenSite> CollectOpenSites(const Grammar& grammar,
+                                       DerivationNode* root);
+
+/// Creates a derivation node for the given elementary tree with lexemes
+/// drawn uniformly from their slot specs.
+DerivationPtr MakeRandomNode(const Grammar& grammar, int tree_index,
+                             bool is_root, Rng& rng);
+
+/// Creates the minimal derivation: just the seed alpha tree with random
+/// lexemes (TAG3P "chooses an initial derivation tree randomly from
+/// alpha-trees").
+DerivationPtr NewSeedDerivation(const Grammar& grammar, int alpha_index,
+                                Rng& rng);
+
+/// Adjoins one randomly chosen compatible beta tree at a uniformly random
+/// open site — the local-search *insertion* operator (Figure 6(e)-(f)).
+/// Returns false when the tree has no open site.
+bool InsertRandomBeta(const Grammar& grammar, DerivationNode* root, Rng& rng);
+
+/// Removes a uniformly random leaf derivation node (never the root) — the
+/// local-search *deletion* operator (Figure 6(g)-(h)). Returns false when
+/// the derivation consists of the root alone.
+bool DeleteRandomLeaf(DerivationNode* root, Rng& rng);
+
+/// Grows a random individual for population initialization: seed alpha tree
+/// plus random adjunctions until the derivation reaches `target_size` nodes
+/// (or no open site remains).
+DerivationPtr GrowRandom(const Grammar& grammar, int alpha_index,
+                         std::size_t target_size, Rng& rng);
+
+/// Grows a random derivation *subtree*: a beta-rooted derivation whose root
+/// beta can adjoin at a site labeled `site_label`, grown to about
+/// `target_size` nodes. Returns nullptr when no beta tree matches the label.
+/// Used by subtree mutation to build replacement subtrees "of similar size"
+/// and "compatible" with the removed one (Section III-B2).
+DerivationPtr GrowRandomSubtree(const Grammar& grammar,
+                                const Symbol& site_label,
+                                std::size_t target_size, Rng& rng);
+
+}  // namespace gmr::tag
+
+#endif  // GMR_TAG_GENERATE_H_

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/arimax.h"
+#include "baselines/lstm.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace gmr::baselines {
+namespace {
+
+// -------------------------------------------------------------- ARIMAX ----
+
+TEST(ArimaxTest, RecoversArWithExogenousCoefficients) {
+  // y_t = 1.0 + 0.6 y_{t-1} - 0.3 y_{t-2} + 2.0 x_t + noise
+  Rng rng(3);
+  const std::size_t n = 1200;
+  std::vector<double> x(n);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) x[t] = rng.Uniform(-1, 1);
+  for (std::size_t t = 2; t < n; ++t) {
+    y[t] = 1.0 + 0.6 * y[t - 1] - 0.3 * y[t - 2] + 2.0 * x[t] +
+           rng.Gaussian(0.0, 0.05);
+  }
+  ArimaxConfig config;
+  const ArimaxResult result = FitArimax(y, {x}, 1000, config);
+  ASSERT_GE(result.p, 2);
+  // coefficients = [c, phi..., theta..., beta]. Exogenous regressors are
+  // standardized internally, so the fitted beta is 2.0 * std(x_train).
+  EXPECT_NEAR(result.coefficients[1], 0.6, 0.1);
+  EXPECT_NEAR(result.coefficients[2], -0.3, 0.1);
+  const std::vector<double> x_train(x.begin(), x.begin() + 1000);
+  EXPECT_NEAR(result.coefficients.back(), 2.0 * StdDev(x_train), 0.1);
+  // One-step-ahead test error should be close to the noise floor.
+  EXPECT_LT(result.test_rmse, 0.15);
+  EXPECT_LE(result.test_mae, result.test_rmse);
+}
+
+TEST(ArimaxTest, AicPrefersParsimoniousOrder) {
+  // Pure AR(1) data: the order search should not pick the maximum p.
+  Rng rng(7);
+  const std::size_t n = 800;
+  std::vector<double> y(n, 0.0);
+  for (std::size_t t = 1; t < n; ++t) {
+    y[t] = 0.8 * y[t - 1] + rng.Gaussian(0.0, 1.0);
+  }
+  ArimaxConfig config;
+  const ArimaxResult result = FitArimax(y, {}, 600, config);
+  // AIC may admit extra lags, but their fitted weights must be noise-level
+  // while the true phi_1 dominates.
+  EXPECT_NEAR(result.coefficients[1], 0.8, 0.1);
+  for (int i = 2; i <= result.p; ++i) {
+    EXPECT_LT(std::fabs(result.coefficients[static_cast<std::size_t>(i)]),
+              0.2)
+        << "phi_" << i;
+  }
+  EXPECT_LT(result.test_rmse, 1.3);
+}
+
+TEST(ArimaxTest, TestPredictionsHaveTestLength) {
+  Rng rng(9);
+  const std::size_t n = 300;
+  std::vector<double> y(n);
+  for (auto& v : y) v = rng.Uniform(0, 1);
+  const ArimaxResult result = FitArimax(y, {}, 200, ArimaxConfig{});
+  EXPECT_EQ(result.test_predictions.size(), n - 200);
+}
+
+TEST(ArimaxTest, UninformativeExogenousGetsSmallWeight) {
+  Rng rng(11);
+  const std::size_t n = 1000;
+  std::vector<double> noise_feature(n);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) noise_feature[t] = rng.Uniform(-1, 1);
+  for (std::size_t t = 1; t < n; ++t) {
+    y[t] = 0.9 * y[t - 1] + rng.Gaussian(0.0, 0.3);
+  }
+  const ArimaxResult result = FitArimax(y, {noise_feature}, 800,
+                                        ArimaxConfig{});
+  EXPECT_LT(std::fabs(result.coefficients.back()), 0.1);
+}
+
+// ---------------------------------------------------------------- LSTM ----
+
+TEST(LstmTest, LearnsLinearNextStepMap) {
+  // Target: y_{t+1} = 0.5 x1_t - 0.25 x2_t + 1, fully determined by the
+  // current features. A tiny LSTM should fit this nearly exactly.
+  Rng rng(5);
+  const std::size_t n = 600;
+  std::vector<std::vector<double>> features(2, std::vector<double>(n));
+  std::vector<double> y(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    features[0][t] = rng.Uniform(-2, 2);
+    features[1][t] = rng.Uniform(-2, 2);
+  }
+  for (std::size_t t = 0; t + 1 < n; ++t) {
+    y[t + 1] = 0.5 * features[0][t] - 0.25 * features[1][t] + 1.0;
+  }
+  LstmConfig config;
+  config.epochs = 60;
+  config.window = 25;
+  config.seed = 3;
+  const LstmResult result = TrainAndEvaluateLstm(features, y, 450, config);
+  // Target std is ~1.1; the fit must be far below it.
+  EXPECT_LT(result.train_rmse, 0.35);
+  EXPECT_LT(result.best_test_rmse, 0.4);
+  EXPECT_EQ(result.curve.size(), 60u);
+}
+
+TEST(LstmTest, LossDecreasesOverTraining) {
+  Rng rng(7);
+  const std::size_t n = 400;
+  std::vector<std::vector<double>> features(1, std::vector<double>(n));
+  std::vector<double> y(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    features[0][t] = std::sin(0.1 * static_cast<double>(t));
+    y[t] = 3.0 * features[0][t] + rng.Gaussian(0.0, 0.05);
+  }
+  LstmConfig config;
+  config.epochs = 40;
+  config.seed = 11;
+  const LstmResult result = TrainAndEvaluateLstm(features, y, 300, config);
+  ASSERT_GE(result.curve.size(), 10u);
+  EXPECT_LT(result.curve.back().first, result.curve.front().first);
+}
+
+TEST(LstmTest, DeterministicForSameSeed) {
+  Rng rng(13);
+  const std::size_t n = 200;
+  std::vector<std::vector<double>> features(1, std::vector<double>(n));
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    features[0][t] = rng.Uniform(-1, 1);
+    y[t] = rng.Uniform(0, 1);
+  }
+  LstmConfig config;
+  config.epochs = 5;
+  config.seed = 21;
+  const LstmResult a = TrainAndEvaluateLstm(features, y, 150, config);
+  const LstmResult b = TrainAndEvaluateLstm(features, y, 150, config);
+  EXPECT_DOUBLE_EQ(a.test_rmse, b.test_rmse);
+  EXPECT_DOUBLE_EQ(a.train_rmse, b.train_rmse);
+}
+
+TEST(LstmTest, HiddenSizeIsCapped) {
+  // 100 input features with a cap of 8 must still train (smoke test that
+  // the cap path works).
+  Rng rng(17);
+  const std::size_t n = 120;
+  std::vector<std::vector<double>> features(100, std::vector<double>(n));
+  std::vector<double> y(n);
+  for (auto& series : features) {
+    for (auto& v : series) v = rng.Uniform(-1, 1);
+  }
+  for (auto& v : y) v = rng.Uniform(0, 1);
+  LstmConfig config;
+  config.epochs = 2;
+  config.hidden_cap = 8;
+  config.window = 20;
+  const LstmResult result = TrainAndEvaluateLstm(features, y, 90, config);
+  EXPECT_TRUE(std::isfinite(result.test_rmse));
+}
+
+}  // namespace
+}  // namespace gmr::baselines

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "calibrate/methods.h"
+
+namespace gmr::calibrate {
+namespace {
+
+/// Shifted sphere in 4 dimensions: global minimum 0 at the offset point.
+struct SphereProblem {
+  BoxBounds bounds;
+  std::vector<double> optimum;
+  std::vector<double> initial;
+  std::size_t evaluations = 0;
+
+  SphereProblem() {
+    bounds.lo = {-2.0, 0.0, 10.0, -5.0};
+    bounds.hi = {2.0, 1.0, 20.0, 5.0};
+    optimum = {0.7, 0.25, 13.0, -2.5};
+    initial = {-1.0, 0.9, 19.0, 4.0};
+  }
+
+  Objective MakeObjective() {
+    return [this](const std::vector<double>& x) {
+      ++evaluations;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - optimum[i];
+        sum += d * d;
+      }
+      return sum;
+    };
+  }
+
+  double InitialValue() const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      const double d = initial[i] - optimum[i];
+      sum += d * d;
+    }
+    return sum;
+  }
+};
+
+class CalibratorSuite : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Calibrator> MakeCalibrator() const {
+    auto all = AllCalibrators();
+    return std::move(all[static_cast<std::size_t>(GetParam())]);
+  }
+};
+
+TEST_P(CalibratorSuite, ImprovesOnSphere) {
+  SphereProblem problem;
+  const auto calibrator = MakeCalibrator();
+  Rng rng(13);
+  const CalibrationResult result =
+      calibrator->Calibrate(problem.MakeObjective(), problem.bounds,
+                            problem.initial, /*budget=*/1500, rng);
+  EXPECT_LT(result.best_objective, 0.5 * problem.InitialValue())
+      << calibrator->name();
+  // All nine methods should get at least near the optimum on a smooth bowl.
+  EXPECT_LT(result.best_objective, 5.0) << calibrator->name();
+}
+
+TEST_P(CalibratorSuite, RespectsBudget) {
+  SphereProblem problem;
+  const auto calibrator = MakeCalibrator();
+  Rng rng(17);
+  const CalibrationResult result = calibrator->Calibrate(
+      problem.MakeObjective(), problem.bounds, problem.initial, 300, rng);
+  EXPECT_LE(problem.evaluations, 300u) << calibrator->name();
+  EXPECT_LE(result.evaluations, 300u) << calibrator->name();
+  EXPECT_GE(result.evaluations, 10u) << calibrator->name();
+}
+
+TEST_P(CalibratorSuite, StaysWithinBounds) {
+  SphereProblem problem;
+  const auto calibrator = MakeCalibrator();
+  bool violated = false;
+  Objective guard = [&](const std::vector<double>& x) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < problem.bounds.lo[i] - 1e-12 ||
+          x[i] > problem.bounds.hi[i] + 1e-12) {
+        violated = true;
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - problem.optimum[i];
+      sum += d * d;
+    }
+    return sum;
+  };
+  Rng rng(19);
+  calibrator->Calibrate(guard, problem.bounds, problem.initial, 500, rng);
+  EXPECT_FALSE(violated) << calibrator->name();
+}
+
+TEST_P(CalibratorSuite, DeterministicForSameSeed) {
+  SphereProblem p1;
+  SphereProblem p2;
+  const auto calibrator = MakeCalibrator();
+  Rng rng1(23);
+  Rng rng2(23);
+  const auto a = calibrator->Calibrate(p1.MakeObjective(), p1.bounds,
+                                       p1.initial, 400, rng1);
+  const auto b = calibrator->Calibrate(p2.MakeObjective(), p2.bounds,
+                                       p2.initial, 400, rng2);
+  EXPECT_DOUBLE_EQ(a.best_objective, b.best_objective) << calibrator->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, CalibratorSuite, ::testing::Range(0, 9),
+    [](const ::testing::TestParamInfo<int>& info) {
+      const auto all = AllCalibrators();
+      std::string name = all[static_cast<std::size_t>(info.param)]->name();
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(CalibratorTest, AllCalibratorsHaveDistinctNames) {
+  const auto all = AllCalibrators();
+  ASSERT_EQ(all.size(), 9u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_STRNE(all[i]->name(), all[j]->name());
+    }
+  }
+}
+
+TEST(CalibratorTest, BoundsFromPriors) {
+  gp::ParameterPriors priors{{"a", 0.5, 0.0, 1.0}, {"b", 10.0, 5.0, 15.0}};
+  const BoxBounds bounds = BoundsFromPriors(priors);
+  EXPECT_EQ(bounds.lo, (std::vector<double>{0.0, 5.0}));
+  EXPECT_EQ(bounds.hi, (std::vector<double>{1.0, 15.0}));
+  EXPECT_EQ(bounds.dim(), 2u);
+}
+
+TEST(CalibratorTest, BudgetedObjectiveTracksIncumbent) {
+  Objective objective = [](const std::vector<double>& x) { return x[0]; };
+  BudgetedObjective f(&objective, 3);
+  f({5.0});
+  f({2.0});
+  f({7.0});
+  EXPECT_TRUE(f.Exhausted());
+  EXPECT_DOUBLE_EQ(f.best_f(), 2.0);
+  EXPECT_EQ(f.best_x(), (std::vector<double>{2.0}));
+  // Past the budget, calls return a sentinel and do not evaluate.
+  EXPECT_GE(f({0.0}), 1e299);
+  EXPECT_DOUBLE_EQ(f.best_f(), 2.0);
+}
+
+TEST(CalibratorTest, MleConvergesTightlyOnSmoothBowl) {
+  // Nelder-Mead should reach far higher precision than the samplers.
+  SphereProblem problem;
+  MleCalibrator mle;
+  Rng rng(29);
+  const auto result = mle.Calibrate(problem.MakeObjective(), problem.bounds,
+                                    problem.initial, 2000, rng);
+  EXPECT_LT(result.best_objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace gmr::calibrate

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "expr/ast.h"
+#include "expr/compile.h"
+#include "expr/eval.h"
+#include "expr/parser.h"
+#include "expr/print.h"
+#include "expr/simplify.h"
+
+namespace gmr::expr {
+namespace {
+
+/// Owns the backing storage so the EvalContext pointers stay valid for the
+/// holder's lifetime (EvalContext itself is non-owning).
+class ContextHolder {
+ public:
+  ContextHolder(std::vector<double> vars, std::vector<double> params)
+      : vars_(std::move(vars)), params_(std::move(params)) {}
+
+  operator EvalContext() const {  // NOLINT: test convenience
+    EvalContext ctx;
+    ctx.variables = vars_.data();
+    ctx.num_variables = vars_.size();
+    ctx.parameters = params_.data();
+    ctx.num_parameters = params_.size();
+    return ctx;
+  }
+
+ private:
+  std::vector<double> vars_;
+  std::vector<double> params_;
+};
+
+ContextHolder MakeContext(std::vector<double> vars,
+                          std::vector<double> params) {
+  return ContextHolder(std::move(vars), std::move(params));
+}
+
+// ----------------------------------------------------------------- AST ----
+
+TEST(AstTest, NodeCountAndHeight) {
+  const ExprPtr e = Add(Mul(Variable(0, "x"), Constant(2.0)), Constant(1.0));
+  EXPECT_EQ(e->NodeCount(), 5u);
+  EXPECT_EQ(e->Height(), 3u);
+  EXPECT_EQ(Constant(1.0)->Height(), 1u);
+}
+
+TEST(AstTest, ArityTable) {
+  EXPECT_EQ(Arity(NodeKind::kConstant), 0);
+  EXPECT_EQ(Arity(NodeKind::kVariable), 0);
+  EXPECT_EQ(Arity(NodeKind::kParameter), 0);
+  EXPECT_EQ(Arity(NodeKind::kNeg), 1);
+  EXPECT_EQ(Arity(NodeKind::kLog), 1);
+  EXPECT_EQ(Arity(NodeKind::kExp), 1);
+  for (NodeKind k : {NodeKind::kAdd, NodeKind::kSub, NodeKind::kMul,
+                     NodeKind::kDiv, NodeKind::kMin, NodeKind::kMax}) {
+    EXPECT_EQ(Arity(k), 2);
+  }
+}
+
+TEST(AstTest, StructuralEqualityAndHash) {
+  const ExprPtr a = Add(Variable(0, "x"), Constant(1.0));
+  const ExprPtr b = Add(Variable(0, "x"), Constant(1.0));
+  const ExprPtr c = Add(Variable(1, "y"), Constant(1.0));
+  EXPECT_TRUE(StructurallyEqual(*a, *b));
+  EXPECT_FALSE(StructurallyEqual(*a, *c));
+  EXPECT_EQ(a->StructuralHash(), b->StructuralHash());
+  EXPECT_NE(a->StructuralHash(), c->StructuralHash());
+}
+
+TEST(AstTest, HashDistinguishesOperandOrderForNoncommutative) {
+  const ExprPtr a = Sub(Variable(0, "x"), Constant(1.0));
+  const ExprPtr b = Sub(Constant(1.0), Variable(0, "x"));
+  EXPECT_NE(a->StructuralHash(), b->StructuralHash());
+}
+
+TEST(AstTest, ReferencedSlots) {
+  const ExprPtr e =
+      Add(Mul(Variable(3, "a"), Parameter(1, "p")),
+          Sub(Variable(0, "b"), Variable(3, "a")));
+  EXPECT_EQ(ReferencedVariableSlots(*e), (std::vector<int>{0, 3}));
+  EXPECT_EQ(ReferencedParameterSlots(*e), (std::vector<int>{1}));
+}
+
+// ---------------------------------------------------------------- eval ----
+
+TEST(EvalTest, BasicArithmetic) {
+  const auto ctx = MakeContext({3.0, 4.0}, {});
+  EXPECT_DOUBLE_EQ(EvalExpr(*Add(Variable(0, ""), Variable(1, "")), ctx), 7);
+  EXPECT_DOUBLE_EQ(EvalExpr(*Sub(Variable(0, ""), Variable(1, "")), ctx), -1);
+  EXPECT_DOUBLE_EQ(EvalExpr(*Mul(Variable(0, ""), Variable(1, "")), ctx), 12);
+  EXPECT_DOUBLE_EQ(EvalExpr(*Div(Variable(1, ""), Variable(0, "")), ctx),
+                   4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(EvalExpr(*Min(Variable(0, ""), Variable(1, "")), ctx), 3);
+  EXPECT_DOUBLE_EQ(EvalExpr(*Max(Variable(0, ""), Variable(1, "")), ctx), 4);
+  EXPECT_DOUBLE_EQ(EvalExpr(*Neg(Variable(0, "")), ctx), -3);
+}
+
+TEST(EvalTest, ParameterLookup) {
+  const auto ctx = MakeContext({}, {2.5, -1.0});
+  EXPECT_DOUBLE_EQ(EvalExpr(*Parameter(1, "p"), ctx), -1.0);
+}
+
+TEST(EvalTest, ProtectedDivisionReturnsOne) {
+  const auto ctx = MakeContext({5.0, 0.0}, {});
+  EXPECT_DOUBLE_EQ(EvalExpr(*Div(Variable(0, ""), Variable(1, "")), ctx),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      EvalExpr(*Div(Variable(0, ""), Constant(0.5 * kDivEpsilon)), ctx), 1.0);
+}
+
+TEST(EvalTest, ProtectedLog) {
+  const auto ctx = MakeContext({}, {});
+  EXPECT_DOUBLE_EQ(EvalExpr(*Log(Constant(std::exp(1.0))), ctx), 1.0);
+  EXPECT_DOUBLE_EQ(EvalExpr(*Log(Constant(-std::exp(2.0))), ctx), 2.0);
+  EXPECT_DOUBLE_EQ(EvalExpr(*Log(Constant(0.0)), ctx), 0.0);
+}
+
+TEST(EvalTest, ExpIsClamped) {
+  const auto ctx = MakeContext({}, {});
+  const double big = EvalExpr(*Exp(Constant(1e9)), ctx);
+  EXPECT_TRUE(std::isfinite(big));
+  EXPECT_DOUBLE_EQ(big, std::exp(kExpArgClamp));
+  EXPECT_DOUBLE_EQ(EvalExpr(*Exp(Constant(-1e9)), ctx),
+                   std::exp(-kExpArgClamp));
+}
+
+// ------------------------------------------------------------- compile ----
+
+ExprPtr RandomTree(Rng& rng, int depth, int num_vars, int num_params) {
+  if (depth <= 1 || rng.Bernoulli(0.3)) {
+    const double dice = rng.Uniform();
+    if (dice < 0.4) return Variable(rng.UniformInt(0, num_vars - 1), "");
+    if (dice < 0.6) return Parameter(rng.UniformInt(0, num_params - 1), "");
+    return Constant(rng.Uniform(-5, 5));
+  }
+  static const NodeKind kBinary[] = {NodeKind::kAdd, NodeKind::kSub,
+                                     NodeKind::kMul, NodeKind::kDiv,
+                                     NodeKind::kMin, NodeKind::kMax};
+  static const NodeKind kUnary[] = {NodeKind::kNeg, NodeKind::kLog,
+                                    NodeKind::kExp};
+  if (rng.Bernoulli(0.25)) {
+    return MakeUnary(kUnary[rng.UniformInt(0, 2)],
+                     RandomTree(rng, depth - 1, num_vars, num_params));
+  }
+  return MakeBinary(kBinary[rng.UniformInt(0, 5)],
+                    RandomTree(rng, depth - 1, num_vars, num_params),
+                    RandomTree(rng, depth - 1, num_vars, num_params));
+}
+
+/// Property: the compiled VM is bit-identical to the tree interpreter.
+class CompileEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompileEquivalenceTest, VmMatchesInterpreter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const ExprPtr tree = RandomTree(rng, 6, 4, 3);
+  const CompiledProgram program = Compile(*tree);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> vars(4), params(3);
+    for (double& v : vars) v = rng.Uniform(-10, 10);
+    for (double& p : params) p = rng.Uniform(-10, 10);
+    const auto ctx = MakeContext(vars, params);
+    const double interpreted = EvalExpr(*tree, ctx);
+    const double compiled = program.Run(ctx);
+    if (std::isnan(interpreted)) {
+      EXPECT_TRUE(std::isnan(compiled));
+    } else {
+      EXPECT_DOUBLE_EQ(interpreted, compiled);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompileEquivalenceTest,
+                         ::testing::Range(0, 40));
+
+TEST(CompileTest, ProgramSizeEqualsNodeCount) {
+  const ExprPtr e = Add(Mul(Variable(0, ""), Constant(2.0)), Constant(1.0));
+  EXPECT_EQ(Compile(*e).size(), e->NodeCount());
+}
+
+// ------------------------------------------------------------ simplify ----
+
+TEST(SimplifyTest, Identities) {
+  const ExprPtr x = Variable(0, "x");
+  EXPECT_TRUE(StructurallyEqual(*Simplify(Add(x, Constant(0.0))), *x));
+  EXPECT_TRUE(StructurallyEqual(*Simplify(Mul(x, Constant(1.0))), *x));
+  EXPECT_TRUE(StructurallyEqual(*Simplify(Sub(x, Constant(0.0))), *x));
+  EXPECT_TRUE(StructurallyEqual(*Simplify(Div(x, Constant(1.0))), *x));
+  EXPECT_TRUE(
+      StructurallyEqual(*Simplify(Mul(x, Constant(0.0))), *Constant(0.0)));
+  EXPECT_TRUE(StructurallyEqual(*Simplify(Sub(x, x)), *Constant(0.0)));
+  EXPECT_TRUE(StructurallyEqual(*Simplify(Div(x, x)), *Constant(1.0)));
+  EXPECT_TRUE(StructurallyEqual(*Simplify(Min(x, x)), *x));
+  EXPECT_TRUE(StructurallyEqual(*Simplify(Neg(Neg(x))), *x));
+}
+
+TEST(SimplifyTest, ConstantFolding) {
+  const ExprPtr e = Add(Constant(2.0), Mul(Constant(3.0), Constant(4.0)));
+  const ExprPtr s = Simplify(e);
+  ASSERT_EQ(s->kind(), NodeKind::kConstant);
+  EXPECT_DOUBLE_EQ(s->value(), 14.0);
+}
+
+TEST(SimplifyTest, FoldingUsesProtectedSemantics) {
+  const ExprPtr s = Simplify(Div(Constant(5.0), Constant(0.0)));
+  ASSERT_EQ(s->kind(), NodeKind::kConstant);
+  EXPECT_DOUBLE_EQ(s->value(), 1.0);
+}
+
+TEST(SimplifyTest, CommutativeCanonicalization) {
+  const ExprPtr a = Add(Variable(1, "y"), Variable(0, "x"));
+  const ExprPtr b = Add(Variable(0, "x"), Variable(1, "y"));
+  EXPECT_TRUE(StructurallyEqual(*Simplify(a), *Simplify(b)));
+  EXPECT_EQ(Simplify(a)->StructuralHash(), Simplify(b)->StructuralHash());
+}
+
+TEST(SimplifyTest, DoesNotFoldNamedParameters) {
+  // Parameters are runtime values; folding them would freeze the model.
+  const ExprPtr e = Mul(Parameter(0, "p"), Constant(2.0));
+  const ExprPtr s = Simplify(e);
+  EXPECT_EQ(s->kind(), NodeKind::kMul);
+}
+
+/// Property: simplification preserves semantics and never grows the tree.
+class SimplifyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyPropertyTest, PreservesSemanticsAndShrinks) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const ExprPtr tree = RandomTree(rng, 6, 3, 2);
+  const ExprPtr simplified = Simplify(tree);
+  EXPECT_LE(simplified->NodeCount(), tree->NodeCount());
+  // Idempotence.
+  EXPECT_TRUE(StructurallyEqual(*Simplify(simplified), *simplified));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> vars(3), params(2);
+    for (double& v : vars) v = rng.Uniform(-4, 4);
+    for (double& p : params) p = rng.Uniform(-4, 4);
+    const auto ctx = MakeContext(vars, params);
+    const double before = EvalExpr(*tree, ctx);
+    const double after = EvalExpr(*simplified, ctx);
+    if (std::isnan(before)) {
+      EXPECT_TRUE(std::isnan(after));
+    } else {
+      // Commutative reordering can change floating-point rounding; allow a
+      // tight relative tolerance.
+      EXPECT_NEAR(after, before,
+                  1e-9 * std::max(1.0, std::fabs(before)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest, ::testing::Range(0, 40));
+
+// --------------------------------------------------------------- print ----
+
+TEST(PrintTest, InfixGoldenStrings) {
+  const ExprPtr x = Variable(0, "x");
+  const ExprPtr p = Parameter(0, "C");
+  EXPECT_EQ(ToString(*Add(x, Constant(1.0))), "x + 1");
+  EXPECT_EQ(ToString(*Mul(Add(x, p), Constant(2.0))), "(x + C) * 2");
+  EXPECT_EQ(ToString(*Sub(x, Sub(p, Constant(1.0)))), "x - (C - 1)");
+  EXPECT_EQ(ToString(*Min(x, Exp(p))), "min(x, exp(C))");
+  EXPECT_EQ(ToString(*Neg(x)), "-x");
+}
+
+TEST(PrintTest, SExpression) {
+  const ExprPtr e = Mul(Variable(0, "B"), Sub(Variable(1, "mu"), Constant(1.5)));
+  EXPECT_EQ(ToSExpression(*e), "(* B (- mu 1.5))");
+}
+
+// -------------------------------------------------------------- parser ----
+
+SymbolTable TestSymbols() {
+  SymbolTable symbols;
+  symbols.variables["x"] = 0;
+  symbols.variables["y"] = 1;
+  symbols.parameters["C"] = 0;
+  return symbols;
+}
+
+TEST(ParserTest, PrecedenceAndAssociativity) {
+  const auto result = Parse("x + y * 2 - 1", TestSymbols());
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto ctx = MakeContext({3.0, 4.0}, {0.0});
+  EXPECT_DOUBLE_EQ(EvalExpr(*result.expr, ctx), 3.0 + 4.0 * 2.0 - 1.0);
+}
+
+TEST(ParserTest, ParensAndFunctions) {
+  const auto result = Parse("min((x + y) * C, exp(1))", TestSymbols());
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto ctx = MakeContext({1.0, 2.0}, {10.0});
+  EXPECT_DOUBLE_EQ(EvalExpr(*result.expr, ctx), std::exp(1.0));
+}
+
+TEST(ParserTest, UnaryMinus) {
+  const auto result = Parse("-x * -2", TestSymbols());
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto ctx = MakeContext({3.0, 0.0}, {0.0});
+  EXPECT_DOUBLE_EQ(EvalExpr(*result.expr, ctx), 6.0);
+}
+
+TEST(ParserTest, PrintParseRoundTrip) {
+  Rng rng(31);
+  for (int i = 0; i < 30; ++i) {
+    ExprPtr tree = RandomTree(rng, 5, 2, 1);
+    // The test symbol table only has unnamed leaves; rebuild names.
+    const auto result = Parse(ToString(*tree), SymbolTable{});
+    // Unnamed leaves print as v0/p0 which the empty table cannot resolve;
+    // only constant-only trees are guaranteed to round-trip here.
+    if (ReferencedVariableSlots(*tree).empty() &&
+        ReferencedParameterSlots(*tree).empty()) {
+      ASSERT_TRUE(result.ok()) << result.error;
+      const auto ctx = MakeContext({}, {});
+      const double a = EvalExpr(*tree, ctx);
+      const double b = EvalExpr(*result.expr, ctx);
+      if (!std::isnan(a)) {
+        EXPECT_NEAR(b, a, 1e-6 * std::max(1.0, std::fabs(a)));
+      }
+    }
+  }
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(Parse("x +", TestSymbols()).ok());
+  EXPECT_FALSE(Parse("unknown_name", TestSymbols()).ok());
+  EXPECT_FALSE(Parse("min(x)", TestSymbols()).ok());
+  EXPECT_FALSE(Parse("x @ y", TestSymbols()).ok());
+  EXPECT_FALSE(Parse("(x + 1", TestSymbols()).ok());
+  EXPECT_FALSE(Parse("x 1", TestSymbols()).ok());
+}
+
+}  // namespace
+}  // namespace gmr::expr

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "expr/eval.h"
+#include "expr/jit.h"
+#include "river/biology.h"
+#include "river/parameters.h"
+#include "river/variables.h"
+
+namespace gmr::expr {
+namespace {
+
+ExprPtr RandomTree(Rng& rng, int depth, int num_vars, int num_params) {
+  if (depth <= 1 || rng.Bernoulli(0.3)) {
+    const double dice = rng.Uniform();
+    if (dice < 0.4) return Variable(rng.UniformInt(0, num_vars - 1), "");
+    if (dice < 0.6) return Parameter(rng.UniformInt(0, num_params - 1), "");
+    return Constant(rng.Uniform(-5, 5));
+  }
+  static const NodeKind kBinary[] = {NodeKind::kAdd, NodeKind::kSub,
+                                     NodeKind::kMul, NodeKind::kDiv,
+                                     NodeKind::kMin, NodeKind::kMax};
+  static const NodeKind kUnary[] = {NodeKind::kNeg, NodeKind::kLog,
+                                    NodeKind::kExp};
+  if (rng.Bernoulli(0.25)) {
+    return MakeUnary(kUnary[rng.UniformInt(0, 2)],
+                     RandomTree(rng, depth - 1, num_vars, num_params));
+  }
+  return MakeBinary(kBinary[rng.UniformInt(0, 5)],
+                    RandomTree(rng, depth - 1, num_vars, num_params),
+                    RandomTree(rng, depth - 1, num_vars, num_params));
+}
+
+TEST(JitTest, SourceGenerationMentionsSlotsAndKernels) {
+  const ExprPtr e =
+      Div(Add(Variable(2, ""), Parameter(1, "")), Log(Constant(3.0)));
+  const std::string source = GenerateCSource(*e);
+  EXPECT_NE(source.find("v[2]"), std::string::npos);
+  EXPECT_NE(source.find("p[1]"), std::string::npos);
+  EXPECT_NE(source.find("gmr_pdiv"), std::string::npos);
+  EXPECT_NE(source.find("gmr_plog"), std::string::npos);
+  EXPECT_NE(source.find("double gmr_eval"), std::string::npos);
+}
+
+TEST(JitTest, MatchesInterpreterOnRiverEquation) {
+  if (!JitAvailable()) GTEST_SKIP() << "no C compiler on this system";
+  std::string error;
+  const auto equation = river::PhytoplanktonDerivative();
+  const auto program = JitProgram::Compile(*equation, &error);
+  ASSERT_NE(program, nullptr) << error;
+
+  const auto params = gp::PriorMeans(river::RiverParameterPriors());
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> vars(river::kNumVariables);
+    for (double& v : vars) v = rng.Uniform(0.01, 30.0);
+    EvalContext ctx{vars.data(), vars.size(), params.data(), params.size()};
+    EXPECT_DOUBLE_EQ(program->Run(ctx), EvalExpr(*equation, ctx));
+  }
+}
+
+TEST(JitTest, MatchesInterpreterOnRandomTrees) {
+  if (!JitAvailable()) GTEST_SKIP() << "no C compiler on this system";
+  Rng rng(11);
+  for (int i = 0; i < 5; ++i) {
+    const ExprPtr tree = RandomTree(rng, 5, 3, 2);
+    std::string error;
+    const auto program = JitProgram::Compile(*tree, &error);
+    ASSERT_NE(program, nullptr) << error;
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<double> vars(3), params(2);
+      for (double& v : vars) v = rng.Uniform(-10, 10);
+      for (double& p : params) p = rng.Uniform(-10, 10);
+      EvalContext ctx{vars.data(), vars.size(), params.data(),
+                      params.size()};
+      const double interpreted = EvalExpr(*tree, ctx);
+      const double jitted = program->Run(ctx);
+      if (std::isnan(interpreted)) {
+        EXPECT_TRUE(std::isnan(jitted));
+      } else {
+        EXPECT_DOUBLE_EQ(jitted, interpreted);
+      }
+    }
+  }
+}
+
+TEST(JitTest, ProtectedSemanticsSurviveCompilation) {
+  if (!JitAvailable()) GTEST_SKIP() << "no C compiler on this system";
+  std::string error;
+  // x / y with y == 0 must hit the protected kernel, not IEEE inf.
+  const auto program =
+      JitProgram::Compile(*Div(Variable(0, ""), Variable(1, "")), &error);
+  ASSERT_NE(program, nullptr) << error;
+  const double vars[] = {5.0, 0.0};
+  EvalContext ctx{vars, 2, nullptr, 0};
+  EXPECT_DOUBLE_EQ(program->Run(ctx), 1.0);
+}
+
+}  // namespace
+}  // namespace gmr::expr

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "river/synthetic.h"
+#include "river/variables.h"
+
+namespace gmr::river {
+namespace {
+
+SyntheticConfig SmallConfig(std::uint64_t seed = 42) {
+  SyntheticConfig config;
+  config.years = 3;
+  config.train_years = 2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const RiverDataset a = GenerateNakdongLike(SmallConfig(9));
+  const RiverDataset b = GenerateNakdongLike(SmallConfig(9));
+  ASSERT_EQ(a.num_days, b.num_days);
+  EXPECT_EQ(a.observed_bphy, b.observed_bphy);
+  EXPECT_EQ(a.drivers[kVtmp], b.drivers[kVtmp]);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const RiverDataset a = GenerateNakdongLike(SmallConfig(1));
+  const RiverDataset b = GenerateNakdongLike(SmallConfig(2));
+  EXPECT_NE(a.observed_bphy, b.observed_bphy);
+}
+
+TEST(SyntheticTest, ShapesAndSplit) {
+  const RiverDataset dataset = GenerateNakdongLike(SmallConfig());
+  EXPECT_EQ(dataset.num_days, static_cast<std::size_t>(3 * kDaysPerYear));
+  EXPECT_EQ(dataset.train_end, static_cast<std::size_t>(2 * kDaysPerYear));
+  EXPECT_EQ(dataset.NumTestDays(), static_cast<std::size_t>(kDaysPerYear));
+  for (int slot : ObservedVariableSlots()) {
+    EXPECT_EQ(dataset.drivers[static_cast<std::size_t>(slot)].size(),
+              dataset.num_days);
+  }
+  EXPECT_EQ(dataset.observed_bphy.size(), dataset.num_days);
+  // Nine real stations for the -ALL baselines.
+  EXPECT_EQ(dataset.station_names.size(), 9u);
+  EXPECT_EQ(dataset.station_drivers.size(), 9u);
+  for (const auto& station : dataset.station_drivers) {
+    EXPECT_EQ(station.size(), ObservedVariableSlots().size());
+  }
+}
+
+TEST(SyntheticTest, DriversWithinPhysicalRanges) {
+  const RiverDataset dataset = GenerateNakdongLike(SmallConfig());
+  struct Range {
+    int slot;
+    double lo;
+    double hi;
+  };
+  // Routing mixes station series, so bounds are the generator clamps.
+  const Range ranges[] = {
+      {kVtmp, 0.0, 33.0}, {kVlgt, 0.0, 31.0},  {kVn, 0.3, 6.5},
+      {kVp, 0.004, 0.35}, {kVsi, 0.4, 9.5},    {kVcd, 140.0, 620.0},
+      {kValk, 18.0, 85.0}, {kVph, 6.7, 9.5},   {kVdo, 3.5, 16.5},
+      {kVsd, 0.2, 3.6},
+  };
+  for (const Range& range : ranges) {
+    const auto& series = dataset.drivers[static_cast<std::size_t>(range.slot)];
+    for (double v : series) {
+      ASSERT_GE(v, range.lo) << VariableName(range.slot);
+      ASSERT_LE(v, range.hi) << VariableName(range.slot);
+    }
+  }
+}
+
+TEST(SyntheticTest, ObservationsPositiveAndFinite) {
+  const RiverDataset dataset = GenerateNakdongLike(SmallConfig());
+  for (double v : dataset.observed_bphy) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_GT(v, 0.0);
+  }
+  // Biomass must actually vary (blooms and clear-water phases).
+  EXPECT_GT(StdDev(dataset.observed_bphy), 1.0);
+}
+
+TEST(SyntheticTest, ChlorophyllSampledWeekly) {
+  const RiverDataset dataset = GenerateNakdongLike(SmallConfig());
+  ASSERT_GT(dataset.bphy_sample_days.size(), 2u);
+  for (std::size_t i = 1; i < dataset.bphy_sample_days.size(); ++i) {
+    EXPECT_EQ(dataset.bphy_sample_days[i] - dataset.bphy_sample_days[i - 1],
+              7u);
+  }
+  // Observed series interpolates the samples: linear between sample days.
+  const std::size_t d0 = dataset.bphy_sample_days[10];
+  const std::size_t d1 = dataset.bphy_sample_days[11];
+  const double mid_expected =
+      0.5 * (dataset.observed_bphy[d0] + dataset.observed_bphy[d1]);
+  // Sample interval is 7, so the midpoint day d0+3.5 does not exist; check
+  // day d0+3 and d0+4 bracket the linear value.
+  const double v3 = dataset.observed_bphy[d0 + 3];
+  const double v4 = dataset.observed_bphy[d0 + 4];
+  EXPECT_NEAR(0.5 * (v3 + v4), mid_expected, 1e-9);
+}
+
+TEST(SyntheticTest, SeasonalTemperatureCycle) {
+  const RiverDataset dataset = GenerateNakdongLike(SmallConfig());
+  // Mean July temperature must exceed mean January temperature clearly.
+  double summer = 0.0;
+  double winter = 0.0;
+  int summer_n = 0;
+  int winter_n = 0;
+  for (std::size_t t = 0; t < dataset.num_days; ++t) {
+    const int doy = static_cast<int>(t % kDaysPerYear);
+    if (doy >= 181 && doy < 212) {
+      summer += dataset.drivers[kVtmp][t];
+      ++summer_n;
+    } else if (doy < 31) {
+      winter += dataset.drivers[kVtmp][t];
+      ++winter_n;
+    }
+  }
+  EXPECT_GT(summer / summer_n, winter / winter_n + 10.0);
+}
+
+TEST(SyntheticTest, HiddenStructureChangesObservations) {
+  SyntheticConfig with = SmallConfig(77);
+  SyntheticConfig without = SmallConfig(77);
+  without.plant_hidden_structure = false;
+  const RiverDataset a = GenerateNakdongLike(with);
+  const RiverDataset b = GenerateNakdongLike(without);
+  // Same seed, different truth process -> different plankton.
+  double max_diff = 0.0;
+  for (std::size_t t = 0; t < a.num_days; ++t) {
+    max_diff = std::max(
+        max_diff, std::fabs(a.observed_bphy[t] - b.observed_bphy[t]));
+  }
+  EXPECT_GT(max_diff, 1.0);
+}
+
+TEST(SyntheticTest, InitialStatesComeFromObservations) {
+  const RiverDataset dataset = GenerateNakdongLike(SmallConfig());
+  EXPECT_DOUBLE_EQ(dataset.initial_bphy, dataset.observed_bphy.front());
+  EXPECT_DOUBLE_EQ(dataset.test_initial_bphy,
+                   dataset.observed_bphy[dataset.train_end]);
+  EXPECT_GT(dataset.initial_bzoo, 0.0);
+}
+
+TEST(SyntheticTest, ConductivityCorrelatesWithNitrogen) {
+  // The generator plants V_cd as a dissolved-load proxy; the routed series
+  // must preserve a clear positive association (Section IV-E rationale).
+  const RiverDataset dataset = GenerateNakdongLike(SmallConfig());
+  EXPECT_GT(PearsonCorrelation(dataset.drivers[kVcd], dataset.drivers[kVn]),
+            0.3);
+}
+
+}  // namespace
+}  // namespace gmr::river

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/eval.h"
+#include "expr/print.h"
+#include "tag/derivation.h"
+#include "tag/generate.h"
+#include "tag/grammar.h"
+#include "tag/tag_tree.h"
+
+namespace gmr::tag {
+namespace {
+
+namespace e = gmr::expr;
+
+// Builds the paper's Figure 3 alpha tree: B_Phy * mu_Phy with all interior
+// nodes labeled Exp (variable slots: 0 = B_Phy, 1 = mu_Phy).
+TagNodePtr Figure3Alpha() {
+  std::vector<TagNodePtr> children;
+  children.push_back(LeafNode(e::Variable(0, "B_Phy")));
+  children.push_back(LeafNode(e::Variable(1, "mu_Phy")));
+  return OperatorNode(kExpSymbol, e::NodeKind::kMul, std::move(children));
+}
+
+// Figure 3(b) beta tree: Exp -> Exp* - R(slot).
+TagNodePtr Figure3Beta() {
+  std::vector<TagNodePtr> children;
+  children.push_back(FootNode(kExpSymbol));
+  children.push_back(SlotNode("R"));
+  return OperatorNode(kExpSymbol, e::NodeKind::kSub, std::move(children));
+}
+
+// ---------------------------------------------------------- TagNode -------
+
+TEST(TagTreeTest, CloneIsDeepAndEqual) {
+  TagNodePtr original = Figure3Alpha();
+  TagNodePtr copy = original->Clone();
+  EXPECT_NE(original.get(), copy.get());
+  EXPECT_EQ(copy->NodeCount(), original->NodeCount());
+  EXPECT_EQ(copy->kind, original->kind);
+  EXPECT_NE(original->children[0].get(), copy->children[0].get());
+}
+
+TEST(TagTreeTest, FromExprRoundTripsThroughLowering) {
+  const e::ExprPtr source =
+      e::Add(e::Mul(e::Variable(0, "x"), e::Constant(2.0)),
+             e::Parameter(1, "C"));
+  TagNodePtr tree = FromExpr(source, kExpSymbol);
+  const auto equations = LowerToExpressions(*tree);
+  ASSERT_EQ(equations.size(), 1u);
+  EXPECT_TRUE(e::StructurallyEqual(*equations[0], *source));
+}
+
+TEST(TagTreeTest, SystemNodeLowersToMultipleEquations) {
+  std::vector<TagNodePtr> eqs;
+  eqs.push_back(FromExpr(e::Constant(1.0), kExpSymbol));
+  eqs.push_back(FromExpr(e::Constant(2.0), kExpSymbol));
+  TagNodePtr system = SystemNode(std::move(eqs));
+  const auto equations = LowerToExpressions(*system);
+  ASSERT_EQ(equations.size(), 2u);
+  EXPECT_DOUBLE_EQ(equations[0]->value(), 1.0);
+  EXPECT_DOUBLE_EQ(equations[1]->value(), 2.0);
+}
+
+TEST(TagTreeTest, IsCompletedDetectsSlotsAndFeet) {
+  EXPECT_TRUE(IsCompleted(*Figure3Alpha()));
+  EXPECT_FALSE(IsCompleted(*Figure3Beta()));
+  TagNodePtr slot_only = SlotNode("R");
+  EXPECT_FALSE(IsCompleted(*slot_only));
+}
+
+// ----------------------------------------------------- ElementaryTree -----
+
+TEST(ElementaryTreeTest, IndexesAdjoinableAndSlots) {
+  ElementaryTree alpha("fig3a", Figure3Alpha());
+  EXPECT_FALSE(alpha.IsAuxiliary());
+  ASSERT_EQ(alpha.adjoinable_labels().size(), 1u);  // the root Exp node
+  EXPECT_EQ(alpha.adjoinable_labels()[0], kExpSymbol);
+  EXPECT_TRUE(alpha.slot_labels().empty());
+
+  ElementaryTree beta("fig3b", Figure3Beta());
+  EXPECT_TRUE(beta.IsAuxiliary());
+  ASSERT_EQ(beta.slot_labels().size(), 1u);
+  EXPECT_EQ(beta.slot_labels()[0], "R");
+}
+
+TEST(ElementaryTreeTest, InstantiateTracksPointers) {
+  ElementaryTree beta("fig3b", Figure3Beta());
+  ElementaryTree::Instance instance = beta.Instantiate();
+  ASSERT_EQ(instance.adjoinable.size(), 1u);
+  ASSERT_EQ(instance.slots.size(), 1u);
+  ASSERT_NE(instance.foot, nullptr);
+  EXPECT_EQ(instance.foot->label, kExpSymbol);
+}
+
+// ------------------------------------------------- Adjoin/Substitute ------
+
+TEST(AdjoinTest, PaperFigure3Example) {
+  // Adjoining Exp* - R into the root of B_Phy * mu_Phy, then substituting
+  // 1.5, must yield B_Phy * mu_Phy - 1.5 ... adjunction at the ROOT wraps
+  // the whole product: (B_Phy * mu_Phy) - 1.5.
+  ElementaryTree alpha("fig3a", Figure3Alpha());
+  ElementaryTree beta("fig3b", Figure3Beta());
+
+  ElementaryTree::Instance tree = alpha.Instantiate();
+  ElementaryTree::Instance aux = beta.Instantiate();
+  TagNode* slot = aux.slots[0];
+  Adjoin(&tree.root, tree.adjoinable[0], std::move(aux));
+  SubstituteLexeme(slot, e::Constant(1.5));
+
+  ASSERT_TRUE(IsCompleted(*tree.root));
+  const auto equations = LowerToExpressions(*tree.root);
+  ASSERT_EQ(equations.size(), 1u);
+  EXPECT_EQ(e::ToString(*equations[0]), "B_Phy * mu_Phy - 1.5");
+
+  std::vector<double> vars{2.0, 3.0};
+  e::EvalContext ctx;
+  ctx.variables = vars.data();
+  ctx.num_variables = vars.size();
+  EXPECT_DOUBLE_EQ(e::EvalExpr(*equations[0], ctx), 2.0 * 3.0 - 1.5);
+}
+
+TEST(AdjoinTest, AdjoiningAtInteriorNode) {
+  // Alpha: (x + y) * z with Exp labels; adjoin Exp* - R at the (x + y) node.
+  std::vector<TagNodePtr> sum_children;
+  sum_children.push_back(LeafNode(e::Variable(0, "x")));
+  sum_children.push_back(LeafNode(e::Variable(1, "y")));
+  TagNodePtr sum =
+      OperatorNode(kExpSymbol, e::NodeKind::kAdd, std::move(sum_children));
+  std::vector<TagNodePtr> top_children;
+  top_children.push_back(std::move(sum));
+  top_children.push_back(LeafNode(e::Variable(2, "z")));
+  ElementaryTree alpha(
+      "a", OperatorNode(kExpSymbol, e::NodeKind::kMul,
+                        std::move(top_children)));
+  ASSERT_EQ(alpha.adjoinable_labels().size(), 2u);  // root and the sum
+
+  ElementaryTree beta("b", Figure3Beta());
+  ElementaryTree::Instance tree = alpha.Instantiate();
+  ElementaryTree::Instance aux = beta.Instantiate();
+  TagNode* slot = aux.slots[0];
+  // adjoinable[1] is the interior (x + y) node (preorder).
+  Adjoin(&tree.root, tree.adjoinable[1], std::move(aux));
+  SubstituteLexeme(slot, e::Constant(4.0));
+  const auto equations = LowerToExpressions(*tree.root);
+  EXPECT_EQ(e::ToString(*equations[0]), "(x + y - 4) * z");
+}
+
+// ----------------------------------------------------------- Grammar ------
+
+Grammar MakeToyGrammar() {
+  Grammar grammar;
+  grammar.AddAlphaTree(ElementaryTree("alpha", Figure3Alpha()));
+  grammar.AddBetaTree(ElementaryTree("beta", Figure3Beta()));
+  grammar.SetSlotSpec("R", SlotSpec{0.0, 1.0});
+  return grammar;
+}
+
+TEST(GrammarTest, LookupByRootLabel) {
+  Grammar grammar = MakeToyGrammar();
+  EXPECT_EQ(grammar.num_alpha_trees(), 1u);
+  EXPECT_EQ(grammar.num_beta_trees(), 1u);
+  EXPECT_TRUE(grammar.HasCompatibleBeta(kExpSymbol));
+  EXPECT_FALSE(grammar.HasCompatibleBeta("Nope"));
+  EXPECT_EQ(grammar.BetasWithRootLabel(kExpSymbol).size(), 1u);
+}
+
+TEST(GrammarTest, SlotSpecDefaultsAndOverrides) {
+  Grammar grammar = MakeToyGrammar();
+  EXPECT_DOUBLE_EQ(grammar.slot_spec("R").lo, 0.0);
+  EXPECT_DOUBLE_EQ(grammar.slot_spec("R").hi, 1.0);
+  grammar.SetSlotSpec("R", SlotSpec{-2.0, 2.0});
+  EXPECT_DOUBLE_EQ(grammar.slot_spec("R").lo, -2.0);
+  EXPECT_DOUBLE_EQ(grammar.slot_spec("unset").hi, 1.0);
+}
+
+// -------------------------------------------------------- Derivation ------
+
+TEST(DerivationTest, ExpandChainOfAdjunctions) {
+  Grammar grammar = MakeToyGrammar();
+  // root (alpha), one child adjoined at address 0, grandchild at the
+  // child's root address. Result: ((B*mu - r1) - r2) depending on
+  // addresses; the child beta has adjoinable nodes too.
+  auto root = std::make_unique<DerivationNode>();
+  root->tree_index = 0;
+  auto child = std::make_unique<DerivationNode>();
+  child->tree_index = 0;
+  child->lexemes = {0.25};
+  auto grandchild = std::make_unique<DerivationNode>();
+  grandchild->tree_index = 0;
+  grandchild->lexemes = {0.5};
+  child->children.push_back({0, std::move(grandchild)});
+  root->children.push_back({0, std::move(child)});
+
+  std::string error;
+  ASSERT_TRUE(Validate(grammar, *root, &error)) << error;
+  const auto equations = ExpandToExpressions(grammar, *root);
+  ASSERT_EQ(equations.size(), 1u);
+  // Child adjoins at alpha root: (B*mu) - 0.25. Grandchild adjoins at the
+  // child's own root node: ((B*mu) - 0.25) - 0.5.
+  EXPECT_EQ(e::ToString(*equations[0]), "B_Phy * mu_Phy - 0.25 - 0.5");
+}
+
+TEST(DerivationTest, ValidateRejectsBadAddress) {
+  Grammar grammar = MakeToyGrammar();
+  auto root = std::make_unique<DerivationNode>();
+  root->tree_index = 0;
+  auto child = std::make_unique<DerivationNode>();
+  child->tree_index = 0;
+  child->lexemes = {0.1};
+  root->children.push_back({5, std::move(child)});  // out of range
+  std::string error;
+  EXPECT_FALSE(Validate(grammar, *root, &error));
+}
+
+TEST(DerivationTest, ValidateRejectsDuplicateAddress) {
+  Grammar grammar = MakeToyGrammar();
+  auto root = std::make_unique<DerivationNode>();
+  root->tree_index = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto child = std::make_unique<DerivationNode>();
+    child->tree_index = 0;
+    child->lexemes = {0.1};
+    root->children.push_back({0, std::move(child)});
+  }
+  std::string error;
+  EXPECT_FALSE(Validate(grammar, *root, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(DerivationTest, ValidateRejectsWrongLexemeCount) {
+  Grammar grammar = MakeToyGrammar();
+  auto root = std::make_unique<DerivationNode>();
+  root->tree_index = 0;
+  auto child = std::make_unique<DerivationNode>();
+  child->tree_index = 0;  // beta has 1 slot, no lexemes given
+  root->children.push_back({0, std::move(child)});
+  std::string error;
+  EXPECT_FALSE(Validate(grammar, *root, &error));
+}
+
+TEST(DerivationTest, CloneIsIndependent) {
+  Grammar grammar = MakeToyGrammar();
+  Rng rng(5);
+  DerivationPtr root = GrowRandom(grammar, 0, 5, rng);
+  DerivationPtr copy = root->Clone();
+  EXPECT_EQ(copy->NodeCount(), root->NodeCount());
+  // Mutating the copy must not affect the original.
+  if (!copy->children.empty()) {
+    copy->children.clear();
+    EXPECT_GT(root->NodeCount(), copy->NodeCount());
+  }
+}
+
+// ----------------------------------------------------------- Generate -----
+
+class GeneratePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratePropertyTest, GrowRandomProducesValidDerivations) {
+  Grammar grammar = MakeToyGrammar();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  const std::size_t target = 2 + rng.UniformInt(std::uint64_t{10});
+  DerivationPtr root = GrowRandom(grammar, 0, target, rng);
+  std::string error;
+  EXPECT_TRUE(Validate(grammar, *root, &error)) << error;
+  EXPECT_GE(root->NodeCount(), 1u);
+  const auto equations = ExpandToExpressions(grammar, *root);
+  ASSERT_EQ(equations.size(), 1u);
+}
+
+TEST_P(GeneratePropertyTest, InsertAndDeletePreserveValidity) {
+  Grammar grammar = MakeToyGrammar();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 7);
+  DerivationPtr root = GrowRandom(grammar, 0, 4, rng);
+  for (int step = 0; step < 20; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      InsertRandomBeta(grammar, root.get(), rng);
+    } else {
+      DeleteRandomLeaf(root.get(), rng);
+    }
+    std::string error;
+    ASSERT_TRUE(Validate(grammar, *root, &error)) << error;
+    ExpandToExpressions(grammar, *root);  // must not abort
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratePropertyTest, ::testing::Range(0, 25));
+
+TEST(GenerateTest, DeleteOnRootOnlyTreeFails) {
+  Grammar grammar = MakeToyGrammar();
+  Rng rng(3);
+  DerivationPtr root = NewSeedDerivation(grammar, 0, rng);
+  EXPECT_FALSE(DeleteRandomLeaf(root.get(), rng));
+}
+
+TEST(GenerateTest, OpenSitesShrinkWhenOccupied) {
+  Grammar grammar = MakeToyGrammar();
+  Rng rng(9);
+  DerivationPtr root = NewSeedDerivation(grammar, 0, rng);
+  const auto before = CollectOpenSites(grammar, root.get());
+  ASSERT_EQ(before.size(), 1u);  // alpha has one adjoinable node
+  ASSERT_TRUE(InsertRandomBeta(grammar, root.get(), rng));
+  const auto after = CollectOpenSites(grammar, root.get());
+  // The alpha address is now occupied, but the new beta node contributes
+  // its own adjoinable root.
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(after[0].node, root.get());
+}
+
+TEST(GenerateTest, GrowRandomSubtreeMatchesLabel) {
+  Grammar grammar = MakeToyGrammar();
+  Rng rng(11);
+  DerivationPtr subtree = GrowRandomSubtree(grammar, kExpSymbol, 3, rng);
+  ASSERT_NE(subtree, nullptr);
+  EXPECT_EQ(grammar.beta(subtree->tree_index).root_label(), kExpSymbol);
+  EXPECT_EQ(GrowRandomSubtree(grammar, "Missing", 3, rng), nullptr);
+}
+
+TEST(GenerateTest, LexemesDrawnWithinSlotSpec) {
+  Grammar grammar = MakeToyGrammar();
+  grammar.SetSlotSpec("R", SlotSpec{2.0, 3.0});
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    DerivationPtr node = MakeRandomNode(grammar, 0, /*is_root=*/false, rng);
+    ASSERT_EQ(node->lexemes.size(), 1u);
+    EXPECT_GE(node->lexemes[0], 2.0);
+    EXPECT_LT(node->lexemes[0], 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace gmr::tag
