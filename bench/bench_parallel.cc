@@ -1,0 +1,124 @@
+// Parallel evaluation (PE) scaling: wall-clock of identical GMR searches at
+// increasing thread counts (strong scaling) and with the population grown in
+// proportion (weak scaling), plus the kFrozenFrontier determinism check —
+// the best fitness must be bit-identical at every thread count.
+//
+// Results land in BENCH_parallel.json. Thread counts sweep powers of two up
+// to --threads (default 8); on machines with fewer cores than that the
+// speedup saturates at the core count — the table reports whatever the
+// hardware gives, it does not assume.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/timer.h"
+
+namespace {
+
+struct Run {
+  double seconds = 0.0;
+  double best_fitness = 0.0;
+};
+
+Run RunSearch(const gmr::core::RiverPriorKnowledge& knowledge,
+              const gmr::river::RiverFitness& fitness,
+              const gmr::bench::Scale& scale, int population, int threads) {
+  gmr::core::GmrConfig config = gmr::bench::MakeGmrConfig(scale, /*seed=*/11);
+  config.tag3p.population_size = population;
+  config.tag3p.speedups.tree_caching = true;
+  config.tag3p.speedups.short_circuiting = true;
+  config.tag3p.speedups.runtime_compilation = true;
+  config.tag3p.speedups.num_threads = threads;
+
+  gmr::gp::Tag3pConfig tag3p = config.tag3p;
+  tag3p.seed_alpha_index = knowledge.seed_alpha_index;
+  gmr::Timer timer;
+  gmr::gp::Tag3pEngine engine(&knowledge.grammar, &fitness, knowledge.priors,
+                              tag3p);
+  const gmr::gp::Tag3pResult result = engine.Run();
+  return {timer.ElapsedSeconds(), result.best.fitness};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmr;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  if (options.threads < 1) options.threads = 1;
+  const int max_threads = options.threads > 1 ? options.threads : 8;
+
+  bench::Scale scale = bench::Scale::FromEnvironment();
+  scale.population = std::min(scale.population, 32);
+  scale.generations = std::min(scale.generations, 6);
+  scale.local_search_steps = 2;
+
+  const river::RiverDataset dataset = bench::MakeDataset(scale);
+  const core::RiverPriorKnowledge knowledge =
+      core::BuildRiverPriorKnowledge();
+  const river::RiverFitness fitness =
+      river::RiverFitness::ForTraining(&dataset);
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  std::vector<bench::JsonRecord> records;
+
+  std::printf("[PE] strong scaling: fixed search (population %d x %d "
+              "generations), varying threads\n",
+              scale.population, scale.generations);
+  std::printf("%8s %12s %10s %14s %6s\n", "threads", "seconds", "speedup",
+              "best fitness", "det");
+  double strong_base = 0.0;
+  double reference_fitness = 0.0;
+  bool deterministic = true;
+  for (int threads : thread_counts) {
+    const Run run = RunSearch(knowledge, fitness, scale, scale.population,
+                              threads);
+    if (threads == 1) {
+      strong_base = run.seconds;
+      reference_fitness = run.best_fitness;
+    }
+    const bool same = run.best_fitness == reference_fitness;
+    deterministic = deterministic && same;
+    std::printf("%8d %12.3f %9.2fx %14.6f %6s\n", threads, run.seconds,
+                strong_base / run.seconds, run.best_fitness,
+                same ? "ok" : "DIFF");
+    bench::JsonRecord record;
+    record.Add("weak", 0);
+    record.Add("threads", threads);
+    record.Add("seconds", run.seconds);
+    record.Add("speedup", strong_base / run.seconds);
+    record.Add("best_fitness", run.best_fitness);
+    record.Add("deterministic", same ? 1 : 0);
+    records.push_back(std::move(record));
+  }
+
+  std::printf("\n[PE] weak scaling: population %d per thread\n",
+              scale.population);
+  std::printf("%8s %12s %12s %12s\n", "threads", "population", "seconds",
+              "efficiency");
+  double weak_base = 0.0;
+  for (int threads : thread_counts) {
+    const Run run = RunSearch(knowledge, fitness, scale,
+                              scale.population * threads, threads);
+    if (threads == 1) weak_base = run.seconds;
+    std::printf("%8d %12d %12.3f %11.0f%%\n", threads,
+                scale.population * threads, run.seconds,
+                100.0 * weak_base / run.seconds);
+    bench::JsonRecord record;
+    record.Add("weak", 1);
+    record.Add("threads", threads);
+    record.Add("population", scale.population * threads);
+    record.Add("seconds", run.seconds);
+    record.Add("efficiency", weak_base / run.seconds);
+    records.push_back(std::move(record));
+  }
+
+  bench::WriteBenchJson("BENCH_parallel.json", "parallel", max_threads,
+                        records);
+  std::printf("\n[PE] kFrozenFrontier determinism across thread counts: %s\n",
+              deterministic ? "PASS" : "FAIL");
+  return deterministic ? 0 : 1;
+}

@@ -21,8 +21,9 @@ struct Combo {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gmr;
+  const bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::Scale scale = bench::Scale::FromEnvironment();
   // The measurement only needs enough individuals for stable means; the
   // no-speedup combo pays full interpreted evaluations, so keep it modest.
@@ -51,11 +52,13 @@ int main() {
               "individuals", "cache-hit%", "speedup");
 
   double baseline_per_individual = 0.0;
+  std::vector<bench::JsonRecord> records;
   for (const Combo& combo : combos) {
     core::GmrConfig config = bench::MakeGmrConfig(scale, /*seed=*/3);
     config.tag3p.speedups.tree_caching = combo.tc;
     config.tag3p.speedups.short_circuiting = combo.es;
     config.tag3p.speedups.runtime_compilation = combo.rc;
+    config.tag3p.speedups.num_threads = options.threads;
 
     gp::Tag3pConfig tag3p = config.tag3p;
     tag3p.seed_alpha_index = knowledge.seed_alpha_index;
@@ -76,7 +79,19 @@ int main() {
     std::printf("%-10s %18.6f %14zu %11.0f%% %11.1fx\n", combo.name,
                 per_individual, processed, 100.0 * stats.CacheHitRate(),
                 baseline_per_individual / per_individual);
+
+    bench::JsonRecord record;
+    record.Add("tc", combo.tc ? 1 : 0);
+    record.Add("es", combo.es ? 1 : 0);
+    record.Add("rc", combo.rc ? 1 : 0);
+    record.Add("sec_per_individual", per_individual);
+    record.Add("individuals", static_cast<double>(processed));
+    record.Add("cache_hit_rate", stats.CacheHitRate());
+    record.Add("speedup", baseline_per_individual / per_individual);
+    records.push_back(std::move(record));
   }
+  bench::WriteBenchJson("BENCH_speedup.json", "speedup", options.threads,
+                        records);
   std::printf(
       "\n(the paper reports 607x for TC+ES+RC on its testbed; the shape — "
       "every technique > 1x, multiplicative when combined — is the "

@@ -17,6 +17,45 @@
 
 namespace gmr::bench {
 
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  BenchOptions options;
+  if (const char* env = std::getenv("GMR_BENCH_THREADS")) {
+    const int value = std::atoi(env);
+    if (value > 0) options.threads = value;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int value = std::atoi(argv[++i]);
+      if (value > 0) options.threads = value;
+    }
+  }
+  return options;
+}
+
+void WriteBenchJson(const std::string& path, const std::string& name,
+                    int threads, const std::vector<JsonRecord>& rows) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n",
+               name.c_str(), threads);
+  std::fprintf(file, "  \"rows\": [\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(file, "    {");
+    for (std::size_t i = 0; i < rows[r].fields.size(); ++i) {
+      const auto& [key, value] = rows[r].fields[i];
+      std::fprintf(file, "%s\"%s\": %.9g", i == 0 ? "" : ", ", key.c_str(),
+                   value);
+    }
+    std::fprintf(file, "}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 Scale Scale::FromEnvironment() {
   Scale scale;
   const char* env = std::getenv("GMR_BENCH_SCALE");

@@ -2,6 +2,7 @@
 #define GMR_BENCH_HARNESS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/gmr.h"
@@ -10,6 +11,31 @@
 #include "river/synthetic.h"
 
 namespace gmr::bench {
+
+/// Command-line options shared by the bench binaries.
+struct BenchOptions {
+  /// Evaluation threads (PE). From `--threads N`, else the
+  /// GMR_BENCH_THREADS environment variable, else 1.
+  int threads = 1;
+
+  static BenchOptions Parse(int argc, char** argv);
+};
+
+/// One record of a bench JSON file: named numeric fields, in insertion
+/// order.
+struct JsonRecord {
+  std::vector<std::pair<std::string, double>> fields;
+
+  void Add(const std::string& key, double value) {
+    fields.emplace_back(key, value);
+  }
+};
+
+/// Writes `{"bench": <name>, "threads": <threads>, "rows": [...]}` to
+/// `path`. Every bench emits its machine-readable results this way so runs
+/// at different thread counts are comparable offline.
+void WriteBenchJson(const std::string& path, const std::string& name,
+                    int threads, const std::vector<JsonRecord>& rows);
 
 /// Shared experiment scale. "quick" (default) finishes the whole bench
 /// directory in minutes on a laptop; "full" approaches the paper's setup

@@ -41,4 +41,20 @@ double BudgetedObjective::operator()(const std::vector<double>& x) {
   return f;
 }
 
+std::vector<double> BudgetedObjective::EvaluateBatch(
+    ThreadPool* pool, const std::vector<std::vector<double>>& xs) {
+  std::vector<double> fs(xs.size(), 1e300);
+  const std::size_t take = std::min(xs.size(), budget_ - used_);
+  ParallelFor(pool, take,
+              [this, &xs, &fs](std::size_t i) { fs[i] = (*objective_)(xs[i]); });
+  used_ += take;
+  for (std::size_t i = 0; i < take; ++i) {
+    if (fs[i] < best_f_) {
+      best_f_ = fs[i];
+      best_x_ = xs[i];
+    }
+  }
+  return fs;
+}
+
 }  // namespace gmr::calibrate

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "gp/parameter_prior.h"
 
 namespace gmr::calibrate {
@@ -50,6 +51,18 @@ class Calibrator {
                                       const BoxBounds& bounds,
                                       const std::vector<double>& initial,
                                       std::size_t budget, Rng& rng) const = 0;
+
+  /// Attaches a thread pool the population-based methods (GA, SCE-UA,
+  /// DREAM) fan candidate evaluations out over; null (the default) keeps
+  /// everything serial. The objective must be safe to call concurrently
+  /// when a pool is attached. Not owned; must outlive Calibrate calls.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+ protected:
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_ = nullptr;
 };
 
 /// Budget-tracking helper shared by the implementations.
@@ -61,6 +74,15 @@ class BudgetedObjective {
   /// Evaluates and tracks the incumbent. Returns +inf once the budget is
   /// exhausted (callers should also poll Exhausted()).
   double operator()(const std::vector<double>& x);
+
+  /// Evaluates the candidates concurrently over `pool` (inline when null),
+  /// in budget order: only the first `budget - used` entries are charged
+  /// and evaluated; the rest come back as +inf, exactly as if `operator()`
+  /// had been called past exhaustion. The incumbent is updated by an
+  /// index-order scan after the parallel section, so results do not depend
+  /// on thread interleaving.
+  std::vector<double> EvaluateBatch(ThreadPool* pool,
+                                    const std::vector<std::vector<double>>& xs);
 
   bool Exhausted() const { return used_ >= budget_; }
   std::size_t used() const { return used_; }

@@ -36,13 +36,17 @@ CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
   constexpr int kTournament = 3;
   constexpr std::size_t kElites = 2;
 
+  // Sampling is sequential (it owns the RNG); candidate evaluations fan out
+  // across the attached pool as one batch per generation.
+  std::vector<std::vector<double>> points;
+  points.push_back(initial);
+  while (points.size() < pop_size) points.push_back(bounds.Sample(rng));
+  std::vector<double> fs = f.EvaluateBatch(pool(), points);
+
   std::vector<Member> population;
-  population.push_back({initial, f(initial)});
-  while (population.size() < pop_size && !f.Exhausted()) {
-    Member m;
-    m.x = bounds.Sample(rng);
-    m.f = f(m.x);
-    population.push_back(std::move(m));
+  population.reserve(pop_size);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    population.push_back({std::move(points[i]), fs[i]});
   }
 
   while (!f.Exhausted()) {
@@ -51,26 +55,28 @@ CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
     std::vector<Member> next(population.begin(),
                              population.begin() +
                                  std::min(kElites, population.size()));
-    while (next.size() < population.size() && !f.Exhausted()) {
+    std::vector<std::vector<double>> children;
+    children.reserve(population.size() - next.size());
+    while (next.size() + children.size() < population.size()) {
       const Member& pa = Tournament(population, kTournament, rng);
       const Member& pb = Tournament(population, kTournament, rng);
-      Member child;
-      child.x.resize(dim);
+      std::vector<double> child(dim);
       for (std::size_t d = 0; d < dim; ++d) {
         // BLX-alpha blend crossover.
         const double lo = std::min(pa.x[d], pb.x[d]);
         const double hi = std::max(pa.x[d], pb.x[d]);
         const double span = hi - lo;
-        child.x[d] =
-            rng.Uniform(lo - kBlxAlpha * span, hi + kBlxAlpha * span);
+        child[d] = rng.Uniform(lo - kBlxAlpha * span, hi + kBlxAlpha * span);
         if (rng.Bernoulli(kMutationProb)) {
-          child.x[d] +=
-              rng.Gaussian(0.0, 0.1 * (bounds.hi[d] - bounds.lo[d]));
+          child[d] += rng.Gaussian(0.0, 0.1 * (bounds.hi[d] - bounds.lo[d]));
         }
       }
-      bounds.Clamp(&child.x);
-      child.f = f(child.x);
-      next.push_back(std::move(child));
+      bounds.Clamp(&child);
+      children.push_back(std::move(child));
+    }
+    fs = f.EvaluateBatch(pool(), children);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      next.push_back({std::move(children[i]), fs[i]});
     }
     population = std::move(next);
   }

@@ -63,17 +63,26 @@ CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
   const std::size_t num_chains = std::max<std::size_t>(8, dim / 2);
 
   std::vector<std::vector<double>> chains(num_chains);
-  std::vector<double> lls(num_chains);
+  std::vector<double> lls(num_chains, -1e300);
   chains[0] = initial;
-  lls[0] = LogLikelihood(f(chains[0]));
-  for (std::size_t c = 1; c < num_chains && !f.Exhausted(); ++c) {
+  for (std::size_t c = 1; c < num_chains; ++c) {
     chains[c] = bounds.Sample(rng);
-    lls[c] = LogLikelihood(f(chains[c]));
+  }
+  {
+    const std::vector<double> fs = f.EvaluateBatch(pool(), chains);
+    for (std::size_t c = 0; c < num_chains; ++c) {
+      lls[c] = LogLikelihood(fs[c]);
+    }
   }
 
+  // Synchronous parallel DREAM: every sweep builds one proposal per chain
+  // against the sweep-start chain states (all RNG on the coordinator),
+  // evaluates them as one batch, then accepts/rejects chain by chain. The
+  // trajectory is identical for any thread count.
   constexpr double kCrossover = 0.3;  // CR: per-dimension update probability
   while (!f.Exhausted()) {
-    for (std::size_t c = 0; c < num_chains && !f.Exhausted(); ++c) {
+    std::vector<std::vector<double>> proposals(num_chains);
+    for (std::size_t c = 0; c < num_chains; ++c) {
       // DE proposal from two other chains; subspace crossover selects the
       // dimensions that move.
       std::size_t r1 = rng.PickIndex(chains);
@@ -108,10 +117,16 @@ CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
         candidate[d] += gamma * (chains[r1][d] - chains[r2][d]) + e;
       }
       bounds.Clamp(&candidate);
-      const double candidate_ll = LogLikelihood(f(candidate));
+      proposals[c] = std::move(candidate);
+    }
+
+    const std::vector<double> fs = f.EvaluateBatch(pool(), proposals);
+    for (std::size_t c = 0; c < num_chains; ++c) {
+      if (fs[c] >= 1e299) continue;  // past the budget; chain unchanged
+      const double candidate_ll = LogLikelihood(fs[c]);
       const double log_alpha = candidate_ll - lls[c];
       if (log_alpha >= 0.0 || rng.Bernoulli(std::exp(log_alpha))) {
-        chains[c] = std::move(candidate);
+        chains[c] = std::move(proposals[c]);
         lls[c] = candidate_ll;
       }
     }

@@ -30,12 +30,15 @@ CalibrationResult SceUaCalibrator::Calibrate(
   const std::size_t pop_size = num_complexes * complex_size;
 
   std::vector<Point> population;
-  population.push_back({initial, f(initial)});
-  while (population.size() < pop_size && !f.Exhausted()) {
-    Point p;
-    p.x = bounds.Sample(rng);
-    p.f = f(p.x);
-    population.push_back(std::move(p));
+  {
+    std::vector<std::vector<double>> points;
+    points.push_back(initial);
+    while (points.size() < pop_size) points.push_back(bounds.Sample(rng));
+    const std::vector<double> fs = f.EvaluateBatch(pool(), points);
+    population.reserve(pop_size);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      population.push_back({std::move(points[i]), fs[i]});
+    }
   }
 
   while (!f.Exhausted()) {
@@ -43,15 +46,28 @@ CalibrationResult SceUaCalibrator::Calibrate(
 
     // Partition into complexes by rank striping (complex k receives points
     // k, k+p, k+2p, ...).
-    for (std::size_t k = 0; k < num_complexes && !f.Exhausted(); ++k) {
-      std::vector<std::size_t> members;
+    std::vector<std::vector<std::size_t>> complexes(num_complexes);
+    for (std::size_t k = 0; k < num_complexes; ++k) {
       for (std::size_t j = k; j < population.size(); j += num_complexes) {
-        members.push_back(j);
+        complexes[k].push_back(j);
       }
+    }
 
-      // CCE: several evolution steps per complex.
-      for (std::size_t step = 0; step < subcomplex_size && !f.Exhausted();
-           ++step) {
+    // CCE, step-synchronous across complexes: at each step every complex
+    // proposes a reflection, the reflections are evaluated as one batch,
+    // then the contractions of the failures, then the random replacements.
+    // All RNG draws stay on the coordinator, in complex order, so the
+    // trajectory is identical for any thread count.
+    for (std::size_t step = 0; step < subcomplex_size && !f.Exhausted();
+         ++step) {
+      struct ComplexStep {
+        std::size_t worst = 0;
+        std::vector<double> centroid;
+      };
+      std::vector<ComplexStep> steps(num_complexes);
+      std::vector<std::vector<double>> proposals(num_complexes);
+      for (std::size_t k = 0; k < num_complexes; ++k) {
+        const std::vector<std::size_t>& members = complexes[k];
         // Triangular selection favors better-ranked members.
         std::vector<std::size_t> sub;
         while (sub.size() < std::min(subcomplex_size, members.size())) {
@@ -68,10 +84,11 @@ CalibrationResult SceUaCalibrator::Calibrate(
         std::sort(sub.begin(), sub.end(), [&](std::size_t a, std::size_t b) {
           return population[a].f < population[b].f;
         });
-        const std::size_t worst = sub.back();
+        steps[k].worst = sub.back();
 
         // Centroid of the subcomplex excluding the worst point.
-        std::vector<double> centroid(dim, 0.0);
+        std::vector<double>& centroid = steps[k].centroid;
+        centroid.assign(dim, 0.0);
         for (std::size_t i = 0; i + 1 < sub.size(); ++i) {
           for (std::size_t d = 0; d < dim; ++d) {
             centroid[d] += population[sub[i]].x[d];
@@ -84,28 +101,59 @@ CalibrationResult SceUaCalibrator::Calibrate(
         // Reflection.
         std::vector<double> reflected(dim);
         for (std::size_t d = 0; d < dim; ++d) {
-          reflected[d] = 2.0 * centroid[d] - population[worst].x[d];
+          reflected[d] =
+              2.0 * centroid[d] - population[steps[k].worst].x[d];
         }
         bounds.Clamp(&reflected);
-        double rf = f(reflected);
-        if (rf < population[worst].f) {
-          population[worst] = {std::move(reflected), rf};
-          continue;
+        proposals[k] = std::move(reflected);
+      }
+
+      std::vector<double> fs = f.EvaluateBatch(pool(), proposals);
+      std::vector<std::size_t> open;  // complexes whose reflection failed
+      for (std::size_t k = 0; k < num_complexes; ++k) {
+        if (fs[k] < population[steps[k].worst].f) {
+          population[steps[k].worst] = {std::move(proposals[k]), fs[k]};
+        } else {
+          open.push_back(k);
         }
-        // Contraction.
+      }
+
+      // Contraction for the failures.
+      proposals.clear();
+      proposals.reserve(open.size());
+      for (std::size_t k : open) {
         std::vector<double> contracted(dim);
         for (std::size_t d = 0; d < dim; ++d) {
-          contracted[d] = 0.5 * (centroid[d] + population[worst].x[d]);
+          contracted[d] = 0.5 * (steps[k].centroid[d] +
+                                 population[steps[k].worst].x[d]);
         }
-        double cf = f(contracted);
-        if (cf < population[worst].f) {
-          population[worst] = {std::move(contracted), cf};
-          continue;
+        proposals.push_back(std::move(contracted));
+      }
+      fs = f.EvaluateBatch(pool(), proposals);
+      std::vector<std::size_t> still_open;
+      for (std::size_t i = 0; i < open.size(); ++i) {
+        const std::size_t k = open[i];
+        if (fs[i] < population[steps[k].worst].f) {
+          population[steps[k].worst] = {std::move(proposals[i]), fs[i]};
+        } else {
+          still_open.push_back(k);
         }
-        // Random replacement (mutation) when both fail.
-        std::vector<double> random_point = bounds.Sample(rng);
-        const double qf = f(random_point);
-        population[worst] = {std::move(random_point), qf};
+      }
+
+      // Random replacement (mutation) when both fail. Skipped for points
+      // whose evaluation no longer fits the budget (fs stays +inf).
+      proposals.clear();
+      proposals.reserve(still_open.size());
+      for (std::size_t k : still_open) {
+        (void)k;
+        proposals.push_back(bounds.Sample(rng));
+      }
+      fs = f.EvaluateBatch(pool(), proposals);
+      for (std::size_t i = 0; i < still_open.size(); ++i) {
+        if (fs[i] < 1e299) {
+          population[steps[still_open[i]].worst] = {std::move(proposals[i]),
+                                                    fs[i]};
+        }
       }
     }
     // Implicit shuffle: the next iteration re-sorts and re-stripes.

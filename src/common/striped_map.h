@@ -1,0 +1,86 @@
+#ifndef GMR_COMMON_STRIPED_MAP_H_
+#define GMR_COMMON_STRIPED_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace gmr {
+
+/// A hash map sharded into N independently locked stripes, for concurrent
+/// read-mostly workloads like the fitness tree cache: threads evaluating
+/// different individuals contend only when their keys land on the same
+/// stripe, so lock contention falls ~linearly with the stripe count.
+///
+/// Semantics are intentionally minimal (lookup / insert-if-absent / size /
+/// clear): values are immutable once inserted, which is exactly the cache's
+/// contract — a key is a pure function of the phenotype and parameters, so
+/// two racing inserts of the same key carry equal values and first-wins is
+/// indistinguishable from last-wins.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class StripedMap {
+ public:
+  explicit StripedMap(std::size_t num_stripes = 16)
+      : num_stripes_(num_stripes == 0 ? 1 : num_stripes),
+        stripes_(std::make_unique<Stripe[]>(num_stripes_)) {}
+
+  /// Copies the found value into *value and returns true; false on miss.
+  bool Lookup(const Key& key, Value* value) const {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.map.find(key);
+    if (it == stripe.map.end()) return false;
+    *value = it->second;
+    return true;
+  }
+
+  /// Inserts (key, value) unless the key is already present. Returns true
+  /// when this call inserted.
+  bool Insert(const Key& key, const Value& value) {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    return stripe.map.emplace(key, value).second;
+  }
+
+  /// Total entries across stripes. Consistent only when quiescent.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < num_stripes_; ++s) {
+      std::lock_guard<std::mutex> lock(stripes_[s].mu);
+      total += stripes_[s].map.size();
+    }
+    return total;
+  }
+
+  void Clear() {
+    for (std::size_t s = 0; s < num_stripes_; ++s) {
+      std::lock_guard<std::mutex> lock(stripes_[s].mu);
+      stripes_[s].map.clear();
+    }
+  }
+
+  std::size_t num_stripes() const { return num_stripes_; }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Stripe& StripeFor(const Key& key) const {
+    // Fibonacci-mix the hash before taking the stripe so that low-entropy
+    // key distributions (e.g. sequential 64-bit cache keys) spread evenly.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(Hash{}(key)) * 0x9e3779b97f4a7c15ULL;
+    return stripes_[(h >> 32) % num_stripes_];
+  }
+
+  std::size_t num_stripes_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_STRIPED_MAP_H_

@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gmr {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  // The calling thread is lane 0 and participates in every ParallelFor, so
+  // only num_threads - 1 workers are spawned (lanes 1..num_threads-1).
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int worker = 1; worker < num_threads_; ++worker) {
+    workers_.emplace_back([this, worker] { WorkerLoop(worker); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(std::size_t n, const IndexedBody& body,
+                             std::size_t chunk) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  if (chunk == 0) {
+    // ~4 chunks per lane balances scheduling overhead against the cost
+    // skew between short-circuited and full evaluations.
+    chunk = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(num_threads_) * 4));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.n = n;
+    job_.chunk = chunk;
+    job_.body = &body;
+    job_.cursor = 0;
+    job_.done = 0;
+    ++job_.generation;
+  }
+  work_cv_.notify_all();
+  DrainCurrentJob(/*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return job_.done >= job_.n; });
+  job_.body = nullptr;  // the barrier: no worker touches the body past here
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  std::uint64_t last_seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, last_seen] {
+        return stop_ || (job_.body != nullptr &&
+                         job_.generation != last_seen &&
+                         job_.cursor < job_.n);
+      });
+      if (stop_) return;
+      last_seen = job_.generation;
+    }
+    DrainCurrentJob(worker);
+  }
+}
+
+void ThreadPool::DrainCurrentJob(int worker) {
+  for (;;) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const IndexedBody* body = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_.body == nullptr || job_.cursor >= job_.n) return;
+      begin = job_.cursor;
+      end = std::min(job_.n, begin + job_.chunk);
+      job_.cursor = end;
+      body = job_.body;
+    }
+    for (std::size_t i = begin; i < end; ++i) (*body)(i, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_.done += end - begin;
+      if (job_.done >= job_.n) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool->ParallelFor(n, [&body](std::size_t i, int /*worker*/) { body(i); });
+}
+
+}  // namespace gmr

@@ -1,0 +1,84 @@
+#ifndef GMR_COMMON_THREAD_POOL_H_
+#define GMR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gmr {
+
+/// A fixed-size pool of worker threads executing chunked index ranges.
+///
+/// The pool is the substrate of the parallel-evaluation (PE) speedup: a
+/// population-sized batch of fitness evaluations is split into contiguous
+/// chunks that workers claim via an atomic cursor, so uneven per-individual
+/// cost (short-circuited vs full evaluations) load-balances automatically.
+/// `ParallelFor` blocks the calling thread until the whole range is done —
+/// it is a barrier, which is what gives the kFrozenFrontier evaluation mode
+/// its determinism guarantee (see gp::FrontierMode).
+///
+/// The pool is reusable across calls and cheap to keep alive for the whole
+/// search; workers sleep on a condition variable between jobs.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. `num_threads <= 1` spawns none; every
+  /// ParallelFor then runs inline on the caller (same code path, no locks).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute work, counting the caller (>= 1).
+  int num_threads() const { return num_threads_; }
+
+  /// Worker body: invoked as body(index, worker) for every index in [0, n),
+  /// where worker in [0, num_threads()) identifies the executing lane
+  /// (usable to index per-thread scratch without false sharing hazards).
+  using IndexedBody = std::function<void(std::size_t index, int worker)>;
+
+  /// Runs body over [0, n), distributing chunks of `chunk` indices across
+  /// the workers and the calling thread; returns after every index ran.
+  /// `chunk == 0` picks a chunk size that yields ~4 chunks per thread.
+  void ParallelFor(std::size_t n, const IndexedBody& body,
+                   std::size_t chunk = 0);
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    const IndexedBody* body = nullptr;
+    std::size_t cursor = 0;      // next unclaimed index (guarded by mu_)
+    std::size_t done = 0;        // indices finished (guarded by mu_)
+    std::uint64_t generation = 0;
+  };
+
+  void WorkerLoop(int worker);
+  /// Claims and runs chunks of the current job until the range is drained.
+  void DrainCurrentJob(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signaled when a job is posted / stop
+  std::condition_variable done_cv_;  // signaled when a job completes
+  Job job_;
+  bool stop_ = false;
+};
+
+/// Shared fan-out helper: runs body(i) for i in [0, n) on `pool`, or inline
+/// in index order when `pool` is null or single-threaded. All parallel call
+/// sites (GP population batches, GGGP generations, the population-based
+/// calibrators, benches) funnel through this so the serial path is always
+/// the same code executed in the same order.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_THREAD_POOL_H_

@@ -54,7 +54,12 @@ std::size_t Expr::Height() const {
 }
 
 std::uint64_t Expr::StructuralHash() const {
-  if (hash_computed_) return cached_hash_;
+  // Subtrees are shared across individuals (crossover never copies), so
+  // parallel evaluation hashes the same node from several threads. The lazy
+  // cache is therefore an atomic with 0 = "not yet computed"; racing
+  // computations write the same value, so a relaxed store is enough.
+  const std::uint64_t cached = cached_hash_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   std::uint64_t h = static_cast<std::uint64_t>(kind_) * 0xff51afd7ed558ccdULL;
   switch (kind_) {
     case NodeKind::kConstant:
@@ -70,8 +75,8 @@ std::uint64_t Expr::StructuralHash() const {
       }
       break;
   }
-  cached_hash_ = h;
-  hash_computed_ = true;
+  if (h == 0) h = 1;  // Reserve 0 as the "uncomputed" sentinel.
+  cached_hash_.store(h, std::memory_order_relaxed);
   return h;
 }
 

@@ -1,6 +1,7 @@
 #ifndef GMR_EXPR_AST_H_
 #define GMR_EXPR_AST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,8 +75,9 @@ class Expr {
   int slot_ = -1;
   std::string name_;
   std::vector<ExprPtr> children_;
-  mutable std::uint64_t cached_hash_ = 0;
-  mutable bool hash_computed_ = false;
+  /// Lazily computed hash; 0 means "not yet computed". Atomic because
+  /// shared subtrees are hashed concurrently under parallel evaluation.
+  mutable std::atomic<std::uint64_t> cached_hash_{0};
 };
 
 /// True when the two trees are structurally identical (same shape, kinds,

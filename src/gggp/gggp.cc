@@ -1,45 +1,107 @@
 #include "gggp/gggp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "river/parameters.h"
 #include "river/variables.h"
 
 namespace gmr::gggp {
 namespace {
 
+void AtomicFetchMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
 /// Shared evaluation with optional short-circuiting against the best fully
 /// evaluated fitness so far (same scheme as Algorithm 1; GGGP gets the same
-/// speedups as GMR for a fair comparison).
+/// speedups as GMR for a fair comparison, including parallel batches with
+/// the frontier discipline from SpeedupConfig::frontier_mode).
 class Evaluator {
  public:
   Evaluator(const gp::SequentialFitness* fitness,
             const gp::SpeedupConfig& config)
       : fitness_(fitness), config_(config) {}
 
-  double Evaluate(const GggpIndividual& individual) {
-    ++evaluations_;
+  /// Pure evaluation against a caller-supplied frontier; sets *fully to
+  /// whether the run went to completion (vs. short-circuited). Safe to call
+  /// from several threads at once.
+  double EvaluateAgainst(const GggpIndividual& individual, double frontier,
+                         bool* fully) const {
     const std::size_t num_cases = fitness_->num_cases();
     auto eval = fitness_->Begin(individual.equations, individual.parameters,
                                 config_.runtime_compilation);
+    *fully = true;
     double fitness = 0.0;
     std::size_t i = 0;
     while (i < num_cases) {
       const bool more = eval->Step();
       fitness = eval->CurrentFitness();
       ++i;
-      if (config_.short_circuiting && best_prev_full_ < 1e299 &&
-          i < num_cases &&
-          fitness > best_prev_full_ * config_.es_threshold) {
+      if (config_.short_circuiting && frontier < 1e299 && i < num_cases &&
+          fitness > frontier * config_.es_threshold) {
         const double estimate = config_.extrapolate(fitness, i, num_cases);
-        if (estimate > best_prev_full_) return estimate;
+        if (estimate > frontier) {
+          *fully = false;
+          return estimate;
+        }
       }
       if (!more) break;
     }
-    if (fitness < best_prev_full_) best_prev_full_ = fitness;
     return fitness;
+  }
+
+  /// Serial path: a one-element batch, so the frontier advances
+  /// immediately (the pre-parallel behavior).
+  double Evaluate(const GggpIndividual& individual) {
+    ++evaluations_;
+    bool fully = false;
+    const double fitness = EvaluateAgainst(
+        individual, best_prev_full_.load(std::memory_order_relaxed), &fully);
+    if (fully) AtomicFetchMin(&best_prev_full_, fitness);
+    return fitness;
+  }
+
+  /// Assigns `individual->fitness` for the whole batch, fanned out across
+  /// `pool`. Under kFrozenFrontier every item cuts against the same
+  /// snapshot and the batch minimum folds in afterwards, so the assigned
+  /// values are identical for any thread count.
+  void EvaluateBatch(ThreadPool* pool,
+                     const std::vector<GggpIndividual*>& batch) {
+    if (batch.empty()) return;
+    const bool shared =
+        config_.frontier_mode == gp::FrontierMode::kShared;
+    const double snapshot = best_prev_full_.load(std::memory_order_relaxed);
+    std::vector<double> full_fitness(
+        batch.size(), std::numeric_limits<double>::infinity());
+    ParallelFor(pool, batch.size(), [&](std::size_t i) {
+      const double frontier =
+          shared ? best_prev_full_.load(std::memory_order_relaxed)
+                 : snapshot;
+      bool fully = false;
+      const double fitness = EvaluateAgainst(*batch[i], frontier, &fully);
+      batch[i]->fitness = fitness;
+      if (fully) {
+        if (shared) {
+          AtomicFetchMin(&best_prev_full_, fitness);
+        } else {
+          full_fitness[i] = fitness;
+        }
+      }
+    });
+    evaluations_ += batch.size();
+    for (double fitness : full_fitness) {
+      AtomicFetchMin(&best_prev_full_, fitness);
+    }
   }
 
   std::size_t evaluations() const { return evaluations_; }
@@ -47,7 +109,7 @@ class Evaluator {
  private:
   const gp::SequentialFitness* fitness_;
   gp::SpeedupConfig config_;
-  double best_prev_full_ = 1e300;
+  std::atomic<double> best_prev_full_{1e300};
   std::size_t evaluations_ = 0;
 };
 
@@ -89,6 +151,10 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
   GMR_CHECK(!seed_equations.empty());
   Rng rng(config.seed);
   Evaluator evaluator(&fitness, config.speedups);
+  std::unique_ptr<ThreadPool> pool;
+  if (config.speedups.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(config.speedups.num_threads);
+  }
   const std::vector<double> means = gp::PriorMeans(priors);
 
   auto mutate_structure = [&](GggpIndividual* individual) {
@@ -115,8 +181,15 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
     individual.parameters = means;
     const int edits = static_cast<int>(population.size() % 4);
     for (int e = 0; e < edits; ++e) mutate_structure(&individual);
-    individual.fitness = evaluator.Evaluate(individual);
     population.push_back(std::move(individual));
+  }
+  {
+    std::vector<GggpIndividual*> batch;
+    batch.reserve(population.size());
+    for (GggpIndividual& individual : population) {
+      batch.push_back(&individual);
+    }
+    evaluator.EvaluateBatch(pool.get(), batch);
   }
 
   GggpResult result;
@@ -142,6 +215,10 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
         population.begin() + std::min<std::size_t>(
                                  static_cast<std::size_t>(config.elite_size),
                                  population.size()));
+    // Breeding is sequential (it owns the RNG); modified offspring are
+    // batch-evaluated afterwards. Selection only reads the previous
+    // generation, so deferring evaluation changes nothing it sees.
+    std::vector<std::size_t> pending;  // indices into `next` needing eval
     while (next.size() < population.size()) {
       const double dice = rng.Uniform();
       if (dice < config.p_crossover) {
@@ -160,14 +237,14 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
         expr::ExprPtr candidate = ReplaceNodeAt(a.equations[eq], to, sub);
         if (candidate->NodeCount() <= config.max_equation_nodes) {
           a.equations[eq] = std::move(candidate);
-          a.fitness = evaluator.Evaluate(a);
+          pending.push_back(next.size());
         }
         next.push_back(std::move(a));
       } else if (dice < config.p_crossover + config.p_subtree_mutation) {
         GggpIndividual child =
             Tournament(population, config.tournament_size, rng);
         mutate_structure(&child);
-        child.fitness = evaluator.Evaluate(child);
+        pending.push_back(next.size());
         next.push_back(std::move(child));
       } else if (dice < config.p_crossover + config.p_subtree_mutation +
                             config.p_gaussian_mutation) {
@@ -181,13 +258,19 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
         for (auto& eq : child.equations) {
           eq = JitterConstants(eq, sigma_scale, rng);
         }
-        child.fitness = evaluator.Evaluate(child);
+        pending.push_back(next.size());
         next.push_back(std::move(child));
       } else {
         next.push_back(Tournament(population, config.tournament_size, rng));
       }
     }
     population = std::move(next);
+    {
+      std::vector<GggpIndividual*> batch;
+      batch.reserve(pending.size());
+      for (std::size_t index : pending) batch.push_back(&population[index]);
+      evaluator.EvaluateBatch(pool.get(), batch);
+    }
   }
 
   std::sort(population.begin(), population.end(),

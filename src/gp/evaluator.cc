@@ -21,6 +21,15 @@ std::uint64_t DoubleBits(double v) {
   return bits;
 }
 
+/// Lock-free monotone minimum on an atomic double.
+void AtomicFetchMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 double ExtrapolateIdentity(double fitness, std::size_t /*steps*/,
@@ -36,10 +45,24 @@ double ExtrapolateGrowth(double fitness, std::size_t steps,
   return fitness * std::pow(ratio, 0.25);
 }
 
+void EvalStats::Merge(const EvalStats& other) {
+  individuals_evaluated += other.individuals_evaluated;
+  cache_hits += other.cache_hits;
+  cache_lookups += other.cache_lookups;
+  full_evaluations += other.full_evaluations;
+  short_circuited += other.short_circuited;
+  time_steps_evaluated += other.time_steps_evaluated;
+  eval_seconds += other.eval_seconds;
+}
+
 FitnessEvaluator::FitnessEvaluator(const tag::Grammar* grammar,
                                    const SequentialFitness* fitness,
                                    SpeedupConfig config)
-    : grammar_(grammar), fitness_(fitness), config_(config) {
+    : grammar_(grammar),
+      fitness_(fitness),
+      config_(config),
+      cache_(static_cast<std::size_t>(
+          config.cache_stripes > 0 ? config.cache_stripes : 1)) {
   GMR_CHECK(grammar_ != nullptr);
   GMR_CHECK(fitness_ != nullptr);
 }
@@ -65,7 +88,8 @@ std::uint64_t FitnessEvaluator::CacheKey(
 
 double FitnessEvaluator::RunEvaluation(
     const std::vector<expr::ExprPtr>& equations,
-    const std::vector<double>& parameters, bool* fully_evaluated) {
+    const std::vector<double>& parameters, double best_prev_full,
+    EvalStats* stats, bool* fully_evaluated) const {
   const std::size_t num_cases = fitness_->num_cases();
   std::unique_ptr<SequentialEvaluation> eval =
       fitness_->Begin(equations, parameters, config_.runtime_compilation);
@@ -79,14 +103,14 @@ double FitnessEvaluator::RunEvaluation(
     const bool more = eval->Step();
     fitness = eval->CurrentFitness();
     ++i;
-    if (config_.short_circuiting && std::isfinite(best_prev_full_) &&
+    if (config_.short_circuiting && std::isfinite(best_prev_full) &&
         i < num_cases) {
-      if (fitness > best_prev_full_ * config_.es_threshold) {
+      if (fitness > best_prev_full * config_.es_threshold) {
         const double est_fitness =
             config_.extrapolate(fitness, i, num_cases);
-        if (est_fitness > best_prev_full_) {
-          stats_.time_steps_evaluated += i;
-          ++stats_.short_circuited;
+        if (est_fitness > best_prev_full) {
+          stats->time_steps_evaluated += i;
+          ++stats->short_circuited;
           *fully_evaluated = false;
           return est_fitness;  // Short circuiting.
         }
@@ -94,48 +118,119 @@ double FitnessEvaluator::RunEvaluation(
     }
     if (!more) break;
   }
-  stats_.time_steps_evaluated += i;
-  ++stats_.full_evaluations;
-  if (fitness < best_prev_full_) best_prev_full_ = fitness;
+  stats->time_steps_evaluated += i;
+  ++stats->full_evaluations;
   return fitness;  // Full evaluation.
 }
 
-void FitnessEvaluator::Evaluate(Individual* individual) {
-  Timer timer;
+void FitnessEvaluator::NoteFullEvaluation(BatchContext* context,
+                                          double fitness) {
+  if (config_.frontier_mode == FrontierMode::kShared) {
+    // Publish immediately: evaluations still in flight anywhere may cut
+    // against this bound. Aggressive but interleaving-dependent.
+    AtomicFetchMin(&best_prev_full_, fitness);
+  } else {
+    // Hold the improvement in the lane until the batch barrier.
+    if (fitness < context->local_min_full_) {
+      context->local_min_full_ = fitness;
+    }
+  }
+}
+
+void FitnessEvaluator::EvaluateWith(BatchContext* context,
+                                    Individual* individual) {
+  EvalStats& stats = context->stats_;
   std::vector<expr::ExprPtr> equations = Phenotype(*individual);
+  const double frontier =
+      config_.frontier_mode == FrontierMode::kShared
+          ? best_prev_full_.load(std::memory_order_relaxed)
+          : context->frozen_frontier_;
 
   if (config_.tree_caching) {
-    ++stats_.cache_lookups;
+    ++stats.cache_lookups;
     const std::uint64_t key = CacheKey(equations, individual->parameters);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++stats_.cache_hits;
-      individual->fitness = it->second;
-      // A cached value may originate from a short-circuited evaluation;
-      // conservatively report it as not-fully-evaluated only when ES is on
-      // and the value is worse than the current full-evaluation frontier.
-      individual->fully_evaluated =
-          !config_.short_circuiting || it->second <= best_prev_full_;
-      stats_.eval_seconds += timer.ElapsedSeconds();
+    CacheEntry entry;
+    if (cache_.Lookup(key, &entry)) {
+      ++stats.cache_hits;
+      individual->fitness = entry.fitness;
+      individual->fully_evaluated = entry.fully_evaluated;
       return;
     }
     bool fully = false;
-    const double fitness =
-        RunEvaluation(equations, individual->parameters, &fully);
-    cache_.emplace(key, fitness);
+    const double fitness = RunEvaluation(equations, individual->parameters,
+                                         frontier, &stats, &fully);
+    if (fully) NoteFullEvaluation(context, fitness);
+    cache_.Insert(key, CacheEntry{fitness, fully});
     individual->fitness = fitness;
     individual->fully_evaluated = fully;
-    ++stats_.individuals_evaluated;
-    stats_.eval_seconds += timer.ElapsedSeconds();
+    ++stats.individuals_evaluated;
     return;
   }
 
   bool fully = false;
-  individual->fitness =
-      RunEvaluation(equations, individual->parameters, &fully);
+  individual->fitness = RunEvaluation(equations, individual->parameters,
+                                      frontier, &stats, &fully);
+  if (fully) NoteFullEvaluation(context, individual->fitness);
   individual->fully_evaluated = fully;
-  ++stats_.individuals_evaluated;
+  ++stats.individuals_evaluated;
+}
+
+void FitnessEvaluator::BatchContext::Evaluate(Individual* individual) {
+  GMR_CHECK(owner_ != nullptr);
+  owner_->EvaluateWith(this, individual);
+}
+
+FitnessEvaluator::BatchContext FitnessEvaluator::StartBatch() {
+  BatchContext context;
+  context.owner_ = this;
+  context.frozen_frontier_ = best_prev_full_.load(std::memory_order_relaxed);
+  return context;
+}
+
+void FitnessEvaluator::FinishBatch(BatchContext* context) {
+  stats_.Merge(context->stats_);
+  context->stats_ = EvalStats{};
+  AtomicFetchMin(&best_prev_full_, context->local_min_full_);
+  context->local_min_full_ = std::numeric_limits<double>::infinity();
+}
+
+void FitnessEvaluator::Evaluate(Individual* individual) {
+  Timer timer;
+  BatchContext context = StartBatch();
+  EvaluateWith(&context, individual);
+  FinishBatch(&context);
   stats_.eval_seconds += timer.ElapsedSeconds();
+}
+
+void FitnessEvaluator::RunBatch(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, BatchContext*)>& body) {
+  if (n == 0) return;
+  // One wall-clock sample per batch: cache hits inside the batch no longer
+  // pay a clock read each (they dominated eval_seconds noise at high hit
+  // rates).
+  Timer timer;
+  const int lanes =
+      pool != nullptr && pool->num_threads() > 1 ? pool->num_threads() : 1;
+  std::vector<BatchContext> contexts(static_cast<std::size_t>(lanes));
+  for (BatchContext& context : contexts) context = StartBatch();
+  if (lanes == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i, &contexts[0]);
+  } else {
+    pool->ParallelFor(n, [&body, &contexts](std::size_t i, int worker) {
+      body(i, &contexts[static_cast<std::size_t>(worker)]);
+    });
+  }
+  for (BatchContext& context : contexts) FinishBatch(&context);
+  stats_.eval_seconds += timer.ElapsedSeconds();
+}
+
+void FitnessEvaluator::EvaluateBatch(const std::vector<Individual*>& batch,
+                                     ThreadPool* pool) {
+  RunBatch(pool, batch.size(),
+           [this, &batch](std::size_t i, BatchContext* context) {
+             EvaluateWith(context, batch[i]);
+           });
 }
 
 double FitnessEvaluator::EvaluateFull(const Individual& individual) const {

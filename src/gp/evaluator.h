@@ -1,11 +1,14 @@
 #ifndef GMR_GP_EVALUATOR_H_
 #define GMR_GP_EVALUATOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
+#include "common/striped_map.h"
+#include "common/thread_pool.h"
 #include "gp/fitness.h"
 #include "gp/individual.h"
 #include "tag/grammar.h"
@@ -13,7 +16,9 @@
 namespace gmr::gp {
 
 /// Aggregate evaluation statistics, the measurements behind Figures 10
-/// and 11.
+/// and 11. Plain counters: worker threads accumulate into per-lane local
+/// instances that are Merge()d into the evaluator's totals at each batch
+/// barrier, so the hot path never touches shared cache lines.
 struct EvalStats {
   std::size_t individuals_evaluated = 0;  ///< Calls that ran the simulation.
   std::size_t cache_hits = 0;
@@ -22,6 +27,10 @@ struct EvalStats {
   std::size_t short_circuited = 0;
   std::size_t time_steps_evaluated = 0;
   double eval_seconds = 0.0;
+
+  /// Adds every counter of `other` into this (associative and commutative,
+  /// so per-thread partial stats can fold in any order).
+  void Merge(const EvalStats& other);
 
   double CacheHitRate() const {
     return cache_lookups == 0
@@ -33,16 +42,67 @@ struct EvalStats {
 
 /// Evaluates individuals against a SequentialFitness, applying the enabled
 /// speedup techniques: tree caching (with algebraic simplification),
-/// evaluation short-circuiting (Algorithm 1), and runtime compilation.
-/// Tracks bestPrevFull — the best fitness seen from *full* evaluations —
-/// which gates the short-circuit test.
+/// evaluation short-circuiting (Algorithm 1), runtime compilation, and
+/// parallel evaluation. Tracks bestPrevFull — the best fitness seen from
+/// *full* evaluations — which gates the short-circuit test.
+///
+/// Thread model: `Evaluate`, `EvaluateBatch`, `RunBatch`, and the
+/// Start/FinishBatch pair are coordinator-only; worker threads evaluate
+/// exclusively through a per-lane `BatchContext`. The tree cache is a
+/// striped hash map shared by all lanes, and the frontier follows
+/// `SpeedupConfig::frontier_mode` (see FrontierMode for the
+/// determinism trade-off).
 class FitnessEvaluator {
  public:
   FitnessEvaluator(const tag::Grammar* grammar,
                    const SequentialFitness* fitness, SpeedupConfig config);
 
-  /// Evaluates `individual` in place: sets fitness and fully_evaluated.
+  /// Per-lane evaluation handle within one batch. Holds the frozen
+  /// frontier snapshot, the lane's partial statistics, and the lane's best
+  /// full-evaluation fitness; created by StartBatch on the coordinator and
+  /// used by exactly one thread until FinishBatch absorbs it.
+  class BatchContext {
+   public:
+    BatchContext() = default;
+
+    /// Evaluates `individual` in place: sets fitness and fully_evaluated.
+    /// Safe to call concurrently with other lanes' contexts.
+    void Evaluate(Individual* individual);
+
+    const EvalStats& local_stats() const { return stats_; }
+
+   private:
+    friend class FitnessEvaluator;
+    FitnessEvaluator* owner_ = nullptr;
+    double frozen_frontier_ = std::numeric_limits<double>::infinity();
+    double local_min_full_ = std::numeric_limits<double>::infinity();
+    EvalStats stats_;
+  };
+
+  /// Evaluates `individual` in place (serial path): one-element batch, so
+  /// the frontier advances immediately afterwards, exactly like the
+  /// pre-parallel evaluator.
   void Evaluate(Individual* individual);
+
+  /// Evaluates the batch, fanning out across `pool` (inline when null or
+  /// single-threaded — the same code path, so results match). Under
+  /// kFrozenFrontier the assigned fitness values are bit-identical for any
+  /// thread count. The wall clock is sampled once for the whole batch.
+  void EvaluateBatch(const std::vector<Individual*>& batch, ThreadPool* pool);
+
+  /// Generalized batch runner for callers that evaluate several candidates
+  /// per item (e.g. local search): body(item, ctx) runs for every item in
+  /// [0, n) with a per-lane context; frontier and statistics fold at the
+  /// barrier. Coordinator-only.
+  void RunBatch(ThreadPool* pool, std::size_t n,
+                const std::function<void(std::size_t, BatchContext*)>& body);
+
+  /// Snapshots the frontier into a fresh context. Coordinator-only.
+  BatchContext StartBatch();
+
+  /// Folds a context's statistics and full-evaluation minimum back into
+  /// the evaluator. Coordinator-only (the batch barrier).
+  void FinishBatch(BatchContext* context);
 
   /// Evaluates without consulting or polluting the cache and without
   /// short-circuiting; used for final reporting of best models.
@@ -59,10 +119,28 @@ class FitnessEvaluator {
 
   /// Resets bestPrevFull (e.g. between independent runs).
   void ResetBestPrevFull() {
-    best_prev_full_ = std::numeric_limits<double>::infinity();
+    best_prev_full_.store(std::numeric_limits<double>::infinity(),
+                          std::memory_order_relaxed);
   }
 
+  /// Current short-circuiting frontier (exposed for tests and benches).
+  double best_prev_full() const {
+    return best_prev_full_.load(std::memory_order_relaxed);
+  }
+
+  /// Entries in the shared tree cache.
+  std::size_t cache_size() const { return cache_.size(); }
+
  private:
+  /// A memoized evaluation outcome. The fully_evaluated bit is stored, not
+  /// inferred from the frontier: a cached value may both originate from a
+  /// short-circuited run and sit below a later (reset) frontier, so any
+  /// frontier-based inference misclassifies.
+  struct CacheEntry {
+    double fitness = 0.0;
+    bool fully_evaluated = false;
+  };
+
   /// 64-bit key combining the structural hashes of the (simplified)
   /// equations with the parameter bits. Collisions are possible in
   /// principle but negligible in practice (documented trade-off; the
@@ -70,17 +148,27 @@ class FitnessEvaluator {
   std::uint64_t CacheKey(const std::vector<expr::ExprPtr>& equations,
                          const std::vector<double>& parameters) const;
 
-  /// Runs Algorithm 1 (or a plain full pass when ES is off).
+  /// Runs Algorithm 1 (or a plain full pass when ES is off) against the
+  /// given frontier, charging `stats`. Pure with respect to shared state.
   double RunEvaluation(const std::vector<expr::ExprPtr>& equations,
                        const std::vector<double>& parameters,
-                       bool* fully_evaluated);
+                       double best_prev_full, EvalStats* stats,
+                       bool* fully_evaluated) const;
+
+  /// The per-individual evaluation body shared by all paths.
+  void EvaluateWith(BatchContext* context, Individual* individual);
+
+  /// Records a full evaluation's fitness into the frontier according to
+  /// the configured FrontierMode.
+  void NoteFullEvaluation(BatchContext* context, double fitness);
 
   const tag::Grammar* grammar_;
   const SequentialFitness* fitness_;
   SpeedupConfig config_;
   EvalStats stats_;
-  double best_prev_full_ = std::numeric_limits<double>::infinity();
-  std::unordered_map<std::uint64_t, double> cache_;
+  std::atomic<double> best_prev_full_{
+      std::numeric_limits<double>::infinity()};
+  StripedMap<std::uint64_t, CacheEntry> cache_;
 };
 
 }  // namespace gmr::gp

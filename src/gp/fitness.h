@@ -76,8 +76,28 @@ double ExtrapolateIdentity(double fitness, std::size_t steps,
 double ExtrapolateGrowth(double fitness, std::size_t steps,
                          std::size_t total_steps);
 
+/// How the short-circuiting frontier (bestPrevFull) behaves under parallel
+/// evaluation. Irrelevant when num_threads <= 1 and ES is off.
+enum class FrontierMode {
+  /// The frontier is a shared atomic updated the moment any thread finishes
+  /// a full evaluation. Maximally aggressive short-circuiting — later
+  /// evaluations in the same batch cut against the freshest bound — but
+  /// results depend on thread interleaving, so runs are NOT reproducible
+  /// across thread counts (or even across same-config runs).
+  kShared,
+  /// The frontier is snapshotted at the start of each evaluation batch;
+  /// every evaluation in the batch short-circuits against the snapshot, and
+  /// the batch's full-evaluation minima fold into the frontier only at the
+  /// barrier. Fitness values become a pure function of (phenotype,
+  /// parameters, snapshot), so results are bit-identical for any thread
+  /// count. Slightly weaker cutting within a batch; the default.
+  kFrozenFrontier,
+};
+
 /// Configuration of the three orthogonal speedup techniques
-/// (paper Section III-D) plus the short-circuiting knobs.
+/// (paper Section III-D) plus the short-circuiting knobs and the parallel
+/// evaluation (PE) extension — a fourth, hardware axis that composes
+/// multiplicatively with TC/ES/RC (see DESIGN.md §speedups).
 struct SpeedupConfig {
   /// TC: memoize fitness keyed on (simplified equations, parameters).
   bool tree_caching = false;
@@ -91,6 +111,12 @@ struct SpeedupConfig {
   /// Simplify equations before hashing/evaluating (improves cache hit rate;
   /// an ablation knob — the paper folds this into TC).
   bool simplify_before_eval = true;
+  /// PE: evaluation threads per population batch (<= 1 disables).
+  int num_threads = 1;
+  /// PE: frontier discipline under parallel evaluation.
+  FrontierMode frontier_mode = FrontierMode::kFrozenFrontier;
+  /// PE: lock stripes of the shared tree cache.
+  int cache_stripes = 16;
 };
 
 }  // namespace gmr::gp

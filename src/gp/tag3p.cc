@@ -21,6 +21,9 @@ Tag3pEngine::Tag3pEngine(const tag::Grammar* grammar,
   GMR_CHECK_LE(config_.elite_size, config_.population_size);
   GMR_CHECK_GT(config_.tournament_size, 0);
   GMR_CHECK_EQ(priors_.size(), fitness->num_parameters());
+  if (config_.speedups.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.speedups.num_threads);
+  }
 }
 
 std::vector<Individual> Tag3pEngine::InitializePopulation() {
@@ -67,43 +70,66 @@ double Tag3pEngine::SigmaScale(int generation) const {
   return 1.0 + (config_.sigma_final_scale - 1.0) * progress;
 }
 
-void Tag3pEngine::LocalSearch(Individual* individual) {
+void Tag3pEngine::LocalSearch(Individual* individual, Rng& rng,
+                              FitnessEvaluator::BatchContext* context) {
   // Stochastic hill climbing: insertion/deletion (and optionally a
   // single-parameter tweak) with equal probability, "adopting the change if
-  // it improves the fitness" (Section III-D).
+  // it improves the fitness" (Section III-D). Runs on a worker thread with
+  // the offspring's own RNG stream, so searches of different offspring are
+  // independent and the outcome does not depend on the thread count.
   const int num_moves = config_.local_search_parameter_tweak ? 4 : 2;
   for (int step = 0; step < config_.local_search_steps; ++step) {
     Individual candidate = individual->Clone();
     bool applied = false;
-    switch (rng_.UniformInt(0, num_moves - 1)) {
+    switch (rng.UniformInt(0, num_moves - 1)) {
       case 0:
         applied =
-            PointInsertion(*grammar_, config_.bounds, &candidate, rng_);
+            PointInsertion(*grammar_, config_.bounds, &candidate, rng);
         break;
       case 1:
-        applied = PointDeletion(config_.bounds, &candidate, rng_);
+        applied = PointDeletion(config_.bounds, &candidate, rng);
         break;
       case 2:
-        applied = LexemeTweak(&candidate, rng_);
+        applied = LexemeTweak(&candidate, rng);
         break;
       default:
-        applied = priors_.empty() ? LexemeTweak(&candidate, rng_)
-                                  : ParameterTweak(priors_, &candidate, rng_);
+        applied = priors_.empty() ? LexemeTweak(&candidate, rng)
+                                  : ParameterTweak(priors_, &candidate, rng);
         break;
     }
     if (!applied) continue;
-    evaluator_.Evaluate(&candidate);
+    context->Evaluate(&candidate);
     if (candidate.fitness < individual->fitness) {
       *individual = std::move(candidate);
     }
   }
 }
 
+void Tag3pEngine::LocalSearchBatch(std::vector<Individual>* population,
+                                   const std::vector<std::size_t>& indices) {
+  if (config_.local_search_steps <= 0 || indices.empty()) return;
+  // Seeds are drawn sequentially from the engine RNG before the fan-out so
+  // the streams — and therefore the search trajectories — are identical
+  // for any thread count.
+  std::vector<std::uint64_t> seeds(indices.size());
+  for (std::uint64_t& seed : seeds) seed = rng_.NextUint64();
+  evaluator_.RunBatch(
+      pool_.get(), indices.size(),
+      [this, population, &indices, &seeds](
+          std::size_t k, FitnessEvaluator::BatchContext* context) {
+        Rng local_rng(seeds[k]);
+        LocalSearch(&(*population)[indices[k]], local_rng, context);
+      });
+}
+
 Tag3pResult Tag3pEngine::Run() {
   Tag3pResult result;
   std::vector<Individual> population = InitializePopulation();
-  for (Individual& individual : population) {
-    evaluator_.Evaluate(&individual);
+  {
+    std::vector<Individual*> batch;
+    batch.reserve(population.size());
+    for (Individual& individual : population) batch.push_back(&individual);
+    evaluator_.EvaluateBatch(batch, pool_.get());
   }
 
   for (int generation = 0; generation < config_.max_generations;
@@ -123,33 +149,36 @@ Tag3pResult Tag3pEngine::Run() {
       next.push_back(population[static_cast<std::size_t>(e)].Clone());
     }
 
+    // Breeding stays sequential (it owns the engine RNG); the offspring of
+    // successful operator applications are evaluated and locally searched
+    // afterwards as batches. Selection reads only the previous generation,
+    // so deferring evaluation does not change what breeding sees.
+    std::vector<std::size_t> bred;  // indices into `next` needing eval + LS
     while (next.size() < population.size()) {
       const double dice = rng_.Uniform();
       if (dice < config_.p_crossover && population.size() >= 2) {
         Individual a = TournamentSelect(population).Clone();
         Individual b = TournamentSelect(population).Clone();
-        if (Crossover(*grammar_, config_.bounds, config_.crossover_retries,
-                      &a, &b, rng_)) {
-          evaluator_.Evaluate(&a);
-          evaluator_.Evaluate(&b);
-          LocalSearch(&a);
-          LocalSearch(&b);
-        }
+        const bool crossed =
+            Crossover(*grammar_, config_.bounds, config_.crossover_retries,
+                      &a, &b, rng_);
+        if (crossed) bred.push_back(next.size());
         next.push_back(std::move(a));
-        if (next.size() < population.size()) next.push_back(std::move(b));
+        if (next.size() < population.size()) {
+          if (crossed) bred.push_back(next.size());
+          next.push_back(std::move(b));
+        }
       } else if (dice < config_.p_crossover + config_.p_subtree_mutation) {
         Individual child = TournamentSelect(population).Clone();
         if (SubtreeMutation(*grammar_, config_.bounds, &child, rng_)) {
-          evaluator_.Evaluate(&child);
-          LocalSearch(&child);
+          bred.push_back(next.size());
         }
         next.push_back(std::move(child));
       } else if (dice < config_.p_crossover + config_.p_subtree_mutation +
                             config_.p_gaussian_mutation) {
         Individual child = TournamentSelect(population).Clone();
         GaussianMutation(priors_, sigma_scale, &child, rng_);
-        evaluator_.Evaluate(&child);
-        LocalSearch(&child);
+        bred.push_back(next.size());
         next.push_back(std::move(child));
       } else {
         // Replication.
@@ -158,12 +187,22 @@ Tag3pResult Tag3pEngine::Run() {
     }
     population = std::move(next);
 
-    // Any individual left unevaluated (e.g. failed operator application)
-    // still carries its parent's fitness except fresh failures; evaluate
-    // defensively.
-    for (Individual& individual : population) {
-      if (!individual.IsEvaluated()) evaluator_.Evaluate(&individual);
+    {
+      // Fresh offspring (whose copied parent fitness is stale) plus any
+      // individual left unevaluated defensively — one batch.
+      std::vector<Individual*> batch;
+      batch.reserve(bred.size());
+      for (std::size_t index : bred) batch.push_back(&population[index]);
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        if (!population[i].IsEvaluated() &&
+            std::find(bred.begin(), bred.end(), i) == bred.end()) {
+          batch.push_back(&population[i]);
+        }
+      }
+      evaluator_.EvaluateBatch(batch, pool_.get());
     }
+
+    LocalSearchBatch(&population, bred);
 
     // Memetic elite polish: fine-tune the constants of the generation's
     // best individual by hill climbing (see Tag3pConfig::elite_polish_steps).

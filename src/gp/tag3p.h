@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "gp/evaluator.h"
 #include "gp/fitness.h"
 #include "gp/individual.h"
@@ -76,10 +78,17 @@ struct Tag3pResult {
 
 /// The TAG3P engine (Figure 5): evolves a population of derivation trees
 /// with tournament selection, elitism, the four genetic operators, and
-/// optional hill-climbing local search, under the three speedup techniques.
+/// optional hill-climbing local search, under the four speedup techniques
+/// (TC, ES, RC, and PE — parallel evaluation across a fixed thread pool).
 /// The engine is domain-agnostic — the problem enters via the grammar
 /// (plausible processes & revisions), the parameter priors, and the
 /// sequential fitness.
+///
+/// Parallel structure per generation: breeding (all RNG draws) stays
+/// sequential on the coordinator, then offspring fitness evaluation fans
+/// out as one batch, then local search fans out with one deterministically
+/// pre-seeded RNG stream per offspring. In kFrozenFrontier mode the whole
+/// trajectory is bit-identical for any `speedups.num_threads`.
 class Tag3pEngine {
  public:
   Tag3pEngine(const tag::Grammar* grammar, const SequentialFitness* fitness,
@@ -100,7 +109,13 @@ class Tag3pEngine {
  private:
   std::vector<Individual> InitializePopulation();
   const Individual& TournamentSelect(const std::vector<Individual>& population);
-  void LocalSearch(Individual* individual);
+  /// One individual's stochastic hill climb, evaluating through `context`
+  /// (worker-safe) and drawing from `rng` (the individual's own stream).
+  void LocalSearch(Individual* individual, Rng& rng,
+                   FitnessEvaluator::BatchContext* context);
+  /// Fans the local searches of `population[indices]` out across the pool.
+  void LocalSearchBatch(std::vector<Individual>* population,
+                        const std::vector<std::size_t>& indices);
   double SigmaScale(int generation) const;
 
   const tag::Grammar* grammar_;
@@ -108,6 +123,7 @@ class Tag3pEngine {
   Tag3pConfig config_;
   FitnessEvaluator evaluator_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Null when num_threads <= 1.
   GenerationCallback generation_callback_;
 };
 
