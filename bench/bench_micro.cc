@@ -1,11 +1,14 @@
 // Micro-benchmarks (google-benchmark) of the hot paths behind the Figure 10
 // speedups: expression evaluation through both backends, algebraic
 // simplification, TAG expansion, hydrological routing, and the genetic
-// operators.
+// operators — plus the divergence-watchdog containment cost/benefit, which
+// is also summarized into BENCH_fault.json by the custom main.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "core/river_grammar.h"
 #include "expr/compile.h"
 #include "expr/eval.h"
@@ -161,6 +164,41 @@ void BM_SimulateYear(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateYear)->Arg(0)->Arg(1);
 
+/// A structurally plausible but explosive candidate of the kind TAG3P
+/// routinely generates: finite derivatives that pin B_Phy to the ceiling
+/// every substep, so only the clamp-saturation watchdog can cut it short.
+std::vector<expr::ExprPtr> DivergentProcess() {
+  return {expr::Mul(expr::Constant(1e6),
+                    expr::Variable(river::kBPhy, "B_Phy")),
+          expr::Constant(0.0)};
+}
+
+river::SimulationConfig WatchdogConfig(bool watchdogs_on) {
+  river::SimulationConfig config;
+  if (!watchdogs_on) {
+    config.max_nonfinite_derivatives = 0;
+    config.max_saturated_substeps = 0;
+  }
+  return config;
+}
+
+void BM_SimulateDivergent(benchmark::State& state) {
+  // Arg 0: watchdogs disabled (the pre-containment behavior — every
+  // divergent candidate pays the full rollout). Arg 1: watchdogs on.
+  river::SyntheticConfig synth;
+  synth.years = 2;
+  synth.train_years = 1;
+  const river::RiverDataset dataset = river::GenerateNakdongLike(synth);
+  const auto equations = DivergentProcess();
+  const auto params = gp::PriorMeans(river::RiverParameterPriors());
+  const river::SimulationConfig config = WatchdogConfig(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(river::SimulateBPhy(
+        equations, params, dataset, 0, 365, 5.0, 1.0, config, true));
+  }
+}
+BENCHMARK(BM_SimulateDivergent)->Arg(0)->Arg(1);
+
 void BM_HydrologyRoute(benchmark::State& state) {
   const river::RiverNetwork network = river::RiverNetwork::Nakdong();
   const std::size_t days = static_cast<std::size_t>(state.range(0));
@@ -191,6 +229,49 @@ void BM_SyntheticGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntheticGeneration);
 
+/// Measures the divergent-candidate rollout with and without watchdogs and
+/// writes the containment summary to BENCH_fault.json: substeps actually
+/// integrated, where the abort happened, and the wall-clock per rollout.
+void WriteFaultBench() {
+  river::SyntheticConfig synth;
+  synth.years = 2;
+  synth.train_years = 1;
+  const river::RiverDataset dataset = river::GenerateNakdongLike(synth);
+  const auto equations = DivergentProcess();
+  const auto params = gp::PriorMeans(river::RiverParameterPriors());
+
+  std::vector<bench::JsonRecord> rows;
+  for (const bool watchdogs_on : {false, true}) {
+    const river::SimulationConfig config = WatchdogConfig(watchdogs_on);
+    river::SimulationReport report;
+    constexpr int kRepeats = 50;
+    Timer timer;
+    for (int r = 0; r < kRepeats; ++r) {
+      river::SimulateBPhy(equations, params, dataset, 0, 365, 5.0, 1.0,
+                          config, true, &report);
+    }
+    const double seconds = timer.ElapsedSeconds() / kRepeats;
+    bench::JsonRecord row;
+    row.Add("watchdogs", watchdogs_on ? 1.0 : 0.0);
+    row.Add("substeps_used", static_cast<double>(report.substeps_used));
+    row.Add("days_before_abort",
+            static_cast<double>(report.days_before_abort));
+    row.Add("aborted", report.aborted ? 1.0 : 0.0);
+    row.Add("clamp_saturations",
+            static_cast<double>(report.clamp_saturations));
+    row.Add("seconds_per_rollout", seconds);
+    rows.push_back(std::move(row));
+  }
+  bench::WriteBenchJson("BENCH_fault.json", "fault", 1, rows);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteFaultBench();
+  return 0;
+}

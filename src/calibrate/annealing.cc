@@ -44,7 +44,7 @@ CalibrationResult SaCalibrator::Calibrate(const Objective& objective,
     }
     temperature *= cooling;
   }
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 }  // namespace gmr::calibrate

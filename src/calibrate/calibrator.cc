@@ -33,7 +33,15 @@ BoxBounds BoundsFromPriors(const gp::ParameterPriors& priors) {
 double BudgetedObjective::operator()(const std::vector<double>& x) {
   if (used_ >= budget_) return 1e300;
   ++used_;
-  const double f = (*objective_)(x);
+  double f = 1e300;
+  // Containment: an objective that throws is charged against the budget and
+  // scored as the exhaustion sentinel; the calibration continues.
+  try {
+    f = (*objective_)(x);
+  } catch (...) {
+    ++task_failures_;
+    return 1e300;
+  }
   if (f < best_f_) {
     best_f_ = f;
     best_x_ = x;
@@ -45,8 +53,15 @@ std::vector<double> BudgetedObjective::EvaluateBatch(
     ThreadPool* pool, const std::vector<std::vector<double>>& xs) {
   std::vector<double> fs(xs.size(), 1e300);
   const std::size_t take = std::min(xs.size(), budget_ - used_);
-  ParallelFor(pool, take,
-              [this, &xs, &fs](std::size_t i) { fs[i] = (*objective_)(xs[i]); });
+  const std::vector<TaskFailure> failures = ParallelFor(
+      pool, take,
+      [this, &xs, &fs](std::size_t i) { fs[i] = (*objective_)(xs[i]); });
+  for (const TaskFailure& failure : failures) {
+    // A throwing candidate keeps the sentinel score (a partially written
+    // fs entry is overwritten) and can never become the incumbent.
+    fs[failure.index] = 1e300;
+    ++task_failures_;
+  }
   used_ += take;
   for (std::size_t i = 0; i < take; ++i) {
     if (fs[i] < best_f_) {

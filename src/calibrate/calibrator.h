@@ -33,6 +33,9 @@ struct CalibrationResult {
   std::vector<double> best_parameters;
   double best_objective = 0.0;
   std::size_t evaluations = 0;
+  /// Objective calls that threw and were contained (charged against the
+  /// budget, scored as the 1e300 sentinel, never the incumbent).
+  std::size_t failed_evaluations = 0;
 };
 
 /// A model-calibration method (paper Section IV-B3): optimizes the values of
@@ -86,6 +89,8 @@ class BudgetedObjective {
 
   bool Exhausted() const { return used_ >= budget_; }
   std::size_t used() const { return used_; }
+  /// Objective calls that threw (contained; see CalibrationResult).
+  std::size_t task_failures() const { return task_failures_; }
   const std::vector<double>& best_x() const { return best_x_; }
   double best_f() const { return best_f_; }
 
@@ -93,6 +98,7 @@ class BudgetedObjective {
   const Objective* objective_;
   std::size_t budget_;
   std::size_t used_ = 0;
+  std::size_t task_failures_ = 0;
   std::vector<double> best_x_;
   double best_f_ = 1e300;
 };

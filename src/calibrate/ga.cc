@@ -80,7 +80,7 @@ CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
     }
     population = std::move(next);
   }
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 }  // namespace gmr::calibrate

@@ -50,7 +50,7 @@ CalibrationResult McmcCalibrator::Calibrate(const Objective& objective,
     step_scale *= acceptance_ema > 0.23 ? 1.01 : 0.99;
     step_scale = std::min(std::max(step_scale, 1e-4), 0.5);
   }
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
@@ -131,7 +131,7 @@ CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
       }
     }
   }
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 CalibrationResult DeMczCalibrator::Calibrate(const Objective& objective,
@@ -186,7 +186,7 @@ CalibrationResult DeMczCalibrator::Calibrate(const Objective& objective,
       for (const auto& chain : chains) archive.push_back(chain);
     }
   }
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 }  // namespace gmr::calibrate

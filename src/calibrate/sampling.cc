@@ -11,7 +11,7 @@ CalibrationResult MonteCarloCalibrator::Calibrate(
   BudgetedObjective f(&objective, budget);
   f(initial);  // The expert point is always worth one evaluation.
   while (!f.Exhausted()) f(bounds.Sample(rng));
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 CalibrationResult LhsCalibrator::Calibrate(const Objective& objective,
@@ -44,7 +44,7 @@ CalibrationResult LhsCalibrator::Calibrate(const Objective& objective,
       f(x);
     }
   }
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 }  // namespace gmr::calibrate

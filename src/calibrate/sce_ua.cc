@@ -158,7 +158,7 @@ CalibrationResult SceUaCalibrator::Calibrate(
     }
     // Implicit shuffle: the next iteration re-sorts and re-stripes.
   }
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 std::vector<std::unique_ptr<Calibrator>> AllCalibrators() {

@@ -104,7 +104,7 @@ CalibrationResult MleCalibrator::Calibrate(const Objective& objective,
   while (!f.Exhausted()) {
     NelderMead(f, bounds, bounds.Sample(rng), /*step_fraction=*/0.25, rng);
   }
-  return {f.best_x(), f.best_f(), f.used()};
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }
 
 }  // namespace gmr::calibrate

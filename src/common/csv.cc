@@ -44,22 +44,56 @@ bool WriteCsv(const std::string& path, const CsvTable& table) {
   return static_cast<bool>(out);
 }
 
-bool ReadCsv(const std::string& path, CsvTable* table) {
+namespace {
+
+/// Sets *error (when non-null) to "<path>:<line>: <what>" so a malformed
+/// cell can be located in the file without a debugger.
+bool Fail(const std::string& path, std::size_t line_number,
+          const std::string& what, std::string* error) {
+  if (error != nullptr) {
+    *error = path + ":" + std::to_string(line_number) + ": " + what;
+  }
+  return false;
+}
+
+/// Strips a trailing '\r' (CRLF files) plus trailing spaces/tabs.
+void TrimTrailing(std::string* text) {
+  while (!text->empty()) {
+    const char c = text->back();
+    if (c != '\r' && c != ' ' && c != '\t') break;
+    text->pop_back();
+  }
+}
+
+}  // namespace
+
+bool ReadCsv(const std::string& path, CsvTable* table, std::string* error) {
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return false;
+  }
   table->column_names.clear();
   table->rows.clear();
 
   std::string line;
-  if (!std::getline(in, line)) return false;
+  std::size_t line_number = 1;
+  if (!std::getline(in, line)) {
+    return Fail(path, line_number, "empty file (missing header row)", error);
+  }
+  TrimTrailing(&line);
   {
     std::stringstream ss(line);
     std::string cell;
     while (std::getline(ss, cell, ',')) table->column_names.push_back(cell);
   }
-  if (table->column_names.empty()) return false;
+  if (table->column_names.empty()) {
+    return Fail(path, line_number, "empty header row", error);
+  }
 
   while (std::getline(in, line)) {
+    ++line_number;
+    TrimTrailing(&line);
     if (line.empty()) continue;
     std::vector<double> row;
     row.reserve(table->column_names.size());
@@ -68,10 +102,20 @@ bool ReadCsv(const std::string& path, CsvTable* table) {
     while (std::getline(ss, cell, ',')) {
       char* end = nullptr;
       const double v = std::strtod(cell.c_str(), &end);
-      if (end == cell.c_str()) return false;
+      if (end != cell.c_str() + cell.size() || cell.empty()) {
+        return Fail(path, line_number,
+                    "field " + std::to_string(row.size() + 1) + " ('" + cell +
+                        "'): not a number",
+                    error);
+      }
       row.push_back(v);
     }
-    if (row.size() != table->column_names.size()) return false;
+    if (row.size() != table->column_names.size()) {
+      return Fail(path, line_number,
+                  "expected " + std::to_string(table->column_names.size()) +
+                      " fields, got " + std::to_string(row.size()),
+                  error);
+    }
     table->rows.push_back(std::move(row));
   }
   return true;

@@ -24,8 +24,11 @@ struct CsvTable {
 bool WriteCsv(const std::string& path, const CsvTable& table);
 
 /// Reads a CSV with a header row of column names and numeric cells.
-/// Returns false on I/O or parse failure.
-bool ReadCsv(const std::string& path, CsvTable* table);
+/// Returns false on I/O or parse failure; when `error` is non-null it is
+/// filled with a `path:line:` prefixed message naming the offending field,
+/// e.g. `data.csv:7: field 3 ('abc'): not a number`.
+bool ReadCsv(const std::string& path, CsvTable* table,
+             std::string* error = nullptr);
 
 }  // namespace gmr
 

@@ -1,0 +1,64 @@
+#ifndef GMR_COMMON_FAULT_INJECTION_H_
+#define GMR_COMMON_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <string>
+
+/// Seeded, env-gated fault injection for exercising the containment layer.
+///
+/// Production code hosts named injection points (`FaultInjected(point)`)
+/// that are dormant unless armed — either through the `GMR_FAULT`
+/// environment variable or programmatically from tests via `SetFaultSpec`.
+/// The spec grammar is a comma-separated list of `point:mode` entries:
+///
+///   GMR_FAULT=jit_compile:always
+///   GMR_FAULT=derivative_nan:first:4,pool_task:prob:0.25:42
+///
+/// Points: `jit_compile` (JitProgram::Compile reports failure),
+/// `derivative_nan` (ProcessRunner::Derivatives returns NaN),
+/// `pool_task` (a ThreadPool task throws std::runtime_error).
+///
+/// Modes (per-point invocation counter `c`, starting at 0):
+///   always        fire on every call
+///   never         armed but inert (useful to override an env spec)
+///   once          fire on the first call only
+///   first:N       fire on calls c < N
+///   after:N       fire on calls c >= N
+///   prob:P[:SEED] fire when splitmix64(SEED, c) maps below P — seeded and
+///                 a pure function of the call count, so a given total call
+///                 count fires a deterministic subset regardless of thread
+///                 interleaving.
+///
+/// All queries are thread-safe; arming/clearing must not race with
+/// in-flight queries (arm before starting workers).
+namespace gmr {
+
+enum class FaultPoint : int {
+  kJitCompile = 0,
+  kDerivativeNan,
+  kPoolTask,
+};
+
+inline constexpr std::size_t kNumFaultPoints = 3;
+
+const char* FaultPointName(FaultPoint point);
+
+/// True when the fault armed for `point` fires on this invocation. Each
+/// call advances the point's invocation counter. Cheap when nothing is
+/// armed (one relaxed atomic load).
+bool FaultInjected(FaultPoint point);
+
+/// Arms faults from a spec string (see the grammar above), replacing any
+/// previously armed faults and resetting all counters. Returns false and
+/// fills *error on a malformed spec (leaving all faults cleared).
+bool SetFaultSpec(const std::string& spec, std::string* error = nullptr);
+
+/// Disarms every fault point and suppresses re-reading GMR_FAULT.
+void ClearFaults();
+
+/// True when at least one point is armed with a mode other than `never`.
+bool AnyFaultArmed();
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_FAULT_INJECTION_H_

@@ -1,8 +1,34 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/fault_injection.h"
 
 namespace gmr {
+namespace {
+
+/// Runs one index of a job, containing any exception. Returns true on
+/// success; on a throw, fills *message and returns false. The kPoolTask
+/// fault point sits inside the try so injected throws exercise exactly the
+/// production containment path.
+bool RunTask(const ThreadPool::IndexedBody& body, std::size_t index,
+             int worker, std::string* message) {
+  try {
+    if (FaultInjected(FaultPoint::kPoolTask)) {
+      throw std::runtime_error("fault injection: pool_task");
+    }
+    body(index, worker);
+    return true;
+  } catch (const std::exception& e) {
+    *message = e.what();
+  } catch (...) {
+    *message = "unknown exception";
+  }
+  return false;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(num_threads, 1)) {
@@ -23,12 +49,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::ParallelFor(std::size_t n, const IndexedBody& body,
-                             std::size_t chunk) {
-  if (n == 0) return;
+std::vector<TaskFailure> ThreadPool::ParallelFor(std::size_t n,
+                                                 const IndexedBody& body,
+                                                 std::size_t chunk) {
+  if (n == 0) return {};
   if (workers_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) body(i, 0);
-    return;
+    std::vector<TaskFailure> failures;
+    std::string message;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!RunTask(body, i, 0, &message)) {
+        failures.push_back({i, std::move(message)});
+        message.clear();
+      }
+    }
+    return failures;
   }
   if (chunk == 0) {
     // ~4 chunks per lane balances scheduling overhead against the cost
@@ -43,13 +77,24 @@ void ThreadPool::ParallelFor(std::size_t n, const IndexedBody& body,
     job_.body = &body;
     job_.cursor = 0;
     job_.done = 0;
+    job_.failures.clear();
     ++job_.generation;
   }
   work_cv_.notify_all();
   DrainCurrentJob(/*worker=*/0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return job_.done >= job_.n; });
-  job_.body = nullptr;  // the barrier: no worker touches the body past here
+  std::vector<TaskFailure> failures;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return job_.done >= job_.n; });
+    job_.body = nullptr;  // the barrier: no worker touches the body past here
+    failures = std::move(job_.failures);
+    job_.failures.clear();
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.index < b.index;
+            });
+  return failures;
 }
 
 void ThreadPool::WorkerLoop(int worker) {
@@ -82,22 +127,44 @@ void ThreadPool::DrainCurrentJob(int worker) {
       job_.cursor = end;
       body = job_.body;
     }
-    for (std::size_t i = begin; i < end; ++i) (*body)(i, worker);
+    std::vector<TaskFailure> chunk_failures;
+    std::string message;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!RunTask(*body, i, worker, &message)) {
+        chunk_failures.push_back({i, std::move(message)});
+        message.clear();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      for (TaskFailure& failure : chunk_failures) {
+        job_.failures.push_back(std::move(failure));
+      }
       job_.done += end - begin;
       if (job_.done >= job_.n) done_cv_.notify_all();
     }
   }
 }
 
-void ParallelFor(ThreadPool* pool, std::size_t n,
-                 const std::function<void(std::size_t)>& body) {
+std::vector<TaskFailure> ParallelFor(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t)>& body) {
+  const ThreadPool::IndexedBody indexed = [&body](std::size_t i,
+                                                  int /*worker*/) {
+    body(i);
+  };
   if (pool == nullptr || pool->num_threads() <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
+    std::vector<TaskFailure> failures;
+    std::string message;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!RunTask(indexed, i, 0, &message)) {
+        failures.push_back({i, std::move(message)});
+        message.clear();
+      }
+    }
+    return failures;
   }
-  pool->ParallelFor(n, [&body](std::size_t i, int /*worker*/) { body(i); });
+  return pool->ParallelFor(n, indexed);
 }
 
 }  // namespace gmr

@@ -6,10 +6,19 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace gmr {
+
+/// One ParallelFor index whose body threw: the index and the exception
+/// text. A failed index counts as completed for the barrier; containment
+/// (penalty fitness, retry, ...) is the caller's decision at the barrier.
+struct TaskFailure {
+  std::size_t index = 0;
+  std::string message;
+};
 
 /// A fixed-size pool of worker threads executing chunked index ranges.
 ///
@@ -44,8 +53,13 @@ class ThreadPool {
   /// Runs body over [0, n), distributing chunks of `chunk` indices across
   /// the workers and the calling thread; returns after every index ran.
   /// `chunk == 0` picks a chunk size that yields ~4 chunks per thread.
-  void ParallelFor(std::size_t n, const IndexedBody& body,
-                   std::size_t chunk = 0);
+  ///
+  /// Exception-safe: a body invocation that throws never terminates the
+  /// process or poisons the pool — the exception is captured and reported
+  /// in the returned list (sorted by index; empty on full success), and the
+  /// remaining indices still run.
+  std::vector<TaskFailure> ParallelFor(std::size_t n, const IndexedBody& body,
+                                       std::size_t chunk = 0);
 
  private:
   struct Job {
@@ -55,6 +69,7 @@ class ThreadPool {
     std::size_t cursor = 0;      // next unclaimed index (guarded by mu_)
     std::size_t done = 0;        // indices finished (guarded by mu_)
     std::uint64_t generation = 0;
+    std::vector<TaskFailure> failures;  // indices that threw (guarded by mu_)
   };
 
   void WorkerLoop(int worker);
@@ -75,9 +90,11 @@ class ThreadPool {
 /// in index order when `pool` is null or single-threaded. All parallel call
 /// sites (GP population batches, GGGP generations, the population-based
 /// calibrators, benches) funnel through this so the serial path is always
-/// the same code executed in the same order.
-void ParallelFor(ThreadPool* pool, std::size_t n,
-                 const std::function<void(std::size_t)>& body);
+/// the same code executed in the same order. Exception-safe like
+/// ThreadPool::ParallelFor: throwing bodies are captured and returned.
+std::vector<TaskFailure> ParallelFor(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t)>& body);
 
 }  // namespace gmr
 

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace gmr::expr {
 namespace {
@@ -126,8 +127,33 @@ std::string GenerateCSource(const Expr& root) {
 
 bool JitAvailable() { return !CompilerCommand().empty(); }
 
+void JitCircuitBreaker::RecordFailure(const std::string& reason) {
+  const int failures =
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures < threshold_) return;
+  // exchange() makes exactly one caller the opener, so the disable line is
+  // logged once even when lanes race past the threshold together.
+  if (!open_.exchange(true, std::memory_order_acq_rel)) {
+    disable_logs_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "[gmr] JIT disabled for the rest of this run after %d "
+                 "consecutive compile failures (last: %s); falling back to "
+                 "the bytecode VM\n",
+                 failures, reason.c_str());
+  }
+}
+
+JitCircuitBreaker* JitCircuitBreaker::Default() {
+  static JitCircuitBreaker* const breaker = new JitCircuitBreaker();
+  return breaker;
+}
+
 std::unique_ptr<JitProgram> JitProgram::Compile(const Expr& root,
                                                 std::string* error) {
+  if (FaultInjected(FaultPoint::kJitCompile)) {
+    if (error != nullptr) *error = "fault injection: jit_compile";
+    return nullptr;
+  }
   if (!JitAvailable()) {
     if (error != nullptr) *error = "no C compiler found on this system";
     return nullptr;

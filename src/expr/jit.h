@@ -1,6 +1,8 @@
 #ifndef GMR_EXPR_JIT_H_
 #define GMR_EXPR_JIT_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -55,6 +57,62 @@ class JitProgram {
 
 /// True when a working C compiler was found on this system (checked once).
 bool JitAvailable();
+
+/// Circuit breaker guarding JIT compilation: after `threshold` consecutive
+/// compile failures the breaker opens and JIT stays disabled for the rest
+/// of the run (evaluation degrades to the bytecode VM, which is
+/// bit-compatible). Opening is logged to stderr exactly once.
+///
+/// Thread-safe: evaluator lanes share one breaker per run. A success
+/// resets the consecutive-failure count, so sporadic failures (a full
+/// TMPDIR clearing up, a transient fork failure) never open the breaker.
+class JitCircuitBreaker {
+ public:
+  static constexpr int kDefaultThreshold = 3;
+
+  explicit JitCircuitBreaker(int threshold = kDefaultThreshold)
+      : threshold_(threshold > 0 ? threshold : 1) {}
+
+  /// True while JIT compilation should still be attempted.
+  bool allowed() const { return !open_.load(std::memory_order_acquire); }
+
+  /// True once the breaker tripped (JIT disabled for the rest of the run).
+  bool open() const { return open_.load(std::memory_order_acquire); }
+
+  void RecordSuccess() {
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Records one compile failure; trips the breaker at the threshold.
+  /// `reason` is included in the single disable log line.
+  void RecordFailure(const std::string& reason);
+
+  int consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of disable log lines emitted (0 or 1; exposed for tests).
+  int disable_log_count() const {
+    return disable_logs_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-closes the breaker (tests only; a run never resets itself).
+  void Reset() {
+    open_.store(false, std::memory_order_release);
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    disable_logs_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Process-wide default breaker, shared by runs that do not supply
+  /// their own.
+  static JitCircuitBreaker* Default();
+
+ private:
+  const int threshold_;
+  std::atomic<bool> open_{false};
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<int> disable_logs_{0};
+};
 
 /// Generates the C source for `root` without compiling (exposed for tests).
 std::string GenerateCSource(const Expr& root);

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "river/parameters.h"
 #include "river/variables.h"
@@ -83,21 +84,28 @@ class Evaluator {
     const double snapshot = best_prev_full_.load(std::memory_order_relaxed);
     std::vector<double> full_fitness(
         batch.size(), std::numeric_limits<double>::infinity());
-    ParallelFor(pool, batch.size(), [&](std::size_t i) {
-      const double frontier =
-          shared ? best_prev_full_.load(std::memory_order_relaxed)
-                 : snapshot;
-      bool fully = false;
-      const double fitness = EvaluateAgainst(*batch[i], frontier, &fully);
-      batch[i]->fitness = fitness;
-      if (fully) {
-        if (shared) {
-          AtomicFetchMin(&best_prev_full_, fitness);
-        } else {
-          full_fitness[i] = fitness;
-        }
-      }
-    });
+    const std::vector<TaskFailure> failures =
+        ParallelFor(pool, batch.size(), [&](std::size_t i) {
+          const double frontier =
+              shared ? best_prev_full_.load(std::memory_order_relaxed)
+                     : snapshot;
+          bool fully = false;
+          const double fitness = EvaluateAgainst(*batch[i], frontier, &fully);
+          batch[i]->fitness = fitness;
+          if (fully) {
+            if (shared) {
+              AtomicFetchMin(&best_prev_full_, fitness);
+            } else {
+              full_fitness[i] = fitness;
+            }
+          }
+        });
+    // Barrier conversion, mirroring gp::FitnessEvaluator: a throwing task
+    // penalizes only its own individual and never enters the frontier.
+    for (const TaskFailure& failure : failures) {
+      batch[failure.index]->fitness = kPenaltyFitness;
+      full_fitness[failure.index] = std::numeric_limits<double>::infinity();
+    }
     evaluations_ += batch.size();
     for (double fitness : full_fitness) {
       AtomicFetchMin(&best_prev_full_, fitness);

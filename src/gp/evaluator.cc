@@ -53,6 +53,9 @@ void EvalStats::Merge(const EvalStats& other) {
   short_circuited += other.short_circuited;
   time_steps_evaluated += other.time_steps_evaluated;
   eval_seconds += other.eval_seconds;
+  for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
+    outcomes[i] += other.outcomes[i];
+  }
 }
 
 FitnessEvaluator::FitnessEvaluator(const tag::Grammar* grammar,
@@ -89,7 +92,7 @@ std::uint64_t FitnessEvaluator::CacheKey(
 double FitnessEvaluator::RunEvaluation(
     const std::vector<expr::ExprPtr>& equations,
     const std::vector<double>& parameters, double best_prev_full,
-    EvalStats* stats, bool* fully_evaluated) const {
+    EvalStats* stats, bool* fully_evaluated, EvalOutcome* outcome) const {
   const std::size_t num_cases = fitness_->num_cases();
   std::unique_ptr<SequentialEvaluation> eval =
       fitness_->Begin(equations, parameters, config_.runtime_compilation);
@@ -112,6 +115,7 @@ double FitnessEvaluator::RunEvaluation(
           stats->time_steps_evaluated += i;
           ++stats->short_circuited;
           *fully_evaluated = false;
+          *outcome = eval->outcome();
           return est_fitness;  // Short circuiting.
         }
       }
@@ -120,6 +124,7 @@ double FitnessEvaluator::RunEvaluation(
   }
   stats->time_steps_evaluated += i;
   ++stats->full_evaluations;
+  *outcome = eval->outcome();
   return fitness;  // Full evaluation.
 }
 
@@ -140,6 +145,21 @@ void FitnessEvaluator::NoteFullEvaluation(BatchContext* context,
 void FitnessEvaluator::EvaluateWith(BatchContext* context,
                                     Individual* individual) {
   EvalStats& stats = context->stats_;
+  // Domain pre-check: a non-finite parameter vector cannot produce a
+  // meaningful simulation, so it is penalized before any expansion work.
+  // The penalty is a pure function of the candidate and never enters the
+  // frontier, so caching/short-circuiting stay exact.
+  for (double p : individual->parameters) {
+    if (!std::isfinite(p)) {
+      individual->fitness = kPenaltyFitness;
+      individual->fully_evaluated = true;
+      individual->outcome = EvalOutcome::kDomainViolation;
+      ++stats.outcomes[static_cast<std::size_t>(
+          EvalOutcome::kDomainViolation)];
+      ++stats.individuals_evaluated;
+      return;
+    }
+  }
   std::vector<expr::ExprPtr> equations = Phenotype(*individual);
   const double frontier =
       config_.frontier_mode == FrontierMode::kShared
@@ -154,25 +174,32 @@ void FitnessEvaluator::EvaluateWith(BatchContext* context,
       ++stats.cache_hits;
       individual->fitness = entry.fitness;
       individual->fully_evaluated = entry.fully_evaluated;
+      individual->outcome = entry.outcome;
       return;
     }
     bool fully = false;
+    EvalOutcome outcome = EvalOutcome::kOk;
     const double fitness = RunEvaluation(equations, individual->parameters,
-                                         frontier, &stats, &fully);
+                                         frontier, &stats, &fully, &outcome);
     if (fully) NoteFullEvaluation(context, fitness);
-    cache_.Insert(key, CacheEntry{fitness, fully});
+    cache_.Insert(key, CacheEntry{fitness, fully, outcome});
     individual->fitness = fitness;
     individual->fully_evaluated = fully;
+    individual->outcome = outcome;
     ++stats.individuals_evaluated;
+    ++stats.outcomes[static_cast<std::size_t>(outcome)];
     return;
   }
 
   bool fully = false;
+  EvalOutcome outcome = EvalOutcome::kOk;
   individual->fitness = RunEvaluation(equations, individual->parameters,
-                                      frontier, &stats, &fully);
+                                      frontier, &stats, &fully, &outcome);
   if (fully) NoteFullEvaluation(context, individual->fitness);
   individual->fully_evaluated = fully;
+  individual->outcome = outcome;
   ++stats.individuals_evaluated;
+  ++stats.outcomes[static_cast<std::size_t>(outcome)];
 }
 
 void FitnessEvaluator::BatchContext::Evaluate(Individual* individual) {
@@ -197,15 +224,21 @@ void FitnessEvaluator::FinishBatch(BatchContext* context) {
 void FitnessEvaluator::Evaluate(Individual* individual) {
   Timer timer;
   BatchContext context = StartBatch();
-  EvaluateWith(&context, individual);
+  try {
+    EvaluateWith(&context, individual);
+  } catch (const std::exception&) {
+    SetTaskFailed(individual, &context.stats_);
+  } catch (...) {
+    SetTaskFailed(individual, &context.stats_);
+  }
   FinishBatch(&context);
   stats_.eval_seconds += timer.ElapsedSeconds();
 }
 
-void FitnessEvaluator::RunBatch(
+std::vector<TaskFailure> FitnessEvaluator::RunBatch(
     ThreadPool* pool, std::size_t n,
     const std::function<void(std::size_t, BatchContext*)>& body) {
-  if (n == 0) return;
+  if (n == 0) return {};
   // One wall-clock sample per batch: cache hits inside the batch no longer
   // pay a clock read each (they dominated eval_seconds noise at high hit
   // rates).
@@ -214,23 +247,44 @@ void FitnessEvaluator::RunBatch(
       pool != nullptr && pool->num_threads() > 1 ? pool->num_threads() : 1;
   std::vector<BatchContext> contexts(static_cast<std::size_t>(lanes));
   for (BatchContext& context : contexts) context = StartBatch();
+  std::vector<TaskFailure> failures;
   if (lanes == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i, &contexts[0]);
+    // The free ParallelFor runs inline in index order with the same
+    // exception containment (and fault-injection point) as the pool path.
+    failures = gmr::ParallelFor(
+        nullptr, n,
+        [&body, &contexts](std::size_t i) { body(i, &contexts[0]); });
   } else {
-    pool->ParallelFor(n, [&body, &contexts](std::size_t i, int worker) {
-      body(i, &contexts[static_cast<std::size_t>(worker)]);
-    });
+    failures =
+        pool->ParallelFor(n, [&body, &contexts](std::size_t i, int worker) {
+          body(i, &contexts[static_cast<std::size_t>(worker)]);
+        });
   }
   for (BatchContext& context : contexts) FinishBatch(&context);
   stats_.eval_seconds += timer.ElapsedSeconds();
+  return failures;
+}
+
+void FitnessEvaluator::SetTaskFailed(Individual* individual,
+                                     EvalStats* stats) {
+  individual->fitness = kPenaltyFitness;
+  individual->fully_evaluated = true;
+  individual->outcome = EvalOutcome::kTaskFailed;
+  ++stats->outcomes[static_cast<std::size_t>(EvalOutcome::kTaskFailed)];
 }
 
 void FitnessEvaluator::EvaluateBatch(const std::vector<Individual*>& batch,
                                      ThreadPool* pool) {
-  RunBatch(pool, batch.size(),
-           [this, &batch](std::size_t i, BatchContext* context) {
-             EvaluateWith(context, batch[i]);
-           });
+  const std::vector<TaskFailure> failures =
+      RunBatch(pool, batch.size(),
+               [this, &batch](std::size_t i, BatchContext* context) {
+                 EvaluateWith(context, batch[i]);
+               });
+  // Barrier conversion: each failed task poisons only its own individual.
+  // The penalty never enters the frontier or the cache.
+  for (const TaskFailure& failure : failures) {
+    SetTaskFailed(batch[failure.index], &stats_);
+  }
 }
 
 double FitnessEvaluator::EvaluateFull(const Individual& individual) const {

@@ -27,6 +27,9 @@ struct EvalStats {
   std::size_t short_circuited = 0;
   std::size_t time_steps_evaluated = 0;
   double eval_seconds = 0.0;
+  /// Containment telemetry: computed evaluations by EvalOutcome (cache hits
+  /// are not re-counted; index with static_cast<std::size_t>(outcome)).
+  std::size_t outcomes[kNumEvalOutcomes] = {};
 
   /// Adds every counter of `other` into this (associative and commutative,
   /// so per-thread partial stats can fold in any order).
@@ -88,14 +91,20 @@ class FitnessEvaluator {
   /// single-threaded — the same code path, so results match). Under
   /// kFrozenFrontier the assigned fitness values are bit-identical for any
   /// thread count. The wall clock is sampled once for the whole batch.
+  ///
+  /// Fault containment: an evaluation task that throws poisons only its own
+  /// individual — at the batch barrier it is assigned kPenaltyFitness with
+  /// outcome kTaskFailed; every other individual is unaffected.
   void EvaluateBatch(const std::vector<Individual*>& batch, ThreadPool* pool);
 
   /// Generalized batch runner for callers that evaluate several candidates
   /// per item (e.g. local search): body(item, ctx) runs for every item in
   /// [0, n) with a per-lane context; frontier and statistics fold at the
-  /// barrier. Coordinator-only.
-  void RunBatch(ThreadPool* pool, std::size_t n,
-                const std::function<void(std::size_t, BatchContext*)>& body);
+  /// barrier. Returns the items whose body threw (contained, sorted by
+  /// index; the caller decides how to penalize them). Coordinator-only.
+  std::vector<TaskFailure> RunBatch(
+      ThreadPool* pool, std::size_t n,
+      const std::function<void(std::size_t, BatchContext*)>& body);
 
   /// Snapshots the frontier into a fresh context. Coordinator-only.
   BatchContext StartBatch();
@@ -139,6 +148,9 @@ class FitnessEvaluator {
   struct CacheEntry {
     double fitness = 0.0;
     bool fully_evaluated = false;
+    /// Cached alongside the fitness so a hit reproduces the containment
+    /// telemetry of the original evaluation.
+    EvalOutcome outcome = EvalOutcome::kOk;
   };
 
   /// 64-bit key combining the structural hashes of the (simplified)
@@ -153,10 +165,14 @@ class FitnessEvaluator {
   double RunEvaluation(const std::vector<expr::ExprPtr>& equations,
                        const std::vector<double>& parameters,
                        double best_prev_full, EvalStats* stats,
-                       bool* fully_evaluated) const;
+                       bool* fully_evaluated, EvalOutcome* outcome) const;
 
   /// The per-individual evaluation body shared by all paths.
   void EvaluateWith(BatchContext* context, Individual* individual);
+
+  /// Assigns the kTaskFailed penalty to an individual whose evaluation
+  /// threw, charging `stats`.
+  static void SetTaskFailed(Individual* individual, EvalStats* stats);
 
   /// Records a full evaluation's fitness into the frontier according to
   /// the configured FrontierMode.

@@ -5,9 +5,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "expr/ast.h"
 
 namespace gmr::gp {
+
+using ::gmr::EvalOutcome;
 
 /// One in-progress evaluation of a candidate model over a sequence of
 /// fitness cases (time steps of the simulated dynamic system). The running
@@ -28,6 +31,11 @@ class SequentialEvaluation {
 
   /// Number of cases consumed so far.
   virtual std::size_t steps_taken() const = 0;
+
+  /// Why the running fitness is what it is (containment telemetry).
+  /// Implementations that host divergence watchdogs or backend fallbacks
+  /// override this; the default reports a normal evaluation.
+  virtual EvalOutcome outcome() const { return EvalOutcome::kOk; }
 };
 
 /// A fitness problem whose evaluation proceeds case by case. Implementations

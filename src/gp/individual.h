@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/status.h"
 #include "tag/derivation.h"
 
 namespace gmr::gp {
@@ -21,6 +22,10 @@ struct Individual {
   /// True when `fitness` came from a full (non-short-circuited) evaluation.
   bool fully_evaluated = false;
 
+  /// Why the last evaluation produced this fitness (kOk for normal
+  /// evaluations; see common/status.h for the containment taxonomy).
+  EvalOutcome outcome = EvalOutcome::kOk;
+
   bool IsEvaluated() const {
     return fitness != std::numeric_limits<double>::infinity();
   }
@@ -31,6 +36,7 @@ struct Individual {
     copy.parameters = parameters;
     copy.fitness = fitness;
     copy.fully_evaluated = fully_evaluated;
+    copy.outcome = outcome;
     return copy;
   }
 

@@ -113,13 +113,25 @@ void Tag3pEngine::LocalSearchBatch(std::vector<Individual>* population,
   // for any thread count.
   std::vector<std::uint64_t> seeds(indices.size());
   for (std::uint64_t& seed : seeds) seed = rng_.NextUint64();
-  evaluator_.RunBatch(
+  const std::vector<TaskFailure> failures = evaluator_.RunBatch(
       pool_.get(), indices.size(),
       [this, population, &indices, &seeds](
           std::size_t k, FitnessEvaluator::BatchContext* context) {
         Rng local_rng(seeds[k]);
         LocalSearch(&(*population)[indices[k]], local_rng, context);
       });
+  // A local-search task that threw is contained: the individual keeps the
+  // fitness it already earned in the evaluation batch and only misses this
+  // generation's hill climbing. Any individual the failure left unevaluated
+  // (it never had a fitness) is penalized so sorting stays well-defined.
+  for (const TaskFailure& failure : failures) {
+    Individual& individual = (*population)[indices[failure.index]];
+    if (!individual.IsEvaluated()) {
+      individual.fitness = kPenaltyFitness;
+      individual.fully_evaluated = true;
+      individual.outcome = EvalOutcome::kTaskFailed;
+    }
+  }
 }
 
 Tag3pResult Tag3pEngine::Run() {

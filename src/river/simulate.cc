@@ -1,8 +1,11 @@
 #include "river/simulate.h"
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "expr/eval.h"
 #include "river/parameters.h"
 #include "river/variables.h"
@@ -12,26 +15,62 @@ namespace gmr::river {
 ProcessRunner::ProcessRunner(const std::vector<expr::ExprPtr>& equations,
                              const std::vector<double>* parameters,
                              bool compiled)
+    : ProcessRunner(equations, parameters, compiled, SimulationConfig{}) {}
+
+ProcessRunner::ProcessRunner(const std::vector<expr::ExprPtr>& equations,
+                             const std::vector<double>* parameters,
+                             bool compiled, const SimulationConfig& config)
     : equations_(equations), parameters_(parameters), compiled_(compiled) {
   GMR_CHECK_EQ(equations_.size(), 2u);
   GMR_CHECK(parameters_ != nullptr);
-  if (compiled_) {
-    programs_.reserve(equations_.size());
-    for (const auto& eq : equations_) programs_.push_back(expr::Compile(*eq));
+  if (!compiled_) return;
+  // The bytecode programs are always built: they are the fallback for any
+  // equation whose JIT compile fails.
+  programs_.reserve(equations_.size());
+  for (const auto& eq : equations_) programs_.push_back(expr::Compile(*eq));
+  if (config.compiled_backend != CompiledBackend::kNativeJit) return;
+  expr::JitCircuitBreaker* breaker = config.jit_breaker != nullptr
+                                         ? config.jit_breaker
+                                         : expr::JitCircuitBreaker::Default();
+  jit_programs_.resize(equations_.size());
+  for (std::size_t i = 0; i < equations_.size(); ++i) {
+    if (!breaker->allowed()) {
+      jit_fallback_ = true;
+      continue;
+    }
+    std::string error;
+    jit_programs_[i] = expr::JitProgram::Compile(*equations_[i], &error);
+    if (jit_programs_[i] != nullptr) {
+      breaker->RecordSuccess();
+    } else {
+      breaker->RecordFailure(error);
+      jit_fallback_ = true;
+    }
   }
 }
+
+ProcessRunner::~ProcessRunner() = default;
 
 void ProcessRunner::Derivatives(const double* variables,
                                 std::size_t num_variables, double* d_bphy,
                                 double* d_bzoo) const {
+  if (FaultInjected(FaultPoint::kDerivativeNan)) {
+    *d_bphy = std::numeric_limits<double>::quiet_NaN();
+    *d_bzoo = std::numeric_limits<double>::quiet_NaN();
+    return;
+  }
   expr::EvalContext ctx;
   ctx.variables = variables;
   ctx.num_variables = num_variables;
   ctx.parameters = parameters_->data();
   ctx.num_parameters = parameters_->size();
   if (compiled_) {
-    *d_bphy = programs_[0].Run(ctx);
-    *d_bzoo = programs_[1].Run(ctx);
+    *d_bphy = !jit_programs_.empty() && jit_programs_[0] != nullptr
+                  ? jit_programs_[0]->Run(ctx)
+                  : programs_[0].Run(ctx);
+    *d_bzoo = !jit_programs_.empty() && jit_programs_[1] != nullptr
+                  ? jit_programs_[1]->Run(ctx)
+                  : programs_[1].Run(ctx);
   } else {
     *d_bphy = expr::EvalExpr(*equations_[0], ctx);
     *d_bzoo = expr::EvalExpr(*equations_[1], ctx);
@@ -40,53 +79,140 @@ void ProcessRunner::Derivatives(const double* variables,
 
 namespace {
 
-double ClampState(double value, const SimulationConfig& config) {
-  if (!std::isfinite(value)) return config.state_max;
+/// Sign-aware clamp: -Inf (and NaN with the sign bit set) pins to the
+/// biological floor, +Inf/NaN to the ceiling — a huge negative update means
+/// the population crashed, not exploded. Pinning at the ceiling sets
+/// *saturated_high (when non-null); the floor is ordinary die-off and is
+/// never reported.
+double ClampState(double value, const SimulationConfig& config,
+                  bool* saturated_high = nullptr) {
+  if (!std::isfinite(value)) {
+    if (std::signbit(value)) return config.state_min;
+    if (saturated_high != nullptr) *saturated_high = true;
+    return config.state_max;
+  }
   if (value < config.state_min) return config.state_min;
-  if (value > config.state_max) return config.state_max;
+  if (value > config.state_max) {
+    if (saturated_high != nullptr) *saturated_high = true;
+    return config.state_max;
+  }
   return value;
 }
 
-/// Shared integration state for SimulateBPhy and RiverEvaluation.
+/// Shared integration state for SimulateBPhy and RiverEvaluation, including
+/// the divergence watchdogs. Once a watchdog aborts the rollout, every
+/// remaining day predicts config.state_max in O(1) — a deterministic
+/// penalty that keeps the full-horizon RMSE comparable across candidates
+/// (and bit-identical regardless of thread count) while skipping all
+/// further derivative evaluations.
 class Integrator {
  public:
   Integrator(const std::vector<expr::ExprPtr>& equations,
              const std::vector<double>* parameters, bool compiled,
              const RiverDataset* dataset, double initial_bphy,
              double initial_bzoo, const SimulationConfig& config)
-      : runner_(equations, parameters, compiled),
+      : runner_(equations, parameters, compiled, config),
         dataset_(dataset),
         config_(config),
         bphy_(ClampState(initial_bphy, config)),
         bzoo_(ClampState(initial_bzoo, config)) {}
 
   /// Integrates one day using the drivers of day `t` and returns the
-  /// end-of-day B_Phy.
+  /// end-of-day B_Phy (or the penalty value after a watchdog abort).
   double AdvanceDay(std::size_t t) {
+    ++days_simulated_;
+    if (aborted_) return config_.state_max;
     double variables[kNumVariables];
     for (int slot = kVlgt; slot < kNumVariables; ++slot) {
       variables[slot] = dataset_->drivers[static_cast<std::size_t>(slot)][t];
     }
     const double dt = 1.0 / static_cast<double>(config_.substeps);
-    for (int step = 0; step < config_.substeps; ++step) {
+    for (int step = 0; step < config_.substeps && !aborted_; ++step) {
+      if (config_.substep_budget > 0 &&
+          substeps_used_ >= config_.substep_budget) {
+        Abort(EvalOutcome::kBudgetExceeded);
+        break;
+      }
+      ++substeps_used_;
       if (config_.method == IntegrationMethod::kRk4) {
         Rk4Step(variables, dt);
       } else {
         EulerStep(variables, dt);
       }
     }
+    if (aborted_) return config_.state_max;
     return bphy_;
   }
 
+  EvalOutcome outcome() const {
+    if (aborted_) return abort_outcome_;
+    if (runner_.jit_fallback()) return EvalOutcome::kJitCompileFailed;
+    return EvalOutcome::kOk;
+  }
+
+  bool aborted() const { return aborted_; }
+
+  void FillReport(SimulationReport* report) const {
+    report->outcome = outcome();
+    report->aborted = aborted_;
+    report->jit_fallback = runner_.jit_fallback();
+    report->substeps_used = substeps_used_;
+    report->days_simulated = days_simulated_;
+    report->days_before_abort = aborted_ ? days_before_abort_ : days_simulated_;
+    report->nonfinite_derivatives = nonfinite_derivatives_;
+    report->clamp_saturations = clamp_saturations_;
+  }
+
  private:
+  void Abort(EvalOutcome outcome) {
+    aborted_ = true;
+    abort_outcome_ = outcome;
+    // The current day did not complete; it and all later days predict the
+    // penalty value.
+    days_before_abort_ = days_simulated_ - 1;
+  }
+
+  /// Watchdog bookkeeping for one Derivatives call. Returns false (and
+  /// possibly aborts) when any derivative is non-finite.
+  bool NoteDerivatives(double d_bphy, double d_bzoo) {
+    if (std::isfinite(d_bphy) && std::isfinite(d_bzoo)) return true;
+    ++nonfinite_derivatives_;
+    if (config_.max_nonfinite_derivatives > 0 &&
+        nonfinite_derivatives_ >=
+            static_cast<std::size_t>(config_.max_nonfinite_derivatives)) {
+      Abort(EvalOutcome::kNonFiniteDerivative);
+    }
+    return false;
+  }
+
+  /// Clamps and commits the end-of-substep state, tracking consecutive
+  /// ceiling saturations for the divergence watchdog.
+  void CommitState(double raw_bphy, double raw_bzoo) {
+    bool saturated = false;
+    bphy_ = ClampState(raw_bphy, config_, &saturated);
+    bzoo_ = ClampState(raw_bzoo, config_, &saturated);
+    if (!saturated) {
+      consecutive_saturated_ = 0;
+      return;
+    }
+    ++clamp_saturations_;
+    ++consecutive_saturated_;
+    if (config_.max_saturated_substeps > 0 &&
+        consecutive_saturated_ >=
+            static_cast<std::size_t>(config_.max_saturated_substeps)) {
+      Abort(EvalOutcome::kClampSaturated);
+    }
+  }
+
   void EulerStep(double* variables, double dt) {
     variables[kBPhy] = bphy_;
     variables[kBZoo] = bzoo_;
     double d_bphy = 0.0;
     double d_bzoo = 0.0;
     runner_.Derivatives(variables, kNumVariables, &d_bphy, &d_bzoo);
-    bphy_ = ClampState(bphy_ + dt * d_bphy, config_);
-    bzoo_ = ClampState(bzoo_ + dt * d_bzoo, config_);
+    NoteDerivatives(d_bphy, d_bzoo);
+    if (aborted_) return;
+    CommitState(bphy_ + dt * d_bphy, bzoo_ + dt * d_bzoo);
   }
 
   void Rk4Step(double* variables, double dt) {
@@ -101,17 +227,16 @@ class Integrator {
           o == 0.0 ? bzoo_ : bzoo_ + o * dt * k_bzoo[stage - 1];
       runner_.Derivatives(variables, kNumVariables, &k_bphy[stage],
                           &k_bzoo[stage]);
+      NoteDerivatives(k_bphy[stage], k_bzoo[stage]);
+      if (aborted_) return;
     }
-    bphy_ = ClampState(
+    CommitState(
         bphy_ + dt / 6.0 *
                     (k_bphy[0] + 2.0 * k_bphy[1] + 2.0 * k_bphy[2] +
                      k_bphy[3]),
-        config_);
-    bzoo_ = ClampState(
         bzoo_ + dt / 6.0 *
                     (k_bzoo[0] + 2.0 * k_bzoo[1] + 2.0 * k_bzoo[2] +
-                     k_bzoo[3]),
-        config_);
+                     k_bzoo[3]));
   }
 
   ProcessRunner runner_;
@@ -119,6 +244,15 @@ class Integrator {
   SimulationConfig config_;
   double bphy_;
   double bzoo_;
+
+  bool aborted_ = false;
+  EvalOutcome abort_outcome_ = EvalOutcome::kOk;
+  std::size_t substeps_used_ = 0;
+  std::size_t days_simulated_ = 0;
+  std::size_t days_before_abort_ = 0;
+  std::size_t nonfinite_derivatives_ = 0;
+  std::size_t clamp_saturations_ = 0;
+  std::size_t consecutive_saturated_ = 0;
 };
 
 class RiverEvaluation : public gp::SequentialEvaluation {
@@ -153,6 +287,8 @@ class RiverEvaluation : public gp::SequentialEvaluation {
 
   std::size_t steps_taken() const override { return steps_; }
 
+  EvalOutcome outcome() const override { return integrator_.outcome(); }
+
  private:
   // Owns a copy so the integrator's pointer stays valid for the lifetime of
   // the evaluation regardless of caller storage.
@@ -173,7 +309,7 @@ std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
                                  std::size_t t_begin, std::size_t t_end,
                                  double initial_bphy, double initial_bzoo,
                                  const SimulationConfig& config,
-                                 bool compiled) {
+                                 bool compiled, SimulationReport* report) {
   GMR_CHECK_LE(t_end, dataset.num_days);
   GMR_CHECK_LE(t_begin, t_end);
   Integrator integrator(equations, &parameters, compiled, &dataset,
@@ -183,6 +319,7 @@ std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
   for (std::size_t t = t_begin; t < t_end; ++t) {
     predicted.push_back(integrator.AdvanceDay(t));
   }
+  if (report != nullptr) integrator.FillReport(report);
   return predicted;
 }
 

@@ -1,11 +1,14 @@
 #ifndef GMR_RIVER_SIMULATE_H_
 #define GMR_RIVER_SIMULATE_H_
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "expr/ast.h"
 #include "expr/compile.h"
+#include "expr/jit.h"
 #include "gp/fitness.h"
 #include "river/dataset.h"
 
@@ -16,6 +19,15 @@ enum class IntegrationMethod {
   kEuler,  ///< Forward Euler (the default; cheap and robust under clamping).
   kRk4,    ///< Classic 4th-order Runge-Kutta (drivers held constant within
            ///< the day, as the data is daily).
+};
+
+/// Which "runtime compilation" backend evaluates candidate equations when
+/// the RC speedup is on.
+enum class CompiledBackend {
+  kBytecodeVm = 0,  ///< In-process bytecode (expr/compile.h); the default.
+  kNativeJit,       ///< cc + dlopen (expr/jit.h); degrades to the VM
+                    ///< per-equation on compile failure, and run-wide once
+                    ///< the circuit breaker opens.
 };
 
 /// Numerical integration settings for the biological process.
@@ -29,37 +41,99 @@ struct SimulationConfig {
   /// hit the clamp and collect a large but finite error.
   double state_min = 0.01;
   double state_max = 1e4;
+
+  /// Backend used when the evaluator requests compiled evaluation.
+  CompiledBackend compiled_backend = CompiledBackend::kBytecodeVm;
+  /// Circuit breaker consulted by the kNativeJit backend; null uses the
+  /// process-wide expr::JitCircuitBreaker::Default().
+  expr::JitCircuitBreaker* jit_breaker = nullptr;
+
+  /// Divergence watchdogs. A tripped watchdog aborts the rollout: every
+  /// remaining day deterministically predicts state_max (a pure function of
+  /// the candidate, so caching and short-circuiting stay exact) without
+  /// further derivative evaluations. 0 disables a watchdog.
+  ///
+  /// Total non-finite derivative evaluations tolerated per rollout before
+  /// aborting with EvalOutcome::kNonFiniteDerivative.
+  int max_nonfinite_derivatives = 8;
+  /// Consecutive substeps with a state pinned at state_max tolerated before
+  /// aborting with EvalOutcome::kClampSaturated. (Dwelling at state_min is
+  /// ordinary winter die-off, not divergence, and is never counted.)
+  int max_saturated_substeps = 64;
+  /// Total substeps allowed per rollout before aborting with
+  /// EvalOutcome::kBudgetExceeded; 0 means unlimited. The default rollout
+  /// uses num_days * substeps, so this only matters for configurations with
+  /// adaptive substepping or as a hard safety net.
+  std::size_t substep_budget = 0;
 };
 
-/// Evaluates the two process derivatives (dB_Phy/dt, dB_Zoo/dt) through
-/// either backend: interpreted tree walking or compiled bytecode
-/// ("runtime compilation").
+/// What happened inside one simulation rollout (all counters are totals for
+/// the rollout).
+struct SimulationReport {
+  EvalOutcome outcome = EvalOutcome::kOk;
+  /// True when a watchdog aborted the rollout early.
+  bool aborted = false;
+  /// True when at least one equation requested kNativeJit but ran on the
+  /// bytecode VM (compile failure or open circuit breaker).
+  bool jit_fallback = false;
+  std::size_t substeps_used = 0;
+  std::size_t days_simulated = 0;
+  /// Substeps aborted after this many days (== days_simulated when the
+  /// rollout ran to completion).
+  std::size_t days_before_abort = 0;
+  std::size_t nonfinite_derivatives = 0;
+  /// Substeps that left a state pinned at state_max.
+  std::size_t clamp_saturations = 0;
+};
+
+/// Evaluates the two process derivatives (dB_Phy/dt, dB_Zoo/dt) through the
+/// configured backend: interpreted tree walking, compiled bytecode, or
+/// native JIT ("runtime compilation").
 class ProcessRunner {
  public:
   ProcessRunner(const std::vector<expr::ExprPtr>& equations,
                 const std::vector<double>* parameters, bool compiled);
+
+  /// Backend-aware constructor: when `compiled` and the config selects
+  /// kNativeJit, each equation is JIT-compiled (subject to the circuit
+  /// breaker); equations whose JIT compile fails fall back to bytecode,
+  /// recorded in jit_fallback().
+  ProcessRunner(const std::vector<expr::ExprPtr>& equations,
+                const std::vector<double>* parameters, bool compiled,
+                const SimulationConfig& config);
+
+  ~ProcessRunner();
 
   /// Computes both derivatives for the given variable vector (layout of
   /// variables.h, parameters bound at construction).
   void Derivatives(const double* variables, std::size_t num_variables,
                    double* d_bphy, double* d_bzoo) const;
 
+  /// True when any equation degraded from kNativeJit to the bytecode VM.
+  bool jit_fallback() const { return jit_fallback_; }
+
  private:
   std::vector<expr::ExprPtr> equations_;
   const std::vector<double>* parameters_;
   bool compiled_;
   std::vector<expr::CompiledProgram> programs_;
+  /// Parallel to equations_ when the JIT backend is active; a null entry
+  /// means that equation runs on the bytecode program instead.
+  std::vector<std::unique_ptr<expr::JitProgram>> jit_programs_;
+  bool jit_fallback_ = false;
 };
 
 /// Simulates the biological process over dataset days [t_begin, t_end),
-/// returning the predicted B_Phy series (one value per day).
+/// returning the predicted B_Phy series (one value per day). When `report`
+/// is non-null it is filled with the rollout's containment telemetry.
 std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
                                  const std::vector<double>& parameters,
                                  const RiverDataset& dataset,
                                  std::size_t t_begin, std::size_t t_end,
                                  double initial_bphy, double initial_bzoo,
                                  const SimulationConfig& config,
-                                 bool compiled);
+                                 bool compiled,
+                                 SimulationReport* report = nullptr);
 
 /// The river fitness problem: one fitness case per day; fitness is the
 /// running RMSE between simulated and observed B_Phy (the paper's fitness

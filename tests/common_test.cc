@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <string>
 
 #include "common/csv.h"
 #include "common/matrix.h"
@@ -327,7 +329,79 @@ TEST(CsvTest, ColumnExtraction) {
 
 TEST(CsvTest, ReadRejectsMissingFile) {
   CsvTable table;
-  EXPECT_FALSE(ReadCsv("/nonexistent/path/nope.csv", &table));
+  std::string error;
+  EXPECT_FALSE(ReadCsv("/nonexistent/path/nope.csv", &table, &error));
+  EXPECT_NE(error.find("/nonexistent/path/nope.csv"), std::string::npos);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+/// Writes raw text to a temp file and returns its path.
+std::string WriteTempFile(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(CsvTest, ReadReportsFileLineAndField) {
+  const std::string path =
+      WriteTempFile("gmr_csv_bad_cell.csv", "a,b,c\n1,2,3\n4,abc,6\n");
+  CsvTable table;
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, &table, &error));
+  // The message pinpoints file, 1-based line, 1-based field, and the cell.
+  EXPECT_NE(error.find(path + ":3"), std::string::npos) << error;
+  EXPECT_NE(error.find("field 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("'abc'"), std::string::npos) << error;
+  EXPECT_NE(error.find("not a number"), std::string::npos) << error;
+}
+
+TEST(CsvTest, ReadRejectsPartiallyNumericCell) {
+  const std::string path =
+      WriteTempFile("gmr_csv_partial.csv", "a\n1.5x\n");
+  CsvTable table;
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, &table, &error));
+  EXPECT_NE(error.find("'1.5x'"), std::string::npos) << error;
+}
+
+TEST(CsvTest, ReadRejectsFieldCountMismatch) {
+  const std::string path =
+      WriteTempFile("gmr_csv_ragged.csv", "a,b,c\n1,2,3\n1,2\n");
+  CsvTable table;
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, &table, &error));
+  EXPECT_NE(error.find(path + ":3"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected 3 fields, got 2"), std::string::npos)
+      << error;
+}
+
+TEST(CsvTest, ReadRejectsEmptyFile) {
+  const std::string path = WriteTempFile("gmr_csv_empty.csv", "");
+  CsvTable table;
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, &table, &error));
+  EXPECT_NE(error.find("empty file"), std::string::npos) << error;
+}
+
+TEST(CsvTest, ReadRejectsEmptyCell) {
+  const std::string path =
+      WriteTempFile("gmr_csv_empty_cell.csv", "a,b\n,2\n");
+  CsvTable table;
+  std::string error;
+  EXPECT_FALSE(ReadCsv(path, &table, &error));
+  EXPECT_NE(error.find("field 1 ('')"), std::string::npos) << error;
+}
+
+TEST(CsvTest, ReadTrimsCarriageReturns) {
+  const std::string path =
+      WriteTempFile("gmr_csv_crlf.csv", "a,b\r\n1,2\r\n3,4\r\n");
+  CsvTable table;
+  std::string error;
+  ASSERT_TRUE(ReadCsv(path, &table, &error)) << error;
+  EXPECT_EQ(table.column_names, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 4.0);
 }
 
 }  // namespace

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "expr/eval.h"
 #include "expr/jit.h"
 #include "river/biology.h"
 #include "river/parameters.h"
+#include "river/simulate.h"
 #include "river/variables.h"
 
 namespace gmr::expr {
@@ -84,6 +88,96 @@ TEST(JitTest, MatchesInterpreterOnRandomTrees) {
       }
     }
   }
+}
+
+TEST(JitTest, InjectedCompileFaultFailsCleanly) {
+  // The jit_compile injection point fires before any compiler is invoked,
+  // so this works even on systems without a C compiler.
+  std::string spec_error;
+  ASSERT_TRUE(SetFaultSpec("jit_compile:always", &spec_error)) << spec_error;
+  std::string error;
+  const auto program = JitProgram::Compile(*Constant(1.0), &error);
+  EXPECT_EQ(program, nullptr);
+  EXPECT_NE(error.find("fault injection: jit_compile"), std::string::npos)
+      << error;
+  ClearFaults();
+}
+
+TEST(JitCircuitBreakerTest, OpensAtThresholdAndLogsOnce) {
+  JitCircuitBreaker breaker(3);
+  EXPECT_TRUE(breaker.allowed());
+  breaker.RecordFailure("boom 1");
+  breaker.RecordFailure("boom 2");
+  EXPECT_TRUE(breaker.allowed());
+  EXPECT_FALSE(breaker.open());
+  breaker.RecordFailure("boom 3");
+  EXPECT_TRUE(breaker.open());
+  EXPECT_FALSE(breaker.allowed());
+  EXPECT_EQ(breaker.disable_log_count(), 1);
+  // Further failures never log again.
+  breaker.RecordFailure("boom 4");
+  EXPECT_EQ(breaker.disable_log_count(), 1);
+}
+
+TEST(JitCircuitBreakerTest, SuccessResetsConsecutiveCount) {
+  JitCircuitBreaker breaker(3);
+  breaker.RecordFailure("boom");
+  breaker.RecordFailure("boom");
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  breaker.RecordFailure("boom");
+  breaker.RecordFailure("boom");
+  EXPECT_FALSE(breaker.open());  // never 3 in a row
+}
+
+TEST(JitCircuitBreakerTest, ResetClosesTheBreaker) {
+  JitCircuitBreaker breaker(1);
+  breaker.RecordFailure("boom");
+  EXPECT_TRUE(breaker.open());
+  breaker.Reset();
+  EXPECT_FALSE(breaker.open());
+  EXPECT_TRUE(breaker.allowed());
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(JitFallbackTest, VmBackendFitnessIsBitIdenticalUnderCompileFaults) {
+  // A RiverFitness evaluation that asks for the native JIT but hits compile
+  // failures must produce exactly the fitness of the bytecode-VM backend.
+  river::RiverDataset dataset;
+  dataset.num_days = 20;
+  dataset.drivers.assign(river::kNumVariables, {});
+  for (int slot : river::ObservedVariableSlots()) {
+    dataset.drivers[static_cast<std::size_t>(slot)] =
+        std::vector<double>(dataset.num_days, 1.0);
+  }
+  dataset.observed_bphy = std::vector<double>(dataset.num_days, 5.0);
+  dataset.train_end = 10;
+  const auto params = gp::PriorMeans(river::RiverParameterPriors());
+  const std::vector<ExprPtr> equations{river::PhytoplanktonDerivative(),
+                                       river::ZooplanktonDerivative()};
+
+  const auto evaluate = [&](const river::SimulationConfig& config) {
+    const river::RiverFitness fitness =
+        river::RiverFitness::ForTraining(&dataset, config);
+    auto eval = fitness.Begin(equations, params, /*use_compiled_backend=*/true);
+    while (eval->Step()) {
+    }
+    return eval->CurrentFitness();
+  };
+
+  const double vm_fitness = evaluate(river::SimulationConfig{});
+
+  std::string spec_error;
+  ASSERT_TRUE(SetFaultSpec("jit_compile:always", &spec_error)) << spec_error;
+  JitCircuitBreaker breaker;
+  river::SimulationConfig jit_config;
+  jit_config.compiled_backend = river::CompiledBackend::kNativeJit;
+  jit_config.jit_breaker = &breaker;
+  const double fallback_fitness = evaluate(jit_config);
+  ClearFaults();
+
+  EXPECT_EQ(fallback_fitness, vm_fitness);  // bit-identical, not just close
+  EXPECT_GT(breaker.consecutive_failures(), 0);
 }
 
 TEST(JitTest, ProtectedSemanticsSurviveCompilation) {
