@@ -1,0 +1,177 @@
+// Micro-benchmarks of the static-analysis layer (interval evaluation,
+// expression linting, grammar diagnostics, the reject-gate verdict) plus a
+// population-level cost/benefit run summarized into BENCH_analysis.json:
+// evaluating a fault-seeded population with the gate off vs on shows the
+// reject rate and the integrator time the gate saves.
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "analysis/grammar_lint.h"
+#include "analysis/interval.h"
+#include "analysis/lint.h"
+#include "analysis/static_gate.h"
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/river_grammar.h"
+#include "gp/evaluator.h"
+#include "gp/parameter_prior.h"
+#include "river/biology.h"
+#include "river/domains.h"
+#include "river/parameters.h"
+#include "river/simulate.h"
+#include "river/synthetic.h"
+#include "river/variables.h"
+#include "tag/generate.h"
+
+namespace {
+
+using namespace gmr;
+
+/// A candidate whose phenotype provably saturates the clamp:
+/// dB_Phy/dt = 1e9 * B_Phy >= 1e7 over the whole state domain.
+std::vector<expr::ExprPtr> DivergentEquations() {
+  return {expr::Mul(expr::Constant(1e9),
+                    expr::Variable(river::kBPhy, "B_Phy")),
+          expr::Constant(0.0)};
+}
+
+analysis::LintOptions RiverLintOptions() {
+  analysis::LintOptions options;
+  options.num_states = 2;
+  options.variable_names = river::VariableNames();
+  for (int slot = 0; slot < river::kNumParameters; ++slot) {
+    options.parameter_names.push_back(river::ParameterName(slot));
+  }
+  return options;
+}
+
+void BM_StaticAnalysisExpert(benchmark::State& state) {
+  const auto equations = river::ManualProcess();
+  const analysis::StaticGateConfig gate =
+      river::MakeStaticGate(river::SimulationConfig{}, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::AnalyzeCandidate(equations, gate));
+  }
+}
+BENCHMARK(BM_StaticAnalysisExpert);
+
+void BM_StaticAnalysisDivergent(benchmark::State& state) {
+  const auto equations = DivergentEquations();
+  const analysis::StaticGateConfig gate =
+      river::MakeStaticGate(river::SimulationConfig{}, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::AnalyzeCandidate(equations, gate));
+  }
+}
+BENCHMARK(BM_StaticAnalysisDivergent);
+
+void BM_LintEquations(benchmark::State& state) {
+  const auto equations = river::ManualProcess();
+  const analysis::DomainEnv env = river::LintDomains();
+  const analysis::LintOptions options = RiverLintOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::LintEquations(equations, env, options));
+  }
+}
+BENCHMARK(BM_LintEquations);
+
+void BM_GrammarLint(benchmark::State& state) {
+  const core::RiverPriorKnowledge knowledge = core::BuildRiverPriorKnowledge();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::LintGrammar(knowledge.grammar));
+  }
+}
+BENCHMARK(BM_GrammarLint);
+
+/// Population-level gate cost/benefit: evaluate the same fault-seeded
+/// population (clean random candidates plus provably divergent ones) with
+/// the gate off and on, and report the wall time, the reject rate, and the
+/// integrator work skipped.
+void WriteAnalysisBench() {
+  core::RiverPriorKnowledge knowledge = core::BuildRiverPriorKnowledge();
+  river::SyntheticConfig synth;
+  synth.years = 2;
+  synth.train_years = 1;
+  const river::RiverDataset dataset = river::GenerateNakdongLike(synth);
+  const river::SimulationConfig sim;
+  const river::RiverFitness fitness =
+      river::RiverFitness::ForTraining(&dataset, sim);
+
+  // Each divergent candidate is structurally distinct (different constant)
+  // so the tree cache cannot collapse them, and saturates steadily rather
+  // than instantly so the gate-off run pays the full watchdog containment
+  // cost (JIT compile + ~max_saturated_substeps of integration each).
+  constexpr int kClean = 48;
+  constexpr int kDivergent = 16;
+  std::vector<int> divergent_alphas;
+  for (int i = 0; i < kDivergent; ++i) {
+    std::vector<tag::TagNodePtr> system;
+    system.push_back(tag::FromExpr(
+        expr::Add(expr::Constant(25000.0 + i),
+                  expr::Variable(river::kBPhy, "B_Phy")),
+        tag::kExpSymbol));
+    system.push_back(tag::FromExpr(expr::Constant(0.0), tag::kExpSymbol));
+    divergent_alphas.push_back(knowledge.grammar.AddAlphaTree(
+        tag::ElementaryTree("divergent" + std::to_string(i),
+                            tag::SystemNode(std::move(system)))));
+  }
+
+  Rng rng(1234);
+  std::vector<gp::Individual> population;
+  for (int i = 0; i < kClean; ++i) {
+    gp::Individual individual;
+    individual.genotype =
+        tag::GrowRandom(knowledge.grammar, 0, 6 + i % 8, rng);
+    individual.parameters = gp::PriorMeans(knowledge.priors);
+    population.push_back(std::move(individual));
+  }
+  for (int alpha : divergent_alphas) {
+    gp::Individual individual;
+    individual.genotype =
+        tag::NewSeedDerivation(knowledge.grammar, alpha, rng);
+    individual.parameters = gp::PriorMeans(knowledge.priors);
+    population.push_back(std::move(individual));
+  }
+
+  std::vector<bench::JsonRecord> rows;
+  for (const bool gate_on : {false, true}) {
+    gp::SpeedupConfig config;
+    config.tree_caching = true;
+    config.short_circuiting = true;
+    if (gate_on) config.static_gate = river::MakeStaticGate(sim, &dataset);
+    gp::FitnessEvaluator evaluator(&knowledge.grammar, &fitness, config);
+    Timer timer;
+    for (gp::Individual& individual : population) {
+      gp::Individual copy = individual.Clone();
+      evaluator.Evaluate(&copy);
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const gp::EvalStats& stats = evaluator.stats();
+    bench::JsonRecord row;
+    row.Add("gate", gate_on ? 1.0 : 0.0);
+    row.Add("population", static_cast<double>(population.size()));
+    row.Add("seconds", seconds);
+    row.Add("static_rejects", static_cast<double>(stats.static_rejects));
+    row.Add("reject_rate", static_cast<double>(stats.static_rejects) /
+                               static_cast<double>(population.size()));
+    row.Add("time_steps_evaluated",
+            static_cast<double>(stats.time_steps_evaluated));
+    rows.push_back(std::move(row));
+  }
+  bench::WriteBenchJson("BENCH_analysis.json", "analysis", 1, rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteAnalysisBench();
+  return 0;
+}

@@ -87,6 +87,7 @@ int main(int argc, char** argv) {
     record.Add("sec_per_individual", per_individual);
     record.Add("individuals", static_cast<double>(processed));
     record.Add("cache_hit_rate", stats.CacheHitRate());
+    record.Add("static_rejects", static_cast<double>(stats.static_rejects));
     record.Add("speedup", baseline_per_individual / per_individual);
     records.push_back(std::move(record));
   }

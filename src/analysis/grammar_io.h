@@ -1,0 +1,45 @@
+#ifndef GMR_ANALYSIS_GRAMMAR_IO_H_
+#define GMR_ANALYSIS_GRAMMAR_IO_H_
+
+#include <istream>
+#include <string>
+
+#include "expr/parser.h"
+#include "tag/grammar.h"
+
+namespace gmr::analysis {
+
+/// Parses a TAG grammar from a small line-oriented text format, so
+/// gmr_lint can diagnose grammars shipped as files (and tests can build
+/// deliberately broken ones without tripping the Grammar API's aborts):
+///
+///   # gmr-grammar v1
+///   slot <label> <lo> <hi>
+///   alpha <name> <label> : <infix expression>
+///   beta <name> <label> : <infix expression containing FOOT>
+///
+/// Expressions use the same infix syntax as model files; identifiers
+/// resolve through `symbols`, augmented with the pseudo-identifier FOOT
+/// (the auxiliary tree's foot node) and with every slot label declared by a
+/// preceding `slot` line (an open substitution site). Interior operator
+/// nodes are labeled with the tree's declared label, like tag::FromExpr.
+///
+/// Structural rules the Grammar/ElementaryTree API enforces by aborting are
+/// pre-validated here and reported as load errors instead: an alpha tree
+/// containing FOOT, a beta tree without exactly one FOOT, and a slot spec
+/// with lo > hi (or NaN). Non-finite slot bounds load fine — flagging them
+/// is LintGrammar's job.
+///
+/// Returns false with a diagnostic in *error on any failure; *grammar is
+/// then in an unspecified (but valid) state.
+bool ParseGrammarSpec(std::istream& in, const expr::SymbolTable& symbols,
+                      tag::Grammar* grammar, std::string* error);
+
+/// File wrapper around ParseGrammarSpec.
+bool LoadGrammarSpec(const std::string& path,
+                     const expr::SymbolTable& symbols, tag::Grammar* grammar,
+                     std::string* error);
+
+}  // namespace gmr::analysis
+
+#endif  // GMR_ANALYSIS_GRAMMAR_IO_H_

@@ -1,0 +1,146 @@
+#include "analysis/grammar_lint.h"
+
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <set>
+
+namespace gmr::analysis {
+namespace {
+
+void Emit(GrammarLintResult* result, Severity severity, const char* code,
+          std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = code;
+  d.message = std::move(message);
+  result->diagnostics.push_back(std::move(d));
+}
+
+/// Collects the slot labels of a tree into `out`.
+void CollectSlotLabels(const tag::ElementaryTree& tree,
+                       std::set<tag::Symbol>* out) {
+  for (const tag::Symbol& label : tree.slot_labels()) out->insert(label);
+}
+
+}  // namespace
+
+bool GrammarLintResult::HasErrors() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+bool GrammarLintResult::HasWarnings() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (static_cast<int>(d.severity) >= static_cast<int>(Severity::kWarning)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+GrammarLintResult LintGrammar(const tag::Grammar& grammar) {
+  GrammarLintResult result;
+  if (grammar.num_alpha_trees() == 0) {
+    Emit(&result, Severity::kError, "no-alpha-tree",
+         "grammar has no initial (alpha) trees; no derivation can start");
+    return result;
+  }
+
+  // Breadth-first reachability over labels: a label is exposed at depth d
+  // when some derived tree reachable with d adjunctions contains a node so
+  // labeled. Alpha-resident adjoinable labels are depth 0; adjoining a beta
+  // whose root matches a depth-d label exposes that beta's adjoinable
+  // labels at depth d+1 (its root/foot keep the existing label's depth).
+  std::deque<tag::Symbol> frontier;
+  auto expose = [&](const tag::Symbol& label, int depth) {
+    const auto it = result.label_depth.find(label);
+    if (it != result.label_depth.end()) return;
+    result.label_depth[label] = depth;
+    frontier.push_back(label);
+  };
+  for (std::size_t i = 0; i < grammar.num_alpha_trees(); ++i) {
+    for (const tag::Symbol& label :
+         grammar.alpha(static_cast<int>(i)).adjoinable_labels()) {
+      expose(label, 0);
+    }
+  }
+  std::set<int> reachable_betas;
+  while (!frontier.empty()) {
+    const tag::Symbol label = frontier.front();
+    frontier.pop_front();
+    const int depth = result.label_depth[label];
+    for (const int beta_index : grammar.BetasWithRootLabel(label)) {
+      reachable_betas.insert(beta_index);
+      for (const tag::Symbol& exposed :
+           grammar.beta(beta_index).adjoinable_labels()) {
+        expose(exposed, depth + 1);
+      }
+    }
+  }
+
+  // Unreachable beta trees: registered but no derivation can adjoin them.
+  for (std::size_t i = 0; i < grammar.num_beta_trees(); ++i) {
+    const int index = static_cast<int>(i);
+    if (reachable_betas.count(index) != 0) continue;
+    result.unreachable_betas.push_back(index);
+    const tag::ElementaryTree& beta = grammar.beta(index);
+    Emit(&result, Severity::kWarning, "unreachable-beta",
+         "beta tree '" + beta.name() + "' (root label " + beta.root_label() +
+             ") can never be adjoined: no reachable derived tree contains "
+             "a node labeled " +
+             beta.root_label());
+  }
+
+  // Reachable labels with no compatible beta are dead extension points —
+  // note-level, since seeds legitimately contain plain interior labels.
+  for (const auto& [label, depth] : result.label_depth) {
+    if (!grammar.HasCompatibleBeta(label)) {
+      Emit(&result, Severity::kNote, "dead-extension-point",
+           "label " + label + " (depth " + std::to_string(depth) +
+               ") has no compatible beta tree; nodes with this label are "
+               "frozen");
+    }
+  }
+
+  // Non-productive non-terminals: slot labels (in reachable trees) whose
+  // lexeme spec has a non-finite bound. Grammar::SetSlotSpec only enforces
+  // lo <= hi, so e.g. [0, inf] passes the API but makes uniform lexeme
+  // drawing degenerate — derivations touching the label cannot terminate
+  // in a usable lexeme.
+  std::set<tag::Symbol> slot_labels;
+  for (std::size_t i = 0; i < grammar.num_alpha_trees(); ++i) {
+    CollectSlotLabels(grammar.alpha(static_cast<int>(i)), &slot_labels);
+  }
+  for (const int index : reachable_betas) {
+    CollectSlotLabels(grammar.beta(index), &slot_labels);
+  }
+  for (const tag::Symbol& label : slot_labels) {
+    const tag::SlotSpec spec = grammar.slot_spec(label);
+    if (std::isfinite(spec.lo) && std::isfinite(spec.hi)) continue;
+    result.nonproductive_labels.push_back(label);
+    char lo[32];
+    char hi[32];
+    std::snprintf(lo, sizeof(lo), "%g", spec.lo);
+    std::snprintf(hi, sizeof(hi), "%g", spec.hi);
+    Emit(&result, Severity::kError, "non-productive-nonterminal",
+         "slot label " + label + " has a non-finite lexeme spec [" + lo +
+             ", " + hi +
+             "]; no lexeme can be drawn, so derivations using the label "
+             "never produce a usable tree");
+  }
+
+  // Minimum-derivation-depth notes, one per reachable label, so grammar
+  // authors can see how many adjunctions each extension point costs.
+  for (const auto& [label, depth] : result.label_depth) {
+    Emit(&result, Severity::kNote, "min-derivation-depth",
+         "label " + label + " is first exposed after " +
+             std::to_string(depth) +
+             (depth == 1 ? " adjunction" : " adjunctions"));
+  }
+  return result;
+}
+
+}  // namespace gmr::analysis

@@ -1,0 +1,42 @@
+#ifndef GMR_ANALYSIS_GRAMMAR_LINT_H_
+#define GMR_ANALYSIS_GRAMMAR_LINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "tag/grammar.h"
+
+namespace gmr::analysis {
+
+/// Static diagnostics over the TAG quintuple: which beta trees can ever be
+/// adjoined starting from the alpha trees, which slot labels have degenerate
+/// lexeme specs, and how many adjunctions it takes to expose each label.
+struct GrammarLintResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Beta-tree indices no derivation starting from any alpha can reach.
+  std::vector<int> unreachable_betas;
+  /// Slot labels whose SlotSpec is degenerate (non-finite bound), making
+  /// uniform lexeme drawing undefined — the TAG analogue of a
+  /// non-productive non-terminal: derivations that touch the label cannot
+  /// terminate in a usable lexeme.
+  std::vector<tag::Symbol> nonproductive_labels;
+  /// Minimum number of adjunctions before a node with this label exists in
+  /// some derived tree (alpha-resident labels are depth 0). Labels absent
+  /// from the map are unreachable.
+  std::map<tag::Symbol, int> label_depth;
+
+  bool HasErrors() const;
+  bool HasWarnings() const;
+};
+
+/// Lints `grammar`. Severities: unreachable beta trees and degenerate slot
+/// specs are warnings/errors (a grammar author mistake); reachable labels
+/// with no compatible beta are notes (the river grammar intentionally has
+/// interior "Exp" labels with no Exp-rooted betas). Deterministic; pure.
+GrammarLintResult LintGrammar(const tag::Grammar& grammar);
+
+}  // namespace gmr::analysis
+
+#endif  // GMR_ANALYSIS_GRAMMAR_LINT_H_

@@ -1,0 +1,355 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "expr/print.h"
+
+namespace gmr::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Printed form of a subexpression for messages, truncated so diagnostics
+/// stay one-line readable.
+std::string Snippet(const expr::Expr& node) {
+  std::string text = expr::ToString(node);
+  constexpr std::size_t kMaxLength = 48;
+  if (text.size() > kMaxLength) {
+    text.resize(kMaxLength - 3);
+    text += "...";
+  }
+  return text;
+}
+
+class Linter {
+ public:
+  Linter(const DomainEnv& env, const LintOptions& options, LintResult* result)
+      : env_(env), options_(options), result_(result) {}
+
+  void LintEquation(int equation, const expr::Expr& root) {
+    equation_ = equation;
+    address_.clear();
+    const Interval iv = IntervalOf(root);
+    if (iv.lo == kInf || iv.hi == -kInf) {
+      Emit(Severity::kError, "non-finite-output",
+           "equation provably evaluates to " +
+               std::string(iv.lo == kInf ? "+inf" : "-inf") +
+               " everywhere: " + FormatInterval(iv));
+    } else if (iv.maybe_nan) {
+      Emit(Severity::kWarning, "may-be-nan",
+           "equation can evaluate to NaN (an inf - inf, 0 * inf, or "
+           "inf / inf combination is reachable)");
+    }
+    Walk(root, /*live=*/true, /*under_foldable=*/false);
+  }
+
+  void FinishDeadInputs() {
+    for (std::size_t slot = 0; slot < options_.parameter_names.size();
+         ++slot) {
+      const std::string& name = options_.parameter_names[slot];
+      if (name.empty()) continue;
+      if (live_parameters_.count(static_cast<int>(slot)) != 0) continue;
+      const bool referenced =
+          referenced_parameters_.count(static_cast<int>(slot)) != 0;
+      equation_ = -1;
+      address_.clear();
+      Emit(Severity::kWarning, "dead-parameter",
+           "parameter " + name +
+               (referenced
+                    ? " is referenced only in subtrees that cannot affect "
+                      "any equation output"
+                    : " has no data-flow path to any equation output "
+                      "(never referenced)"));
+    }
+    for (int slot = 0; slot < options_.num_states; ++slot) {
+      if (live_variables_.count(slot) != 0) continue;
+      const std::string name =
+          static_cast<std::size_t>(slot) < options_.variable_names.size()
+              ? options_.variable_names[static_cast<std::size_t>(slot)]
+              : "slot " + std::to_string(slot);
+      equation_ = -1;
+      address_.clear();
+      Emit(Severity::kWarning, "dead-state-variable",
+           "state variable " + name +
+               " has no data-flow path to any equation output; its "
+               "dynamics are vacuous");
+    }
+    result_->live_variables.assign(live_variables_.begin(),
+                                   live_variables_.end());
+    result_->live_parameters.assign(live_parameters_.begin(),
+                                    live_parameters_.end());
+    result_->referenced_variables.assign(referenced_variables_.begin(),
+                                         referenced_variables_.end());
+    result_->referenced_parameters.assign(referenced_parameters_.begin(),
+                                          referenced_parameters_.end());
+  }
+
+ private:
+  Interval IntervalOf(const expr::Expr& node) {
+    const auto it = memo_.find(&node);
+    if (it != memo_.end()) return it->second;
+    const Interval iv = EvaluateInterval(node, env_);
+    memo_.emplace(&node, iv);
+    return iv;
+  }
+
+  void Emit(Severity severity, const char* code, std::string message) {
+    Diagnostic d;
+    d.severity = severity;
+    d.code = code;
+    d.equation = equation_;
+    d.address = address_;
+    d.message = std::move(message);
+    result_->diagnostics.push_back(std::move(d));
+  }
+
+  /// Emits the node-local interval diagnostics. Returns true when an error
+  /// was emitted (suppresses the redundant constant-foldable note).
+  bool NodeDiagnostics(const expr::Expr& node) {
+    switch (node.kind()) {
+      case expr::NodeKind::kDiv: {
+        const expr::Expr& denom = *node.children()[1];
+        if (expr::StructurallyEqual(*node.children()[0], denom)) break;
+        const Interval b = IntervalOf(denom);
+        if (!b.maybe_nan && b.lo > -expr::kDivEpsilon &&
+            b.hi < expr::kDivEpsilon) {
+          Emit(Severity::kError, "div-by-zero",
+               "denominator '" + Snippet(denom) + "' " + FormatInterval(b) +
+                   " always lies in the protection band (|d| < 1e-09); "
+                   "the division constantly evaluates to 1");
+          return true;
+        }
+        if (b.lo < expr::kDivEpsilon && b.hi > -expr::kDivEpsilon) {
+          Emit(Severity::kWarning, "div-may-vanish",
+               "denominator '" + Snippet(denom) + "' " + FormatInterval(b) +
+                   " can enter the protection band; the division silently "
+                   "becomes 1 there");
+        }
+        break;
+      }
+      case expr::NodeKind::kLog: {
+        const Interval a = IntervalOf(*node.children()[0]);
+        const double mhi = std::max(std::fabs(a.lo), std::fabs(a.hi));
+        if (!a.maybe_nan && mhi < expr::kLogEpsilon) {
+          Emit(Severity::kError, "log-of-zero",
+               "argument '" + Snippet(*node.children()[0]) + "' " +
+                   FormatInterval(a) +
+                   " always lies in the log protection band; log "
+                   "constantly evaluates to 0");
+          return true;
+        }
+        if (a.lo < expr::kLogEpsilon) {
+          Emit(Severity::kWarning, "log-nonpositive",
+               "argument '" + Snippet(*node.children()[0]) + "' " +
+                   FormatInterval(a) +
+                   " can be non-positive; protected log silently evaluates "
+                   "log(|x|), 0 inside the band");
+        }
+        break;
+      }
+      case expr::NodeKind::kExp: {
+        const Interval a = IntervalOf(*node.children()[0]);
+        if (a.lo >= expr::kExpArgClamp) {
+          Emit(Severity::kError, "exp-overflow",
+               "argument '" + Snippet(*node.children()[0]) + "' " +
+                   FormatInterval(a) +
+                   " is always >= the clamp 80; exp constantly saturates "
+                   "at e^80");
+          return true;
+        }
+        if (a.hi > expr::kExpArgClamp) {
+          Emit(Severity::kWarning, "exp-may-overflow",
+               "argument '" + Snippet(*node.children()[0]) + "' " +
+                   FormatInterval(a) +
+                   " can exceed the clamp 80; exp silently saturates");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return false;
+  }
+
+  /// Per-child liveness for a live parent: default live, minus dominated
+  /// min/max branches, multiplications by a provable zero, always-protected
+  /// divisions, and self-cancelling x-x / x/x pairs.
+  void ChildLiveness(const expr::Expr& node, bool live, bool child_live[2]) {
+    child_live[0] = live;
+    child_live[1] = live;
+    if (!live || node.children().size() != 2) return;
+    const expr::Expr& left = *node.children()[0];
+    const expr::Expr& right = *node.children()[1];
+    if ((node.kind() == expr::NodeKind::kSub ||
+         node.kind() == expr::NodeKind::kDiv) &&
+        expr::StructurallyEqual(left, right)) {
+      // x - x and protected x / x are constant for finite x; the operands
+      // no longer influence the output.
+      if (IntervalOf(left).IsFinite()) {
+        child_live[0] = false;
+        child_live[1] = false;
+      }
+      return;
+    }
+    const Interval a = IntervalOf(left);
+    const Interval b = IntervalOf(right);
+    switch (node.kind()) {
+      case expr::NodeKind::kMul:
+        // 0 * x == 0 for finite x, so the other factor is irrelevant.
+        if (a.IsPoint() && a.lo == 0.0 && b.IsFinite()) {
+          child_live[1] = false;
+        }
+        if (b.IsPoint() && b.lo == 0.0 && a.IsFinite()) {
+          child_live[0] = false;
+        }
+        break;
+      case expr::NodeKind::kDiv:
+        if (!b.maybe_nan && b.lo > -expr::kDivEpsilon &&
+            b.hi < expr::kDivEpsilon) {
+          // Always protected: the result is the constant 1.
+          child_live[0] = false;
+          child_live[1] = false;
+        }
+        break;
+      case expr::NodeKind::kMin:
+        if (a.maybe_nan || b.maybe_nan) break;
+        if (a.hi <= b.lo) {
+          child_live[1] = false;
+          NoteDominated(node, 1, "minimum");
+        } else if (b.hi <= a.lo) {
+          child_live[0] = false;
+          NoteDominated(node, 0, "minimum");
+        }
+        break;
+      case expr::NodeKind::kMax:
+        if (a.maybe_nan || b.maybe_nan) break;
+        if (a.lo >= b.hi) {
+          child_live[1] = false;
+          NoteDominated(node, 1, "maximum");
+        } else if (b.lo >= a.hi) {
+          child_live[0] = false;
+          NoteDominated(node, 0, "maximum");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void NoteDominated(const expr::Expr& node, int child, const char* which) {
+    if (!options_.note_dominated_branches) return;
+    const expr::Expr& branch = *node.children()[child];
+    address_.push_back(child);
+    Emit(Severity::kNote, "dominated-branch",
+         "branch '" + Snippet(branch) + "' " +
+             FormatInterval(IntervalOf(branch)) + " can never be the " +
+             which + "; the other operand always wins");
+    address_.pop_back();
+  }
+
+  void Walk(const expr::Expr& node, bool live, bool under_foldable) {
+    switch (node.kind()) {
+      case expr::NodeKind::kVariable:
+        referenced_variables_.insert(node.slot());
+        if (live) live_variables_.insert(node.slot());
+        return;
+      case expr::NodeKind::kParameter:
+        referenced_parameters_.insert(node.slot());
+        if (live) live_parameters_.insert(node.slot());
+        return;
+      case expr::NodeKind::kConstant:
+        return;
+      default:
+        break;
+    }
+    const bool had_error = NodeDiagnostics(node);
+    const Interval iv = IntervalOf(node);
+    const bool foldable = iv.IsPoint();
+    if (foldable && !under_foldable && !had_error &&
+        options_.note_constant_foldable) {
+      Emit(Severity::kNote, "constant-foldable",
+           "subtree '" + Snippet(node) + "' provably evaluates to " +
+               FormatInterval(iv) +
+               " everywhere but was not folded syntactically");
+    }
+    bool child_live[2];
+    ChildLiveness(node, live, child_live);
+    for (std::size_t i = 0; i < node.children().size(); ++i) {
+      address_.push_back(static_cast<int>(i));
+      Walk(*node.children()[i], child_live[i], under_foldable || foldable);
+      address_.pop_back();
+    }
+  }
+
+  const DomainEnv& env_;
+  const LintOptions& options_;
+  LintResult* result_;
+  int equation_ = -1;
+  std::vector<int> address_;
+  std::unordered_map<const expr::Expr*, Interval> memo_;
+  std::set<int> live_variables_;
+  std::set<int> live_parameters_;
+  std::set<int> referenced_variables_;
+  std::set<int> referenced_parameters_;
+};
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string FormatAddress(const Diagnostic& diagnostic) {
+  if (diagnostic.equation < 0) return "-";
+  std::string out = "eq" + std::to_string(diagnostic.equation);
+  for (std::size_t i = 0; i < diagnostic.address.size(); ++i) {
+    out += i == 0 ? ":" : ".";
+    out += std::to_string(diagnostic.address[i]);
+  }
+  return out;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic) {
+  return FormatAddress(diagnostic) + ": " +
+         SeverityName(diagnostic.severity) + " [" + diagnostic.code + "] " +
+         diagnostic.message;
+}
+
+bool LintResult::HasErrors() const { return CountAtLeast(Severity::kError) > 0; }
+
+bool LintResult::HasWarnings() const {
+  return CountAtLeast(Severity::kWarning) > 0;
+}
+
+std::size_t LintResult::CountAtLeast(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (static_cast<int>(d.severity) >= static_cast<int>(severity)) ++n;
+  }
+  return n;
+}
+
+LintResult LintEquations(const std::vector<expr::ExprPtr>& equations,
+                         const DomainEnv& env, const LintOptions& options) {
+  LintResult result;
+  Linter linter(env, options, &result);
+  for (std::size_t i = 0; i < equations.size(); ++i) {
+    GMR_CHECK(equations[i] != nullptr);
+    linter.LintEquation(static_cast<int>(i), *equations[i]);
+  }
+  linter.FinishDeadInputs();
+  return result;
+}
+
+}  // namespace gmr::analysis

@@ -1,0 +1,85 @@
+#ifndef GMR_ANALYSIS_LINT_H_
+#define GMR_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/interval.h"
+#include "expr/ast.h"
+
+namespace gmr::analysis {
+
+enum class Severity : int {
+  kNote = 0,  ///< Informational; never affects an exit code.
+  kWarning,   ///< Suspicious under the protected semantics; --strict fails.
+  kError,     ///< Provably degenerate; gmr_lint exits non-zero.
+};
+
+const char* SeverityName(Severity severity);
+
+/// One finding, addressed to a node: `equation` indexes the linted system
+/// (-1 for file/grammar-level findings) and `address` is the child-index
+/// path from the equation root (empty = the root itself).
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  /// Stable kebab-case identifier, e.g. "div-by-zero".
+  std::string code;
+  int equation = -1;
+  std::vector<int> address;
+  std::string message;
+};
+
+/// "eq0:1.0.2" (or "eq0" for a root finding, "-" for file-level).
+std::string FormatAddress(const Diagnostic& diagnostic);
+
+/// "eq0:1.0.2: error [div-by-zero] <message>".
+std::string FormatDiagnostic(const Diagnostic& diagnostic);
+
+/// What LintEquations checks beyond pure interval propagation.
+struct LintOptions {
+  /// Number of leading variable slots that are model state (their
+  /// derivatives are the equations); a state with no live data-flow path
+  /// into any equation is reported as a dead input.
+  int num_states = 0;
+  /// Names by parameter slot; a non-empty name marks the slot as declared,
+  /// so it is reported when no live data-flow path to any output exists.
+  /// Empty vector disables dead-parameter reporting.
+  std::vector<std::string> parameter_names;
+  /// Names by variable slot, used in dead-state messages (falls back to
+  /// "slot N").
+  std::vector<std::string> variable_names;
+  /// Emit notes for non-constant subtrees whose interval is a single point
+  /// (constant-foldable, but the syntactic simplifier could not prove it).
+  bool note_constant_foldable = true;
+  /// Emit notes for min/max branches that can never win.
+  bool note_dominated_branches = true;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Variable/parameter slots with at least one *live* occurrence — an
+  /// occurrence whose value can influence some equation's value (not under
+  /// a provably-constant or dominated subtree).
+  std::vector<int> live_variables;
+  std::vector<int> live_parameters;
+  /// Slots referenced anywhere, live or not.
+  std::vector<int> referenced_variables;
+  std::vector<int> referenced_parameters;
+
+  bool HasErrors() const;
+  bool HasWarnings() const;
+  std::size_t CountAtLeast(Severity severity) const;
+};
+
+/// Lints a system of equations against the environment: interval/domain
+/// diagnostics (provable division-by-zero, log of a non-positive-capable
+/// term, provable exp overflow/saturation, provably non-finite outputs,
+/// constant-foldable subtrees) plus the dead-input analysis described in
+/// LintOptions. Pure; deterministic for a given (equations, env, options).
+LintResult LintEquations(const std::vector<expr::ExprPtr>& equations,
+                         const DomainEnv& env,
+                         const LintOptions& options = {});
+
+}  // namespace gmr::analysis
+
+#endif  // GMR_ANALYSIS_LINT_H_

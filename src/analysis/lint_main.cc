@@ -1,0 +1,220 @@
+// gmr_lint: static analysis of saved model files (# gmr-model v1) and TAG
+// grammar specs (# gmr-grammar v1).
+//
+//   gmr_lint [options] <file>...
+//
+//   --strict            exit non-zero on warnings, not just errors
+//   --require-findings  exit 0 iff EVERY file produced at least one
+//                       warning or error (for lint-corpus regression tests);
+//                       exit 2 when some file came back clean
+//   --builtin-grammar   additionally lint the built-in river TAG grammar
+//   --no-notes          suppress note-level diagnostics
+//
+// Model files are linted over the bounded river domains (simulation clamp,
+// physical driver ranges, Table III parameter boxes); findings are
+// node-addressed as <file>:eqN:<child-path>. Exit codes: 0 clean (under the
+// active policy), 1 findings, 2 file/usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/grammar_io.h"
+#include "analysis/grammar_lint.h"
+#include "analysis/lint.h"
+#include "core/model_io.h"
+#include "core/river_grammar.h"
+#include "river/biology.h"
+#include "river/domains.h"
+#include "river/parameters.h"
+#include "river/variables.h"
+
+namespace {
+
+struct Options {
+  bool strict = false;
+  bool require_findings = false;
+  bool builtin_grammar = false;
+  bool notes = true;
+  std::vector<std::string> files;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--strict") == 0) {
+      options->strict = true;
+    } else if (std::strcmp(arg, "--require-findings") == 0) {
+      options->require_findings = true;
+    } else if (std::strcmp(arg, "--builtin-grammar") == 0) {
+      options->builtin_grammar = true;
+    } else if (std::strcmp(arg, "--no-notes") == 0) {
+      options->notes = false;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "gmr_lint: unknown option %s\n", arg);
+      return false;
+    } else {
+      options->files.emplace_back(arg);
+    }
+  }
+  return !options->files.empty() || options->builtin_grammar;
+}
+
+/// First non-empty line decides the file kind.
+enum class FileKind { kModel, kGrammar, kUnknown };
+
+FileKind SniffKind(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.find("gmr-model") != std::string::npos) return FileKind::kModel;
+    if (line.find("gmr-grammar") != std::string::npos) {
+      return FileKind::kGrammar;
+    }
+    break;
+  }
+  return FileKind::kUnknown;
+}
+
+void Print(const std::string& path, const gmr::analysis::Diagnostic& d) {
+  std::printf("%s:%s\n", path.c_str(),
+              gmr::analysis::FormatDiagnostic(d).c_str());
+}
+
+struct FileOutcome {
+  bool load_failed = false;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+
+  bool HasFindings() const { return load_failed || errors + warnings > 0; }
+};
+
+/// Prints a diagnostic list and folds its counts into `outcome`.
+void Report(const std::string& path, const Options& options,
+            const std::vector<gmr::analysis::Diagnostic>& diagnostics,
+            FileOutcome* outcome) {
+  for (const gmr::analysis::Diagnostic& d : diagnostics) {
+    if (d.severity == gmr::analysis::Severity::kNote && !options.notes) {
+      continue;
+    }
+    Print(path, d);
+    if (d.severity == gmr::analysis::Severity::kError) ++outcome->errors;
+    if (d.severity == gmr::analysis::Severity::kWarning) ++outcome->warnings;
+  }
+}
+
+FileOutcome LintModelFile(const std::string& path, const Options& options) {
+  FileOutcome outcome;
+  gmr::core::SavedModel model;
+  std::string error;
+  if (!gmr::core::LoadModel(path, gmr::river::RiverSymbols(), &model,
+                            &error)) {
+    std::printf("%s:-: error [load-failed] %s\n", path.c_str(),
+                error.c_str());
+    outcome.load_failed = true;
+    return outcome;
+  }
+  gmr::analysis::LintOptions lint_options;
+  lint_options.num_states = 2;  // B_Phy, B_Zoo.
+  lint_options.variable_names = gmr::river::VariableNames();
+  // Dead-parameter reporting covers exactly the parameters the file
+  // declares; slots the file never mentions are not its business.
+  lint_options.parameter_names.assign(model.parameters.size(), "");
+  for (const std::string& name : model.declared_parameters) {
+    const auto& table = gmr::river::RiverSymbols().parameters;
+    const auto it = table.find(name);
+    if (it != table.end() &&
+        static_cast<std::size_t>(it->second) <
+            lint_options.parameter_names.size()) {
+      lint_options.parameter_names[static_cast<std::size_t>(it->second)] =
+          name;
+    }
+  }
+  lint_options.note_constant_foldable = options.notes;
+  lint_options.note_dominated_branches = options.notes;
+  const gmr::analysis::LintResult result = gmr::analysis::LintEquations(
+      model.equations, gmr::river::LintDomains(), lint_options);
+  Report(path, options, result.diagnostics, &outcome);
+  return outcome;
+}
+
+FileOutcome LintGrammarFile(const std::string& path, const Options& options) {
+  FileOutcome outcome;
+  gmr::tag::Grammar grammar;
+  std::string error;
+  if (!gmr::analysis::LoadGrammarSpec(path, gmr::river::RiverSymbols(),
+                                      &grammar, &error)) {
+    std::printf("%s:-: error [load-failed] %s\n", path.c_str(),
+                error.c_str());
+    outcome.load_failed = true;
+    return outcome;
+  }
+  const gmr::analysis::GrammarLintResult result =
+      gmr::analysis::LintGrammar(grammar);
+  Report(path, options, result.diagnostics, &outcome);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: gmr_lint [--strict] [--require-findings] "
+                 "[--builtin-grammar] [--no-notes] <file>...\n");
+    return 2;
+  }
+
+  bool any_usage_error = false;
+  bool any_findings = false;
+  bool all_files_have_findings = true;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  auto fold = [&](const FileOutcome& outcome) {
+    if (outcome.HasFindings()) {
+      any_findings = true;
+    } else {
+      all_files_have_findings = false;
+    }
+    errors += outcome.errors + (outcome.load_failed ? 1 : 0);
+    warnings += outcome.warnings;
+  };
+
+  for (const std::string& path : options.files) {
+    switch (SniffKind(path)) {
+      case FileKind::kModel:
+        fold(LintModelFile(path, options));
+        break;
+      case FileKind::kGrammar:
+        fold(LintGrammarFile(path, options));
+        break;
+      case FileKind::kUnknown:
+        std::fprintf(stderr,
+                     "gmr_lint: %s: not a gmr-model or gmr-grammar file\n",
+                     path.c_str());
+        any_usage_error = true;
+        break;
+    }
+  }
+
+  if (options.builtin_grammar) {
+    FileOutcome outcome;
+    const gmr::core::RiverPriorKnowledge knowledge =
+        gmr::core::BuildRiverPriorKnowledge();
+    Report("<builtin-river-grammar>", options,
+           gmr::analysis::LintGrammar(knowledge.grammar).diagnostics,
+           &outcome);
+    fold(outcome);
+  }
+
+  std::printf("gmr_lint: %zu error(s), %zu warning(s)\n", errors, warnings);
+  if (any_usage_error) return 2;
+  if (options.require_findings) return all_files_have_findings ? 0 : 2;
+  if (errors > 0) return 1;
+  if (options.strict && warnings > 0) return 1;
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "analysis/static_gate.h"
+
+#include "common/check.h"
+
+namespace gmr::analysis {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+StaticVerdict AnalyzeCandidate(const std::vector<expr::ExprPtr>& equations,
+                               const StaticGateConfig& config) {
+  StaticVerdict verdict;
+  for (std::size_t i = 0; i < equations.size(); ++i) {
+    GMR_CHECK(equations[i] != nullptr);
+    const Interval iv = EvaluateInterval(*equations[i], config.domains);
+    // hi == -inf: the derivative is -inf everywhere -> the very first
+    // evaluation is non-finite. lo >= saturation_rate: every reachable
+    // derivative saturates the per-substep clamp (lo == +inf is subsumed,
+    // saturation_rate being finite or +inf). Note maybe_nan alone does NOT
+    // reject: it only says NaN is reachable somewhere in the box.
+    if (iv.hi == -kInf) {
+      verdict.reject = true;
+      verdict.equation = static_cast<int>(i);
+      verdict.reason = "equation " + std::to_string(i) +
+                       " is provably -inf everywhere: " + FormatInterval(iv);
+      return verdict;
+    }
+    if (iv.lo >= config.saturation_rate) {
+      verdict.reject = true;
+      verdict.equation = static_cast<int>(i);
+      verdict.reason =
+          "equation " + std::to_string(i) + " provably saturates the clamp (" +
+          FormatInterval(iv) + " vs rate " +
+          std::to_string(config.saturation_rate) + ")";
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace gmr::analysis

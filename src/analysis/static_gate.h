@@ -1,0 +1,54 @@
+#ifndef GMR_ANALYSIS_STATIC_GATE_H_
+#define GMR_ANALYSIS_STATIC_GATE_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.h"
+
+namespace gmr::analysis {
+
+/// Configuration of the pre-evaluation reject gate. Off by default; when
+/// enabled, FitnessEvaluator runs AnalyzeCandidate on each phenotype before
+/// any integration and short-circuits provably-doomed candidates with
+/// EvalOutcome::kStaticReject and the deterministic penalty fitness.
+///
+/// Soundness contract: `domains` must OVER-approximate every value the
+/// integrator can feed the equations. State variables are clamped to
+/// [state_min, state_max] between steps but RK4 stage evaluations are
+/// unclamped, so gate state intervals must be [state_min, +inf) — see
+/// river/domains.h MakeStaticGate. The gate verdict is cached by structural
+/// hash and is only consulted when ParametersInDomain holds for the
+/// candidate's parameter vector.
+struct StaticGateConfig {
+  bool enabled = false;
+  DomainEnv domains;
+  /// A derivative provably >= this rate (in state units per day) saturates
+  /// the integrator's clamp on every substep, guaranteeing a
+  /// kClampSaturated watchdog abort; such candidates are rejected without
+  /// integrating. +inf (the default) rejects only provably non-finite
+  /// right-hand sides.
+  double saturation_rate = std::numeric_limits<double>::infinity();
+};
+
+/// Result of the O(tree) static check on one candidate system.
+struct StaticVerdict {
+  bool reject = false;
+  /// Equation that triggered the rejection (-1 when reject is false).
+  int equation = -1;
+  /// Human-readable reason, e.g. for logging/benchmarks.
+  std::string reason;
+};
+
+/// Interval-evaluates each equation over config.domains and rejects when
+/// some right-hand side is provably -inf everywhere, or provably at or
+/// above config.saturation_rate everywhere. Candidates that merely *may*
+/// diverge pass — the runtime watchdogs (PR 2) own that case; the gate only
+/// takes candidates whose doom is a theorem. Pure and deterministic.
+StaticVerdict AnalyzeCandidate(const std::vector<expr::ExprPtr>& equations,
+                               const StaticGateConfig& config);
+
+}  // namespace gmr::analysis
+
+#endif  // GMR_ANALYSIS_STATIC_GATE_H_

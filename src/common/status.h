@@ -28,9 +28,11 @@ enum class EvalOutcome : std::uint8_t {
   kJitCompileFailed,      ///< cc+dlopen failed; fitness computed on the VM.
   kBudgetExceeded,        ///< Watchdog: per-candidate substep budget hit.
   kTaskFailed,            ///< The evaluation task threw; penalty assigned.
+  kStaticReject,          ///< Static analysis proved the candidate doomed
+                          ///< before any integration (see analysis/).
 };
 
-inline constexpr std::size_t kNumEvalOutcomes = 7;
+inline constexpr std::size_t kNumEvalOutcomes = 8;
 
 inline const char* EvalOutcomeName(EvalOutcome outcome) {
   switch (outcome) {
@@ -48,6 +50,8 @@ inline const char* EvalOutcomeName(EvalOutcome outcome) {
       return "budget_exceeded";
     case EvalOutcome::kTaskFailed:
       return "task_failed";
+    case EvalOutcome::kStaticReject:
+      return "static_reject";
   }
   return "unknown";
 }

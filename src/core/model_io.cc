@@ -36,6 +36,7 @@ bool LoadModel(const std::string& path, const expr::SymbolTable& symbols,
     return false;
   }
   model->equations.clear();
+  model->declared_parameters.clear();
 
   // Parameter vector sized to the largest slot in the symbol table.
   int max_slot = -1;
@@ -80,6 +81,7 @@ bool LoadModel(const std::string& path, const expr::SymbolTable& symbols,
       }
       model->parameters[static_cast<std::size_t>(it->second)] =
           std::strtod(value_text.c_str(), nullptr);
+      model->declared_parameters.push_back(name);
     } else {
       if (error != nullptr) *error = "unknown keyword: " + keyword;
       return false;

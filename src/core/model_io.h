@@ -14,6 +14,10 @@ namespace gmr::core {
 struct SavedModel {
   std::vector<expr::ExprPtr> equations;
   std::vector<double> parameters;
+  /// Names that appeared on `param` lines when loading (empty after manual
+  /// construction). Lets gmr_lint distinguish "declared but dead" from
+  /// slots the file never mentioned.
+  std::vector<std::string> declared_parameters;
 };
 
 /// Serializes a model to a small line-oriented text format:

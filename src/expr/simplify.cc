@@ -21,6 +21,36 @@ bool Commutative(NodeKind kind) {
          kind == NodeKind::kMin || kind == NodeKind::kMax;
 }
 
+/// Conservative syntactic finiteness: true only when the subtree provably
+/// evaluates to a finite real for every finite, in-range input. Leaves are
+/// finite (parameters are pre-checked finite by the evaluator; states are
+/// clamped); exp is clamped and log is protected, so both preserve
+/// finiteness; +,-,*,/ can overflow to inf even on finite inputs, so they
+/// conservatively return false. This guards the value-based rewrites below:
+/// x - x == 0, 0 * x == 0, and protected x / x == 1 all fail when x is
+/// +/-inf (NaN, NaN, and NaN respectively).
+bool ProvablyFinite(const Expr& e) {
+  switch (e.kind()) {
+    case NodeKind::kConstant:
+      return std::isfinite(e.value());
+    case NodeKind::kParameter:
+    case NodeKind::kVariable:
+      return true;
+    case NodeKind::kNeg:
+    case NodeKind::kMin:
+    case NodeKind::kMax:
+    case NodeKind::kLog:
+    case NodeKind::kExp: {
+      for (const auto& child : e.children()) {
+        if (!ProvablyFinite(*child)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
 /// Total order on trees for canonicalizing commutative operands: by kind,
 /// then slot/value, then recursively by children. Returns <0, 0, >0.
 int CompareTrees(const Expr& a, const Expr& b) {
@@ -67,20 +97,31 @@ ExprPtr SimplifyNode(const ExprPtr& original, NodeKind kind,
       break;
     case NodeKind::kSub:
       if (IsConst(kids[1], 0.0)) return kids[0];
-      if (StructurallyEqual(*kids[0], *kids[1])) return Constant(0.0);
+      // x - x == 0 only when x is provably finite (inf - inf is NaN).
+      if (StructurallyEqual(*kids[0], *kids[1]) && ProvablyFinite(*kids[0])) {
+        return Constant(0.0);
+      }
       break;
     case NodeKind::kMul:
       if (IsConst(kids[0], 1.0)) return kids[1];
       if (IsConst(kids[1], 1.0)) return kids[0];
-      if (IsConst(kids[0], 0.0) || IsConst(kids[1], 0.0)) {
+      // 0 * x == 0 only when x is provably finite (0 * inf is NaN).
+      if (IsConst(kids[0], 0.0) && ProvablyFinite(*kids[1])) {
+        return Constant(0.0);
+      }
+      if (IsConst(kids[1], 0.0) && ProvablyFinite(*kids[0])) {
         return Constant(0.0);
       }
       break;
     case NodeKind::kDiv:
       if (IsConst(kids[1], 1.0)) return kids[0];
       // Protected division returns 1 when the denominator vanishes, so
-      // x/x == 1 holds for every value of x.
-      if (StructurallyEqual(*kids[0], *kids[1])) return Constant(1.0);
+      // x/x == 1 holds for every *finite* x (including inside the
+      // protection band) — but inf / inf is NaN, so the rewrite needs the
+      // finiteness guard.
+      if (StructurallyEqual(*kids[0], *kids[1]) && ProvablyFinite(*kids[0])) {
+        return Constant(1.0);
+      }
       break;
     case NodeKind::kMin:
     case NodeKind::kMax:

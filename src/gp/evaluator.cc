@@ -51,6 +51,7 @@ void EvalStats::Merge(const EvalStats& other) {
   cache_lookups += other.cache_lookups;
   full_evaluations += other.full_evaluations;
   short_circuited += other.short_circuited;
+  static_rejects += other.static_rejects;
   time_steps_evaluated += other.time_steps_evaluated;
   eval_seconds += other.eval_seconds;
   for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
@@ -65,6 +66,8 @@ FitnessEvaluator::FitnessEvaluator(const tag::Grammar* grammar,
       fitness_(fitness),
       config_(config),
       cache_(static_cast<std::size_t>(
+          config.cache_stripes > 0 ? config.cache_stripes : 1)),
+      verdict_cache_(static_cast<std::size_t>(
           config.cache_stripes > 0 ? config.cache_stripes : 1)) {
   GMR_CHECK(grammar_ != nullptr);
   GMR_CHECK(fitness_ != nullptr);
@@ -161,6 +164,28 @@ void FitnessEvaluator::EvaluateWith(BatchContext* context,
     }
   }
   std::vector<expr::ExprPtr> equations = Phenotype(*individual);
+
+  // Static reject gate: an O(tree) interval check that turns a provably
+  // divergent rollout into an immediate deterministic penalty. The
+  // structure-keyed verdict is only sound for parameters inside the gate's
+  // domain boxes, hence the ParametersInDomain guard (Gaussian mutation
+  // clamps parameters to the prior boxes, so the guard normally holds).
+  // Rejects bypass the tree cache and never touch the ES frontier, so
+  // gate-on is bit-identical to gate-off on populations the gate passes.
+  if (config_.static_gate.enabled &&
+      analysis::ParametersInDomain(individual->parameters,
+                                   config_.static_gate.domains)) {
+    if (StaticallyRejected(equations)) {
+      individual->fitness = kPenaltyFitness;
+      individual->fully_evaluated = true;
+      individual->outcome = EvalOutcome::kStaticReject;
+      ++stats.static_rejects;
+      ++stats.individuals_evaluated;
+      ++stats.outcomes[static_cast<std::size_t>(EvalOutcome::kStaticReject)];
+      return;
+    }
+  }
+
   const double frontier =
       config_.frontier_mode == FrontierMode::kShared
           ? best_prev_full_.load(std::memory_order_relaxed)
@@ -200,6 +225,20 @@ void FitnessEvaluator::EvaluateWith(BatchContext* context,
   individual->outcome = outcome;
   ++stats.individuals_evaluated;
   ++stats.outcomes[static_cast<std::size_t>(outcome)];
+}
+
+bool FitnessEvaluator::StaticallyRejected(
+    const std::vector<expr::ExprPtr>& equations) {
+  // Structure-only key (no parameter bits): the verdict holds for every
+  // in-domain parameter vector. Distinct seed from CacheKey so the two
+  // cache key spaces cannot collide systematically.
+  std::uint64_t key = 0x452821e638d01377ULL;
+  for (const auto& eq : equations) key = MixHash(key, eq->StructuralHash());
+  bool reject = false;
+  if (verdict_cache_.Lookup(key, &reject)) return reject;
+  reject = analysis::AnalyzeCandidate(equations, config_.static_gate).reject;
+  verdict_cache_.Insert(key, reject);
+  return reject;
 }
 
 void FitnessEvaluator::BatchContext::Evaluate(Individual* individual) {

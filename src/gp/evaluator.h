@@ -25,6 +25,10 @@ struct EvalStats {
   std::size_t cache_lookups = 0;
   std::size_t full_evaluations = 0;
   std::size_t short_circuited = 0;
+  /// Candidates the static gate rejected before any integration (also
+  /// counted in outcomes[kStaticReject]; surfaced separately so harness
+  /// JSON can report a reject rate without decoding the outcome array).
+  std::size_t static_rejects = 0;
   std::size_t time_steps_evaluated = 0;
   double eval_seconds = 0.0;
   /// Containment telemetry: computed evaluations by EvalOutcome (cache hits
@@ -140,6 +144,9 @@ class FitnessEvaluator {
   /// Entries in the shared tree cache.
   std::size_t cache_size() const { return cache_.size(); }
 
+  /// Entries in the static-verdict cache (0 unless the gate is enabled).
+  std::size_t verdict_cache_size() const { return verdict_cache_.size(); }
+
  private:
   /// A memoized evaluation outcome. The fully_evaluated bit is stored, not
   /// inferred from the frontier: a cached value may both originate from a
@@ -170,6 +177,11 @@ class FitnessEvaluator {
   /// The per-individual evaluation body shared by all paths.
   void EvaluateWith(BatchContext* context, Individual* individual);
 
+  /// O(tree) static gate check, memoized by structure-only hash in
+  /// verdict_cache_. Sound only when the candidate's parameters lie inside
+  /// the gate's domain boxes (the caller pre-checks ParametersInDomain).
+  bool StaticallyRejected(const std::vector<expr::ExprPtr>& equations);
+
   /// Assigns the kTaskFailed penalty to an individual whose evaluation
   /// threw, charging `stats`.
   static void SetTaskFailed(Individual* individual, EvalStats* stats);
@@ -185,6 +197,10 @@ class FitnessEvaluator {
   std::atomic<double> best_prev_full_{
       std::numeric_limits<double>::infinity()};
   StripedMap<std::uint64_t, CacheEntry> cache_;
+  /// Structure-hash -> reject verdict for the static gate. Separate from
+  /// cache_: verdicts are parameter-independent (valid for every
+  /// in-domain parameter vector), so they survive parameter mutation.
+  StripedMap<std::uint64_t, bool> verdict_cache_;
 };
 
 }  // namespace gmr::gp

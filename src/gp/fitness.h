@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/static_gate.h"
 #include "common/status.h"
 #include "expr/ast.h"
 
@@ -125,6 +126,12 @@ struct SpeedupConfig {
   FrontierMode frontier_mode = FrontierMode::kFrozenFrontier;
   /// PE: lock stripes of the shared tree cache.
   int cache_stripes = 16;
+  /// Static reject gate: when enabled, provably-doomed phenotypes are
+  /// penalized with EvalOutcome::kStaticReject before any integration (see
+  /// analysis/static_gate.h and river/domains.h MakeStaticGate). Rejects
+  /// never enter the tree cache or the ES frontier, so gate-on is
+  /// bit-identical to gate-off on populations the gate passes.
+  analysis::StaticGateConfig static_gate;
 };
 
 }  // namespace gmr::gp

@@ -1,0 +1,79 @@
+#include "river/domains.h"
+
+#include <algorithm>
+
+#include "river/parameters.h"
+#include "river/variables.h"
+
+namespace gmr::river {
+namespace {
+
+analysis::DomainEnv PriorParameterDomains() {
+  analysis::DomainEnv env;
+  const gp::ParameterPriors priors = RiverParameterPriors();
+  env.parameters.reserve(priors.size());
+  for (const gp::ParameterPrior& prior : priors) {
+    env.parameters.push_back(analysis::Interval::Of(prior.lo, prior.hi));
+  }
+  return env;
+}
+
+}  // namespace
+
+analysis::DomainEnv LintDomains(const SimulationConfig& config) {
+  analysis::DomainEnv env = PriorParameterDomains();
+  env.variables.assign(kNumVariables, analysis::Interval::All());
+  env.variables[kBPhy] =
+      analysis::Interval::Of(config.state_min, config.state_max);
+  env.variables[kBZoo] =
+      analysis::Interval::Of(config.state_min, config.state_max);
+  // Generous physical ranges for the observed drivers (units of Table IV);
+  // every value in the Nakdong data lies comfortably inside.
+  env.variables[kVlgt] = analysis::Interval::Of(0.0, 45.0);
+  env.variables[kVn] = analysis::Interval::Of(0.0, 20.0);
+  env.variables[kVp] = analysis::Interval::Of(0.0, 5.0);
+  env.variables[kVsi] = analysis::Interval::Of(0.0, 50.0);
+  env.variables[kVtmp] = analysis::Interval::Of(-5.0, 40.0);
+  env.variables[kVdo] = analysis::Interval::Of(0.0, 30.0);
+  env.variables[kVcd] = analysis::Interval::Of(0.0, 5000.0);
+  env.variables[kVph] = analysis::Interval::Of(4.0, 12.0);
+  env.variables[kValk] = analysis::Interval::Of(0.0, 1000.0);
+  env.variables[kVsd] = analysis::Interval::Of(0.0, 20.0);
+  return env;
+}
+
+analysis::DomainEnv GateDomains(const SimulationConfig& config,
+                                const RiverDataset* dataset) {
+  analysis::DomainEnv env = PriorParameterDomains();
+  env.variables.assign(kNumVariables, analysis::Interval::All());
+  // RK4 stage states are unclamped, so only the lower clamp is sound as a
+  // bound; the upper end must stay +inf.
+  const analysis::Interval state{
+      config.state_min, std::numeric_limits<double>::infinity(), false};
+  env.variables[kBPhy] = state;
+  env.variables[kBZoo] = state;
+  if (dataset != nullptr) {
+    for (const int slot : ObservedVariableSlots()) {
+      const auto s = static_cast<std::size_t>(slot);
+      if (s >= dataset->drivers.size() || dataset->drivers[s].empty()) {
+        continue;
+      }
+      const auto [lo, hi] = std::minmax_element(dataset->drivers[s].begin(),
+                                                dataset->drivers[s].end());
+      env.variables[s] = analysis::Interval::Of(*lo, *hi);
+    }
+  }
+  return env;
+}
+
+analysis::StaticGateConfig MakeStaticGate(const SimulationConfig& config,
+                                          const RiverDataset* dataset) {
+  analysis::StaticGateConfig gate;
+  gate.enabled = true;
+  gate.domains = GateDomains(config, dataset);
+  gate.saturation_rate = (config.state_max - config.state_min) *
+                         std::max(config.substeps, 1);
+  return gate;
+}
+
+}  // namespace gmr::river

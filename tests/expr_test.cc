@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "expr/ast.h"
@@ -195,6 +196,38 @@ TEST(SimplifyTest, Identities) {
   EXPECT_TRUE(StructurallyEqual(*Simplify(Div(x, x)), *Constant(1.0)));
   EXPECT_TRUE(StructurallyEqual(*Simplify(Min(x, x)), *x));
   EXPECT_TRUE(StructurallyEqual(*Simplify(Neg(Neg(x))), *x));
+}
+
+TEST(SimplifyTest, ValueDependentIdentitiesRequireProvablyFiniteOperands) {
+  // x + y can overflow to inf, where (x+y) - (x+y) is NaN, not 0, and
+  // (x+y) / (x+y) is NaN, not 1. The rewrites must not fire. Same for
+  // 0 * (x+y): 0 * inf is NaN.
+  const ExprPtr sum = Add(Variable(0, "x"), Variable(1, "y"));
+  EXPECT_FALSE(
+      StructurallyEqual(*Simplify(Sub(sum, sum)), *Constant(0.0)));
+  EXPECT_EQ(Simplify(Sub(sum, sum))->NodeCount(), Sub(sum, sum)->NodeCount());
+  EXPECT_FALSE(
+      StructurallyEqual(*Simplify(Div(sum, sum)), *Constant(1.0)));
+  EXPECT_EQ(Simplify(Div(sum, sum))->NodeCount(), Div(sum, sum)->NodeCount());
+  EXPECT_FALSE(StructurallyEqual(*Simplify(Mul(Constant(0.0), sum)),
+                                 *Constant(0.0)));
+  EXPECT_FALSE(StructurallyEqual(*Simplify(Mul(sum, Constant(0.0))),
+                                 *Constant(0.0)));
+  // An infinite literal is not provably finite either.
+  const ExprPtr inf = Constant(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(
+      StructurallyEqual(*Simplify(Mul(Constant(0.0), inf)), *Constant(0.0)));
+
+  // Operators that never produce inf from finite inputs keep the rewrites:
+  // neg, min, max, log (clamped below), exp (clamped above).
+  const ExprPtr safe = Neg(Min(Variable(0, "x"), Exp(Variable(1, "y"))));
+  EXPECT_TRUE(
+      StructurallyEqual(*Simplify(Sub(safe, safe)), *Constant(0.0)));
+  EXPECT_TRUE(
+      StructurallyEqual(*Simplify(Div(safe, safe)), *Constant(1.0)));
+  // min/max(x, x) -> x holds even for NaN/inf operands (the kernel returns
+  // an operand bitwise), so it stays unguarded.
+  EXPECT_EQ(Simplify(Min(sum, sum))->NodeCount(), sum->NodeCount());
 }
 
 TEST(SimplifyTest, ConstantFolding) {
