@@ -19,6 +19,7 @@ struct AblationResult {
   double test_rmse = 0.0;
   double cache_hit_pct = 0.0;
   double seconds = 0.0;
+  std::uint64_t config_hash = 0;
 };
 
 AblationResult RunVariant(const char* name,
@@ -32,9 +33,10 @@ AblationResult RunVariant(const char* name,
     core::GmrConfig config =
         bench::MakeGmrConfig(scale, 300 + static_cast<std::uint64_t>(run));
     tweak(&config);
+    ablation.config_hash = bench::HashGmrConfig(config);
     Timer timer;
     const core::GmrRunResult result =
-        core::RunGmr(dataset, knowledge, config);
+        core::RunGmr(config, core::GmrProblem{&dataset, &knowledge});
     ablation.seconds += timer.ElapsedSeconds();
     ablation.train_rmse += result.train_rmse;
     ablation.test_rmse += result.test_rmse;
@@ -50,7 +52,8 @@ AblationResult RunVariant(const char* name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::Scale scale = bench::Scale::FromEnvironment();
   scale.population = std::min(scale.population, 30);
   scale.generations = std::min(scale.generations, 15);
@@ -93,5 +96,18 @@ int main() {
     std::printf("%-22s %12.3f %12.3f %11.0f%% %10.2f\n", r.name,
                 r.train_rmse, r.test_rmse, r.cache_hit_pct, r.seconds);
   }
+
+  std::vector<bench::BenchRow> rows;
+  for (const AblationResult& r : results) {
+    bench::BenchRow row(r.name, /*run_seed=*/300, r.config_hash);
+    row.Add("runs", runs);
+    row.Add("train_rmse", r.train_rmse);
+    row.Add("test_rmse", r.test_rmse);
+    row.Add("cache_hit_pct", r.cache_hit_pct);
+    row.Add("seconds_per_run", r.seconds);
+    rows.push_back(std::move(row));
+  }
+  bench::WriteBenchJson("BENCH_ablation.json", "ablation", options.threads,
+                        rows);
   return 0;
 }

@@ -11,8 +11,9 @@
 #include "common/timer.h"
 #include "expr/print.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gmr;
+  const bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   const bench::Scale scale = bench::Scale::FromEnvironment();
   std::printf(
       "[Table V / Figure 1] accuracy comparison — %d data years "
@@ -50,6 +51,29 @@ int main() {
   std::printf("GMR done (%.1fs)\n\n", timer.ElapsedSeconds());
 
   bench::PrintTableV(rows);
+
+  // Machine-readable Table V (shared bench schema): one row per method.
+  const std::uint64_t scale_hash =
+      bench::ConfigHasher()
+          .Add("data_years", scale.data_years)
+          .Add("train_years", scale.train_years)
+          .Add("population", scale.population)
+          .Add("generations", scale.generations)
+          .Add("runs", scale.runs)
+          .Add("calibration_budget",
+               static_cast<double>(scale.calibration_budget))
+          .hash();
+  std::vector<bench::BenchRow> json_rows;
+  for (const bench::AccuracyRow& row : rows) {
+    bench::BenchRow json_row(row.method, scale.data_seed, scale_hash);
+    json_row.Add("train_rmse", row.report.train_rmse);
+    json_row.Add("train_mae", row.report.train_mae);
+    json_row.Add("test_rmse", row.report.test_rmse);
+    json_row.Add("test_mae", row.report.test_mae);
+    json_rows.push_back(std::move(json_row));
+  }
+  bench::WriteBenchJson("BENCH_accuracy.json", "accuracy", options.threads,
+                        json_rows);
 
   // Show the best revised process for inspection (Section IV-E flavor).
   double best = 1e300;

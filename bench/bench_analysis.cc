@@ -137,7 +137,7 @@ void WriteAnalysisBench() {
     population.push_back(std::move(individual));
   }
 
-  std::vector<bench::JsonRecord> rows;
+  std::vector<bench::BenchRow> rows;
   for (const bool gate_on : {false, true}) {
     gp::SpeedupConfig config;
     config.tree_caching = true;
@@ -151,7 +151,12 @@ void WriteAnalysisBench() {
     }
     const double seconds = timer.ElapsedSeconds();
     const gp::EvalStats& stats = evaluator.stats();
-    bench::JsonRecord row;
+    bench::BenchRow row(gate_on ? "gate_on" : "gate_off", /*run_seed=*/1234,
+                        bench::ConfigHasher()
+                            .Add("gate", gate_on)
+                            .Add("tree_caching", config.tree_caching)
+                            .Add("short_circuiting", config.short_circuiting)
+                            .hash());
     row.Add("gate", gate_on ? 1.0 : 0.0);
     row.Add("population", static_cast<double>(population.size()));
     row.Add("seconds", seconds);

@@ -23,12 +23,14 @@ struct Measurement {
   double train_rmse = 0.0;
   double test_rmse = 0.0;
   double fully_evaluated_pct = 0.0;
+  std::uint64_t config_hash = 0;
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gmr;
+  const bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::Scale scale = bench::Scale::FromEnvironment();
   scale.population = std::min(scale.population, 30);
   scale.generations = std::min(scale.generations, 12);
@@ -55,8 +57,9 @@ int main() {
           bench::MakeGmrConfig(scale, 40 + static_cast<std::uint64_t>(run));
       config.tag3p.speedups.short_circuiting = variant.es;
       config.tag3p.speedups.es_threshold = variant.threshold;
+      m.config_hash = bench::HashGmrConfig(config);
       const core::GmrRunResult result =
-          core::RunGmr(dataset, knowledge, config);
+          core::RunGmr(config, core::GmrProblem{&dataset, &knowledge});
       m.time_steps +=
           static_cast<double>(result.search.eval_stats.time_steps_evaluated);
       m.train_rmse += result.train_rmse;
@@ -94,5 +97,20 @@ int main() {
                 rel(results[i].fully_evaluated_pct,
                     reference.fully_evaluated_pct));
   }
+
+  std::vector<bench::BenchRow> rows;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    bench::BenchRow row(variants[i].name, /*run_seed=*/40,
+                        results[i].config_hash);
+    row.Add("es", variants[i].es ? 1 : 0);
+    row.Add("threshold", variants[i].threshold);
+    row.Add("time_steps", results[i].time_steps);
+    row.Add("train_rmse", results[i].train_rmse);
+    row.Add("test_rmse", results[i].test_rmse);
+    row.Add("fully_evaluated_pct", results[i].fully_evaluated_pct);
+    rows.push_back(std::move(row));
+  }
+  bench::WriteBenchJson("BENCH_es_threshold.json", "es_threshold",
+                        options.threads, rows);
   return 0;
 }

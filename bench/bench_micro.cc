@@ -240,7 +240,7 @@ void WriteFaultBench() {
   const auto equations = DivergentProcess();
   const auto params = gp::PriorMeans(river::RiverParameterPriors());
 
-  std::vector<bench::JsonRecord> rows;
+  std::vector<bench::BenchRow> rows;
   for (const bool watchdogs_on : {false, true}) {
     const river::SimulationConfig config = WatchdogConfig(watchdogs_on);
     river::SimulationReport report;
@@ -251,7 +251,13 @@ void WriteFaultBench() {
                           config, true, &report);
     }
     const double seconds = timer.ElapsedSeconds() / kRepeats;
-    bench::JsonRecord row;
+    bench::BenchRow row(watchdogs_on ? "watchdogs_on" : "watchdogs_off",
+                        synth.seed,
+                        bench::ConfigHasher()
+                            .Add("watchdogs", watchdogs_on)
+                            .Add("days", 365)
+                            .Add("repeats", kRepeats)
+                            .hash());
     row.Add("watchdogs", watchdogs_on ? 1.0 : 0.0);
     row.Add("substeps_used", static_cast<double>(report.substeps_used));
     row.Add("days_before_abort",

@@ -20,6 +20,7 @@ namespace {
 struct Run {
   double seconds = 0.0;
   double best_fitness = 0.0;
+  std::uint64_t config_hash = 0;
 };
 
 Run RunSearch(const gmr::core::RiverPriorKnowledge& knowledge,
@@ -35,10 +36,12 @@ Run RunSearch(const gmr::core::RiverPriorKnowledge& knowledge,
   gmr::gp::Tag3pConfig tag3p = config.tag3p;
   tag3p.seed_alpha_index = knowledge.seed_alpha_index;
   gmr::Timer timer;
-  gmr::gp::Tag3pEngine engine(&knowledge.grammar, &fitness, knowledge.priors,
-                              tag3p);
+  gmr::gp::Tag3pEngine engine(
+      gmr::gp::Tag3pProblem{&knowledge.grammar, &fitness, knowledge.priors},
+      tag3p, gmr::obs::RunContext{});
   const gmr::gp::Tag3pResult result = engine.Run();
-  return {timer.ElapsedSeconds(), result.best.fitness};
+  return {timer.ElapsedSeconds(), result.best.fitness,
+          gmr::bench::HashGmrConfig(config)};
 }
 
 }  // namespace
@@ -63,7 +66,7 @@ int main(int argc, char** argv) {
   std::vector<int> thread_counts;
   for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
 
-  std::vector<bench::JsonRecord> records;
+  std::vector<bench::BenchRow> rows;
 
   std::printf("[PE] strong scaling: fixed search (population %d x %d "
               "generations), varying threads\n",
@@ -85,14 +88,14 @@ int main(int argc, char** argv) {
     std::printf("%8d %12.3f %9.2fx %14.6f %6s\n", threads, run.seconds,
                 strong_base / run.seconds, run.best_fitness,
                 same ? "ok" : "DIFF");
-    bench::JsonRecord record;
-    record.Add("weak", 0);
-    record.Add("threads", threads);
-    record.Add("seconds", run.seconds);
-    record.Add("speedup", strong_base / run.seconds);
-    record.Add("best_fitness", run.best_fitness);
-    record.Add("deterministic", same ? 1 : 0);
-    records.push_back(std::move(record));
+    bench::BenchRow row("strong", /*run_seed=*/11, run.config_hash);
+    row.Add("weak", 0);
+    row.Add("threads", threads);
+    row.Add("seconds", run.seconds);
+    row.Add("speedup", strong_base / run.seconds);
+    row.Add("best_fitness", run.best_fitness);
+    row.Add("deterministic", same ? 1 : 0);
+    rows.push_back(std::move(row));
   }
 
   std::printf("\n[PE] weak scaling: population %d per thread\n",
@@ -107,17 +110,17 @@ int main(int argc, char** argv) {
     std::printf("%8d %12d %12.3f %11.0f%%\n", threads,
                 scale.population * threads, run.seconds,
                 100.0 * weak_base / run.seconds);
-    bench::JsonRecord record;
-    record.Add("weak", 1);
-    record.Add("threads", threads);
-    record.Add("population", scale.population * threads);
-    record.Add("seconds", run.seconds);
-    record.Add("efficiency", weak_base / run.seconds);
-    records.push_back(std::move(record));
+    bench::BenchRow row("weak", /*run_seed=*/11, run.config_hash);
+    row.Add("weak", 1);
+    row.Add("threads", threads);
+    row.Add("population", scale.population * threads);
+    row.Add("seconds", run.seconds);
+    row.Add("efficiency", weak_base / run.seconds);
+    rows.push_back(std::move(row));
   }
 
   bench::WriteBenchJson("BENCH_parallel.json", "parallel", max_threads,
-                        records);
+                        rows);
   std::printf("\n[PE] kFrozenFrontier determinism across thread counts: %s\n",
               deterministic ? "PASS" : "FAIL");
   return deterministic ? 0 : 1;

@@ -12,8 +12,9 @@
 #include "expr/print.h"
 #include "river/variables.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gmr;
+  const bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
   bench::Scale scale = bench::Scale::FromEnvironment();
   // Figure 9 analyzes the 50 best models; at quick scale we collect the
   // best model of each of several independent runs.
@@ -30,10 +31,13 @@ int main() {
 
   std::vector<core::CandidateModel> models;
   std::vector<core::GmrRunResult> results;
+  std::uint64_t config_hash = 0;
   for (int run = 0; run < runs; ++run) {
     const core::GmrConfig config =
         bench::MakeGmrConfig(scale, 7000 + static_cast<std::uint64_t>(run));
-    core::GmrRunResult result = core::RunGmr(dataset, knowledge, config);
+    config_hash = bench::HashGmrConfig(config);
+    core::GmrRunResult result =
+        core::RunGmr(config, core::GmrProblem{&dataset, &knowledge});
     core::CandidateModel model;
     model.equations = result.best_equations;
     model.parameters = result.best.parameters;
@@ -66,5 +70,20 @@ int main() {
   std::printf("\nBest revised model (test RMSE %.3f):\n%s",
               results.front().test_rmse,
               core::DescribeModel(results.front().best_equations).c_str());
+
+  // One row per observed variable (the Figure 9 bar chart, machine-readable).
+  std::vector<bench::BenchRow> rows;
+  for (const auto& entry : report.entries) {
+    bench::BenchRow row(river::VariableName(entry.variable_slot),
+                        /*run_seed=*/7000, config_hash);
+    row.Add("models", static_cast<double>(models.size()));
+    row.Add("selected_pct", entry.selected_pct);
+    row.Add("correlated_pct", entry.correlated_pct);
+    row.Add("inversely_correlated_pct", entry.inversely_correlated_pct);
+    row.Add("uncorrelated_pct", entry.uncorrelated_pct);
+    rows.push_back(std::move(row));
+  }
+  bench::WriteBenchJson("BENCH_selectivity.json", "selectivity",
+                        options.threads, rows);
   return 0;
 }

@@ -27,29 +27,79 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const int value = std::atoi(argv[++i]);
       if (value > 0) options.threads = value;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
     }
   }
   return options;
 }
 
+ConfigHasher& ConfigHasher::Add(const char* key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s=%.17g;", key, value);
+  for (const char* p = buffer; *p != '\0'; ++p) {
+    hash_ ^= static_cast<unsigned char>(*p);
+    hash_ *= 1099511628211ull;
+  }
+  return *this;
+}
+
+std::uint64_t HashGmrConfig(const core::GmrConfig& config) {
+  const gp::Tag3pConfig& t = config.tag3p;
+  const gp::SpeedupConfig& s = t.speedups;
+  ConfigHasher hasher;
+  hasher.Add("population_size", t.population_size)
+      .Add("max_generations", t.max_generations)
+      .Add("elite_size", t.elite_size)
+      .Add("tournament_size", t.tournament_size)
+      .Add("min_size", t.bounds.min_size)
+      .Add("max_size", t.bounds.max_size)
+      .Add("p_crossover", t.p_crossover)
+      .Add("p_subtree_mutation", t.p_subtree_mutation)
+      .Add("p_gaussian_mutation", t.p_gaussian_mutation)
+      .Add("crossover_retries", t.crossover_retries)
+      .Add("local_search_steps", t.local_search_steps)
+      .Add("local_search_parameter_tweak", t.local_search_parameter_tweak)
+      .Add("elite_polish_steps", t.elite_polish_steps)
+      .Add("sigma_rampdown_generations", t.sigma_rampdown_generations)
+      .Add("sigma_final_scale", t.sigma_final_scale)
+      .Add("seed_alpha_index", t.seed_alpha_index)
+      .Add("tree_caching", s.tree_caching)
+      .Add("short_circuiting", s.short_circuiting)
+      .Add("es_threshold", s.es_threshold)
+      .Add("runtime_compilation", s.runtime_compilation)
+      .Add("simplify_before_eval", s.simplify_before_eval)
+      .Add("frontier_frozen",
+           s.frontier_mode == gp::FrontierMode::kFrozenFrontier);
+  return hasher.hash();
+}
+
 void WriteBenchJson(const std::string& path, const std::string& name,
-                    int threads, const std::vector<JsonRecord>& rows) {
+                    int threads, const std::vector<BenchRow>& rows) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n",
+  std::fprintf(file,
+               "{\n  \"bench\": \"%s\",\n  \"schema_version\": 2,\n"
+               "  \"threads\": %d,\n",
                name.c_str(), threads);
   std::fprintf(file, "  \"rows\": [\n");
   for (std::size_t r = 0; r < rows.size(); ++r) {
-    std::fprintf(file, "    {");
-    for (std::size_t i = 0; i < rows[r].fields.size(); ++i) {
-      const auto& [key, value] = rows[r].fields[i];
+    const BenchRow& row = rows[r];
+    std::fprintf(file,
+                 "    {\"method\": \"%s\", \"seed\": %llu, "
+                 "\"config_hash\": \"%016llx\", \"stats\": {",
+                 row.method.c_str(),
+                 static_cast<unsigned long long>(row.seed),
+                 static_cast<unsigned long long>(row.config_hash));
+    for (std::size_t i = 0; i < row.stats.size(); ++i) {
+      const auto& [key, value] = row.stats[i];
       std::fprintf(file, "%s\"%s\": %.9g", i == 0 ? "" : ", ", key.c_str(),
                    value);
     }
-    std::fprintf(file, "}%s\n", r + 1 < rows.size() ? "," : "");
+    std::fprintf(file, "}}%s\n", r + 1 < rows.size() ? "," : "");
   }
   std::fprintf(file, "  ]\n}\n");
   std::fclose(file);
@@ -165,9 +215,12 @@ std::vector<AccuracyRow> RunCalibrationMethods(
 
   std::vector<AccuracyRow> rows;
   for (const auto& calibrator : calibrate::AllCalibrators()) {
-    Rng rng(1000 + rows.size());
-    const calibrate::CalibrationResult result = calibrator->Calibrate(
-        objective, bounds, initial, scale.calibration_budget, rng);
+    calibrate::CalibrationConfig config;
+    config.budget = scale.calibration_budget;
+    config.seed = 1000 + rows.size();
+    const calibrate::CalibrationResult result = calibrate::Run(
+        *calibrator, config,
+        calibrate::CalibrationProblem{objective, bounds, initial});
     AccuracyRow row;
     row.method_class = "Model calibration";
     row.method = calibrator->name();
@@ -280,15 +333,18 @@ AccuracyRow RunGggpMethod(const river::RiverDataset& dataset,
   config.speedups.short_circuiting = true;
   config.speedups.tree_caching = false;
 
+  const gggp::CfgGrammar grammar = gggp::RiverCfgGrammar();
+  const gp::ParameterPriors priors = river::RiverParameterPriors();
+  const gggp::GggpProblem problem{river::ManualProcess(), &grammar, &priors,
+                                  &fitness};
+
   AccuracyRow row;
   row.method_class = "Model revision";
   row.method = "GGGP";
   double best_test = std::numeric_limits<double>::infinity();
   for (int run = 0; run < scale.gggp_runs; ++run) {
     config.seed = 500 + static_cast<std::uint64_t>(run);
-    const gggp::GggpResult result =
-        gggp::RunGggp(river::ManualProcess(), gggp::RiverCfgGrammar(),
-                      river::RiverParameterPriors(), fitness, config);
+    const gggp::GggpResult result = gggp::RunGggp(config, problem);
     const core::AccuracyReport report = core::EvaluateAccuracy(
         result.best.equations, result.best.parameters, dataset,
         river::SimulationConfig{});
@@ -308,10 +364,11 @@ GmrOutcome RunGmrMethod(const river::RiverDataset& dataset,
   outcome.row.method_class = "Model revision";
   outcome.row.method = "GMR";
   double best_test = std::numeric_limits<double>::infinity();
+  const core::GmrProblem problem{&dataset, &knowledge};
   for (int run = 0; run < scale.runs; ++run) {
     const core::GmrConfig config =
         MakeGmrConfig(scale, 900 + static_cast<std::uint64_t>(run));
-    core::GmrRunResult result = core::RunGmr(dataset, knowledge, config);
+    core::GmrRunResult result = core::RunGmr(config, problem);
     if (result.test_rmse < best_test) {
       best_test = result.test_rmse;
       outcome.row.report.train_rmse = result.train_rmse;

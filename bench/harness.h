@@ -1,6 +1,7 @@
 #ifndef GMR_BENCH_HARNESS_H_
 #define GMR_BENCH_HARNESS_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,24 +19,59 @@ struct BenchOptions {
   /// GMR_BENCH_THREADS environment variable, else 1.
   int threads = 1;
 
+  /// Optional JSONL trace path (`--trace PATH`): benches that drive full
+  /// GMR/TAG3P runs attach a JsonlTraceSink here, for `gmr_trace`.
+  std::string trace_path;
+
   static BenchOptions Parse(int argc, char** argv);
 };
 
-/// One record of a bench JSON file: named numeric fields, in insertion
-/// order.
-struct JsonRecord {
-  std::vector<std::pair<std::string, double>> fields;
+/// One row of a bench JSON file — the schema every bench shares
+/// (schema_version 2): which method/variant ran, with what seed, under
+/// which configuration (a canonical FNV-1a hash, see ConfigHasher), plus
+/// named numeric stats in insertion order.
+struct BenchRow {
+  std::string method;
+  std::uint64_t seed = 0;
+  std::uint64_t config_hash = 0;
+  std::vector<std::pair<std::string, double>> stats;
+
+  BenchRow() = default;
+  BenchRow(std::string method_name, std::uint64_t run_seed,
+           std::uint64_t hash)
+      : method(std::move(method_name)), seed(run_seed), config_hash(hash) {}
 
   void Add(const std::string& key, double value) {
-    fields.emplace_back(key, value);
+    stats.emplace_back(key, value);
   }
 };
 
-/// Writes `{"bench": <name>, "threads": <threads>, "rows": [...]}` to
-/// `path`. Every bench emits its machine-readable results this way so runs
-/// at different thread counts are comparable offline.
+/// FNV-1a accumulator over canonical `key=value;` pairs. Feed every knob
+/// that shapes a run; equal hashes across bench binaries then mean "same
+/// configuration", which is what makes BENCH_*.json rows joinable offline.
+class ConfigHasher {
+ public:
+  ConfigHasher& Add(const char* key, double value);
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+/// Canonical hash of a GMR search configuration (TAG3P knobs + speedup
+/// toggles; thread count excluded — it lives in the file-level "threads"
+/// field and must not change what a run computes).
+std::uint64_t HashGmrConfig(const core::GmrConfig& config);
+
+/// Writes the shared bench JSON schema to `path`:
+///   {"bench": <name>, "schema_version": 2, "threads": <threads>,
+///    "rows": [{"method": ..., "seed": ..., "config_hash": "<hex>",
+///              "stats": {...}}, ...]}
+/// Every bench emits its machine-readable results this way so runs at
+/// different thread counts (and from different binaries) are comparable
+/// offline.
 void WriteBenchJson(const std::string& path, const std::string& name,
-                    int threads, const std::vector<JsonRecord>& rows);
+                    int threads, const std::vector<BenchRow>& rows);
 
 /// Shared experiment scale. "quick" (default) finishes the whole bench
 /// directory in minutes on a laptop; "full" approaches the paper's setup

@@ -7,9 +7,10 @@ namespace gmr::calibrate {
 CalibrationResult SaCalibrator::Calibrate(const Objective& objective,
                                           const BoxBounds& bounds,
                                           const std::vector<double>& initial,
-                                          std::size_t budget,
-                                          Rng& rng) const {
+                                          std::size_t budget, Rng& rng,
+                                          const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   std::vector<double> current = initial;
   double current_f = f(current);
 

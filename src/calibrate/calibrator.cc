@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/manifest.h"
 
 namespace gmr::calibrate {
 
@@ -30,23 +31,41 @@ BoxBounds BoundsFromPriors(const gp::ParameterPriors& priors) {
   return bounds;
 }
 
+void BudgetedObjective::AttachTelemetry(obs::TelemetrySink* sink,
+                                        const char* method,
+                                        std::size_t progress_stride) {
+  sink_ = obs::ResolveSink(sink);
+  method_ = method;
+  progress_stride_ = std::max<std::size_t>(progress_stride, 1);
+}
+
 double BudgetedObjective::operator()(const std::vector<double>& x) {
   if (used_ >= budget_) return 1e300;
   ++used_;
   double f = 1e300;
+  bool failed = false;
   // Containment: an objective that throws is charged against the budget and
   // scored as the exhaustion sentinel; the calibration continues.
   try {
     f = (*objective_)(x);
   } catch (...) {
     ++task_failures_;
-    return 1e300;
+    failed = true;
   }
-  if (f < best_f_) {
+  if (!failed && f < best_f_) {
     best_f_ = f;
     best_x_ = x;
   }
-  return f;
+  // Serial-path cadence: one progress event per `progress_stride_` calls,
+  // a pure function of the call count (deterministic).
+  if (sink_->enabled() && used_ % progress_stride_ == 0) {
+    obs::TraceEvent event("calibrate_progress");
+    event.Label("method", method_)
+        .Field("used", static_cast<double>(used_))
+        .Field("best_f", best_f_);
+    sink_->Emit(std::move(event));
+  }
+  return failed ? 1e300 : f;
 }
 
 std::vector<double> BudgetedObjective::EvaluateBatch(
@@ -69,7 +88,52 @@ std::vector<double> BudgetedObjective::EvaluateBatch(
       best_x_ = xs[i];
     }
   }
+  if (sink_->enabled()) {
+    // Batch barrier: coordinator-only emission, deterministic order.
+    obs::TraceEvent event("calibrate_batch");
+    event.Label("method", method_)
+        .Field("n", static_cast<double>(xs.size()))
+        .Field("evaluated", static_cast<double>(take))
+        .Field("used", static_cast<double>(used_))
+        .Field("task_failures", static_cast<double>(failures.size()))
+        .Field("best_f", best_f_);
+    sink_->Emit(std::move(event));
+  }
   return fs;
+}
+
+CalibrationResult Run(const Calibrator& method,
+                      const CalibrationConfig& config,
+                      const CalibrationProblem& problem,
+                      const obs::RunContext& context) {
+  obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
+  if (sink->enabled()) {
+    obs::RunManifest manifest =
+        obs::MakeRunManifest("calibrate", config.seed);
+    manifest.config_fields = {
+        {"budget", static_cast<double>(config.budget)},
+        {"dim", static_cast<double>(problem.bounds.dim())},
+    };
+    manifest.config_labels = {{"method", method.name()}};
+    manifest.num_threads =
+        context.pool != nullptr ? context.pool->num_threads() : 1;
+    obs::EmitManifest(sink, manifest);
+  }
+  Rng own_rng(config.seed);
+  Rng& rng = context.rng != nullptr ? *context.rng : own_rng;
+  CalibrationResult result =
+      method.Calibrate(problem.objective, problem.bounds, problem.initial,
+                       config.budget, rng, context);
+  if (sink->enabled()) {
+    obs::TraceEvent event("calibrate_result");
+    event.Label("method", method.name())
+        .Field("best_objective", result.best_objective)
+        .Field("evaluations", static_cast<double>(result.evaluations))
+        .Field("failed_evaluations",
+               static_cast<double>(result.failed_evaluations));
+    sink->Emit(std::move(event));
+  }
+  return result;
 }
 
 }  // namespace gmr::calibrate

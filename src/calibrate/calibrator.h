@@ -2,12 +2,14 @@
 #define GMR_CALIBRATE_CALIBRATOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "gp/parameter_prior.h"
+#include "obs/run_context.h"
 
 namespace gmr::calibrate {
 
@@ -49,30 +51,63 @@ class Calibrator {
 
   /// Minimizes `objective` within `bounds`, spending at most `budget`
   /// objective evaluations. `initial` is the expert starting point (prior
-  /// means).
+  /// means). Shared run resources come from `context`: the population-based
+  /// methods (GA, SCE-UA, DREAM) fan candidate evaluations out over
+  /// `context.pool` (null keeps everything serial; the objective must be
+  /// safe to call concurrently when a pool is set), and progress events go
+  /// to `context.sink`.
   virtual CalibrationResult Calibrate(const Objective& objective,
                                       const BoxBounds& bounds,
                                       const std::vector<double>& initial,
-                                      std::size_t budget, Rng& rng) const = 0;
+                                      std::size_t budget, Rng& rng,
+                                      const obs::RunContext& context) const = 0;
 
-  /// Attaches a thread pool the population-based methods (GA, SCE-UA,
-  /// DREAM) fan candidate evaluations out over; null (the default) keeps
-  /// everything serial. The objective must be safe to call concurrently
-  /// when a pool is attached. Not owned; must outlive Calibrate calls.
-  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
-
- protected:
-  ThreadPool* pool() const { return pool_; }
-
- private:
-  ThreadPool* pool_ = nullptr;
+  /// Convenience overload: default context (serial, tracing off).
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng) const {
+    return Calibrate(objective, bounds, initial, budget, rng,
+                     obs::RunContext{});
+  }
 };
+
+/// Method-independent calibration settings, the config side of the unified
+/// `Run(config, problem, context)` driver API.
+struct CalibrationConfig {
+  std::size_t budget = 1000;
+  std::uint64_t seed = 1;
+};
+
+/// The task side: what is optimized, inside which box, from where.
+struct CalibrationProblem {
+  Objective objective;
+  BoxBounds bounds;
+  std::vector<double> initial;
+};
+
+/// Unified driver entry point: runs `method` on `problem` under `config`,
+/// drawing shared resources from `context` (context.rng overrides the
+/// config seed). Emits a run manifest and a final "calibrate_result" event
+/// when the context carries an enabled sink.
+CalibrationResult Run(const Calibrator& method,
+                      const CalibrationConfig& config,
+                      const CalibrationProblem& problem,
+                      const obs::RunContext& context = {});
 
 /// Budget-tracking helper shared by the implementations.
 class BudgetedObjective {
  public:
   BudgetedObjective(const Objective* objective, std::size_t budget)
       : objective_(objective), budget_(budget) {}
+
+  /// Routes calibration telemetry to `sink` labeled with `method`: one
+  /// "calibrate_batch" event per EvaluateBatch barrier, and for the serial
+  /// operator() path one "calibrate_progress" event every
+  /// `progress_stride` evaluations. Event cadence is a pure function of
+  /// the evaluation count, so traces stay deterministic.
+  void AttachTelemetry(obs::TelemetrySink* sink, const char* method,
+                       std::size_t progress_stride = 64);
 
   /// Evaluates and tracks the incumbent. Returns +inf once the budget is
   /// exhausted (callers should also poll Exhausted()).
@@ -101,6 +136,9 @@ class BudgetedObjective {
   std::size_t task_failures_ = 0;
   std::vector<double> best_x_;
   double best_f_ = 1e300;
+  obs::TelemetrySink* sink_ = obs::NullTelemetrySink();
+  const char* method_ = "";
+  std::size_t progress_stride_ = 64;
 };
 
 }  // namespace gmr::calibrate

@@ -26,9 +26,10 @@ const Member& Tournament(const std::vector<Member>& population, int size,
 CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
                                           const BoxBounds& bounds,
                                           const std::vector<double>& initial,
-                                          std::size_t budget,
-                                          Rng& rng) const {
+                                          std::size_t budget, Rng& rng,
+                                          const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   const std::size_t dim = bounds.dim();
   const std::size_t pop_size = std::max<std::size_t>(20, 2 * dim);
   constexpr double kBlxAlpha = 0.3;
@@ -41,7 +42,7 @@ CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
   std::vector<std::vector<double>> points;
   points.push_back(initial);
   while (points.size() < pop_size) points.push_back(bounds.Sample(rng));
-  std::vector<double> fs = f.EvaluateBatch(pool(), points);
+  std::vector<double> fs = f.EvaluateBatch(context.pool, points);
 
   std::vector<Member> population;
   population.reserve(pop_size);
@@ -74,7 +75,7 @@ CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
       bounds.Clamp(&child);
       children.push_back(std::move(child));
     }
-    fs = f.EvaluateBatch(pool(), children);
+    fs = f.EvaluateBatch(context.pool, children);
     for (std::size_t i = 0; i < children.size(); ++i) {
       next.push_back({std::move(children[i]), fs[i]});
     }

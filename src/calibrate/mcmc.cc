@@ -20,9 +20,10 @@ double LogLikelihood(double rmse) {
 CalibrationResult McmcCalibrator::Calibrate(const Objective& objective,
                                             const BoxBounds& bounds,
                                             const std::vector<double>& initial,
-                                            std::size_t budget,
-                                            Rng& rng) const {
+                                            std::size_t budget, Rng& rng,
+                                            const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   const std::size_t dim = bounds.dim();
   std::vector<double> current = initial;
   double current_ll = LogLikelihood(f(current));
@@ -56,9 +57,10 @@ CalibrationResult McmcCalibrator::Calibrate(const Objective& objective,
 CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
                                              const BoxBounds& bounds,
                                              const std::vector<double>& initial,
-                                             std::size_t budget,
-                                             Rng& rng) const {
+                                             std::size_t budget, Rng& rng,
+                                             const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   const std::size_t dim = bounds.dim();
   const std::size_t num_chains = std::max<std::size_t>(8, dim / 2);
 
@@ -69,7 +71,7 @@ CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
     chains[c] = bounds.Sample(rng);
   }
   {
-    const std::vector<double> fs = f.EvaluateBatch(pool(), chains);
+    const std::vector<double> fs = f.EvaluateBatch(context.pool, chains);
     for (std::size_t c = 0; c < num_chains; ++c) {
       lls[c] = LogLikelihood(fs[c]);
     }
@@ -120,7 +122,7 @@ CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
       proposals[c] = std::move(candidate);
     }
 
-    const std::vector<double> fs = f.EvaluateBatch(pool(), proposals);
+    const std::vector<double> fs = f.EvaluateBatch(context.pool, proposals);
     for (std::size_t c = 0; c < num_chains; ++c) {
       if (fs[c] >= 1e299) continue;  // past the budget; chain unchanged
       const double candidate_ll = LogLikelihood(fs[c]);
@@ -137,9 +139,10 @@ CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
 CalibrationResult DeMczCalibrator::Calibrate(const Objective& objective,
                                              const BoxBounds& bounds,
                                              const std::vector<double>& initial,
-                                             std::size_t budget,
-                                             Rng& rng) const {
+                                             std::size_t budget, Rng& rng,
+                                             const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   const std::size_t dim = bounds.dim();
   const std::size_t num_chains = 3;  // DE-MCz needs few parallel chains.
   const double gamma_base = 2.38 / std::sqrt(2.0 * static_cast<double>(dim));

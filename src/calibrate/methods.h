@@ -18,30 +18,36 @@ namespace gmr::calibrate {
 class GaCalibrator : public Calibrator {
  public:
   const char* name() const override { return "GA"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// (b) MC: uniform Monte Carlo random search.
 class MonteCarloCalibrator : public Calibrator {
  public:
   const char* name() const override { return "MC"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// (c) LHS: Latin hypercube sampling in successive stratified batches.
 class LhsCalibrator : public Calibrator {
  public:
   const char* name() const override { return "LHS"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// (d) MLE: maximum likelihood via Nelder-Mead simplex with restarts
@@ -50,10 +56,12 @@ class LhsCalibrator : public Calibrator {
 class MleCalibrator : public Calibrator {
  public:
   const char* name() const override { return "MLE"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// (e) MCMC: adaptive random-walk Metropolis; the likelihood is the
@@ -61,20 +69,24 @@ class MleCalibrator : public Calibrator {
 class McmcCalibrator : public Calibrator {
  public:
   const char* name() const override { return "MCMC"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// (f) SA: simulated annealing with geometric cooling.
 class SaCalibrator : public Calibrator {
  public:
   const char* name() const override { return "SA"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// (g) DREAM: differential evolution adaptive Metropolis (Vrugt 2016):
@@ -83,10 +95,12 @@ class SaCalibrator : public Calibrator {
 class DreamCalibrator : public Calibrator {
  public:
   const char* name() const override { return "DREAM"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// (h) SCE-UA: shuffled complex evolution (Duan et al. 1994): the
@@ -95,10 +109,12 @@ class DreamCalibrator : public Calibrator {
 class SceUaCalibrator : public Calibrator {
  public:
   const char* name() const override { return "SCE-UA"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// (i) DE-MCz: differential evolution Markov chain with a sampled archive Z
@@ -106,10 +122,12 @@ class SceUaCalibrator : public Calibrator {
 class DeMczCalibrator : public Calibrator {
  public:
   const char* name() const override { return "DE-MCz"; }
+  using Calibrator::Calibrate;
   CalibrationResult Calibrate(const Objective& objective,
                               const BoxBounds& bounds,
                               const std::vector<double>& initial,
-                              std::size_t budget, Rng& rng) const override;
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
 };
 
 /// All nine calibrators, in Table V order.

@@ -7,8 +7,10 @@ namespace gmr::calibrate {
 
 CalibrationResult MonteCarloCalibrator::Calibrate(
     const Objective& objective, const BoxBounds& bounds,
-    const std::vector<double>& initial, std::size_t budget, Rng& rng) const {
+    const std::vector<double>& initial, std::size_t budget, Rng& rng,
+    const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   f(initial);  // The expert point is always worth one evaluation.
   while (!f.Exhausted()) f(bounds.Sample(rng));
   return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
@@ -17,9 +19,10 @@ CalibrationResult MonteCarloCalibrator::Calibrate(
 CalibrationResult LhsCalibrator::Calibrate(const Objective& objective,
                                            const BoxBounds& bounds,
                                            const std::vector<double>& initial,
-                                           std::size_t budget,
-                                           Rng& rng) const {
+                                           std::size_t budget, Rng& rng,
+                                           const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   f(initial);
   const std::size_t dim = bounds.dim();
   // Stratified batches: each batch of size m places exactly one sample in

@@ -17,8 +17,10 @@ bool ByFitness(const Point& a, const Point& b) { return a.f < b.f; }
 
 CalibrationResult SceUaCalibrator::Calibrate(
     const Objective& objective, const BoxBounds& bounds,
-    const std::vector<double>& initial, std::size_t budget, Rng& rng) const {
+    const std::vector<double>& initial, std::size_t budget, Rng& rng,
+    const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   const std::size_t dim = bounds.dim();
 
   // Standard SCE-UA sizing (Duan et al. 1994): p complexes of m = 2n+1
@@ -34,7 +36,7 @@ CalibrationResult SceUaCalibrator::Calibrate(
     std::vector<std::vector<double>> points;
     points.push_back(initial);
     while (points.size() < pop_size) points.push_back(bounds.Sample(rng));
-    const std::vector<double> fs = f.EvaluateBatch(pool(), points);
+    const std::vector<double> fs = f.EvaluateBatch(context.pool, points);
     population.reserve(pop_size);
     for (std::size_t i = 0; i < points.size(); ++i) {
       population.push_back({std::move(points[i]), fs[i]});
@@ -108,7 +110,7 @@ CalibrationResult SceUaCalibrator::Calibrate(
         proposals[k] = std::move(reflected);
       }
 
-      std::vector<double> fs = f.EvaluateBatch(pool(), proposals);
+      std::vector<double> fs = f.EvaluateBatch(context.pool, proposals);
       std::vector<std::size_t> open;  // complexes whose reflection failed
       for (std::size_t k = 0; k < num_complexes; ++k) {
         if (fs[k] < population[steps[k].worst].f) {
@@ -129,7 +131,7 @@ CalibrationResult SceUaCalibrator::Calibrate(
         }
         proposals.push_back(std::move(contracted));
       }
-      fs = f.EvaluateBatch(pool(), proposals);
+      fs = f.EvaluateBatch(context.pool, proposals);
       std::vector<std::size_t> still_open;
       for (std::size_t i = 0; i < open.size(); ++i) {
         const std::size_t k = open[i];
@@ -148,7 +150,7 @@ CalibrationResult SceUaCalibrator::Calibrate(
         (void)k;
         proposals.push_back(bounds.Sample(rng));
       }
-      fs = f.EvaluateBatch(pool(), proposals);
+      fs = f.EvaluateBatch(context.pool, proposals);
       for (std::size_t i = 0; i < still_open.size(); ++i) {
         if (fs[i] < 1e299) {
           population[steps[still_open[i]].worst] = {std::move(proposals[i]),

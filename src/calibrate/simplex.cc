@@ -96,9 +96,10 @@ void NelderMead(BudgetedObjective& f, const BoxBounds& bounds,
 CalibrationResult MleCalibrator::Calibrate(const Objective& objective,
                                            const BoxBounds& bounds,
                                            const std::vector<double>& initial,
-                                           std::size_t budget,
-                                           Rng& rng) const {
+                                           std::size_t budget, Rng& rng,
+                                           const obs::RunContext& context) const {
   BudgetedObjective f(&objective, budget);
+  f.AttachTelemetry(context.sink, name());
   // First descent from the expert point, then random restarts.
   NelderMead(f, bounds, initial, /*step_fraction=*/0.15, rng);
   while (!f.Exhausted()) {

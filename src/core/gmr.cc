@@ -3,6 +3,7 @@
 #include "common/metrics.h"
 #include "expr/print.h"
 #include "expr/simplify.h"
+#include "obs/manifest.h"
 
 namespace gmr::core {
 
@@ -35,16 +36,34 @@ AccuracyReport EvaluateAccuracy(const std::vector<expr::ExprPtr>& equations,
   return report;
 }
 
-GmrRunResult RunGmr(const river::RiverDataset& dataset,
-                    const RiverPriorKnowledge& knowledge,
-                    const GmrConfig& config) {
+GmrRunResult RunGmr(const GmrConfig& config, const GmrProblem& problem,
+                    const obs::RunContext& context) {
+  const river::RiverDataset& dataset = *problem.dataset;
+  const RiverPriorKnowledge& knowledge = *problem.knowledge;
   const river::RiverFitness fitness =
       river::RiverFitness::ForTraining(&dataset, config.simulation);
 
+  obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
+  if (sink->enabled()) {
+    // The GMR manifest wraps the search; the nested TAG3P engine emits its
+    // own "tag3p" manifest with the full search config snapshot.
+    obs::RunManifest manifest =
+        obs::MakeRunManifest("gmr", config.tag3p.seed);
+    manifest.config_fields = {
+        {"train_days", static_cast<double>(dataset.train_end)},
+        {"num_days", static_cast<double>(dataset.num_days)},
+    };
+    manifest.num_threads = context.pool != nullptr
+                               ? context.pool->num_threads()
+                               : config.tag3p.speedups.num_threads;
+    obs::EmitManifest(sink, manifest);
+  }
+
   gp::Tag3pConfig tag3p = config.tag3p;
   tag3p.seed_alpha_index = knowledge.seed_alpha_index;
-  gp::Tag3pEngine engine(&knowledge.grammar, &fitness, knowledge.priors,
-                         tag3p);
+  gp::Tag3pProblem search_problem{&knowledge.grammar, &fitness,
+                                  knowledge.priors};
+  gp::Tag3pEngine engine(search_problem, tag3p, context);
 
   GmrRunResult result;
   result.search = engine.Run();
@@ -61,7 +80,26 @@ GmrRunResult RunGmr(const river::RiverDataset& dataset,
   result.train_mae = report.train_mae;
   result.test_rmse = report.test_rmse;
   result.test_mae = report.test_mae;
+
+  if (sink->enabled()) {
+    obs::TraceEvent event("run_result");
+    event.Label("driver", "gmr")
+        .Field("best_fitness", result.best.fitness)
+        .Field("train_rmse", result.train_rmse)
+        .Field("train_mae", result.train_mae)
+        .Field("test_rmse", result.test_rmse)
+        .Field("test_mae", result.test_mae);
+    sink->Emit(std::move(event));
+    sink->Flush();
+  }
   return result;
+}
+
+GmrRunResult RunGmr(const river::RiverDataset& dataset,
+                    const RiverPriorKnowledge& knowledge,
+                    const GmrConfig& config) {
+  return RunGmr(config, GmrProblem{&dataset, &knowledge},
+                obs::RunContext{});
 }
 
 std::string DescribeModel(const std::vector<expr::ExprPtr>& equations) {

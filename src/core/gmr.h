@@ -6,6 +6,7 @@
 
 #include "core/river_grammar.h"
 #include "gp/tag3p.h"
+#include "obs/run_context.h"
 #include "river/dataset.h"
 #include "river/simulate.h"
 
@@ -38,7 +39,22 @@ struct GmrRunResult {
   gp::Tag3pResult search;
 };
 
-/// Runs genetic model revision on `dataset` under `knowledge`.
+/// The domain side of a GMR run (unified driver API): the observed river
+/// data plus the expert prior knowledge (grammar, seed process, priors).
+/// Pointees are borrowed and must outlive the run.
+struct GmrProblem {
+  const river::RiverDataset* dataset = nullptr;
+  const RiverPriorKnowledge* knowledge = nullptr;
+};
+
+/// Unified driver entry point: runs genetic model revision on
+/// `problem.dataset` under `problem.knowledge`, drawing shared resources
+/// (pool, telemetry sink, RNG) from `context`. Emits a "gmr" run manifest
+/// and a final "run_result" event when the context carries an enabled sink.
+GmrRunResult RunGmr(const GmrConfig& config, const GmrProblem& problem,
+                    const obs::RunContext& context = {});
+
+/// Standalone entry point (default RunContext).
 GmrRunResult RunGmr(const river::RiverDataset& dataset,
                     const RiverPriorKnowledge& knowledge,
                     const GmrConfig& config);

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/manifest.h"
 #include "river/parameters.h"
 #include "river/variables.h"
 
@@ -30,8 +31,8 @@ void AtomicFetchMin(std::atomic<double>* target, double value) {
 class Evaluator {
  public:
   Evaluator(const gp::SequentialFitness* fitness,
-            const gp::SpeedupConfig& config)
-      : fitness_(fitness), config_(config) {}
+            const gp::SpeedupConfig& config, obs::TelemetrySink* sink)
+      : fitness_(fitness), config_(config), sink_(obs::ResolveSink(sink)) {}
 
   /// Pure evaluation against a caller-supplied frontier; sets *fully to
   /// whether the run went to completion (vs. short-circuited). Safe to call
@@ -110,6 +111,18 @@ class Evaluator {
     for (double fitness : full_fitness) {
       AtomicFetchMin(&best_prev_full_, fitness);
     }
+    if (sink_->enabled()) {
+      // Coordinator-only emission at the batch barrier (the same contract
+      // as gp::FitnessEvaluator): deterministic order and, under
+      // kFrozenFrontier, deterministic field values for any thread count.
+      obs::TraceEvent event("eval_batch");
+      event.Field("n", static_cast<double>(batch.size()))
+          .Field("individuals", static_cast<double>(batch.size()))
+          .Field("task_failures", static_cast<double>(failures.size()))
+          .Field("frontier",
+                 best_prev_full_.load(std::memory_order_relaxed));
+      sink_->Emit(std::move(event));
+    }
   }
 
   std::size_t evaluations() const { return evaluations_; }
@@ -117,6 +130,7 @@ class Evaluator {
  private:
   const gp::SequentialFitness* fitness_;
   gp::SpeedupConfig config_;
+  obs::TelemetrySink* sink_;
   std::atomic<double> best_prev_full_{1e300};
   std::size_t evaluations_ = 0;
 };
@@ -151,19 +165,41 @@ CfgGrammar RiverCfgGrammar() {
   return grammar;
 }
 
-GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
-                   const CfgGrammar& grammar,
-                   const gp::ParameterPriors& priors,
-                   const gp::SequentialFitness& fitness,
-                   const GggpConfig& config) {
+GggpResult RunGggp(const GggpConfig& config, const GggpProblem& problem,
+                   const obs::RunContext& context) {
+  const std::vector<expr::ExprPtr>& seed_equations = problem.seed_equations;
+  const CfgGrammar& grammar = *problem.grammar;
+  const gp::ParameterPriors& priors = *problem.priors;
+  const gp::SequentialFitness& fitness = *problem.fitness;
   GMR_CHECK(!seed_equations.empty());
-  Rng rng(config.seed);
-  Evaluator evaluator(&fitness, config.speedups);
-  std::unique_ptr<ThreadPool> pool;
-  if (config.speedups.num_threads > 1) {
-    pool = std::make_unique<ThreadPool>(config.speedups.num_threads);
-  }
+  Rng own_rng(config.seed);
+  Rng& rng = context.rng != nullptr ? *context.rng : own_rng;
+  obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
+  Evaluator evaluator(&fitness, config.speedups, sink);
+  obs::PoolLease pool_lease =
+      obs::LeasePool(context, config.speedups.num_threads);
+  ThreadPool* const pool = pool_lease.pool();
   const std::vector<double> means = gp::PriorMeans(priors);
+
+  if (sink->enabled()) {
+    obs::RunManifest manifest = obs::MakeRunManifest("gggp", config.seed);
+    manifest.config_fields = {
+        {"population_size", static_cast<double>(config.population_size)},
+        {"max_generations", static_cast<double>(config.max_generations)},
+        {"elite_size", static_cast<double>(config.elite_size)},
+        {"tournament_size", static_cast<double>(config.tournament_size)},
+        {"p_crossover", config.p_crossover},
+        {"p_subtree_mutation", config.p_subtree_mutation},
+        {"p_gaussian_mutation", config.p_gaussian_mutation},
+        {"grow_depth", static_cast<double>(config.grow_depth)},
+        {"short_circuiting",
+         config.speedups.short_circuiting ? 1.0 : 0.0},
+        {"runtime_compilation",
+         config.speedups.runtime_compilation ? 1.0 : 0.0},
+    };
+    manifest.num_threads = pool != nullptr ? pool->num_threads() : 1;
+    obs::EmitManifest(sink, manifest);
+  }
 
   auto mutate_structure = [&](GggpIndividual* individual) {
     const std::size_t eq = rng.PickIndex(individual->equations);
@@ -197,7 +233,7 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
     for (GggpIndividual& individual : population) {
       batch.push_back(&individual);
     }
-    evaluator.EvaluateBatch(pool.get(), batch);
+    evaluator.EvaluateBatch(pool, batch);
   }
 
   GggpResult result;
@@ -217,6 +253,18 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
                 return a.fitness < b.fitness;
               });
     result.best_fitness_history.push_back(population.front().fitness);
+    if (sink->enabled()) {
+      double sum = 0.0;
+      for (const GggpIndividual& individual : population) {
+        sum += individual.fitness;
+      }
+      obs::TraceEvent event("generation");
+      event.Field("gen", static_cast<double>(generation))
+          .Field("best_fitness", population.front().fitness)
+          .Field("mean_fitness",
+                 sum / static_cast<double>(population.size()));
+      sink->Emit(std::move(event));
+    }
 
     std::vector<GggpIndividual> next(
         population.begin(),
@@ -277,7 +325,7 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
       std::vector<GggpIndividual*> batch;
       batch.reserve(pending.size());
       for (std::size_t index : pending) batch.push_back(&population[index]);
-      evaluator.EvaluateBatch(pool.get(), batch);
+      evaluator.EvaluateBatch(pool, batch);
     }
   }
 
@@ -289,6 +337,19 @@ GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
   result.best_fitness_history.push_back(result.best.fitness);
   result.evaluations = evaluator.evaluations();
   return result;
+}
+
+GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
+                   const CfgGrammar& grammar,
+                   const gp::ParameterPriors& priors,
+                   const gp::SequentialFitness& fitness,
+                   const GggpConfig& config) {
+  GggpProblem problem;
+  problem.seed_equations = seed_equations;
+  problem.grammar = &grammar;
+  problem.priors = &priors;
+  problem.fitness = &fitness;
+  return RunGggp(config, problem, obs::RunContext{});
 }
 
 }  // namespace gmr::gggp

@@ -7,6 +7,7 @@
 #include "gggp/cfg.h"
 #include "gp/fitness.h"
 #include "gp/parameter_prior.h"
+#include "obs/run_context.h"
 
 namespace gmr::gggp {
 
@@ -46,10 +47,25 @@ struct GggpResult {
   std::size_t evaluations = 0;
 };
 
+/// The domain side of a GGGP run (unified driver API): the expert process
+/// the population is seeded with, plus the grammar/priors/fitness it
+/// evolves under. Pointees are borrowed and must outlive the run.
+struct GggpProblem {
+  std::vector<expr::ExprPtr> seed_equations;
+  const CfgGrammar* grammar = nullptr;
+  const gp::ParameterPriors* priors = nullptr;
+  const gp::SequentialFitness* fitness = nullptr;
+};
+
 /// Runs grammar-guided GP model revision: the population is seeded with the
-/// input process (`seed_equations`) and evolves both structure (via
+/// input process (`problem.seed_equations`) and evolves both structure (via
 /// CFG-constrained crossover/mutation) and parameters (Gaussian mutation
-/// under `priors`).
+/// under the priors). Shared resources (pool, telemetry, RNG) come from
+/// `context`; a default context reproduces the standalone behavior.
+GggpResult RunGggp(const GggpConfig& config, const GggpProblem& problem,
+                   const obs::RunContext& context = {});
+
+/// Standalone entry point (default RunContext).
 GggpResult RunGggp(const std::vector<expr::ExprPtr>& seed_equations,
                    const CfgGrammar& grammar,
                    const gp::ParameterPriors& priors,

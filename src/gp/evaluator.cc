@@ -53,7 +53,8 @@ void EvalStats::Merge(const EvalStats& other) {
   short_circuited += other.short_circuited;
   static_rejects += other.static_rejects;
   time_steps_evaluated += other.time_steps_evaluated;
-  eval_seconds += other.eval_seconds;
+  wall_seconds += other.wall_seconds;
+  cpu_seconds += other.cpu_seconds;
   for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
     outcomes[i] += other.outcomes[i];
   }
@@ -271,7 +272,10 @@ void FitnessEvaluator::Evaluate(Individual* individual) {
     SetTaskFailed(individual, &context.stats_);
   }
   FinishBatch(&context);
-  stats_.eval_seconds += timer.ElapsedSeconds();
+  // Serial path: one lane, so the coordinator's wall time is the busy time.
+  const double elapsed = timer.ElapsedSeconds();
+  stats_.wall_seconds += elapsed;
+  stats_.cpu_seconds += elapsed;
 }
 
 std::vector<TaskFailure> FitnessEvaluator::RunBatch(
@@ -279,29 +283,70 @@ std::vector<TaskFailure> FitnessEvaluator::RunBatch(
     const std::function<void(std::size_t, BatchContext*)>& body) {
   if (n == 0) return {};
   // One wall-clock sample per batch: cache hits inside the batch no longer
-  // pay a clock read each (they dominated eval_seconds noise at high hit
+  // pay a clock read each (they dominated wall_seconds noise at high hit
   // rates).
   Timer timer;
   const int lanes =
       pool != nullptr && pool->num_threads() > 1 ? pool->num_threads() : 1;
   std::vector<BatchContext> contexts(static_cast<std::size_t>(lanes));
   for (BatchContext& context : contexts) context = StartBatch();
+  // Each lane charges its own busy time to its local stats (cpu_seconds);
+  // the wall clock stays a single coordinator sample per batch.
+  const auto timed_body = [&body, &contexts](std::size_t i, int lane) {
+    BatchContext* context = &contexts[static_cast<std::size_t>(lane)];
+    Timer lane_timer;
+    body(i, context);
+    context->stats_.cpu_seconds += lane_timer.ElapsedSeconds();
+  };
   std::vector<TaskFailure> failures;
   if (lanes == 1) {
     // The free ParallelFor runs inline in index order with the same
     // exception containment (and fault-injection point) as the pool path.
     failures = gmr::ParallelFor(
-        nullptr, n,
-        [&body, &contexts](std::size_t i) { body(i, &contexts[0]); });
+        nullptr, n, [&timed_body](std::size_t i) { timed_body(i, 0); });
   } else {
-    failures =
-        pool->ParallelFor(n, [&body, &contexts](std::size_t i, int worker) {
-          body(i, &contexts[static_cast<std::size_t>(worker)]);
-        });
+    failures = pool->ParallelFor(n, timed_body);
+  }
+  // Merge the lane stats into a batch-local view first so the barrier can
+  // report this batch's delta, then fold them into the run totals.
+  EvalStats batch_stats;
+  for (const BatchContext& context : contexts) {
+    batch_stats.Merge(context.stats_);
   }
   for (BatchContext& context : contexts) FinishBatch(&context);
-  stats_.eval_seconds += timer.ElapsedSeconds();
+  batch_stats.wall_seconds = timer.ElapsedSeconds();
+  stats_.wall_seconds += batch_stats.wall_seconds;
+  if (sink_->enabled()) EmitBatchEvent(n, batch_stats, failures.size());
   return failures;
+}
+
+void FitnessEvaluator::EmitBatchEvent(std::size_t n,
+                                      const EvalStats& batch_stats,
+                                      std::size_t task_failures) const {
+  obs::TraceEvent event("eval_batch");
+  event.Field("n", static_cast<double>(n))
+      .Field("individuals",
+             static_cast<double>(batch_stats.individuals_evaluated))
+      .Field("cache_lookups", static_cast<double>(batch_stats.cache_lookups))
+      .Field("cache_hits", static_cast<double>(batch_stats.cache_hits))
+      .Field("full_evaluations",
+             static_cast<double>(batch_stats.full_evaluations))
+      .Field("short_circuited",
+             static_cast<double>(batch_stats.short_circuited))
+      .Field("static_rejects",
+             static_cast<double>(batch_stats.static_rejects))
+      .Field("time_steps",
+             static_cast<double>(batch_stats.time_steps_evaluated))
+      .Field("task_failures", static_cast<double>(task_failures))
+      .Field("frontier", best_prev_full());
+  for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
+    event.Field(std::string("outcomes.") +
+                    EvalOutcomeName(static_cast<EvalOutcome>(i)),
+                static_cast<double>(batch_stats.outcomes[i]));
+  }
+  event.Timing("wall_s", batch_stats.wall_seconds)
+      .Timing("cpu_s", batch_stats.cpu_seconds);
+  sink_->Emit(std::move(event));
 }
 
 void FitnessEvaluator::SetTaskFailed(Individual* individual,

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "gp/fitness.h"
 #include "gp/individual.h"
+#include "obs/telemetry.h"
 #include "tag/grammar.h"
 
 namespace gmr::gp {
@@ -30,7 +31,13 @@ struct EvalStats {
   /// JSON can report a reject rate without decoding the outcome array).
   std::size_t static_rejects = 0;
   std::size_t time_steps_evaluated = 0;
-  double eval_seconds = 0.0;
+  /// Elapsed coordinator time: the wall clock is sampled once per batch (a
+  /// cache hit never pays a clock read), so this is what a user waits for.
+  double wall_seconds = 0.0;
+  /// Summed per-lane busy time across all worker lanes; exceeds
+  /// wall_seconds under parallel evaluation (the old `eval_seconds`
+  /// conflated the two).
+  double cpu_seconds = 0.0;
   /// Containment telemetry: computed evaluations by EvalOutcome (cache hits
   /// are not re-counted; index with static_cast<std::size_t>(outcome)).
   std::size_t outcomes[kNumEvalOutcomes] = {};
@@ -128,6 +135,14 @@ class FitnessEvaluator {
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats{}; }
 
+  /// Attaches a telemetry sink: every RunBatch barrier then emits one
+  /// "eval_batch" event from the coordinator (workers never emit, so event
+  /// order is deterministic regardless of thread count). Null restores the
+  /// NullSink; the evaluator does not own the sink.
+  void set_telemetry_sink(obs::TelemetrySink* sink) {
+    sink_ = obs::ResolveSink(sink);
+  }
+
   const SpeedupConfig& config() const { return config_; }
 
   /// Resets bestPrevFull (e.g. between independent runs).
@@ -190,10 +205,15 @@ class FitnessEvaluator {
   /// the configured FrontierMode.
   void NoteFullEvaluation(BatchContext* context, double fitness);
 
+  /// Emits the per-batch "eval_batch" event (coordinator-only).
+  void EmitBatchEvent(std::size_t n, const EvalStats& batch_stats,
+                      std::size_t task_failures) const;
+
   const tag::Grammar* grammar_;
   const SequentialFitness* fitness_;
   SpeedupConfig config_;
   EvalStats stats_;
+  obs::TelemetrySink* sink_ = obs::NullTelemetrySink();
   std::atomic<double> best_prev_full_{
       std::numeric_limits<double>::infinity()};
   StripedMap<std::uint64_t, CacheEntry> cache_;

@@ -4,27 +4,34 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "obs/manifest.h"
 
 namespace gmr::gp {
 
-Tag3pEngine::Tag3pEngine(const tag::Grammar* grammar,
-                         const SequentialFitness* fitness,
-                         ParameterPriors priors, Tag3pConfig config)
-    : grammar_(grammar),
-      priors_(std::move(priors)),
+Tag3pEngine::Tag3pEngine(const Tag3pProblem& problem, Tag3pConfig config,
+                         const obs::RunContext& context)
+    : grammar_(problem.grammar),
+      priors_(problem.priors),
       config_(config),
-      evaluator_(grammar, fitness, config.speedups),
-      rng_(config.seed) {
+      evaluator_(problem.grammar, problem.fitness, config.speedups),
+      own_rng_(config.seed),
+      rng_(context.rng != nullptr ? *context.rng : own_rng_),
+      pool_lease_(obs::LeasePool(context, config.speedups.num_threads)),
+      sink_(obs::ResolveSink(context.sink)) {
   GMR_CHECK(grammar_ != nullptr);
   GMR_CHECK_GT(config_.population_size, 0);
   GMR_CHECK_GE(config_.elite_size, 0);
   GMR_CHECK_LE(config_.elite_size, config_.population_size);
   GMR_CHECK_GT(config_.tournament_size, 0);
-  GMR_CHECK_EQ(priors_.size(), fitness->num_parameters());
-  if (config_.speedups.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(config_.speedups.num_threads);
-  }
+  GMR_CHECK_EQ(priors_.size(), problem.fitness->num_parameters());
+  evaluator_.set_telemetry_sink(sink_);
 }
+
+Tag3pEngine::Tag3pEngine(const tag::Grammar* grammar,
+                         const SequentialFitness* fitness,
+                         ParameterPriors priors, Tag3pConfig config)
+    : Tag3pEngine(Tag3pProblem{grammar, fitness, std::move(priors)}, config,
+                  obs::RunContext{}) {}
 
 std::vector<Individual> Tag3pEngine::InitializePopulation() {
   std::vector<Individual> population;
@@ -114,7 +121,7 @@ void Tag3pEngine::LocalSearchBatch(std::vector<Individual>* population,
   std::vector<std::uint64_t> seeds(indices.size());
   for (std::uint64_t& seed : seeds) seed = rng_.NextUint64();
   const std::vector<TaskFailure> failures = evaluator_.RunBatch(
-      pool_.get(), indices.size(),
+      pool_lease_.pool(), indices.size(),
       [this, population, &indices, &seeds](
           std::size_t k, FitnessEvaluator::BatchContext* context) {
         Rng local_rng(seeds[k]);
@@ -135,13 +142,47 @@ void Tag3pEngine::LocalSearchBatch(std::vector<Individual>* population,
 }
 
 Tag3pResult Tag3pEngine::Run() {
+  if (sink_->enabled()) {
+    obs::RunManifest manifest = obs::MakeRunManifest("tag3p", config_.seed);
+    manifest.config_fields = {
+        {"population_size", static_cast<double>(config_.population_size)},
+        {"max_generations", static_cast<double>(config_.max_generations)},
+        {"elite_size", static_cast<double>(config_.elite_size)},
+        {"tournament_size", static_cast<double>(config_.tournament_size)},
+        {"p_crossover", config_.p_crossover},
+        {"p_subtree_mutation", config_.p_subtree_mutation},
+        {"p_gaussian_mutation", config_.p_gaussian_mutation},
+        {"local_search_steps",
+         static_cast<double>(config_.local_search_steps)},
+        {"elite_polish_steps",
+         static_cast<double>(config_.elite_polish_steps)},
+        {"tree_caching", config_.speedups.tree_caching ? 1.0 : 0.0},
+        {"short_circuiting", config_.speedups.short_circuiting ? 1.0 : 0.0},
+        {"runtime_compilation",
+         config_.speedups.runtime_compilation ? 1.0 : 0.0},
+    };
+    manifest.config_labels = {
+        {"frontier_mode",
+         config_.speedups.frontier_mode == FrontierMode::kFrozenFrontier
+             ? "frozen"
+             : "shared"},
+    };
+    // Thread count is environment, not config: under kFrozenFrontier the
+    // trajectory (and the deterministic trace classes) must not depend on
+    // it, so it must not break byte-comparability.
+    manifest.num_threads = pool_lease_.pool() != nullptr
+                               ? pool_lease_.pool()->num_threads()
+                               : 1;
+    obs::EmitManifest(sink_, manifest);
+  }
+
   Tag3pResult result;
   std::vector<Individual> population = InitializePopulation();
   {
     std::vector<Individual*> batch;
     batch.reserve(population.size());
     for (Individual& individual : population) batch.push_back(&individual);
-    evaluator_.EvaluateBatch(batch, pool_.get());
+    evaluator_.EvaluateBatch(batch, pool_lease_.pool());
   }
 
   for (int generation = 0; generation < config_.max_generations;
@@ -211,7 +252,7 @@ Tag3pResult Tag3pEngine::Run() {
           batch.push_back(&population[i]);
         }
       }
-      evaluator_.EvaluateBatch(batch, pool_.get());
+      evaluator_.EvaluateBatch(batch, pool_lease_.pool());
     }
 
     LocalSearchBatch(&population, bred);
@@ -250,6 +291,15 @@ Tag3pResult Tag3pEngine::Run() {
     stats.best_size = static_cast<double>(best->Size());
     stats.seconds = gen_timer.ElapsedSeconds();
     result.history.push_back(stats);
+    if (sink_->enabled()) {
+      obs::TraceEvent event("generation");
+      event.Field("gen", static_cast<double>(stats.generation))
+          .Field("best_fitness", stats.best_fitness)
+          .Field("mean_fitness", stats.mean_fitness)
+          .Field("best_size", stats.best_size)
+          .Timing("seconds", stats.seconds);
+      sink_->Emit(std::move(event));
+    }
     if (generation_callback_) generation_callback_(stats);
   }
 
@@ -260,6 +310,12 @@ Tag3pResult Tag3pEngine::Run() {
   result.best = population.front().Clone();
   result.eval_stats = evaluator_.stats();
   return result;
+}
+
+Tag3pResult RunTag3p(const Tag3pConfig& config, const Tag3pProblem& problem,
+                     const obs::RunContext& context) {
+  Tag3pEngine engine(problem, config, context);
+  return engine.Run();
 }
 
 }  // namespace gmr::gp

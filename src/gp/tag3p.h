@@ -13,6 +13,7 @@
 #include "gp/individual.h"
 #include "gp/operators.h"
 #include "gp/parameter_prior.h"
+#include "obs/run_context.h"
 #include "tag/grammar.h"
 
 namespace gmr::gp {
@@ -60,6 +61,15 @@ struct Tag3pConfig {
   std::uint64_t seed = 1;
 };
 
+/// What the TAG3P search runs against — the domain side of the unified
+/// `Run(config, problem, context)` driver API. The grammar and fitness are
+/// borrowed (must outlive the run); the priors are owned by the problem.
+struct Tag3pProblem {
+  const tag::Grammar* grammar = nullptr;
+  const SequentialFitness* fitness = nullptr;
+  ParameterPriors priors;
+};
+
 /// Per-generation search telemetry.
 struct GenerationStats {
   int generation = 0;
@@ -91,6 +101,13 @@ struct Tag3pResult {
 /// trajectory is bit-identical for any `speedups.num_threads`.
 class Tag3pEngine {
  public:
+  /// Unified-API constructor: resources (pool, telemetry sink, RNG) come
+  /// from the context; null entries fall back to config-derived defaults
+  /// (see obs::RunContext). The context's pointees must outlive the engine.
+  Tag3pEngine(const Tag3pProblem& problem, Tag3pConfig config,
+              const obs::RunContext& context);
+
+  /// Standalone constructor: default context (owned pool/RNG, tracing off).
   Tag3pEngine(const tag::Grammar* grammar, const SequentialFitness* fitness,
               ParameterPriors priors, Tag3pConfig config);
 
@@ -122,10 +139,19 @@ class Tag3pEngine {
   ParameterPriors priors_;
   Tag3pConfig config_;
   FitnessEvaluator evaluator_;
-  Rng rng_;
-  std::unique_ptr<ThreadPool> pool_;  ///< Null when num_threads <= 1.
+  Rng own_rng_;  ///< Used unless the context supplies an external stream.
+  Rng& rng_;
+  /// Shared pool from the context, or an owned one derived from
+  /// `speedups.num_threads` (null pool() means serial).
+  obs::PoolLease pool_lease_;
+  obs::TelemetrySink* sink_;
   GenerationCallback generation_callback_;
 };
+
+/// Unified driver entry point: one TAG3P search over `problem` under
+/// `config`, drawing shared resources from `context`.
+Tag3pResult RunTag3p(const Tag3pConfig& config, const Tag3pProblem& problem,
+                     const obs::RunContext& context = {});
 
 }  // namespace gmr::gp
 

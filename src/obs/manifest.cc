@@ -1,0 +1,72 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <ctime>
+
+#if defined(_WIN32)
+#include <winsock2.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace gmr::obs {
+namespace {
+
+std::string CurrentUtcTime() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec);
+  return buffer;
+}
+
+std::string Hostname() {
+  char buffer[256];
+  if (gethostname(buffer, sizeof(buffer)) != 0) return "unknown";
+  buffer[sizeof(buffer) - 1] = '\0';
+  return buffer;
+}
+
+}  // namespace
+
+RunManifest MakeRunManifest(std::string driver, std::uint64_t seed) {
+  RunManifest manifest;
+  manifest.driver = std::move(driver);
+  manifest.seed = seed;
+#ifdef GMR_GIT_DESCRIBE
+  manifest.git_describe = GMR_GIT_DESCRIBE;
+#else
+  manifest.git_describe = "unknown";
+#endif
+  manifest.hostname = Hostname();
+  manifest.started_at_utc = CurrentUtcTime();
+  return manifest;
+}
+
+void EmitManifest(TelemetrySink* sink, const RunManifest& manifest) {
+  TelemetrySink* resolved = ResolveSink(sink);
+  if (!resolved->enabled()) return;
+  TraceEvent event("manifest");
+  event.Label("driver", manifest.driver)
+      .Field("seed", static_cast<double>(manifest.seed));
+  for (const auto& [key, value] : manifest.config_fields) {
+    event.Field("config." + key, value);
+  }
+  for (const auto& [key, value] : manifest.config_labels) {
+    event.Label("config." + key, value);
+  }
+  event.Env("num_threads", manifest.num_threads)
+      .EnvLabel("git_describe", manifest.git_describe)
+      .EnvLabel("hostname", manifest.hostname)
+      .EnvLabel("started_at_utc", manifest.started_at_utc);
+  resolved->Emit(std::move(event));
+}
+
+}  // namespace gmr::obs

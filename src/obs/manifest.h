@@ -1,0 +1,41 @@
+#ifndef GMR_OBS_MANIFEST_H_
+#define GMR_OBS_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace gmr::obs {
+
+/// Identity card of one search run, emitted as the first trace event so a
+/// trace file is self-describing: which driver produced it, with which seed
+/// and config, on which build and machine. Config entries live in the
+/// deterministic field classes; build/machine/clock entries are environment
+/// (suppressed under JsonlTraceOptions::Deterministic()).
+struct RunManifest {
+  std::string driver;  // "tag3p", "gggp", "gmr", "calibrate"
+  std::uint64_t seed = 0;
+  /// Config snapshot as key -> value pairs, in emission order.
+  std::vector<std::pair<std::string, double>> config_fields;
+  std::vector<std::pair<std::string, std::string>> config_labels;
+  // Environment (non-deterministic across machines/builds/runs).
+  std::string git_describe;
+  std::string hostname;
+  std::string started_at_utc;  // ISO-8601, e.g. "2026-08-05T12:34:56Z"
+  int num_threads = 1;
+};
+
+/// Builds a manifest with the environment entries (git describe from the
+/// build, hostname, current UTC time) filled in.
+RunManifest MakeRunManifest(std::string driver, std::uint64_t seed);
+
+/// Emits the manifest as a "manifest" event on `sink` (no-op when the sink
+/// is disabled).
+void EmitManifest(TelemetrySink* sink, const RunManifest& manifest);
+
+}  // namespace gmr::obs
+
+#endif  // GMR_OBS_MANIFEST_H_

@@ -1,0 +1,120 @@
+#include "obs/registry.h"
+
+#include <limits>
+
+namespace gmr::obs {
+namespace {
+
+void AtomicAdd(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void TimerStat::Record(double seconds) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&total_, seconds);
+  AtomicMax(&max_, seconds);
+}
+
+Histogram::Histogram(double first_bound, double growth,
+                     std::size_t num_buckets) {
+  bounds_.reserve(num_buckets);
+  double bound = first_bound;
+  for (std::size_t i = 0; i < num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) buckets_[i] = 0;
+}
+
+void Histogram::Record(double value) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_bound(std::size_t i) const {
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < num_buckets(); ++i) total += bucket_count(i);
+  return total;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    seen += bucket_count(i);
+    if (static_cast<double>(seen) >= rank) return bucket_bound(i);
+  }
+  return bucket_bound(num_buckets() - 1);
+}
+
+Counter* MetricRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+TimerStat* MetricRegistry::timer(const std::string& name) {
+  auto& slot = timers_[name];
+  if (slot == nullptr) slot = std::make_unique<TimerStat>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name,
+                                     double first_bound, double growth,
+                                     std::size_t num_buckets) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(first_bound, growth, num_buckets);
+  }
+  return slot.get();
+}
+
+void MetricRegistry::EmitTo(TelemetrySink* sink,
+                            const std::string& event_type) const {
+  TelemetrySink* resolved = ResolveSink(sink);
+  if (!resolved->enabled()) return;
+  TraceEvent event(event_type);
+  for (const auto& [name, counter] : counters_) {
+    event.Field("counter." + name, static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, timer] : timers_) {
+    event.Field("timer." + name + ".count",
+                static_cast<double>(timer->count()));
+    event.Timing("timer." + name + ".total_s", timer->total_seconds());
+    event.Timing("timer." + name + ".mean_s", timer->mean_seconds());
+    event.Timing("timer." + name + ".max_s", timer->max_seconds());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    event.Field("hist." + name + ".count",
+                static_cast<double>(hist->total_count()));
+    event.Field("hist." + name + ".p50", hist->Quantile(0.5));
+    event.Field("hist." + name + ".p90", hist->Quantile(0.9));
+    event.Field("hist." + name + ".p99", hist->Quantile(0.99));
+  }
+  resolved->Emit(std::move(event));
+}
+
+}  // namespace gmr::obs

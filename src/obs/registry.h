@@ -1,0 +1,108 @@
+#ifndef GMR_OBS_REGISTRY_H_
+#define GMR_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+/// Typed metric registries (DESIGN.md §4f). Counters, timers, and
+/// histograms are updated lock-free (relaxed atomics) so worker lanes can
+/// record without contending; registration and snapshotting are
+/// coordinator-only. Snapshots emit in name order, so a registry dump is
+/// deterministic given deterministic recorded values.
+
+namespace gmr::obs {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulates durations: count, total, and max seconds.
+class TimerStat {
+ public:
+  void Record(double seconds);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  double max_seconds() const { return max_.load(std::memory_order_relaxed); }
+  double mean_seconds() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> total_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Fixed exponential-bucket histogram: bucket i holds values in
+/// (bound(i-1), bound(i)] with bound(i) = first_bound * growth^i, plus an
+/// overflow bucket. Records are lock-free.
+class Histogram {
+ public:
+  Histogram(double first_bound, double growth, std::size_t num_buckets);
+
+  void Record(double value);
+
+  std::size_t num_buckets() const { return bounds_.size() + 1; }
+  /// Upper bound of bucket i (+inf for the overflow bucket).
+  double bucket_bound(std::size_t i) const;
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_count() const;
+
+  /// Approximate quantile (upper bound of the bucket holding rank q*n).
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+};
+
+/// Named metric registry. `counter`/`timer`/`histogram` create on first use
+/// and return stable pointers (registration is coordinator-only; recording
+/// through the returned pointers is thread-safe).
+class MetricRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  TimerStat* timer(const std::string& name);
+  Histogram* histogram(const std::string& name, double first_bound,
+                       double growth, std::size_t num_buckets);
+
+  /// Emits one snapshot event (type `event_type`) with every metric, in
+  /// name order: counters as `counter.<name>`, timers as
+  /// `timer.<name>.{count,total_s,mean_s,max_s}` (timing class), histograms
+  /// as `hist.<name>.{count,p50,p90,p99}`.
+  void EmitTo(TelemetrySink* sink, const std::string& event_type) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gmr::obs
+
+#endif  // GMR_OBS_REGISTRY_H_

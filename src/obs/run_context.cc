@@ -1,0 +1,21 @@
+#include "obs/run_context.h"
+
+namespace gmr::obs {
+
+std::unique_ptr<ThreadPool> MakeThreadPool(int num_threads) {
+  if (num_threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads);
+}
+
+PoolLease LeasePool(const RunContext& context, int num_threads) {
+  PoolLease lease;
+  if (context.pool != nullptr) {
+    lease.pool_ = context.pool;
+    return lease;
+  }
+  lease.owned_ = MakeThreadPool(num_threads);
+  lease.pool_ = lease.owned_.get();
+  return lease;
+}
+
+}  // namespace gmr::obs

@@ -1,0 +1,64 @@
+#ifndef GMR_OBS_RUN_CONTEXT_H_
+#define GMR_OBS_RUN_CONTEXT_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "obs/telemetry.h"
+
+namespace gmr::obs {
+
+/// The shared parameter object of the unified driver API: every search
+/// driver runs as `Run(config, problem, RunContext) -> Result`. The context
+/// carries the cross-cutting run resources — none owned:
+///   - pool: evaluation thread pool, shared across drivers so nested runs
+///     (e.g. RunGmr -> Tag3p) and back-to-back calibrations reuse one set
+///     of workers instead of constructing private pools with divergent
+///     lifetimes. Null means "derive from the driver's config" (LeasePool).
+///   - sink: telemetry consumer; null means the NullSink (tracing off).
+///   - rng: externally owned random stream; null means the driver seeds its
+///     own from its config (the reproducible default).
+/// A default-constructed RunContext reproduces the pre-context behavior
+/// exactly, so `Run(config, problem, {})` is always valid.
+struct RunContext {
+  ThreadPool* pool = nullptr;
+  TelemetrySink* sink = nullptr;
+  Rng* rng = nullptr;
+
+  /// Never-null sink accessor for emission sites.
+  TelemetrySink& telemetry() const { return *ResolveSink(sink); }
+};
+
+/// Builds the pool implied by a thread count: null when `num_threads <= 1`
+/// (serial paths take a null pool). The single pool-construction point —
+/// drivers must not call `new ThreadPool` themselves.
+std::unique_ptr<ThreadPool> MakeThreadPool(int num_threads);
+
+/// A resolved pool for one run: either the context's shared pool (borrowed)
+/// or one owned by the lease, derived from the driver's configured thread
+/// count. Drivers hold the lease for the duration of the run, which pins
+/// the pool lifetime to the run instead of to the driver object.
+class PoolLease {
+ public:
+  PoolLease() = default;
+  PoolLease(PoolLease&&) = default;
+  PoolLease& operator=(PoolLease&&) = default;
+
+  /// The pool to fan out over; null means run serially.
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  friend PoolLease LeasePool(const RunContext& context, int num_threads);
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_;
+};
+
+/// Resolves the pool for a run: the context's pool when set (the shared
+/// path), otherwise a pool owned by the returned lease sized from the
+/// driver's `num_threads` config (the standalone path).
+PoolLease LeasePool(const RunContext& context, int num_threads);
+
+}  // namespace gmr::obs
+
+#endif  // GMR_OBS_RUN_CONTEXT_H_

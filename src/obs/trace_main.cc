@@ -1,0 +1,66 @@
+// gmr_trace: summarize a JSONL run trace written by JsonlTraceSink.
+//
+//   gmr_trace trace.jsonl                 # text summary
+//   gmr_trace --csv curve trace.jsonl     # fitness curve as CSV
+//   gmr_trace --csv batches trace.jsonl   # cumulative cache-hit series
+//   gmr_trace --csv outcomes trace.jsonl  # EvalOutcome mix
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--csv curve|batches|outcomes] trace.jsonl\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_mode;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      csv_mode = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) return Usage(argv[0]);
+
+  std::vector<gmr::obs::TraceRecord> records;
+  const gmr::Status status = gmr::obs::ReadTrace(path, &records);
+  if (!status.ok()) {
+    std::fprintf(stderr, "gmr_trace: %s\n", status.message.c_str());
+    return 1;
+  }
+  const gmr::obs::TraceSummary summary =
+      gmr::obs::SummarizeTrace(records);
+
+  std::string out;
+  if (csv_mode.empty()) {
+    out = gmr::obs::RenderSummaryText(summary);
+  } else if (csv_mode == "curve") {
+    out = gmr::obs::RenderCurveCsv(summary);
+  } else if (csv_mode == "batches") {
+    out = gmr::obs::RenderBatchesCsv(summary);
+  } else if (csv_mode == "outcomes") {
+    out = gmr::obs::RenderOutcomesCsv(summary);
+  } else {
+    return Usage(argv[0]);
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}

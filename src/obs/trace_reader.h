@@ -1,0 +1,94 @@
+#ifndef GMR_OBS_TRACE_READER_H_
+#define GMR_OBS_TRACE_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// Reader side of the JSONL trace format. The writer (telemetry.cc)
+/// serializes every payload entry as a flat `"key": number-or-string` pair
+/// on one line, so the parser here is a deliberately small flat-object
+/// scanner, not a general JSON parser.
+
+namespace gmr::obs {
+
+/// One parsed trace line.
+struct TraceRecord {
+  std::string type;
+  std::uint64_t seq = 0;
+  std::vector<std::pair<std::string, double>> numbers;
+  std::vector<std::pair<std::string, std::string>> strings;
+
+  /// Value lookup; returns `fallback` when the key is absent.
+  double FindNumber(const std::string& key, double fallback = 0.0) const;
+  std::string FindString(const std::string& key,
+                         const std::string& fallback = "") const;
+  bool HasNumber(const std::string& key) const;
+};
+
+/// Parses one serialized event line. Returns false on malformed input.
+bool ParseTraceLine(const std::string& line, TraceRecord* record);
+
+/// Reads a whole trace file; blank lines are skipped, a malformed line is
+/// an error naming its line number.
+Status ReadTrace(const std::string& path, std::vector<TraceRecord>* records);
+
+/// One generation point of the fitness curve.
+struct GenerationPoint {
+  double generation = 0;
+  double best_fitness = 0;
+  double mean_fitness = 0;
+  double seconds = 0;  // 0 when the trace was written without timings
+};
+
+/// One eval batch, with counters cumulative over the run so far.
+struct BatchPoint {
+  std::uint64_t seq = 0;
+  double individuals = 0;
+  double cum_lookups = 0;
+  double cum_hits = 0;
+  double cum_evaluated = 0;
+  double cum_static_rejects = 0;
+  /// Cache-hit rate over the run up to and including this batch.
+  double cum_hit_rate = 0;
+};
+
+/// Aggregate view of one trace file, built by SummarizeTrace.
+struct TraceSummary {
+  // From the manifest (empty/zero when the trace has none).
+  std::string driver;
+  std::uint64_t seed = 0;
+  std::string git_describe;
+  std::string started_at_utc;
+
+  std::size_t num_events = 0;
+  std::vector<GenerationPoint> curve;
+  std::vector<BatchPoint> batches;
+
+  // EvalOutcome mix summed over all eval batches, indexed like EvalOutcome.
+  std::uint64_t outcomes[kNumEvalOutcomes] = {};
+  std::uint64_t total_individuals = 0;
+  double static_reject_rate = 0;  // static rejects / individuals
+  double cache_hit_rate = 0;      // hits / lookups over the whole run
+
+  double final_best_fitness = 0;
+  bool has_final_best = false;
+};
+
+/// Folds a parsed trace into a summary.
+TraceSummary SummarizeTrace(const std::vector<TraceRecord>& records);
+
+/// Human-readable multi-line report.
+std::string RenderSummaryText(const TraceSummary& summary);
+
+/// CSV renderers for the two time series (header row included).
+std::string RenderCurveCsv(const TraceSummary& summary);
+std::string RenderBatchesCsv(const TraceSummary& summary);
+std::string RenderOutcomesCsv(const TraceSummary& summary);
+
+}  // namespace gmr::obs
+
+#endif  // GMR_OBS_TRACE_READER_H_

@@ -226,7 +226,8 @@ TEST(EvalStatsTest, MergeAddsEveryCounter) {
   a.full_evaluations = 4;
   a.short_circuited = 5;
   a.time_steps_evaluated = 6;
-  a.eval_seconds = 0.5;
+  a.wall_seconds = 0.5;
+  a.cpu_seconds = 1.0;
   EvalStats b;
   b.individuals_evaluated = 10;
   b.cache_hits = 20;
@@ -234,7 +235,8 @@ TEST(EvalStatsTest, MergeAddsEveryCounter) {
   b.full_evaluations = 40;
   b.short_circuited = 50;
   b.time_steps_evaluated = 60;
-  b.eval_seconds = 0.25;
+  b.wall_seconds = 0.25;
+  b.cpu_seconds = 0.5;
   a.Merge(b);
   EXPECT_EQ(a.individuals_evaluated, 11u);
   EXPECT_EQ(a.cache_hits, 22u);
@@ -242,7 +244,8 @@ TEST(EvalStatsTest, MergeAddsEveryCounter) {
   EXPECT_EQ(a.full_evaluations, 44u);
   EXPECT_EQ(a.short_circuited, 55u);
   EXPECT_EQ(a.time_steps_evaluated, 66u);
-  EXPECT_DOUBLE_EQ(a.eval_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 1.5);
   a.Merge(EvalStats{});
   EXPECT_EQ(a.cache_hits, 22u);
 }
