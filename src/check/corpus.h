@@ -1,0 +1,51 @@
+#ifndef GMR_CHECK_CORPUS_H_
+#define GMR_CHECK_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+
+namespace gmr::check {
+
+/// A shrunk failing case ready for persistence as a regression reproducer.
+struct Counterexample {
+  std::string property;  ///< Oracle name ("vm", "roundtrip", ...).
+  std::uint64_t seed = 0;
+  expr::ExprPtr tree;
+  std::vector<double> parameters;
+  std::string detail;  ///< Oracle failure text, stored as a comment.
+};
+
+/// Writes the counterexample into `dir` as
+/// `<property>-<seed>.gmr` — a standard `# gmr-model v1` file (loadable by
+/// core::LoadModel and lintable by gmr_lint) with `# property:` and
+/// `# seed:` header comments that the replay mode reads back. Parameters
+/// equal to zero are omitted (LoadModel defaults them). Returns the file
+/// path, or "" on I/O failure.
+std::string WriteCounterexample(const std::string& dir,
+                                const Counterexample& counterexample,
+                                const std::vector<std::string>& parameter_names);
+
+/// Outcome of replaying a corpus directory.
+struct ReplayResult {
+  int files = 0;     ///< Reproducers found and executed.
+  int failures = 0;  ///< Reproducers whose property still fails.
+  int errors = 0;    ///< Unreadable/unparseable files.
+  std::vector<std::string> messages;  ///< One line per failure/error.
+  bool ok() const { return failures == 0 && errors == 0; }
+};
+
+/// Replays every reproducer in `dir` (sorted by filename, so output is
+/// deterministic): `*.gmr` model files re-run the oracle named by their
+/// `# property:` header against the stored tree/parameters/seed; `*.gmrg`
+/// grammar specs re-run the derivation-determinism oracle with the stored
+/// `# seed:`. A missing or unknown property header is an error. An empty
+/// or missing directory replays zero files and is ok.
+ReplayResult ReplayCorpus(const std::string& dir, const OracleContext& ctx,
+                          ThreadPool* pool);
+
+}  // namespace gmr::check
+
+#endif  // GMR_CHECK_CORPUS_H_

@@ -1,0 +1,182 @@
+#include "check/gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "river/domains.h"
+#include "river/parameters.h"
+#include "river/variables.h"
+#include "tag/generate.h"
+
+namespace gmr::check {
+namespace {
+
+/// The operator sets the generator draws from — the full expression
+/// language, including the min/max and unary operators of the expert model
+/// terms (Table II plus Eqs. (1)-(2)).
+constexpr expr::NodeKind kBinaryKinds[] = {
+    expr::NodeKind::kAdd, expr::NodeKind::kSub, expr::NodeKind::kMul,
+    expr::NodeKind::kDiv, expr::NodeKind::kMin, expr::NodeKind::kMax,
+};
+constexpr expr::NodeKind kUnaryKinds[] = {
+    expr::NodeKind::kNeg, expr::NodeKind::kLog, expr::NodeKind::kExp,
+};
+
+expr::ExprPtr RandomLeaf(const GenConfig& config, Rng& rng) {
+  const bool want_constant =
+      rng.Bernoulli(config.constant_probability) ||
+      (config.num_variables <= 0 && config.num_parameters <= 0);
+  if (want_constant) {
+    // Mix magnitudes so protected-operator edge cases (tiny denominators,
+    // large exp arguments) are actually reachable.
+    const double dice = rng.Uniform();
+    if (dice < 0.70) return expr::Constant(rng.Uniform(-5.0, 5.0));
+    if (dice < 0.85) return expr::Constant(rng.Uniform(-1e-8, 1e-8));
+    return expr::Constant(rng.Uniform(-1e8, 1e8));
+  }
+  const int total = config.num_variables + config.num_parameters;
+  const int pick = rng.UniformInt(0, total - 1);
+  if (pick < config.num_variables) {
+    const auto slot = pick;
+    std::string name;
+    if (slot < static_cast<int>(config.variable_names.size())) {
+      name = config.variable_names[static_cast<std::size_t>(slot)];
+    }
+    return expr::Variable(slot, std::move(name));
+  }
+  const int slot = pick - config.num_variables;
+  std::string name;
+  if (slot < static_cast<int>(config.parameter_names.size())) {
+    name = config.parameter_names[static_cast<std::size_t>(slot)];
+  }
+  return expr::Parameter(slot, std::move(name));
+}
+
+expr::ExprPtr RandomExprAtDepth(const GenConfig& config, int depth, Rng& rng) {
+  if (depth <= 1 || rng.Bernoulli(config.leaf_probability)) {
+    return RandomLeaf(config, rng);
+  }
+  if (rng.Bernoulli(config.unary_probability)) {
+    const auto kind = kUnaryKinds[rng.UniformInt(
+        0, static_cast<int>(std::size(kUnaryKinds)) - 1)];
+    return expr::MakeUnary(kind, RandomExprAtDepth(config, depth - 1, rng));
+  }
+  const auto kind = kBinaryKinds[rng.UniformInt(
+      0, static_cast<int>(std::size(kBinaryKinds)) - 1)];
+  return expr::MakeBinary(kind, RandomExprAtDepth(config, depth - 1, rng),
+                          RandomExprAtDepth(config, depth - 1, rng));
+}
+
+}  // namespace
+
+GenConfig RiverGenConfig() {
+  GenConfig config;
+  config.num_variables = river::kNumVariables;
+  config.num_parameters = river::kNumParameters;
+  config.domains = river::LintDomains();
+  config.priors = river::RiverParameterPriors();
+  config.variable_names = river::VariableNames();
+  for (int slot = 0; slot < river::kNumParameters; ++slot) {
+    config.parameter_names.emplace_back(river::ParameterName(slot));
+  }
+  return config;
+}
+
+expr::SymbolTable SymbolsOf(const GenConfig& config) {
+  expr::SymbolTable symbols;
+  for (std::size_t slot = 0; slot < config.variable_names.size(); ++slot) {
+    symbols.variables[config.variable_names[slot]] = static_cast<int>(slot);
+  }
+  for (std::size_t slot = 0; slot < config.parameter_names.size(); ++slot) {
+    symbols.parameters[config.parameter_names[slot]] = static_cast<int>(slot);
+  }
+  return symbols;
+}
+
+std::uint64_t CaseSeed(std::uint64_t run_seed, std::uint64_t index) {
+  // SplitMix64 finalizer over the (seed, index) pair. Any bit flip in
+  // either input decorrelates the whole output, so neighboring cases do
+  // not share random streams.
+  std::uint64_t z = run_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double SampleInterval(const analysis::Interval& interval, Rng& rng) {
+  double lo = interval.lo;
+  double hi = interval.hi;
+  if (!std::isfinite(lo)) lo = -GenConfig::kUnboundedSpan;
+  if (!std::isfinite(hi)) hi = GenConfig::kUnboundedSpan;
+  if (lo > hi) lo = hi;  // Clamps can cross for one-sided huge intervals.
+  if (lo == hi) return lo;
+  return rng.Uniform(lo, hi);
+}
+
+expr::ExprPtr RandomExpr(const GenConfig& config, Rng& rng) {
+  return RandomExprAtDepth(config, std::max(config.max_depth, 1), rng);
+}
+
+std::vector<double> RandomParameters(const GenConfig& config, Rng& rng) {
+  std::vector<double> values;
+  const auto n = static_cast<std::size_t>(std::max(config.num_parameters, 0));
+  values.reserve(n);
+  if (!config.priors.empty()) {
+    GMR_CHECK_EQ(config.priors.size(), n);
+    for (const gp::ParameterPrior& prior : config.priors) {
+      values.push_back(rng.TruncatedGaussian(prior.mean, prior.InitialSigma(),
+                                             prior.lo, prior.hi));
+    }
+    return values;
+  }
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const analysis::Interval interval =
+        slot < config.domains.parameters.size()
+            ? config.domains.parameters[slot]
+            : analysis::Interval::All();
+    values.push_back(SampleInterval(interval, rng));
+  }
+  return values;
+}
+
+std::vector<double> RandomVariables(const GenConfig& config, Rng& rng) {
+  std::vector<double> values;
+  const auto n = static_cast<std::size_t>(std::max(config.num_variables, 0));
+  values.reserve(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const analysis::Interval interval =
+        slot < config.domains.variables.size()
+            ? config.domains.variables[slot]
+            : analysis::Interval::All();
+    values.push_back(SampleInterval(interval, rng));
+  }
+  return values;
+}
+
+std::vector<expr::ExprPtr> GeneratePopulation(const GenConfig& config,
+                                              std::size_t count,
+                                              std::uint64_t seed,
+                                              ThreadPool* pool) {
+  std::vector<expr::ExprPtr> population(count);
+  const auto failures = ParallelFor(pool, count, [&](std::size_t i) {
+    Rng rng(CaseSeed(seed, i));
+    population[i] = RandomExpr(config, rng);
+  });
+  GMR_CHECK(failures.empty());
+  return population;
+}
+
+std::vector<tag::DerivationPtr> GenerateDerivations(
+    const tag::Grammar& grammar, int alpha_index, std::size_t count,
+    std::size_t target_size, std::uint64_t seed, ThreadPool* pool) {
+  std::vector<tag::DerivationPtr> population(count);
+  const auto failures = ParallelFor(pool, count, [&](std::size_t i) {
+    Rng rng(CaseSeed(seed, i));
+    population[i] = tag::GrowRandom(grammar, alpha_index, target_size, rng);
+  });
+  GMR_CHECK(failures.empty());
+  return population;
+}
+
+}  // namespace gmr::check

@@ -1,0 +1,98 @@
+#ifndef GMR_CHECK_GEN_H_
+#define GMR_CHECK_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "expr/ast.h"
+#include "expr/parser.h"
+#include "gp/parameter_prior.h"
+#include "tag/derivation.h"
+#include "tag/grammar.h"
+
+namespace gmr::check {
+
+/// Configuration of the random-case generators: how to build well-typed
+/// expression trees over a slot layout, and where to sample the evaluation
+/// contexts and parameter vectors the oracles feed them.
+struct GenConfig {
+  int num_variables = 0;
+  int num_parameters = 0;
+
+  /// Per-slot sampling ranges for evaluation contexts. Unbounded sides are
+  /// clamped to +/-kUnboundedSpan before sampling.
+  analysis::DomainEnv domains;
+
+  /// When non-empty, RandomParameters draws in-prior vectors (truncated
+  /// Gaussian around the mean, exactly like GP parameter mutation) instead
+  /// of uniform draws from `domains.parameters`.
+  gp::ParameterPriors priors;
+
+  /// Leaf display names, slot-indexed; leaves print as v<slot>/p<slot> when
+  /// empty. Round-trip oracles parse through the matching symbol table.
+  std::vector<std::string> variable_names;
+  std::vector<std::string> parameter_names;
+
+  /// Tree-shape knobs of the recursive generator.
+  int max_depth = 6;
+  double leaf_probability = 0.3;
+  double unary_probability = 0.25;
+  double constant_probability = 0.4;  // among leaves: constant vs slot leaf
+
+  /// Sampling clamp applied to unbounded domain sides.
+  static constexpr double kUnboundedSpan = 1e3;
+};
+
+/// GenConfig for the river task: the 12 variable / 17 parameter slot layout
+/// with display names, the bounded LintDomains sampling ranges, and the
+/// Table III priors.
+GenConfig RiverGenConfig();
+
+/// Symbol table matching the config's leaf names (for round-trip parsing).
+expr::SymbolTable SymbolsOf(const GenConfig& config);
+
+/// Derives the per-case seed for case `index` of a run: a SplitMix64-style
+/// mix of run seed and index. Every generated artifact of a case depends
+/// only on this value, which is what makes population generation
+/// independent of thread count and lets a counterexample be replayed from
+/// (run seed, index) alone.
+std::uint64_t CaseSeed(std::uint64_t run_seed, std::uint64_t index);
+
+/// One uniformly random value from `interval` (unbounded sides clamped to
+/// GenConfig::kUnboundedSpan; a point interval returns the point).
+double SampleInterval(const analysis::Interval& interval, Rng& rng);
+
+/// A random well-typed expression tree over the config's slots.
+expr::ExprPtr RandomExpr(const GenConfig& config, Rng& rng);
+
+/// A parameter vector: in-prior (truncated Gaussian per Table III) when the
+/// config carries priors, else uniform from domains.parameters.
+std::vector<double> RandomParameters(const GenConfig& config, Rng& rng);
+
+/// A variable vector sampled from domains.variables.
+std::vector<double> RandomVariables(const GenConfig& config, Rng& rng);
+
+/// Generates `count` expression trees, fanning out over `pool` (null or
+/// single-threaded runs inline). Tree i is produced from a fresh
+/// Rng(CaseSeed(seed, i)), so the result is byte-identical for every thread
+/// count — the determinism audit in tests/check_test.cc pins this.
+std::vector<expr::ExprPtr> GeneratePopulation(const GenConfig& config,
+                                              std::size_t count,
+                                              std::uint64_t seed,
+                                              ThreadPool* pool);
+
+/// Generates `count` random TAG derivations of about `target_size` nodes
+/// from `grammar` via tag::GrowRandom, with the same per-index seeding
+/// scheme (and therefore the same thread-count independence) as
+/// GeneratePopulation.
+std::vector<tag::DerivationPtr> GenerateDerivations(
+    const tag::Grammar& grammar, int alpha_index, std::size_t count,
+    std::size_t target_size, std::uint64_t seed, ThreadPool* pool);
+
+}  // namespace gmr::check
+
+#endif  // GMR_CHECK_GEN_H_

@@ -1,0 +1,278 @@
+#include "check/oracles.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/static_gate.h"
+#include "common/metrics.h"
+#include "expr/compile.h"
+#include "expr/eval.h"
+#include "expr/jit.h"
+#include "expr/parser.h"
+#include "expr/print.h"
+#include "expr/simplify.h"
+#include "tag/derivation.h"
+
+namespace gmr::check {
+namespace {
+
+/// Samples the per-case evaluation contexts. Derived from the case seed
+/// (offset so the stream differs from the one that generated the tree), so
+/// a counterexample replays from the seed alone.
+std::vector<std::vector<double>> SampleContexts(const ExprCase& c,
+                                                const OracleContext& ctx) {
+  Rng rng(CaseSeed(c.seed, 0x5eed5eedULL));
+  std::vector<std::vector<double>> contexts;
+  contexts.reserve(static_cast<std::size_t>(ctx.contexts_per_case));
+  for (int i = 0; i < ctx.contexts_per_case; ++i) {
+    contexts.push_back(RandomVariables(*ctx.config, rng));
+  }
+  return contexts;
+}
+
+expr::EvalContext MakeEvalContext(const std::vector<double>& vars,
+                                  const std::vector<double>& params) {
+  expr::EvalContext ec;
+  ec.variables = vars.data();
+  ec.num_variables = vars.size();
+  ec.parameters = params.data();
+  ec.num_parameters = params.size();
+  return ec;
+}
+
+std::string DescribeDisagreement(const char* backend, const ExprCase& c,
+                                 const std::vector<double>& vars, double got,
+                                 double want) {
+  std::ostringstream out;
+  out.precision(17);
+  out << backend << " disagrees on " << expr::ToString(*c.tree) << ": got "
+      << got << ", interpreter " << want << " (ulps "
+      << UlpDistance(got, want) << "), vars [";
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    out << (i ? ", " : "") << vars[i];
+  }
+  out << "], seed " << c.seed;
+  return out.str();
+}
+
+/// The analysis environment of a case: config variable domains, parameters
+/// pinned to the case's actual values. Pinning keeps the interval claims
+/// checkable against the very vector the runtime uses (and keeps corpus
+/// replays sound even for parameter vectors outside the priors).
+analysis::DomainEnv CaseDomains(const ExprCase& c, const OracleContext& ctx) {
+  analysis::DomainEnv env;
+  env.variables = ctx.config->domains.variables;
+  env.parameters.reserve(c.parameters.size());
+  for (double p : c.parameters) {
+    env.parameters.push_back(analysis::Interval::Point(p));
+  }
+  return env;
+}
+
+}  // namespace
+
+OracleResult CheckVmAgrees(const ExprCase& c, const OracleContext& ctx) {
+  const expr::CompiledProgram program = expr::Compile(*c.tree);
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const auto ec = MakeEvalContext(vars, c.parameters);
+    const double want = expr::EvalExpr(*c.tree, ec);
+    const double got = program.Run(ec);
+    if (!WithinUlps(got, want, 0)) {
+      return OracleResult::Fail(DescribeDisagreement("vm", c, vars, got, want));
+    }
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckSimplifiedVmAgrees(const ExprCase& c,
+                                     const OracleContext& ctx) {
+  const expr::ExprPtr simplified = expr::Simplify(c.tree);
+  const expr::CompiledProgram program = expr::Compile(*simplified);
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const auto ec = MakeEvalContext(vars, c.parameters);
+    const double want = expr::EvalExpr(*c.tree, ec);
+    const double got = program.Run(ec);
+    // Finite-only comparison: commutative canonicalization may reorder
+    // min/max operands, whose kernel is not NaN-symmetric.
+    if (!std::isfinite(want) || !std::isfinite(got)) continue;
+    if (!WithinUlps(got, want, 0)) {
+      return OracleResult::Fail(
+          DescribeDisagreement("simplified-vm", c, vars, got, want));
+    }
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckJitAgrees(const ExprCase& c, const OracleContext& ctx) {
+  if (!expr::JitAvailable()) return OracleResult::Pass();
+  std::string error;
+  const auto program = expr::JitProgram::Compile(*c.tree, &error);
+  if (program == nullptr) {
+    return OracleResult::Fail("jit compile failed on " +
+                              expr::ToString(*c.tree) + ": " + error);
+  }
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const auto ec = MakeEvalContext(vars, c.parameters);
+    const double want = expr::EvalExpr(*c.tree, ec);
+    const double got = program->Run(ec);
+    if (!WithinUlps(got, want, ctx.jit_ulps)) {
+      return OracleResult::Fail(
+          DescribeDisagreement("jit", c, vars, got, want));
+    }
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckRoundTrip(const ExprCase& c, const OracleContext& ctx) {
+  const std::string once = expr::ToString(*c.tree);
+  const expr::SymbolTable symbols = SymbolsOf(*ctx.config);
+  const expr::ParseResult reparsed = expr::Parse(once, symbols);
+  if (!reparsed.ok()) {
+    return OracleResult::Fail("printed form does not reparse: '" + once +
+                              "': " + reparsed.error);
+  }
+  const std::string twice = expr::ToString(*reparsed.expr);
+  if (twice != once) {
+    return OracleResult::Fail("print is not a parser fixpoint: '" + once +
+                              "' reprints as '" + twice + "'");
+  }
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const auto ec = MakeEvalContext(vars, c.parameters);
+    const double want = expr::EvalExpr(*c.tree, ec);
+    const double got = expr::EvalExpr(*reparsed.expr, ec);
+    if (!WithinUlps(got, want, 0)) {
+      return OracleResult::Fail(
+          DescribeDisagreement("reparsed tree", c, vars, got, want));
+    }
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckIntervalSound(const ExprCase& c, const OracleContext& ctx) {
+  const analysis::DomainEnv env = CaseDomains(c, ctx);
+  const analysis::Interval interval = analysis::EvaluateInterval(*c.tree, env);
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const auto ec = MakeEvalContext(vars, c.parameters);
+    const double v = expr::EvalExpr(*c.tree, ec);
+    if (std::isnan(v)) {
+      if (!interval.maybe_nan) {
+        return OracleResult::Fail(
+            "interval " + analysis::FormatInterval(interval) +
+            " claims NaN-free but " + expr::ToString(*c.tree) +
+            " evaluated to NaN (seed " + std::to_string(c.seed) + ")");
+      }
+      continue;
+    }
+    if (!interval.Contains(v)) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "interval " << analysis::FormatInterval(interval)
+          << " does not contain runtime value " << v << " of "
+          << expr::ToString(*c.tree) << " (seed " << c.seed << ")";
+      return OracleResult::Fail(out.str());
+    }
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckGateSound(const ExprCase& c, const OracleContext& ctx) {
+  analysis::StaticGateConfig gate;
+  gate.enabled = true;
+  gate.domains = CaseDomains(c, ctx);
+  gate.saturation_rate = ctx.saturation_rate;
+  const analysis::StaticVerdict verdict =
+      analysis::AnalyzeCandidate({c.tree}, gate);
+  if (!verdict.reject) return OracleResult::Pass();
+  // The gate claims doom is a theorem: every reachable value is -inf, or
+  // every reachable value saturates the clamp. Sampled runtime values must
+  // bear that out.
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const auto ec = MakeEvalContext(vars, c.parameters);
+    const double v = expr::EvalExpr(*c.tree, ec);
+    if (std::isfinite(v) && v < ctx.saturation_rate) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "gate rejected (" << verdict.reason << ") but "
+          << expr::ToString(*c.tree) << " evaluated to ordinary " << v
+          << " (seed " << c.seed << ")";
+      return OracleResult::Fail(out.str());
+    }
+  }
+  return OracleResult::Pass();
+}
+
+namespace {
+
+struct NamedOracle {
+  const char* name;
+  ExprOracle oracle;
+};
+
+constexpr NamedOracle kExprOracles[] = {
+    {"vm", CheckVmAgrees},         {"simplify", CheckSimplifiedVmAgrees},
+    {"jit", CheckJitAgrees},       {"roundtrip", CheckRoundTrip},
+    {"interval", CheckIntervalSound}, {"gate", CheckGateSound},
+};
+
+}  // namespace
+
+std::vector<std::string> ExprOracleNames() {
+  std::vector<std::string> names;
+  for (const NamedOracle& entry : kExprOracles) {
+    names.emplace_back(entry.name);
+  }
+  return names;
+}
+
+ExprOracle FindExprOracle(const std::string& name) {
+  for (const NamedOracle& entry : kExprOracles) {
+    if (name == entry.name) return entry.oracle;
+  }
+  return nullptr;
+}
+
+OracleResult CheckDerivationDeterministic(const tag::Grammar& grammar,
+                                          int alpha_index, std::size_t count,
+                                          std::size_t target_size,
+                                          std::uint64_t seed,
+                                          ThreadPool* pool) {
+  const auto render = [&](const std::vector<tag::DerivationPtr>& population) {
+    std::string out;
+    for (const auto& derivation : population) {
+      for (const auto& e : tag::ExpandToExpressions(grammar, *derivation)) {
+        out += expr::ToSExpression(*e);
+        out += '\n';
+      }
+      out += '\n';
+    }
+    return out;
+  };
+  const auto pooled =
+      GenerateDerivations(grammar, alpha_index, count, target_size, seed, pool);
+  const auto inline_run = GenerateDerivations(grammar, alpha_index, count,
+                                              target_size, seed, nullptr);
+  for (const auto& derivation : pooled) {
+    std::string error;
+    if (!tag::Validate(grammar, *derivation, &error)) {
+      return OracleResult::Fail("generated derivation fails Validate: " +
+                                error + " (seed " + std::to_string(seed) +
+                                ")");
+    }
+  }
+  const std::string a = render(pooled);
+  if (a != render(inline_run)) {
+    return OracleResult::Fail(
+        "derivation population differs between pooled and inline generation "
+        "(seed " +
+        std::to_string(seed) + ")");
+  }
+  // Expansion must be a pure function of the derivation.
+  if (a != render(pooled)) {
+    return OracleResult::Fail("re-expanding the same derivations changed the "
+                              "phenotype (seed " +
+                              std::to_string(seed) + ")");
+  }
+  return OracleResult::Pass();
+}
+
+}  // namespace gmr::check

@@ -1,0 +1,116 @@
+#ifndef GMR_CHECK_ORACLES_H_
+#define GMR_CHECK_ORACLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/gen.h"
+#include "common/thread_pool.h"
+#include "expr/ast.h"
+#include "tag/grammar.h"
+
+namespace gmr::check {
+
+/// One generated test case: an expression tree plus the parameter vector it
+/// is evaluated with, and the case seed that reproduces both (and the
+/// evaluation contexts the oracles sample from it).
+struct ExprCase {
+  expr::ExprPtr tree;
+  std::vector<double> parameters;
+  std::uint64_t seed = 0;
+};
+
+/// Shared oracle configuration. The ground truth of every differential
+/// oracle is the tree interpreter (expr::EvalExpr); each backend gets an
+/// explicit ULP budget against it — see DESIGN.md §5.
+struct OracleContext {
+  const GenConfig* config = nullptr;
+
+  /// Evaluation contexts sampled per case (variables from config domains).
+  int contexts_per_case = 8;
+
+  /// ULP budget of the native-JIT oracle (the C compiler may contract
+  /// floating point slightly differently; 0 would be flaky across
+  /// toolchains, matching the EXPECT_DOUBLE_EQ precedent in jit_test).
+  std::uint64_t jit_ulps = 4;
+
+  /// Saturation rate handed to the static gate under test. Finite so the
+  /// gate's "provably saturating" reject rule is actually exercised.
+  double saturation_rate = 1e6;
+};
+
+/// Verdict of one oracle on one case. `detail` is empty on success and
+/// carries a human-readable counterexample description on failure.
+struct OracleResult {
+  bool ok = true;
+  std::string detail;
+
+  static OracleResult Pass() { return OracleResult{}; }
+  static OracleResult Fail(std::string detail) {
+    return OracleResult{false, std::move(detail)};
+  }
+};
+
+/// Bytecode VM vs tree interpreter: bitwise agreement (0 ULP; both-NaN
+/// counts as agreement) on every sampled context.
+OracleResult CheckVmAgrees(const ExprCase& c, const OracleContext& ctx);
+
+/// Simplify-then-VM vs tree interpreter. Compared bitwise when both sides
+/// are finite; contexts where either side is non-finite are skipped, since
+/// the min/max kernel is not NaN-symmetric and Simplify's commutative
+/// canonicalization may legitimately flip which NaN propagates.
+OracleResult CheckSimplifiedVmAgrees(const ExprCase& c,
+                                     const OracleContext& ctx);
+
+/// Native cc+dlopen JIT vs tree interpreter, within ctx.jit_ulps. Passes
+/// vacuously when no C compiler is available; a compile failure is an
+/// oracle failure (the generator only emits well-formed trees).
+OracleResult CheckJitAgrees(const ExprCase& c, const OracleContext& ctx);
+
+/// printer -> parser -> printer: the printed form must reparse and print to
+/// identical text, and the reparsed tree must evaluate bitwise-identically
+/// on every sampled context. (Structural identity is NOT required: -1.5
+/// reparses as Neg(1.5).)
+OracleResult CheckRoundTrip(const ExprCase& c, const OracleContext& ctx);
+
+/// Interval soundness: EvaluateInterval over the config's variable domains
+/// (parameters pinned to the case's actual values) must contain every
+/// sampled runtime value, and may only produce NaN where the maybe_nan bit
+/// is set. This is the "clean verdict never precedes numerical divergence"
+/// half of gate soundness: an interval proved finite means no sampled
+/// evaluation may be non-finite.
+OracleResult CheckIntervalSound(const ExprCase& c, const OracleContext& ctx);
+
+/// Reject-gate soundness: when AnalyzeCandidate rejects the case (over the
+/// same pinned-parameter domains), every sampled runtime value must
+/// actually be non-finite or at/above ctx.saturation_rate — i.e. the
+/// integrator would have produced kNonFiniteDerivative/kClampSaturated
+/// anyway, so rejecting without integrating changes no outcome.
+OracleResult CheckGateSound(const ExprCase& c, const OracleContext& ctx);
+
+/// Registry of the expression-case oracles above, keyed by the short names
+/// used in fuzz property filters and corpus `# property:` headers.
+using ExprOracle = OracleResult (*)(const ExprCase&, const OracleContext&);
+
+/// All registered oracle names, in fixed execution order:
+/// vm, simplify, jit, roundtrip, interval, gate.
+std::vector<std::string> ExprOracleNames();
+
+/// Looks an oracle up by name; nullptr when unknown.
+ExprOracle FindExprOracle(const std::string& name);
+
+/// Derivation determinism: generating `count` derivations of about
+/// `target_size` nodes from (grammar, seed) must produce byte-identical
+/// expanded phenotypes whether fanned out over `pool` or run inline, every
+/// derivation must Validate, and re-expanding the same derivation must be
+/// a pure function.
+OracleResult CheckDerivationDeterministic(const tag::Grammar& grammar,
+                                          int alpha_index, std::size_t count,
+                                          std::size_t target_size,
+                                          std::uint64_t seed,
+                                          ThreadPool* pool);
+
+}  // namespace gmr::check
+
+#endif  // GMR_CHECK_ORACLES_H_

@@ -1,0 +1,174 @@
+#include "check/shrink.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gmr::check {
+namespace {
+
+void CollectSubtrees(const expr::ExprPtr& node,
+                     std::vector<expr::ExprPtr>* out) {
+  out->push_back(node);
+  for (const expr::ExprPtr& child : node->children()) {
+    CollectSubtrees(child, out);
+  }
+}
+
+/// Rebuilds `node` with the subtree at preorder position `target` replaced.
+/// Shares every untouched subtree (Expr is immutable).
+expr::ExprPtr ReplaceAt(const expr::ExprPtr& node, std::size_t target,
+                        std::size_t& index,
+                        const expr::ExprPtr& replacement) {
+  const std::size_t position = index++;
+  if (position == target) {
+    // Advance the index over the replaced subtree so later positions keep
+    // their preorder numbering.
+    index += node->NodeCount() - 1;
+    return replacement;
+  }
+  if (node->IsLeaf()) return node;
+  std::vector<expr::ExprPtr> children;
+  children.reserve(node->children().size());
+  bool changed = false;
+  for (const expr::ExprPtr& child : node->children()) {
+    expr::ExprPtr rebuilt = ReplaceAt(child, target, index, replacement);
+    changed = changed || rebuilt.get() != child.get();
+    children.push_back(std::move(rebuilt));
+  }
+  if (!changed) return node;
+  if (children.size() == 1) {
+    return expr::MakeUnary(node->kind(), std::move(children[0]));
+  }
+  GMR_CHECK_EQ(children.size(), 2u);
+  return expr::MakeBinary(node->kind(), std::move(children[0]),
+                          std::move(children[1]));
+}
+
+/// Replacement candidates for one subtree, simplest first.
+std::vector<expr::ExprPtr> CandidatesFor(const expr::ExprPtr& node) {
+  std::vector<expr::ExprPtr> candidates;
+  if (node->kind() == expr::NodeKind::kConstant) {
+    const double v = node->value();
+    for (double simpler : {0.0, 1.0, -1.0, std::trunc(v)}) {
+      if (std::isfinite(simpler) && simpler != v) {
+        candidates.push_back(expr::Constant(simpler));
+      }
+    }
+    return candidates;
+  }
+  if (node->IsLeaf()) return candidates;  // Slot leaves are already minimal.
+  candidates.push_back(expr::Constant(0.0));
+  candidates.push_back(expr::Constant(1.0));
+  for (const expr::ExprPtr& child : node->children()) {
+    candidates.push_back(child);  // Subtree hoisting.
+  }
+  return candidates;
+}
+
+// ------------------------------------------------------ derivations ----
+
+void CollectAllNodes(tag::DerivationNode* node,
+                     std::vector<tag::DerivationNode*>* out) {
+  out->push_back(node);
+  for (auto& child : node->children) {
+    CollectAllNodes(child.node.get(), out);
+  }
+}
+
+}  // namespace
+
+expr::ExprPtr ShrinkExpr(const expr::ExprPtr& root,
+                         const ExprPredicate& still_fails, int max_attempts,
+                         ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats* s = stats != nullptr ? stats : &local;
+  expr::ExprPtr current = root;
+  std::unordered_set<std::uint64_t> seen{current->StructuralHash()};
+  bool progress = true;
+  while (progress && s->attempts < max_attempts) {
+    progress = false;
+    std::vector<expr::ExprPtr> subtrees;
+    CollectSubtrees(current, &subtrees);
+    for (std::size_t i = 0; i < subtrees.size() && !progress; ++i) {
+      for (const expr::ExprPtr& replacement : CandidatesFor(subtrees[i])) {
+        std::size_t index = 0;
+        const expr::ExprPtr candidate =
+            ReplaceAt(current, i, index, replacement);
+        if (!seen.insert(candidate->StructuralHash()).second) continue;
+        if (s->attempts >= max_attempts) break;
+        ++s->attempts;
+        if (still_fails(candidate)) {
+          current = candidate;
+          ++s->accepted;
+          progress = true;  // Restart the scan from the smaller tree.
+          break;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+tag::DerivationPtr ShrinkDerivation(const tag::Grammar& grammar,
+                                    const tag::DerivationNode& root,
+                                    const DerivationPredicate& still_fails,
+                                    int max_attempts, ShrinkStats* stats) {
+  (void)grammar;  // Structure-preserving moves need no grammar lookup.
+  ShrinkStats local;
+  ShrinkStats* s = stats != nullptr ? stats : &local;
+  tag::DerivationPtr current = root.Clone();
+  bool progress = true;
+  while (progress && s->attempts < max_attempts) {
+    progress = false;
+    // Leaf deletion, one preorder position at a time. Positions are stable
+    // across Clone, so index i addresses the same node in the copy.
+    const auto refs = tag::CollectNodeRefs(current.get());
+    for (std::size_t i = 0; i < refs.size() && !progress; ++i) {
+      if (!refs[i].node()->children.empty()) continue;
+      if (s->attempts >= max_attempts) break;
+      tag::DerivationPtr candidate = current->Clone();
+      const auto candidate_refs = tag::CollectNodeRefs(candidate.get());
+      auto& siblings = candidate_refs[i].parent->children;
+      siblings.erase(siblings.begin() +
+                     static_cast<std::ptrdiff_t>(candidate_refs[i].child_index));
+      ++s->attempts;
+      if (still_fails(*candidate)) {
+        current = std::move(candidate);
+        ++s->accepted;
+        progress = true;
+      }
+    }
+    if (progress) continue;
+    // Lexeme truncation toward simpler constants.
+    std::vector<tag::DerivationNode*> nodes;
+    CollectAllNodes(current.get(), &nodes);
+    // `!progress` must be tested before touching `nodes[n]`: an accepted
+    // candidate replaced (and freed) the tree these pointers refer to.
+    for (std::size_t n = 0; !progress && n < nodes.size(); ++n) {
+      for (std::size_t j = 0; !progress && j < nodes[n]->lexemes.size(); ++j) {
+        const double v = nodes[n]->lexemes[j];
+        for (double simpler : {0.0, std::trunc(v)}) {
+          if (!std::isfinite(simpler) || simpler == v) continue;
+          if (s->attempts >= max_attempts) break;
+          tag::DerivationPtr candidate = current->Clone();
+          std::vector<tag::DerivationNode*> candidate_nodes;
+          CollectAllNodes(candidate.get(), &candidate_nodes);
+          candidate_nodes[n]->lexemes[j] = simpler;
+          ++s->attempts;
+          if (still_fails(*candidate)) {
+            current = std::move(candidate);
+            ++s->accepted;
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace gmr::check

@@ -1,0 +1,48 @@
+#ifndef GMR_CHECK_SHRINK_H_
+#define GMR_CHECK_SHRINK_H_
+
+#include <functional>
+
+#include "expr/ast.h"
+#include "tag/derivation.h"
+#include "tag/grammar.h"
+
+namespace gmr::check {
+
+/// Counters reported by a shrink run (for logs and tests).
+struct ShrinkStats {
+  int attempts = 0;  ///< Candidate trees offered to the predicate.
+  int accepted = 0;  ///< Candidates that still failed and were kept.
+};
+
+/// True when the candidate still exhibits the failure under shrink.
+using ExprPredicate = std::function<bool(const expr::ExprPtr&)>;
+using DerivationPredicate = std::function<bool(const tag::DerivationNode&)>;
+
+/// Greedily minimizes a failing expression tree while `still_fails` holds.
+///
+/// Candidate moves, tried smallest-result-first at every node position:
+///  - subtree hoisting: replace an operator node by one of its children;
+///  - constant simplification: replace any non-trivial subtree by the
+///    constants 0 and 1, and round surviving constant literals toward
+///    0 / +/-1 / their integer truncation.
+/// Each accepted move restarts the scan, so the result is a local minimum:
+/// no single remaining move preserves the failure. At most `max_attempts`
+/// predicate calls are spent (the predicate typically re-runs an oracle).
+expr::ExprPtr ShrinkExpr(const expr::ExprPtr& root,
+                         const ExprPredicate& still_fails, int max_attempts,
+                         ShrinkStats* stats);
+
+/// Greedily minimizes a failing TAG derivation: repeatedly deletes leaf
+/// derivation nodes (never the root) and truncates lexeme values toward
+/// their slot lower bound, keeping every change under which `still_fails`
+/// holds. The result stays Validate-clean by construction (node deletion
+/// and lexeme edits preserve the structural invariants).
+tag::DerivationPtr ShrinkDerivation(const tag::Grammar& grammar,
+                                    const tag::DerivationNode& root,
+                                    const DerivationPredicate& still_fails,
+                                    int max_attempts, ShrinkStats* stats);
+
+}  // namespace gmr::check
+
+#endif  // GMR_CHECK_SHRINK_H_

@@ -1,10 +1,41 @@
 #include "common/metrics.h"
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "common/check.h"
 
 namespace gmr {
+namespace {
+
+/// Maps an IEEE-754 bit pattern onto a line where integer order matches
+/// numeric order (negative values are reflected around the sign bit).
+std::uint64_t OrderedBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  constexpr std::uint64_t kSignBit = 0x8000000000000000ULL;
+  return (bits & kSignBit) != 0 ? kSignBit - (bits & ~kSignBit)
+                                : kSignBit + bits;
+}
+
+}  // namespace
+
+std::uint64_t UlpDistance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::uint64_t ua = OrderedBits(a);
+  const std::uint64_t ub = OrderedBits(b);
+  return ua >= ub ? ua - ub : ub - ua;
+}
+
+bool WithinUlps(double a, double b, std::uint64_t max_ulps) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  if (a == b) return true;  // Equal infinities, +0 vs -0.
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  return UlpDistance(a, b) <= max_ulps;
+}
 
 double Mse(const std::vector<double>& predicted,
            const std::vector<double>& observed) {

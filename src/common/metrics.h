@@ -2,6 +2,7 @@
 #define GMR_COMMON_METRICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace gmr {
@@ -35,6 +36,25 @@ double Aic(double log_likelihood, std::size_t num_parameters);
 /// (1 = perfect, 0 = no better than the observed mean).
 double NashSutcliffe(const std::vector<double>& predicted,
                      const std::vector<double>& observed);
+
+/// Units-in-the-last-place distance between two doubles: the number of
+/// representable values between them under the monotone mapping of IEEE
+/// bit patterns onto a signed integer line (so the distance is symmetric
+/// and crossing zero counts every subnormal in between; +0 and -0 are 0
+/// apart). Infinities sit on the same line, one step beyond the largest
+/// finite double. Returns UINT64_MAX when either input is NaN.
+///
+/// This is the comparison currency of the differential oracles in
+/// src/check/ and of the cross-backend tests: "bitwise agreement" is
+/// UlpDistance == 0, and each oracle's tolerance is a small ULP budget
+/// rather than an ad-hoc epsilon (see DESIGN.md on per-op budgets).
+std::uint64_t UlpDistance(double a, double b);
+
+/// True when `a` and `b` agree up to `max_ulps` representable values:
+/// both NaN, exactly equal (covering equal infinities and +0 vs -0), or
+/// finite with UlpDistance(a, b) <= max_ulps. A finite value never agrees
+/// with a non-finite one, and NaN never agrees with a number.
+bool WithinUlps(double a, double b, std::uint64_t max_ulps);
 
 }  // namespace gmr
 

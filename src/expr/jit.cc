@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,8 +38,19 @@ static double gmr_max(double a, double b) { return a > b ? a : b; }
 void EmitNode(const Expr& node, std::ostringstream& out) {
   switch (node.kind()) {
     case NodeKind::kConstant: {
+      const double v = node.value();
+      // %.17g renders non-finite values as inf/nan, which are not C
+      // literals; spell them through math.h instead.
+      if (std::isnan(v)) {
+        out << "(0.0/0.0)";
+        return;
+      }
+      if (std::isinf(v)) {
+        out << (v > 0 ? "HUGE_VAL" : "(-HUGE_VAL)");
+        return;
+      }
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.17g", node.value());
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
       out << buf;
       return;
     }
@@ -73,7 +85,9 @@ void EmitNode(const Expr& node, std::ostringstream& out) {
       out << ')';
       return;
     case NodeKind::kNeg:
-      out << "(-";
+      // The space keeps "-" from fusing with a negative constant literal
+      // into the C decrement operator ("--1" does not compile).
+      out << "(- ";
       EmitNode(*node.children()[0], out);
       out << ')';
       return;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <vector>
 
 namespace gmr::expr {
@@ -31,6 +32,13 @@ class Lexer {
       if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
         char* end = nullptr;
         const double v = std::strtod(text_.c_str() + i, &end);
+        if (end == text_.c_str() + i) {
+          // A lone '.' is in the number alphabet but strtod consumes
+          // nothing; without this check the loop would never advance.
+          *error =
+              "malformed number at position " + std::to_string(i);
+          return false;
+        }
         Token t{Token::kNumber, "", v, i};
         i = static_cast<std::size_t>(end - text_.c_str());
         tokens->push_back(t);
@@ -206,6 +214,17 @@ class Parser {
     auto par = symbols_.parameters.find(name);
     if (par != symbols_.parameters.end()) {
       return Parameter(par->second, name);
+    }
+    // Reserved non-finite literals: the printer emits "inf"/"nan" for
+    // constants produced by folding (e.g. 1e308 + 1e308), so the grammar
+    // must accept them back or round-trip is not total. A symbol table
+    // entry with either name wins, mirroring variable-over-parameter
+    // shadowing.
+    if (name == "inf") {
+      return Constant(std::numeric_limits<double>::infinity());
+    }
+    if (name == "nan") {
+      return Constant(std::numeric_limits<double>::quiet_NaN());
     }
     Fail("unknown identifier '" + name + "'");
     return nullptr;

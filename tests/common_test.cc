@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "common/csv.h"
@@ -139,6 +140,65 @@ TEST(MetricsTest, NashSutcliffeMeanPredictorIsZero) {
 TEST(MetricsTest, AicPenalizesParameters) {
   const double ll = -10.0;
   EXPECT_LT(Aic(ll, 2), Aic(ll, 5));
+}
+
+// ---------------------------------------------------------------- ulps ----
+
+TEST(UlpTest, IdenticalValuesAreZeroApart) {
+  EXPECT_EQ(UlpDistance(1.5, 1.5), 0u);
+  EXPECT_EQ(UlpDistance(0.0, -0.0), 0u);  // signed zeros coincide
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(UlpDistance(inf, inf), 0u);
+  EXPECT_EQ(UlpDistance(-inf, -inf), 0u);
+}
+
+TEST(UlpTest, AdjacentRepresentablesAreOneApart) {
+  const double x = 1.0;
+  const double up = std::nextafter(x, 2.0);
+  const double down = std::nextafter(x, 0.0);
+  EXPECT_EQ(UlpDistance(x, up), 1u);
+  EXPECT_EQ(UlpDistance(up, x), 1u);  // symmetric
+  EXPECT_EQ(UlpDistance(down, up), 2u);
+  // Crossing zero counts the subnormals in between, not a huge bit gap.
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(UlpDistance(-tiny, tiny), 2u);
+  EXPECT_EQ(UlpDistance(0.0, tiny), 1u);
+}
+
+TEST(UlpTest, NanIsMaximallyDistant) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(UlpDistance(nan, 1.0), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(UlpDistance(1.0, nan), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(UlpTest, InfinityIsOneStepPastMaxDouble) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double max = std::numeric_limits<double>::max();
+  EXPECT_EQ(UlpDistance(max, inf), 1u);
+  EXPECT_EQ(UlpDistance(-max, -inf), 1u);
+}
+
+TEST(WithinUlpsTest, ExactAndToleratedAgreement) {
+  EXPECT_TRUE(WithinUlps(2.0, 2.0, 0));
+  EXPECT_TRUE(WithinUlps(0.0, -0.0, 0));
+  const double up = std::nextafter(1.0, 2.0);
+  EXPECT_FALSE(WithinUlps(1.0, up, 0));
+  EXPECT_TRUE(WithinUlps(1.0, up, 1));
+  EXPECT_TRUE(WithinUlps(1.0, up, 4));
+}
+
+TEST(WithinUlpsTest, NonFiniteRules) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(WithinUlps(nan, nan, 0));    // both-NaN agree (oracle use)
+  EXPECT_TRUE(WithinUlps(inf, inf, 0));
+  EXPECT_TRUE(WithinUlps(-inf, -inf, 0));
+  EXPECT_FALSE(WithinUlps(inf, -inf, 1000));
+  EXPECT_FALSE(WithinUlps(nan, 1.0, 1000));
+  EXPECT_FALSE(WithinUlps(inf, 1.0, 1000));
+  // A finite value one ULP below +inf's neighbour is still never "within"
+  // of +inf: finite vs non-finite is a hard mismatch.
+  EXPECT_FALSE(WithinUlps(std::numeric_limits<double>::max(), inf, 1000));
 }
 
 // -------------------------------------------------------------- stats ----

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/metrics.h"
 #include "core/gmr.h"
 #include "core/river_grammar.h"
 #include "gp/tag3p.h"
@@ -141,7 +142,12 @@ TEST(EngineConfigTest, BestFitnessMatchesIndependentFullEvaluation) {
   plain.runtime_compilation = true;
   gp::FitnessEvaluator evaluator(&knowledge.grammar, &fitness, plain);
   const double full = evaluator.EvaluateFull(result.best);
-  EXPECT_NEAR(result.best.fitness, full, 1e-9);
+  // Same bytecode-VM backend on both sides, so a small ULP budget replaces
+  // the old absolute 1e-9 tolerance (which scales badly with fitness
+  // magnitude).
+  EXPECT_TRUE(WithinUlps(result.best.fitness, full, 16))
+      << result.best.fitness << " vs " << full << " (ulps "
+      << UlpDistance(result.best.fitness, full) << ")";
 }
 
 TEST(EngineConfigTest, RiverRunKeepsGenotypesValid) {

@@ -365,5 +365,106 @@ TEST(ParserTest, ErrorsAreReported) {
   EXPECT_FALSE(Parse("x 1", TestSymbols()).ok());
 }
 
+TEST(ParserTest, MalformedNumberIsAnErrorNotAHang) {
+  // A lone '.' starts the number alphabet but strtod consumes nothing;
+  // before the lexer guard this spun forever instead of reporting.
+  EXPECT_FALSE(Parse(".", TestSymbols()).ok());
+  EXPECT_FALSE(Parse("x + .", TestSymbols()).ok());
+  EXPECT_FALSE(Parse("min(., x)", TestSymbols()).ok());
+}
+
+// ------------------------------------------------- round-trip edge cases ----
+
+/// Asserts the printed form is a parser fixpoint: parse(print(t)) prints to
+/// the same text. Structural identity is deliberately NOT required — e.g.
+/// Constant(-1.5) reparses as Neg(Constant(1.5)) — so the stable invariant
+/// is text plus bitwise evaluation, matching the src/check/ oracle.
+void ExpectTextFixpoint(const ExprPtr& tree, const SymbolTable& symbols,
+                        const EvalContext& ctx) {
+  const std::string once = ToString(*tree);
+  const auto reparsed = Parse(once, symbols);
+  ASSERT_TRUE(reparsed.ok()) << "'" << once << "': " << reparsed.error;
+  EXPECT_EQ(ToString(*reparsed.expr), once);
+  const double a = EvalExpr(*tree, ctx);
+  const double b = EvalExpr(*reparsed.expr, ctx);
+  if (std::isnan(a)) {
+    EXPECT_TRUE(std::isnan(b)) << "'" << once << "': " << a << " vs " << b;
+  } else {
+    EXPECT_EQ(a, b) << "'" << once << "'";  // bitwise, not approximate
+  }
+}
+
+TEST(RoundTripTest, NegativeConstantLiterals) {
+  const auto symbols = TestSymbols();
+  const ExprPtr x = Variable(0, "x");
+  const auto ctx = MakeContext({3.0, 0.0}, {0.0});
+  ExpectTextFixpoint(Constant(-1.5), symbols, ctx);
+  ExpectTextFixpoint(Add(x, Constant(-2.0)), symbols, ctx);
+  ExpectTextFixpoint(Mul(Constant(-0.25), x), symbols, ctx);
+  ExpectTextFixpoint(Sub(Constant(-1.0), Constant(-2.0)), symbols, ctx);
+  ExpectTextFixpoint(Exp(Constant(-80.5)), symbols, ctx);
+}
+
+TEST(RoundTripTest, UnaryNegUnderDivision) {
+  const auto symbols = TestSymbols();
+  const ExprPtr x = Variable(0, "x");
+  const ExprPtr y = Variable(1, "y");
+  const auto ctx = MakeContext({3.0, 7.0}, {2.0});
+  ExpectTextFixpoint(Div(x, Neg(y)), symbols, ctx);
+  ExpectTextFixpoint(Div(Neg(x), y), symbols, ctx);
+  ExpectTextFixpoint(Neg(Div(x, y)), symbols, ctx);
+  ExpectTextFixpoint(Div(Neg(x), Neg(Add(y, Constant(1.0)))), symbols, ctx);
+  ExpectTextFixpoint(Div(Constant(1.0), Neg(Neg(y))), symbols, ctx);
+}
+
+TEST(RoundTripTest, NestedMinMax) {
+  const auto symbols = TestSymbols();
+  const ExprPtr x = Variable(0, "x");
+  const ExprPtr y = Variable(1, "y");
+  const ExprPtr c = Parameter(0, "C");
+  const auto ctx = MakeContext({3.0, 7.0}, {2.0});
+  ExpectTextFixpoint(Min(Max(x, c), Min(y, Constant(1.0))), symbols, ctx);
+  ExpectTextFixpoint(Max(Min(Min(x, y), c), Neg(x)), symbols, ctx);
+  ExpectTextFixpoint(Min(x, Max(y, Max(c, Constant(-3.0)))), symbols, ctx);
+}
+
+TEST(RoundTripTest, NonFiniteConstantsReparse) {
+  // Constant folding can produce non-finite constants (1e308 + 1e308), the
+  // printer renders them as inf/nan, and the parser must accept both back.
+  const auto symbols = TestSymbols();
+  const auto ctx = MakeContext({3.0, 7.0}, {2.0});
+  const double inf = std::numeric_limits<double>::infinity();
+  ExpectTextFixpoint(Constant(inf), symbols, ctx);
+  ExpectTextFixpoint(Constant(-inf), symbols, ctx);
+  ExpectTextFixpoint(Add(Variable(0, "x"), Constant(inf)), symbols, ctx);
+  ExpectTextFixpoint(Constant(std::numeric_limits<double>::quiet_NaN()),
+                     symbols, ctx);
+  // Overflowing decimal literals read as infinity rather than erroring.
+  const auto overflow = Parse("1e999", symbols);
+  ASSERT_TRUE(overflow.ok()) << overflow.error;
+  EXPECT_TRUE(std::isinf(EvalExpr(*overflow.expr, ctx)));
+}
+
+TEST(ParserTest, VariableShadowsParameterOfSameName) {
+  SymbolTable symbols = TestSymbols();
+  symbols.parameters["x"] = 0;  // same name as variable slot 0
+  const auto result = Parse("x + C", symbols);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.expr->children()[0]->kind(), NodeKind::kVariable);
+  // Variable x = 3 and parameter slot 0 = 10: "x" resolves to the
+  // variable, "C" still reaches the parameter it shares a slot with.
+  const auto ctx = MakeContext({3.0, 0.0}, {10.0});
+  EXPECT_DOUBLE_EQ(EvalExpr(*result.expr, ctx), 3.0 + 10.0);
+}
+
+TEST(ParserTest, SymbolNamedInfShadowsReservedLiteral) {
+  SymbolTable symbols;
+  symbols.variables["inf"] = 0;
+  const auto result = Parse("inf + 1", symbols);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto ctx = MakeContext({4.0}, {});
+  EXPECT_DOUBLE_EQ(EvalExpr(*result.expr, ctx), 5.0);
+}
+
 }  // namespace
 }  // namespace gmr::expr

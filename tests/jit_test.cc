@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "expr/eval.h"
 #include "expr/jit.h"
@@ -61,7 +63,11 @@ TEST(JitTest, MatchesInterpreterOnRiverEquation) {
     std::vector<double> vars(river::kNumVariables);
     for (double& v : vars) v = rng.Uniform(0.01, 30.0);
     EvalContext ctx{vars.data(), vars.size(), params.data(), params.size()};
-    EXPECT_DOUBLE_EQ(program->Run(ctx), EvalExpr(*equation, ctx));
+    const double interpreted = EvalExpr(*equation, ctx);
+    const double jitted = program->Run(ctx);
+    EXPECT_TRUE(WithinUlps(jitted, interpreted, 4))
+        << jitted << " vs " << interpreted << " (ulps "
+        << UlpDistance(jitted, interpreted) << ")";
   }
 }
 
@@ -81,13 +87,42 @@ TEST(JitTest, MatchesInterpreterOnRandomTrees) {
                       params.size()};
       const double interpreted = EvalExpr(*tree, ctx);
       const double jitted = program->Run(ctx);
-      if (std::isnan(interpreted)) {
-        EXPECT_TRUE(std::isnan(jitted));
-      } else {
-        EXPECT_DOUBLE_EQ(jitted, interpreted);
-      }
+      EXPECT_TRUE(WithinUlps(jitted, interpreted, 4))
+          << jitted << " vs " << interpreted << " (ulps "
+          << UlpDistance(jitted, interpreted) << ")";
     }
   }
+}
+
+TEST(JitTest, NegationOfNegativeConstantDoesNotFuseIntoDecrement) {
+  // Found by gmr_fuzz: Neg(Constant(-1)) used to emit "(--1)", which C
+  // parses as a decrement of an rvalue and rejects.
+  const ExprPtr tree = Neg(Constant(-1.0));
+  const std::string source = GenerateCSource(*tree);
+  EXPECT_EQ(source.find("--"), std::string::npos) << source;
+  if (!JitAvailable()) GTEST_SKIP() << "no C compiler on this system";
+  std::string error;
+  const auto program = JitProgram::Compile(*tree, &error);
+  ASSERT_NE(program, nullptr) << error;
+  EvalContext ctx{nullptr, 0, nullptr, 0};
+  EXPECT_EQ(program->Run(ctx), 1.0);
+}
+
+TEST(JitTest, NonFiniteConstantsCompileToMathHSpellings) {
+  // inf/nan are not C literals; the generator must spell them via math.h.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string source = GenerateCSource(
+      *Add(Constant(inf), Add(Constant(-inf),
+                              Constant(std::numeric_limits<double>::quiet_NaN()))));
+  EXPECT_EQ(source.find("inf"), std::string::npos) << source;
+  EXPECT_EQ(source.find("nan"), std::string::npos) << source;
+  if (!JitAvailable()) GTEST_SKIP() << "no C compiler on this system";
+  std::string error;
+  const auto program = JitProgram::Compile(*Exp(Constant(inf)), &error);
+  ASSERT_NE(program, nullptr) << error;
+  EvalContext ctx{nullptr, 0, nullptr, 0};
+  // Protected exp clamps the argument to 80 on both backends.
+  EXPECT_EQ(program->Run(ctx), EvalExpr(*Exp(Constant(inf)), ctx));
 }
 
 TEST(JitTest, InjectedCompileFaultFailsCleanly) {

@@ -342,6 +342,82 @@ TEST(EvalStatsMergeTest, AssociativeAndCommutativeOverEveryField) {
   }
 }
 
+TEST(EvalStatsMergeTest, DefaultStatsAreTheIdentity) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const gp::EvalStats a = RandomStats(rng);
+
+    gp::EvalStats left = a;
+    left.Merge(gp::EvalStats{});
+    ExpectStatsEqual(left, a);
+
+    gp::EvalStats right;
+    right.Merge(a);
+    ExpectStatsEqual(right, a);
+  }
+}
+
+TEST(EvalStatsMergeTest, OutcomeMixFoldsToMultisetCounts) {
+  // A stream of per-evaluation outcome records (one outcome tallied per
+  // stats instance, the way a worker lane records a single evaluation)
+  // must fold into exactly the multiset counts of the stream.
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t expected[kNumEvalOutcomes] = {};
+    gp::EvalStats folded;
+    const int events = 1 + static_cast<int>(rng.UniformInt(200));
+    for (int e = 0; e < events; ++e) {
+      const std::size_t outcome = rng.UniformInt(kNumEvalOutcomes);
+      ++expected[outcome];
+      gp::EvalStats one;
+      one.individuals_evaluated = 1;
+      one.outcomes[outcome] = 1;
+      if (outcome ==
+          static_cast<std::size_t>(EvalOutcome::kStaticReject)) {
+        one.static_rejects = 1;
+      }
+      folded.Merge(one);
+    }
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
+      EXPECT_EQ(folded.outcomes[i], expected[i]) << "outcome " << i;
+      total += folded.outcomes[i];
+    }
+    EXPECT_EQ(folded.individuals_evaluated, static_cast<std::size_t>(events));
+    EXPECT_EQ(total, static_cast<std::size_t>(events));
+    // The shortcut counter stays consistent with the outcome it mirrors.
+    EXPECT_EQ(folded.static_rejects,
+              folded.outcomes[static_cast<std::size_t>(
+                  EvalOutcome::kStaticReject)]);
+  }
+}
+
+TEST(EvalStatsMergeTest, FoldOrderOverRandomPartitionsIsInvariant) {
+  // Per-thread partial stats fold in whatever order lanes hit the batch
+  // barrier; any partition of the stream into per-lane partials must reach
+  // the same totals as the sequential fold.
+  Rng rng(63);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<gp::EvalStats> stream;
+    const int n = 2 + static_cast<int>(rng.UniformInt(30));
+    for (int i = 0; i < n; ++i) stream.push_back(RandomStats(rng));
+
+    gp::EvalStats sequential;
+    for (const auto& s : stream) sequential.Merge(s);
+
+    const std::size_t lanes = 1 + rng.UniformInt(4);
+    std::vector<gp::EvalStats> partial(lanes);
+    for (const auto& s : stream) partial[rng.UniformInt(lanes)].Merge(s);
+    // Fold the lanes back in a rotated (non-identity) order.
+    const std::size_t start = rng.UniformInt(lanes);
+    gp::EvalStats folded;
+    for (std::size_t i = 0; i < lanes; ++i) {
+      folded.Merge(partial[(start + i) % lanes]);
+    }
+    ExpectStatsEqual(folded, sequential);
+  }
+}
+
 // --------------------------------------- search determinism under trace ----
 
 // Same toy problem as gp_test/parallel_test: seed "x + 0", revisions
