@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
     row.Add("sec_per_individual", per_individual);
     row.Add("wall_seconds", stats.wall_seconds);
     row.Add("cpu_seconds", stats.cpu_seconds);
+    row.Add("compile_seconds", stats.compile_seconds);
     row.Add("individuals", static_cast<double>(processed));
     row.Add("cache_hit_rate", stats.CacheHitRate());
     row.Add("static_rejects", static_cast<double>(stats.static_rejects));

@@ -68,6 +68,29 @@ OracleResult CheckSimplifiedVmAgrees(const ExprCase& c,
 /// oracle failure (the generator only emits well-formed trees).
 OracleResult CheckJitAgrees(const ExprCase& c, const OracleContext& ctx);
 
+/// Batched VM vs tree interpreter, lane by lane: a full-width RunLanes call
+/// over a SoA lane block (lane l = sampled variable context l paired with
+/// an independently sampled parameter vector; lane 0 keeps the case's own
+/// parameters) must agree bitwise (0 ULP) with the interpreter on every
+/// lane. Divergence in one lane (NaN/Inf) must not perturb its neighbors.
+OracleResult CheckBatchVmAgrees(const ExprCase& c, const OracleContext& ctx);
+
+/// Batch-width invariance of the batched VM: evaluating the same lane
+/// block at full width and lane-at-a-time (width 1) must produce bitwise
+/// identical results — lanes are independent elementwise IEEE streams.
+OracleResult CheckBatchWidthInvariant(const ExprCase& c,
+                                      const OracleContext& ctx);
+
+/// Generation-batched JIT vs tree interpreter, lane by lane within
+/// ctx.jit_ulps, plus bitwise batch-width invariance of the compiled
+/// symbol itself (full width vs width 1: the TU is built with
+/// -ffp-contract=off precisely so the vector body and scalar epilogue
+/// perform identical IEEE operations). Passes vacuously without a C
+/// compiler; a compile failure is an oracle failure. Uses a private
+/// session and circuit breaker so fuzz volume never poisons run-wide
+/// JIT state.
+OracleResult CheckBatchJitAgrees(const ExprCase& c, const OracleContext& ctx);
+
 /// printer -> parser -> printer: the printed form must reparse and print to
 /// identical text, and the reparsed tree must evaluate bitwise-identically
 /// on every sampled context. (Structural identity is NOT required: -1.5
@@ -94,7 +117,8 @@ OracleResult CheckGateSound(const ExprCase& c, const OracleContext& ctx);
 using ExprOracle = OracleResult (*)(const ExprCase&, const OracleContext&);
 
 /// All registered oracle names, in fixed execution order:
-/// vm, simplify, jit, roundtrip, interval, gate.
+/// vm, simplify, jit, roundtrip, interval, gate, batch_vm, batch_width,
+/// batch_jit.
 std::vector<std::string> ExprOracleNames();
 
 /// Looks an oracle up by name; nullptr when unknown.

@@ -53,6 +53,8 @@ bool ParsePoint(const std::string& name, FaultPoint* point) {
     *point = FaultPoint::kDerivativeNan;
   } else if (name == "pool_task") {
     *point = FaultPoint::kPoolTask;
+  } else if (name == "batch_compile") {
+    *point = FaultPoint::kBatchCompile;
   } else {
     return false;
   }
@@ -166,6 +168,8 @@ const char* FaultPointName(FaultPoint point) {
       return "derivative_nan";
     case FaultPoint::kPoolTask:
       return "pool_task";
+    case FaultPoint::kBatchCompile:
+      return "batch_compile";
   }
   return "unknown";
 }

@@ -16,7 +16,9 @@
 ///
 /// Points: `jit_compile` (JitProgram::Compile reports failure),
 /// `derivative_nan` (ProcessRunner::Derivatives returns NaN),
-/// `pool_task` (a ThreadPool task throws std::runtime_error).
+/// `pool_task` (a ThreadPool task throws std::runtime_error),
+/// `batch_compile` (BatchJitSession::CompileBatch reports a failed
+/// generation TU; every affected equation degrades to the batched VM).
 ///
 /// Modes (per-point invocation counter `c`, starting at 0):
 ///   always        fire on every call
@@ -37,9 +39,10 @@ enum class FaultPoint : int {
   kJitCompile = 0,
   kDerivativeNan,
   kPoolTask,
+  kBatchCompile,
 };
 
-inline constexpr std::size_t kNumFaultPoints = 3;
+inline constexpr std::size_t kNumFaultPoints = 4;
 
 const char* FaultPointName(FaultPoint point);
 

@@ -1,0 +1,129 @@
+#include "expr/batch_vm.h"
+
+#include "common/check.h"
+#include "expr/eval.h"
+
+namespace gmr::expr {
+
+BatchProgram CompileBatch(const Expr& root) {
+  BatchProgram program;
+  program.tape_ = Flatten(root);
+  return program;
+}
+
+void BatchProgram::RunLanes(const BatchEvalContext& ctx, double* out) const {
+  GMR_CHECK(!tape_.empty());
+  const std::size_t width = ctx.width;
+  GMR_CHECK(width > 0);
+  if (stack_.size() < tape_.max_stack * width) {
+    stack_.resize(tape_.max_stack * width);
+  }
+  double* stack = stack_.data();
+  std::size_t top = 0;
+  const TapeInstruction* ins = tape_.ops.data();
+  const TapeInstruction* end = ins + tape_.ops.size();
+  // The operator switch is hoisted OUT of the lane loop: each case body is
+  // a branch-free sweep over independent lanes, calling the same inline
+  // scalar kernels as CompiledProgram::Run with the operator kind fixed at
+  // compile time (the kernel switch constant-folds away). Per lane this is
+  // the exact scalar operation sequence; across lanes it is the stride-N
+  // form the autovectorizer targets.
+  for (; ins != end; ++ins) {
+    switch (ins->op) {
+      case NodeKind::kConstant: {
+        double* dst = stack + top * width;
+        const double immediate = ins->immediate;
+        for (std::size_t l = 0; l < width; ++l) dst[l] = immediate;
+        ++top;
+        break;
+      }
+      case NodeKind::kParameter: {
+        double* dst = stack + top * width;
+        const double* src =
+            ctx.parameters + static_cast<std::size_t>(ins->slot) * width;
+        for (std::size_t l = 0; l < width; ++l) dst[l] = src[l];
+        ++top;
+        break;
+      }
+      case NodeKind::kVariable: {
+        double* dst = stack + top * width;
+        const double* src =
+            ctx.variables + static_cast<std::size_t>(ins->slot) * width;
+        for (std::size_t l = 0; l < width; ++l) dst[l] = src[l];
+        ++top;
+        break;
+      }
+      case NodeKind::kAdd: {
+        --top;
+        double* a = stack + (top - 1) * width;
+        const double* b = stack + top * width;
+        for (std::size_t l = 0; l < width; ++l) a[l] += b[l];
+        break;
+      }
+      case NodeKind::kSub: {
+        --top;
+        double* a = stack + (top - 1) * width;
+        const double* b = stack + top * width;
+        for (std::size_t l = 0; l < width; ++l) a[l] -= b[l];
+        break;
+      }
+      case NodeKind::kMul: {
+        --top;
+        double* a = stack + (top - 1) * width;
+        const double* b = stack + top * width;
+        for (std::size_t l = 0; l < width; ++l) a[l] *= b[l];
+        break;
+      }
+      case NodeKind::kDiv: {
+        --top;
+        double* a = stack + (top - 1) * width;
+        const double* b = stack + top * width;
+        for (std::size_t l = 0; l < width; ++l) {
+          a[l] = ApplyBinary(NodeKind::kDiv, a[l], b[l]);
+        }
+        break;
+      }
+      case NodeKind::kMin: {
+        --top;
+        double* a = stack + (top - 1) * width;
+        const double* b = stack + top * width;
+        for (std::size_t l = 0; l < width; ++l) {
+          a[l] = ApplyBinary(NodeKind::kMin, a[l], b[l]);
+        }
+        break;
+      }
+      case NodeKind::kMax: {
+        --top;
+        double* a = stack + (top - 1) * width;
+        const double* b = stack + top * width;
+        for (std::size_t l = 0; l < width; ++l) {
+          a[l] = ApplyBinary(NodeKind::kMax, a[l], b[l]);
+        }
+        break;
+      }
+      case NodeKind::kNeg: {
+        double* a = stack + (top - 1) * width;
+        for (std::size_t l = 0; l < width; ++l) a[l] = -a[l];
+        break;
+      }
+      case NodeKind::kLog: {
+        double* a = stack + (top - 1) * width;
+        for (std::size_t l = 0; l < width; ++l) {
+          a[l] = ApplyUnary(NodeKind::kLog, a[l]);
+        }
+        break;
+      }
+      case NodeKind::kExp: {
+        double* a = stack + (top - 1) * width;
+        for (std::size_t l = 0; l < width; ++l) {
+          a[l] = ApplyUnary(NodeKind::kExp, a[l]);
+        }
+        break;
+      }
+    }
+  }
+  GMR_CHECK_EQ(top, 1u);
+  for (std::size_t l = 0; l < width; ++l) out[l] = stack[l];
+}
+
+}  // namespace gmr::expr

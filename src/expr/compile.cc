@@ -6,8 +6,8 @@
 
 namespace gmr::expr {
 
-CompiledProgram Compile(const Expr& root) {
-  CompiledProgram program;
+Tape Flatten(const Expr& root) {
+  Tape tape;
   // Postorder emission: children first, then the operator.
   struct Frame {
     const Expr* node;
@@ -26,7 +26,7 @@ CompiledProgram Compile(const Expr& root) {
       continue;
     }
     const Expr& n = *top.node;
-    CompiledProgram::Instruction ins;
+    TapeInstruction ins;
     ins.op = n.kind();
     switch (n.kind()) {
       case NodeKind::kConstant:
@@ -44,21 +44,27 @@ CompiledProgram Compile(const Expr& root) {
         break;
     }
     max_depth = std::max(max_depth, depth);
-    program.ops_.push_back(ins);
+    tape.ops.push_back(ins);
     stack.pop_back();
   }
   GMR_CHECK_EQ(depth, 1u);
-  program.max_stack_ = max_depth;
-  program.stack_.resize(max_depth);
+  tape.max_stack = max_depth;
+  return tape;
+}
+
+CompiledProgram Compile(const Expr& root) {
+  CompiledProgram program;
+  program.tape_ = Flatten(root);
+  program.stack_.resize(program.tape_.max_stack);
   return program;
 }
 
 double CompiledProgram::Run(const EvalContext& ctx) const {
-  GMR_CHECK(!ops_.empty());
+  GMR_CHECK(!tape_.empty());
   double* stack = stack_.data();
   std::size_t top = 0;
-  const Instruction* ins = ops_.data();
-  const Instruction* end = ins + ops_.size();
+  const TapeInstruction* ins = tape_.ops.data();
+  const TapeInstruction* end = ins + tape_.ops.size();
   for (; ins != end; ++ins) {
     switch (ins->op) {
       case NodeKind::kConstant:

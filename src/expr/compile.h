@@ -9,6 +9,30 @@
 
 namespace gmr::expr {
 
+/// One postfix instruction of the flattened expression tape, shared by the
+/// scalar stack VM below and the stride-N batch VM (batch_vm.h).
+struct TapeInstruction {
+  NodeKind op;
+  // kConstant: immediate; kParameter/kVariable: slot index.
+  double immediate = 0.0;
+  std::int32_t slot = -1;
+};
+
+/// A flattened expression: postorder instruction sequence plus the maximum
+/// operand-stack depth it can reach. Pure data — every VM backend executes
+/// the same tape, which is what makes their per-step operation order (and
+/// therefore their floating-point results) bit-identical.
+struct Tape {
+  std::vector<TapeInstruction> ops;
+  std::size_t max_stack = 0;
+
+  bool empty() const { return ops.empty(); }
+  std::size_t size() const { return ops.size(); }
+};
+
+/// Flattens `root` into a postorder tape (children before operators).
+Tape Flatten(const Expr& root);
+
 /// Runtime-compilation backend.
 ///
 /// The paper compiles each candidate process to C source with g++ and
@@ -27,23 +51,15 @@ class CompiledProgram {
   double Run(const EvalContext& ctx) const;
 
   /// Number of instructions in the tape.
-  std::size_t size() const { return ops_.size(); }
+  std::size_t size() const { return tape_.size(); }
 
   /// True when Compile has not been run (or the source was empty).
-  bool empty() const { return ops_.empty(); }
+  bool empty() const { return tape_.empty(); }
 
  private:
   friend CompiledProgram Compile(const Expr& root);
 
-  struct Instruction {
-    NodeKind op;
-    // kConstant: immediate; kParameter/kVariable: slot index.
-    double immediate = 0.0;
-    std::int32_t slot = -1;
-  };
-
-  std::vector<Instruction> ops_;
-  std::size_t max_stack_ = 0;
+  Tape tape_;
   // Evaluation scratch space, sized once at compile time. Programs are
   // evaluated thousands of times per fitness case sequence; reusing the
   // buffer keeps Run() allocation-free. A CompiledProgram is therefore not

@@ -7,8 +7,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
+#include <vector>
 
 #include "common/check.h"
 #include "common/fault_injection.h"
@@ -35,7 +38,8 @@ static double gmr_min(double a, double b) { return a < b ? a : b; }
 static double gmr_max(double a, double b) { return a > b ? a : b; }
 )";
 
-void EmitNode(const Expr& node, std::ostringstream& out) {
+void EmitNode(const Expr& node, std::ostringstream& out,
+              bool strided) {
   switch (node.kind()) {
     case NodeKind::kConstant: {
       const double v = node.value();
@@ -55,57 +59,88 @@ void EmitNode(const Expr& node, std::ostringstream& out) {
       return;
     }
     case NodeKind::kParameter:
-      out << "p[" << node.slot() << "]";
+      out << "p[" << node.slot() << (strided ? "*w+i]" : "]");
       return;
     case NodeKind::kVariable:
-      out << "v[" << node.slot() << "]";
+      out << "v[" << node.slot() << (strided ? "*w+i]" : "]");
       return;
     case NodeKind::kAdd:
     case NodeKind::kSub:
     case NodeKind::kMul:
       out << '(';
-      EmitNode(*node.children()[0], out);
+      EmitNode(*node.children()[0], out, strided);
       out << ' ' << KindName(node.kind()) << ' ';
-      EmitNode(*node.children()[1], out);
+      EmitNode(*node.children()[1], out, strided);
       out << ')';
       return;
     case NodeKind::kDiv:
       out << "gmr_pdiv(";
-      EmitNode(*node.children()[0], out);
+      EmitNode(*node.children()[0], out, strided);
       out << ", ";
-      EmitNode(*node.children()[1], out);
+      EmitNode(*node.children()[1], out, strided);
       out << ')';
       return;
     case NodeKind::kMin:
     case NodeKind::kMax:
       out << (node.kind() == NodeKind::kMin ? "gmr_min(" : "gmr_max(");
-      EmitNode(*node.children()[0], out);
+      EmitNode(*node.children()[0], out, strided);
       out << ", ";
-      EmitNode(*node.children()[1], out);
+      EmitNode(*node.children()[1], out, strided);
       out << ')';
       return;
     case NodeKind::kNeg:
       // The space keeps "-" from fusing with a negative constant literal
       // into the C decrement operator ("--1" does not compile).
       out << "(- ";
-      EmitNode(*node.children()[0], out);
+      EmitNode(*node.children()[0], out, strided);
       out << ')';
       return;
     case NodeKind::kLog:
       out << "gmr_plog(";
-      EmitNode(*node.children()[0], out);
+      EmitNode(*node.children()[0], out, strided);
       out << ')';
       return;
     case NodeKind::kExp:
       out << "gmr_pexp(";
-      EmitNode(*node.children()[0], out);
+      EmitNode(*node.children()[0], out, strided);
       out << ')';
       return;
   }
 }
 
+/// RAII owner of the process-wide scratch directory. Constructed lazily by
+/// JitScratchDir(); the destructor (static-object teardown at exit) removes
+/// whatever is left — normally nothing, since sources and shared objects
+/// are unlinked eagerly, but a compile killed mid-flight can strand files.
+class ScratchDirOwner {
+ public:
+  ScratchDirOwner() {
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string pattern = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                          "/gmr_jit_XXXXXX";
+    std::vector<char> buffer(pattern.begin(), pattern.end());
+    buffer.push_back('\0');
+    if (mkdtemp(buffer.data()) != nullptr) {
+      path_.assign(buffer.data());
+    }
+  }
+
+  ~ScratchDirOwner() {
+    if (path_.empty()) return;
+    std::error_code ec;  // best effort; never throw during teardown
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
 /// The compiler command, probed once. Empty when none works.
-const std::string& CompilerCommand() {
+const std::string& JitCompilerCommand() {
   static const std::string* const command = [] {
     for (const char* candidate : {"cc", "gcc", "clang"}) {
       const std::string probe =
@@ -119,27 +154,49 @@ const std::string& CompilerCommand() {
   return *command;
 }
 
-std::string UniqueStem() {
-  static std::atomic<int> counter{0};
-  std::ostringstream stem;
-  const char* tmpdir = std::getenv("TMPDIR");
-  stem << (tmpdir != nullptr ? tmpdir : "/tmp") << "/gmr_jit_" << getpid()
-       << '_' << counter.fetch_add(1);
-  return stem.str();
+const std::string& JitScratchDir() {
+  static ScratchDirOwner owner;
+  return owner.path();
 }
 
-}  // namespace
+std::string JitScratchStem() {
+  static std::atomic<int> counter{0};
+  const std::string& dir = JitScratchDir();
+  std::ostringstream stem;
+  if (dir.empty()) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    stem << (tmpdir != nullptr ? tmpdir : "/tmp") << "/gmr_jit_" << getpid();
+  } else {
+    stem << dir << "/m";
+  }
+  stem << '_' << counter.fetch_add(1);
+  return stem.str();
+}
 
 std::string GenerateCSource(const Expr& root) {
   std::ostringstream out;
   out << kPreamble;
   out << "double gmr_eval(const double* v, const double* p) {\n  return ";
-  EmitNode(root, out);
+  EmitNode(root, out, /*strided=*/false);
   out << ";\n}\n";
   return out.str();
 }
 
-bool JitAvailable() { return !CompilerCommand().empty(); }
+const char* JitKernelPreamble() { return kPreamble; }
+
+std::string RenderCExpression(const Expr& root) {
+  std::ostringstream out;
+  EmitNode(root, out, /*strided=*/false);
+  return out.str();
+}
+
+std::string RenderCExpressionStrided(const Expr& root) {
+  std::ostringstream out;
+  EmitNode(root, out, /*strided=*/true);
+  return out.str();
+}
+
+bool JitAvailable() { return !JitCompilerCommand().empty(); }
 
 void JitCircuitBreaker::RecordFailure(const std::string& reason) {
   const int failures =
@@ -172,7 +229,7 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const Expr& root,
     if (error != nullptr) *error = "no C compiler found on this system";
     return nullptr;
   }
-  const std::string stem = UniqueStem();
+  const std::string stem = JitScratchStem();
   const std::string source_path = stem + ".c";
   const std::string library_path = stem + ".so";
 
@@ -187,9 +244,9 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const Expr& root,
     out << program->source_;
   }
 
-  const std::string command = CompilerCommand() + " -O2 -shared -fPIC -o " +
-                              library_path + " " + source_path +
-                              " -lm > /dev/null 2>&1";
+  const std::string command = JitCompilerCommand() +
+                              " -O2 -shared -fPIC -o " + library_path + " " +
+                              source_path + " -lm > /dev/null 2>&1";
   const int status = std::system(command.c_str());
   std::remove(source_path.c_str());
   if (status != 0) {
@@ -210,13 +267,15 @@ std::unique_ptr<JitProgram> JitProgram::Compile(const Expr& root,
     std::remove(library_path.c_str());
     return nullptr;
   }
+  // Unlink eagerly: the mapping stays valid until dlclose, and no .so is
+  // ever stranded by a circuit-breaker trip or an aborted run.
+  std::remove(library_path.c_str());
   program->library_path_ = library_path;
   return program;
 }
 
 JitProgram::~JitProgram() {
   if (handle_ != nullptr) dlclose(handle_);
-  if (!library_path_.empty()) std::remove(library_path_.c_str());
 }
 
 }  // namespace gmr::expr

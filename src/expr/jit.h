@@ -58,6 +58,23 @@ class JitProgram {
 /// True when a working C compiler was found on this system (checked once).
 bool JitAvailable();
 
+/// The probed compiler command ("cc", "gcc", or "clang"); empty when none
+/// works. Shared by the per-model JIT and the generation batch JIT.
+const std::string& JitCompilerCommand();
+
+/// One mkdtemp()-created scratch directory per process, shared by every
+/// JIT compilation (per-model and batch): sources and shared objects are
+/// unlinked eagerly (the .so right after dlopen), and the directory itself
+/// is removed by RAII at process exit — so circuit-breaker trips and
+/// aborted runs no longer strand gmr_jit_* temp files in TMPDIR.
+/// Returns the directory path; empty when no scratch dir could be created
+/// (callers fall back to bare TMPDIR stems).
+const std::string& JitScratchDir();
+
+/// A fresh unique file stem inside JitScratchDir() (or TMPDIR when the
+/// scratch dir is unavailable).
+std::string JitScratchStem();
+
 /// Circuit breaker guarding JIT compilation: after `threshold` consecutive
 /// compile failures the breaker opens and JIT stays disabled for the rest
 /// of the run (evaluation degrades to the bytecode VM, which is
@@ -116,6 +133,20 @@ class JitCircuitBreaker {
 
 /// Generates the C source for `root` without compiling (exposed for tests).
 std::string GenerateCSource(const Expr& root);
+
+/// The shared protected-operator kernel preamble (one copy per translation
+/// unit; the generation batch JIT prepends it to its multi-symbol TUs).
+const char* JitKernelPreamble();
+
+/// Renders `root` as a C expression over `v`/`p` (the body GenerateCSource
+/// wraps in gmr_eval), for callers that compose their own translation unit.
+std::string RenderCExpression(const Expr& root);
+
+/// Same, but leaves index with the SoA stride of the batch calling
+/// convention: slot s of lane i reads `v[s*w+i]` / `p[s*w+i]` (the
+/// generation batch JIT wraps this body in a `for (i = 0; i < w; ++i)`
+/// lane loop).
+std::string RenderCExpressionStrided(const Expr& root);
 
 }  // namespace gmr::expr
 

@@ -38,6 +38,14 @@ struct EvalStats {
   /// wall_seconds under parallel evaluation (the old `eval_seconds`
   /// conflated the two).
   double cpu_seconds = 0.0;
+  /// Time spent preparing candidates for evaluation rather than evaluating
+  /// them: SequentialFitness::Begin (which hosts the per-candidate compile
+  /// under the RC backends) and the generation-level PrepareBatch compile
+  /// pass. Previously folded silently into cpu_seconds; kept as a separate
+  /// bucket so compile cost is attributable. Lane-side Begin time is also
+  /// part of cpu_seconds; the coordinator-side PrepareBatch pass is also
+  /// part of wall_seconds.
+  double compile_seconds = 0.0;
   /// Containment telemetry: computed evaluations by EvalOutcome (cache hits
   /// are not re-counted; index with static_cast<std::size_t>(outcome)).
   std::size_t outcomes[kNumEvalOutcomes] = {};

@@ -58,6 +58,23 @@ class SequentialFitness {
       const std::vector<expr::ExprPtr>& equations,
       const std::vector<double>& parameters,
       bool use_compiled_backend) const = 0;
+
+  /// True when the problem wants one generation-level compile pass before a
+  /// batch of evaluations fans out (e.g. the batched JIT backend, which
+  /// compiles every unique equation of the batch into a single translation
+  /// unit). Consulted by FitnessEvaluator::EvaluateBatch; the serial
+  /// Evaluate path never calls PrepareBatch, so implementations must stay
+  /// correct (if slower) without it.
+  virtual bool WantsBatchPreparation() const { return false; }
+
+  /// Called once per evaluation batch, on the coordinator, before worker
+  /// fan-out, with every phenotype of the batch. Must be safe to skip and
+  /// must not change any evaluation result — it is a warm-up hook, not a
+  /// correctness hook.
+  virtual void PrepareBatch(
+      const std::vector<std::vector<expr::ExprPtr>>& phenotypes) const {
+    (void)phenotypes;
+  }
 };
 
 /// Extrapolates an intermediate fitness observed after `steps` of

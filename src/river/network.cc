@@ -143,12 +143,19 @@ HydrologicalProcess::Output HydrologicalProcess::Route(
   GMR_CHECK_GT(num_days, 0u);
   GMR_CHECK_GT(num_attributes, 0u);
 
-  Output out;
-  out.flow.assign(num_stations, std::vector<double>(num_days, 0.0));
-  out.attributes.assign(
-      num_stations,
-      std::vector<std::vector<double>>(num_attributes,
-                                       std::vector<double>(num_days, 0.0)));
+  // Routing state lives in flat SoA buffers — flow[s * num_days + t] and
+  // attrs[(s * num_attributes + k) * num_days + t] — so the hot per-day
+  // loops index contiguous memory instead of chasing nested vectors; the
+  // nested Output shape is materialized once at the end. Arithmetic order
+  // is unchanged, so results are bit-identical to the nested version.
+  std::vector<double> flow_soa(num_stations * num_days, 0.0);
+  std::vector<double> attr_soa(num_stations * num_attributes * num_days, 0.0);
+  const auto flow_row = [&](std::size_t s) -> double* {
+    return &flow_soa[s * num_days];
+  };
+  const auto attr_row = [&](std::size_t s, std::size_t k) -> double* {
+    return &attr_soa[(s * num_attributes + k) * num_days];
+  };
 
   const std::vector<int> order = network_->TopologicalOrder();
 
@@ -160,28 +167,35 @@ HydrologicalProcess::Output HydrologicalProcess::Route(
     retention[static_cast<std::size_t>(reach.to)] = reach.retention;
   }
 
+  // Scratch for the mass-weighted attribute accumulation, hoisted out of
+  // the day loop (the nested version allocated it once per day).
+  std::vector<double> mass(num_attributes, 0.0);
+
   for (int station : order) {
     const auto s = static_cast<std::size_t>(station);
     const std::vector<int> inbound = network_->InboundReaches(station);
     const bool has_local = !input.attributes[s].empty();
     const double r_b = retention[s];
+    const double* rain_series =
+        input.rainfall[s].empty() ? nullptr : input.rainfall[s].data();
+    double* flow_s = flow_row(s);
 
     for (std::size_t t = 0; t < num_days; ++t) {
       // R_B of Eq. (9): local inflow = rainfall runoff plus a steady base
       // inflow (groundwater and unmodeled headwater), both carrying the
       // local catchment's attribute signature.
-      const double rain =
-          input.rainfall[s].empty() ? 0.0 : input.rainfall[s][t];
+      const double rain = rain_series == nullptr ? 0.0 : rain_series[t];
       const double local_inflow = rain + input.base_flow[s];
       double flow = local_inflow;
-      if (t > 0) flow += r_b * out.flow[s][t - 1];
+      if (t > 0) flow += r_b * flow_s[t - 1];
 
       // Mass-weighted attribute accumulation.
-      std::vector<double> mass(num_attributes, 0.0);
       if (t > 0) {
         for (std::size_t k = 0; k < num_attributes; ++k) {
-          mass[k] = r_b * out.flow[s][t - 1] * out.attributes[s][k][t - 1];
+          mass[k] = r_b * flow_s[t - 1] * attr_row(s, k)[t - 1];
         }
+      } else {
+        std::fill(mass.begin(), mass.end(), 0.0);
       }
       if (has_local && local_inflow > 0.0) {
         for (std::size_t k = 0; k < num_attributes; ++k) {
@@ -195,23 +209,36 @@ HydrologicalProcess::Output HydrologicalProcess::Route(
         const std::size_t lag = static_cast<std::size_t>(reach.travel_days);
         const std::size_t tau = t >= lag ? t - lag : 0;
         const double r_a = retention[a];
-        const double inflow = (1.0 - r_a) * out.flow[a][tau];
+        const double inflow = (1.0 - r_a) * flow_row(a)[tau];
         flow += inflow;
         for (std::size_t k = 0; k < num_attributes; ++k) {
-          mass[k] += inflow * out.attributes[a][k][tau];
+          mass[k] += inflow * attr_row(a, k)[tau];
         }
       }
 
-      out.flow[s][t] = flow;
+      flow_s[t] = flow;
       if (flow > 1e-12) {
         for (std::size_t k = 0; k < num_attributes; ++k) {
-          out.attributes[s][k][t] = mass[k] / flow;
+          attr_row(s, k)[t] = mass[k] / flow;
         }
       } else if (has_local) {
         for (std::size_t k = 0; k < num_attributes; ++k) {
-          out.attributes[s][k][t] = input.attributes[s][k][t];
+          attr_row(s, k)[t] = input.attributes[s][k][t];
         }
       }
+    }
+  }
+
+  Output out;
+  out.flow.resize(num_stations);
+  out.attributes.resize(num_stations);
+  for (std::size_t s = 0; s < num_stations; ++s) {
+    const double* flow_s = flow_row(s);
+    out.flow[s].assign(flow_s, flow_s + num_days);
+    out.attributes[s].resize(num_attributes);
+    for (std::size_t k = 0; k < num_attributes; ++k) {
+      const double* attr_sk = attr_row(s, k);
+      out.attributes[s][k].assign(attr_sk, attr_sk + num_days);
     }
   }
   return out;

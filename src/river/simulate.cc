@@ -28,7 +28,36 @@ ProcessRunner::ProcessRunner(const std::vector<expr::ExprPtr>& equations,
   // equation whose JIT compile fails.
   programs_.reserve(equations_.size());
   for (const auto& eq : equations_) programs_.push_back(expr::Compile(*eq));
-  if (config.compiled_backend != CompiledBackend::kNativeJit) return;
+  switch (config.compiled_backend) {
+    case CompiledBackend::kBytecodeVm:
+      return;
+    case CompiledBackend::kBatchVm:
+    case CompiledBackend::kBatchJit: {
+      // Scalar rollouts run the batched backends at width 1 (SoA == AoS at
+      // stride 1), so scalar and batched evaluation share one code path.
+      batch_programs_.reserve(equations_.size());
+      for (const auto& eq : equations_) {
+        batch_programs_.push_back(expr::CompileBatch(*eq));
+      }
+      if (config.compiled_backend != CompiledBackend::kBatchJit) return;
+      expr::BatchJitSession* session =
+          config.batch_jit_session != nullptr
+              ? config.batch_jit_session
+              : expr::BatchJitSession::Default();
+      std::vector<const expr::Expr*> roots;
+      roots.reserve(equations_.size());
+      for (const auto& eq : equations_) roots.push_back(eq.get());
+      // Pure cache hits when the evaluator's PrepareBatch already compiled
+      // this generation; a miss compiles a (small) TU for this individual.
+      batch_fns_ = session->CompileBatch(roots);
+      for (const auto fn : batch_fns_) {
+        if (fn == nullptr) jit_fallback_ = true;
+      }
+      return;
+    }
+    case CompiledBackend::kNativeJit:
+      break;
+  }
   expr::JitCircuitBreaker* breaker = config.jit_breaker != nullptr
                                          ? config.jit_breaker
                                          : expr::JitCircuitBreaker::Default();
@@ -57,6 +86,28 @@ void ProcessRunner::Derivatives(const double* variables,
   if (FaultInjected(FaultPoint::kDerivativeNan)) {
     *d_bphy = std::numeric_limits<double>::quiet_NaN();
     *d_bzoo = std::numeric_limits<double>::quiet_NaN();
+    return;
+  }
+  if (compiled_ && !batch_programs_.empty()) {
+    // Batched backends at stride 1: lane 0 of the SoA layout is exactly the
+    // scalar layout, so this is bit-identical to the bytecode VM (batch VM)
+    // or within the JIT ULP budget (batch JIT symbols).
+    expr::BatchEvalContext bctx;
+    bctx.variables = variables;
+    bctx.num_variables = num_variables;
+    bctx.parameters = parameters_->data();
+    bctx.num_parameters = parameters_->size();
+    bctx.width = 1;
+    if (!batch_fns_.empty() && batch_fns_[0] != nullptr) {
+      batch_fns_[0](variables, parameters_->data(), d_bphy, 1);
+    } else {
+      batch_programs_[0].RunLanes(bctx, d_bphy);
+    }
+    if (!batch_fns_.empty() && batch_fns_[1] != nullptr) {
+      batch_fns_[1](variables, parameters_->data(), d_bzoo, 1);
+    } else {
+      batch_programs_[1].RunLanes(bctx, d_bzoo);
+    }
     return;
   }
   expr::EvalContext ctx;
@@ -255,6 +306,295 @@ class Integrator {
   std::size_t consecutive_saturated_ = 0;
 };
 
+/// Evaluates both derivative equations for a whole lane block per call
+/// (one lane per parameter vector, SoA layout of batch_vm.h).
+class BatchRunner {
+ public:
+  BatchRunner(const std::vector<expr::ExprPtr>& equations,
+              const SimulationConfig& config) {
+    GMR_CHECK_EQ(equations.size(), 2u);
+    programs_.reserve(equations.size());
+    for (const auto& eq : equations) {
+      programs_.push_back(expr::CompileBatch(*eq));
+    }
+    if (config.compiled_backend != CompiledBackend::kBatchJit) return;
+    expr::BatchJitSession* session =
+        config.batch_jit_session != nullptr
+            ? config.batch_jit_session
+            : expr::BatchJitSession::Default();
+    std::vector<const expr::Expr*> roots;
+    roots.reserve(equations.size());
+    for (const auto& eq : equations) roots.push_back(eq.get());
+    fns_ = session->CompileBatch(roots);
+    for (const auto fn : fns_) {
+      if (fn == nullptr) jit_fallback_ = true;
+    }
+  }
+
+  void Derivatives(const double* variables, std::size_t num_variables,
+                   const double* parameters, std::size_t num_parameters,
+                   std::size_t width, double* d_bphy, double* d_bzoo) const {
+    if (FaultInjected(FaultPoint::kDerivativeNan)) {
+      for (std::size_t l = 0; l < width; ++l) {
+        d_bphy[l] = std::numeric_limits<double>::quiet_NaN();
+        d_bzoo[l] = std::numeric_limits<double>::quiet_NaN();
+      }
+      return;
+    }
+    expr::BatchEvalContext ctx;
+    ctx.variables = variables;
+    ctx.num_variables = num_variables;
+    ctx.parameters = parameters;
+    ctx.num_parameters = num_parameters;
+    ctx.width = width;
+    if (!fns_.empty() && fns_[0] != nullptr) {
+      fns_[0](variables, parameters, d_bphy, static_cast<long>(width));
+    } else {
+      programs_[0].RunLanes(ctx, d_bphy);
+    }
+    if (!fns_.empty() && fns_[1] != nullptr) {
+      fns_[1](variables, parameters, d_bzoo, static_cast<long>(width));
+    } else {
+      programs_[1].RunLanes(ctx, d_bzoo);
+    }
+  }
+
+  bool jit_fallback() const { return jit_fallback_; }
+
+ private:
+  std::vector<expr::BatchProgram> programs_;
+  std::vector<expr::BatchJitSession::BatchFn> fns_;
+  bool jit_fallback_ = false;
+};
+
+/// Lane-parallel mirror of Integrator: the same watchdog state machine,
+/// replicated per lane over SoA buffers. Every lane's trajectory, counters,
+/// and abort behavior are bit-identical to running the scalar Integrator on
+/// that lane's parameter vector alone (under an equivalent backend): a lane
+/// that trips a watchdog is masked out of commits and bookkeeping — its
+/// remaining days predict state_max — while its neighbors keep integrating.
+/// Masked lanes still flow through the (branch-free) derivative kernels;
+/// their outputs are simply ignored.
+class BatchIntegrator {
+ public:
+  BatchIntegrator(const std::vector<expr::ExprPtr>& equations,
+                  const std::vector<std::vector<double>>& parameter_lanes,
+                  const RiverDataset* dataset, double initial_bphy,
+                  double initial_bzoo, const SimulationConfig& config)
+      : runner_(equations, config),
+        dataset_(dataset),
+        config_(config),
+        width_(parameter_lanes.size()) {
+    GMR_CHECK_GT(width_, 0u);
+    num_parameters_ = parameter_lanes[0].size();
+    params_.resize(num_parameters_ * width_);
+    for (std::size_t l = 0; l < width_; ++l) {
+      GMR_CHECK_EQ(parameter_lanes[l].size(), num_parameters_);
+      for (std::size_t s = 0; s < num_parameters_; ++s) {
+        params_[s * width_ + l] = parameter_lanes[l][s];
+      }
+    }
+    Lane initial;
+    initial.bphy = ClampState(initial_bphy, config_);
+    initial.bzoo = ClampState(initial_bzoo, config_);
+    lanes_.assign(width_, initial);
+    vars_.resize(static_cast<std::size_t>(kNumVariables) * width_);
+    k_bphy_.resize(4 * width_);
+    k_bzoo_.resize(4 * width_);
+    stage_live_.resize(width_);
+  }
+
+  /// Integrates one day for every lane; out[lane] is that lane's end-of-day
+  /// B_Phy (or the penalty value once the lane has aborted).
+  void AdvanceDay(std::size_t t, double* out) {
+    bool all_aborted = true;
+    for (Lane& lane : lanes_) {
+      ++lane.days_simulated;
+      all_aborted = all_aborted && lane.aborted;
+    }
+    if (!all_aborted) {
+      for (int slot = kVlgt; slot < kNumVariables; ++slot) {
+        const double v =
+            dataset_->drivers[static_cast<std::size_t>(slot)][t];
+        double* row = &vars_[static_cast<std::size_t>(slot) * width_];
+        for (std::size_t l = 0; l < width_; ++l) row[l] = v;
+      }
+      const double dt = 1.0 / static_cast<double>(config_.substeps);
+      for (int step = 0; step < config_.substeps; ++step) {
+        bool any_active = false;
+        for (Lane& lane : lanes_) {
+          if (lane.aborted) continue;
+          if (config_.substep_budget > 0 &&
+              lane.substeps_used >= config_.substep_budget) {
+            AbortLane(lane, EvalOutcome::kBudgetExceeded);
+            continue;
+          }
+          ++lane.substeps_used;
+          any_active = true;
+        }
+        if (!any_active) break;
+        if (config_.method == IntegrationMethod::kRk4) {
+          Rk4Step(dt);
+        } else {
+          EulerStep(dt);
+        }
+      }
+    }
+    for (std::size_t l = 0; l < width_; ++l) {
+      out[l] = lanes_[l].aborted ? config_.state_max : lanes_[l].bphy;
+    }
+  }
+
+  void FillReport(std::size_t lane_index, SimulationReport* report) const {
+    const Lane& lane = lanes_[lane_index];
+    report->outcome = lane.aborted ? lane.abort_outcome
+                      : runner_.jit_fallback()
+                          ? EvalOutcome::kJitCompileFailed
+                          : EvalOutcome::kOk;
+    report->aborted = lane.aborted;
+    report->jit_fallback = runner_.jit_fallback();
+    report->substeps_used = lane.substeps_used;
+    report->days_simulated = lane.days_simulated;
+    report->days_before_abort =
+        lane.aborted ? lane.days_before_abort : lane.days_simulated;
+    report->nonfinite_derivatives = lane.nonfinite_derivatives;
+    report->clamp_saturations = lane.clamp_saturations;
+  }
+
+ private:
+  /// One lane's copy of the scalar Integrator's state machine.
+  struct Lane {
+    double bphy = 0.0;
+    double bzoo = 0.0;
+    bool aborted = false;
+    EvalOutcome abort_outcome = EvalOutcome::kOk;
+    std::size_t substeps_used = 0;
+    std::size_t days_simulated = 0;
+    std::size_t days_before_abort = 0;
+    std::size_t nonfinite_derivatives = 0;
+    std::size_t clamp_saturations = 0;
+    std::size_t consecutive_saturated = 0;
+  };
+
+  void AbortLane(Lane& lane, EvalOutcome outcome) {
+    lane.aborted = true;
+    lane.abort_outcome = outcome;
+    lane.days_before_abort = lane.days_simulated - 1;
+  }
+
+  void NoteDerivatives(Lane& lane, double d_bphy, double d_bzoo) {
+    if (std::isfinite(d_bphy) && std::isfinite(d_bzoo)) return;
+    ++lane.nonfinite_derivatives;
+    if (config_.max_nonfinite_derivatives > 0 &&
+        lane.nonfinite_derivatives >=
+            static_cast<std::size_t>(config_.max_nonfinite_derivatives)) {
+      AbortLane(lane, EvalOutcome::kNonFiniteDerivative);
+    }
+  }
+
+  void CommitState(Lane& lane, double raw_bphy, double raw_bzoo) {
+    bool saturated = false;
+    lane.bphy = ClampState(raw_bphy, config_, &saturated);
+    lane.bzoo = ClampState(raw_bzoo, config_, &saturated);
+    if (!saturated) {
+      lane.consecutive_saturated = 0;
+      return;
+    }
+    ++lane.clamp_saturations;
+    ++lane.consecutive_saturated;
+    if (config_.max_saturated_substeps > 0 &&
+        lane.consecutive_saturated >=
+            static_cast<std::size_t>(config_.max_saturated_substeps)) {
+      AbortLane(lane, EvalOutcome::kClampSaturated);
+    }
+  }
+
+  void EulerStep(double dt) {
+    double* bphy_row = &vars_[static_cast<std::size_t>(kBPhy) * width_];
+    double* bzoo_row = &vars_[static_cast<std::size_t>(kBZoo) * width_];
+    for (std::size_t l = 0; l < width_; ++l) {
+      bphy_row[l] = lanes_[l].bphy;
+      bzoo_row[l] = lanes_[l].bzoo;
+    }
+    runner_.Derivatives(vars_.data(), kNumVariables, params_.data(),
+                        num_parameters_, width_, k_bphy_.data(),
+                        k_bzoo_.data());
+    for (std::size_t l = 0; l < width_; ++l) {
+      Lane& lane = lanes_[l];
+      if (lane.aborted) continue;
+      NoteDerivatives(lane, k_bphy_[l], k_bzoo_[l]);
+      if (lane.aborted) continue;
+      CommitState(lane, lane.bphy + dt * k_bphy_[l],
+                  lane.bzoo + dt * k_bzoo_[l]);
+    }
+  }
+
+  void Rk4Step(double dt) {
+    const double offsets[4] = {0.0, 0.5, 0.5, 1.0};
+    // A lane that aborts at stage k skips the later stages' bookkeeping and
+    // the final commit — the batched image of the scalar early return.
+    for (std::size_t l = 0; l < width_; ++l) {
+      stage_live_[l] = lanes_[l].aborted ? 0 : 1;
+    }
+    double* bphy_row = &vars_[static_cast<std::size_t>(kBPhy) * width_];
+    double* bzoo_row = &vars_[static_cast<std::size_t>(kBZoo) * width_];
+    for (int stage = 0; stage < 4; ++stage) {
+      const double o = offsets[stage];
+      double* k_bphy = &k_bphy_[static_cast<std::size_t>(stage) * width_];
+      double* k_bzoo = &k_bzoo_[static_cast<std::size_t>(stage) * width_];
+      const double* k_bphy_prev =
+          stage == 0 ? nullptr
+                     : &k_bphy_[static_cast<std::size_t>(stage - 1) * width_];
+      const double* k_bzoo_prev =
+          stage == 0 ? nullptr
+                     : &k_bzoo_[static_cast<std::size_t>(stage - 1) * width_];
+      for (std::size_t l = 0; l < width_; ++l) {
+        bphy_row[l] = o == 0.0 ? lanes_[l].bphy
+                               : lanes_[l].bphy + o * dt * k_bphy_prev[l];
+        bzoo_row[l] = o == 0.0 ? lanes_[l].bzoo
+                               : lanes_[l].bzoo + o * dt * k_bzoo_prev[l];
+      }
+      runner_.Derivatives(vars_.data(), kNumVariables, params_.data(),
+                          num_parameters_, width_, k_bphy, k_bzoo);
+      for (std::size_t l = 0; l < width_; ++l) {
+        if (stage_live_[l] == 0) continue;
+        NoteDerivatives(lanes_[l], k_bphy[l], k_bzoo[l]);
+        if (lanes_[l].aborted) stage_live_[l] = 0;
+      }
+    }
+    for (std::size_t l = 0; l < width_; ++l) {
+      if (stage_live_[l] == 0) continue;
+      Lane& lane = lanes_[l];
+      CommitState(
+          lane,
+          lane.bphy + dt / 6.0 *
+                          (k_bphy_[0 * width_ + l] +
+                           2.0 * k_bphy_[1 * width_ + l] +
+                           2.0 * k_bphy_[2 * width_ + l] +
+                           k_bphy_[3 * width_ + l]),
+          lane.bzoo + dt / 6.0 *
+                          (k_bzoo_[0 * width_ + l] +
+                           2.0 * k_bzoo_[1 * width_ + l] +
+                           2.0 * k_bzoo_[2 * width_ + l] +
+                           k_bzoo_[3 * width_ + l]));
+    }
+  }
+
+  BatchRunner runner_;
+  const RiverDataset* dataset_;
+  SimulationConfig config_;
+  std::size_t width_;
+  std::size_t num_parameters_ = 0;
+  std::vector<Lane> lanes_;
+  /// SoA blocks: index [slot * width_ + lane].
+  std::vector<double> params_;
+  std::vector<double> vars_;
+  /// RK stage slopes, [stage * width_ + lane]; Euler uses stage 0 only.
+  std::vector<double> k_bphy_;
+  std::vector<double> k_bzoo_;
+  std::vector<char> stage_live_;
+};
+
 class RiverEvaluation : public gp::SequentialEvaluation {
  public:
   RiverEvaluation(const std::vector<expr::ExprPtr>& equations,
@@ -323,6 +663,35 @@ std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
   return predicted;
 }
 
+BatchSimulationResult BatchSimulateBPhy(
+    const std::vector<expr::ExprPtr>& equations,
+    const std::vector<std::vector<double>>& parameter_lanes,
+    const RiverDataset& dataset, std::size_t t_begin, std::size_t t_end,
+    double initial_bphy, double initial_bzoo,
+    const SimulationConfig& config) {
+  GMR_CHECK_LE(t_end, dataset.num_days);
+  GMR_CHECK_LE(t_begin, t_end);
+  BatchSimulationResult result;
+  result.width = parameter_lanes.size();
+  result.predicted.resize(result.width);
+  result.reports.resize(result.width);
+  if (result.width == 0) return result;
+  BatchIntegrator integrator(equations, parameter_lanes, &dataset,
+                             initial_bphy, initial_bzoo, config);
+  std::vector<double> day(result.width, 0.0);
+  for (auto& lane : result.predicted) lane.reserve(t_end - t_begin);
+  for (std::size_t t = t_begin; t < t_end; ++t) {
+    integrator.AdvanceDay(t, day.data());
+    for (std::size_t l = 0; l < result.width; ++l) {
+      result.predicted[l].push_back(day[l]);
+    }
+  }
+  for (std::size_t l = 0; l < result.width; ++l) {
+    integrator.FillReport(l, &result.reports[l]);
+  }
+  return result;
+}
+
 RiverFitness::RiverFitness(const RiverDataset* dataset, std::size_t t_begin,
                            std::size_t t_end, double initial_bphy,
                            double initial_bzoo, SimulationConfig config)
@@ -351,6 +720,23 @@ RiverFitness RiverFitness::ForTest(const RiverDataset* dataset,
 }
 
 std::size_t RiverFitness::num_parameters() const { return kNumParameters; }
+
+bool RiverFitness::WantsBatchPreparation() const {
+  return config_.compiled_backend == CompiledBackend::kBatchJit;
+}
+
+void RiverFitness::PrepareBatch(
+    const std::vector<std::vector<expr::ExprPtr>>& phenotypes) const {
+  expr::BatchJitSession* session =
+      config_.batch_jit_session != nullptr ? config_.batch_jit_session
+                                           : expr::BatchJitSession::Default();
+  std::vector<const expr::Expr*> roots;
+  roots.reserve(2 * phenotypes.size());
+  for (const auto& equations : phenotypes) {
+    for (const auto& eq : equations) roots.push_back(eq.get());
+  }
+  if (!roots.empty()) session->CompileBatch(roots);
+}
 
 std::unique_ptr<gp::SequentialEvaluation> RiverFitness::Begin(
     const std::vector<expr::ExprPtr>& equations,

@@ -7,6 +7,8 @@
 
 #include "common/status.h"
 #include "expr/ast.h"
+#include "expr/batch_jit.h"
+#include "expr/batch_vm.h"
 #include "expr/compile.h"
 #include "expr/jit.h"
 #include "gp/fitness.h"
@@ -28,6 +30,14 @@ enum class CompiledBackend {
   kNativeJit,       ///< cc + dlopen (expr/jit.h); degrades to the VM
                     ///< per-equation on compile failure, and run-wide once
                     ///< the circuit breaker opens.
+  kBatchVm,         ///< Stride-N batch VM (expr/batch_vm.h) at width 1 in
+                    ///< scalar rollouts; bit-identical to kBytecodeVm lane
+                    ///< by lane, and the fallback for every batched path.
+  kBatchJit,        ///< Generation-batched cc + dlopen (expr/batch_jit.h):
+                    ///< one translation unit per compile batch, one symbol
+                    ///< per unique equation, structure-hash compile cache.
+                    ///< Degrades per-equation to the batch VM on compile
+                    ///< failure, and run-wide once the breaker opens.
 };
 
 /// Numerical integration settings for the biological process.
@@ -47,6 +57,9 @@ struct SimulationConfig {
   /// Circuit breaker consulted by the kNativeJit backend; null uses the
   /// process-wide expr::JitCircuitBreaker::Default().
   expr::JitCircuitBreaker* jit_breaker = nullptr;
+  /// Compile cache + TU batcher consulted by the kBatchJit backend; null
+  /// uses the process-wide expr::BatchJitSession::Default(). Not owned.
+  expr::BatchJitSession* batch_jit_session = nullptr;
 
   /// Divergence watchdogs. A tripped watchdog aborts the rollout: every
   /// remaining day deterministically predicts state_max (a pure function of
@@ -109,7 +122,7 @@ class ProcessRunner {
   void Derivatives(const double* variables, std::size_t num_variables,
                    double* d_bphy, double* d_bzoo) const;
 
-  /// True when any equation degraded from kNativeJit to the bytecode VM.
+  /// True when any equation degraded from a JIT backend to a VM.
   bool jit_fallback() const { return jit_fallback_; }
 
  private:
@@ -120,6 +133,12 @@ class ProcessRunner {
   /// Parallel to equations_ when the JIT backend is active; a null entry
   /// means that equation runs on the bytecode program instead.
   std::vector<std::unique_ptr<expr::JitProgram>> jit_programs_;
+  /// Parallel to equations_ under kBatchVm (always populated) and kBatchJit
+  /// (fallback for equations whose batch symbol is unavailable).
+  std::vector<expr::BatchProgram> batch_programs_;
+  /// Parallel to equations_ under kBatchJit; null entries degrade to
+  /// batch_programs_.
+  std::vector<expr::BatchJitSession::BatchFn> batch_fns_;
   bool jit_fallback_ = false;
 };
 
@@ -134,6 +153,32 @@ std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
                                  const SimulationConfig& config,
                                  bool compiled,
                                  SimulationReport* report = nullptr);
+
+/// Result of one batched rollout: `width` independent parameter lanes
+/// integrated in lockstep through the same pair of equations.
+struct BatchSimulationResult {
+  std::size_t width = 0;
+  /// predicted[lane][day]: bit-identical to the scalar SimulateBPhy of that
+  /// lane's parameter vector (under an equivalent backend).
+  std::vector<std::vector<double>> predicted;
+  /// Per-lane containment telemetry; a diverging lane is masked out of
+  /// further derivative evaluations without perturbing its neighbors.
+  std::vector<SimulationReport> reports;
+};
+
+/// Simulates the biological process for `parameter_lanes.size()` parameter
+/// vectors at once in structure-of-arrays layout: each compiled equation
+/// call advances a whole lane block. Equations are evaluated through the
+/// batched VM, or through generation-JIT symbols when the config selects
+/// kBatchJit (degrading per-equation to the batched VM). Every lane's
+/// watchdog semantics match the scalar rollout exactly: a lane that trips a
+/// watchdog is masked out (its remaining days predict state_max) while the
+/// surviving lanes keep integrating.
+BatchSimulationResult BatchSimulateBPhy(
+    const std::vector<expr::ExprPtr>& equations,
+    const std::vector<std::vector<double>>& parameter_lanes,
+    const RiverDataset& dataset, std::size_t t_begin, std::size_t t_end,
+    double initial_bphy, double initial_bzoo, const SimulationConfig& config);
 
 /// The river fitness problem: one fitness case per day; fitness is the
 /// running RMSE between simulated and observed B_Phy (the paper's fitness
@@ -160,6 +205,13 @@ class RiverFitness : public gp::SequentialFitness {
       const std::vector<expr::ExprPtr>& equations,
       const std::vector<double>& parameters,
       bool use_compiled_backend) const override;
+
+  /// Under kBatchJit: compile every unique equation of the batch into one
+  /// translation unit at the batch barrier, so the per-individual Begin()
+  /// calls are pure cache hits (no compiler invocations on worker lanes).
+  bool WantsBatchPreparation() const override;
+  void PrepareBatch(const std::vector<std::vector<expr::ExprPtr>>& phenotypes)
+      const override;
 
   const RiverDataset& dataset() const { return *dataset_; }
 
