@@ -4,13 +4,22 @@
 // expert MANUAL process, print the revised equations, and export the dataset
 // plus the forecast series as CSV for external plotting.
 //
-// Usage: river_forecast [years] [population] [generations] [runs] [seed]
+// Usage: river_forecast [--ckpt DIR [--resume]]
+//                        [years] [population] [generations] [runs] [seed]
 //   defaults:            4       200          100            3      7
+//
+// With --ckpt DIR each GMR run snapshots its full search state into
+// DIR/run<k> after every generation; add --resume to continue a killed
+// invocation from the latest durable snapshot instead of starting over
+// (the continuation is bit-identical to the uninterrupted run).
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "common/csv.h"
 #include "core/gmr.h"
 #include "core/model_io.h"
@@ -24,12 +33,32 @@
 
 int main(int argc, char** argv) {
   using namespace gmr;
-  const int years = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int population = argc > 2 ? std::atoi(argv[2]) : 200;
-  const int generations = argc > 3 ? std::atoi(argv[3]) : 100;
-  const int runs = argc > 4 ? std::atoi(argv[4]) : 3;
+  std::string ckpt_dir;
+  bool resume = false;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    const std::string flag = argv[arg];
+    if (flag == "--ckpt" && arg + 1 < argc) {
+      ckpt_dir = argv[++arg];
+    } else if (flag == "--resume") {
+      resume = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+    ++arg;
+  }
+  const int years = argc > arg ? std::atoi(argv[arg]) : 4;
+  const int population = argc > arg + 1 ? std::atoi(argv[arg + 1]) : 200;
+  const int generations = argc > arg + 2 ? std::atoi(argv[arg + 2]) : 100;
+  const int runs = argc > arg + 3 ? std::atoi(argv[arg + 3]) : 3;
   const std::uint64_t seed =
-      argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 7;
+      argc > arg + 4 ? static_cast<std::uint64_t>(std::atoll(argv[arg + 4]))
+                     : 7;
+  if (resume && ckpt_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --ckpt DIR\n");
+    return 2;
+  }
 
   // --- Data ---------------------------------------------------------------
   river::SyntheticConfig data_config;
@@ -61,7 +90,25 @@ int main(int argc, char** argv) {
     config.tag3p.sigma_rampdown_generations = generations / 5;
     config.tag3p.local_search_steps = 3;
     config.tag3p.seed = 100 + static_cast<std::uint64_t>(run);
-    core::GmrRunResult result = core::RunGmr(dataset, knowledge, config);
+    obs::RunContext context;
+    std::unique_ptr<ckpt::Checkpointer> checkpointer;
+    if (!ckpt_dir.empty()) {
+      ckpt::CheckpointOptions options;
+      options.dir = ckpt_dir + "/run" + std::to_string(run);
+      if (!resume) {  // fresh start: discard any stale snapshot chain
+        std::error_code ec;
+        std::filesystem::remove_all(options.dir, ec);
+      }
+      checkpointer = std::make_unique<ckpt::Checkpointer>(options);
+      context.checkpointer = checkpointer.get();
+      if (resume && checkpointer->Load() != nullptr) {
+        std::printf("GMR run %d: resuming from generation %llu\n", run,
+                    static_cast<unsigned long long>(
+                        checkpointer->Load()->step));
+      }
+    }
+    const core::GmrProblem problem{&dataset, &knowledge};
+    core::GmrRunResult result = core::RunGmr(config, problem, context);
     std::printf(
         "GMR run %d:              train RMSE %8.3f | test RMSE %8.3f "
         "(%zu simulated evals, cache hit %.0f%%)\n",

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "calibrate/resume.h"
+#include "ckpt/checkpoint.h"
 #include "common/check.h"
 #include "obs/manifest.h"
 
@@ -107,7 +109,19 @@ CalibrationResult Run(const Calibrator& method,
                       const CalibrationProblem& problem,
                       const obs::RunContext& context) {
   obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
-  if (sink->enabled()) {
+  // A resumed run continues an existing trace whose manifest is already on
+  // disk; re-emitting would make the interrupted trace diverge from an
+  // uninterrupted one. ResumeFor caches the decision, so the method's own
+  // identical query below sees the same snapshot without duplicate events.
+  bool resuming = false;
+  if (context.checkpointer != nullptr) {
+    resuming = context.checkpointer->ResumeFor(
+                   "calibrate",
+                   CalibrateFingerprint(method.name(), config.budget,
+                                        problem.bounds, problem.initial)) !=
+               nullptr;
+  }
+  if (sink->enabled() && !resuming) {
     obs::RunManifest manifest =
         obs::MakeRunManifest("calibrate", config.seed);
     manifest.config_fields = {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -121,6 +122,18 @@ class BudgetedObjective {
   /// on thread interleaving.
   std::vector<double> EvaluateBatch(ThreadPool* pool,
                                     const std::vector<std::vector<double>>& xs);
+
+  /// Restores checkpointed budget progress (resume): the call counter,
+  /// contained-failure count, and incumbent continue exactly where the
+  /// interrupted segment left them, so batch telemetry and the final
+  /// CalibrationResult match an uninterrupted run bit for bit.
+  void Restore(std::size_t used, std::size_t task_failures,
+               std::vector<double> best_x, double best_f) {
+    used_ = used;
+    task_failures_ = task_failures;
+    best_x_ = std::move(best_x);
+    best_f_ = best_f;
+  }
 
   bool Exhausted() const { return used_ >= budget_; }
   std::size_t used() const { return used_; }

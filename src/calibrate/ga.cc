@@ -1,21 +1,20 @@
 #include <algorithm>
+#include <utility>
 
 #include "calibrate/methods.h"
+#include "calibrate/resume.h"
 #include "common/check.h"
 
 namespace gmr::calibrate {
 namespace {
 
-struct Member {
-  std::vector<double> x;
-  double f = 1e300;
-};
+constexpr char kPopulationSection[] = "population";
 
-const Member& Tournament(const std::vector<Member>& population, int size,
-                         Rng& rng) {
-  const Member* best = nullptr;
+const ScoredPoint& Tournament(const std::vector<ScoredPoint>& population,
+                              int size, Rng& rng) {
+  const ScoredPoint* best = nullptr;
   for (int i = 0; i < size; ++i) {
-    const Member& candidate = population[rng.PickIndex(population)];
+    const ScoredPoint& candidate = population[rng.PickIndex(population)];
     if (best == nullptr || candidate.f < best->f) best = &candidate;
   }
   return *best;
@@ -37,30 +36,52 @@ CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
   constexpr int kTournament = 3;
   constexpr std::size_t kElites = 2;
 
-  // Sampling is sequential (it owns the RNG); candidate evaluations fan out
-  // across the attached pool as one batch per generation.
-  std::vector<std::vector<double>> points;
-  points.push_back(initial);
-  while (points.size() < pop_size) points.push_back(bounds.Sample(rng));
-  std::vector<double> fs = f.EvaluateBatch(context.pool, points);
+  obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
+  ckpt::Checkpointer* checkpointer = context.checkpointer;
+  std::vector<ScoredPoint> population;
+  std::uint64_t iteration = 0;
+  bool resumed = false;
+  if (checkpointer != nullptr) {
+    if (const ckpt::Snapshot* snapshot = checkpointer->ResumeFor(
+            "calibrate",
+            CalibrateFingerprint(name(), budget, bounds, initial))) {
+      std::vector<ScoredPoint> restored;
+      if (ParsePointsSection(*snapshot, kPopulationSection, pop_size,
+                             &restored) &&
+          RestoreCalibrateCommon(*snapshot, &rng, &f)) {
+        population = std::move(restored);
+        iteration = snapshot->step;
+        resumed = true;
+      }
+    }
+  }
 
-  std::vector<Member> population;
-  population.reserve(pop_size);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    population.push_back({std::move(points[i]), fs[i]});
+  if (!resumed) {
+    // Sampling is sequential (it owns the RNG); candidate evaluations fan
+    // out across the attached pool as one batch per generation.
+    std::vector<std::vector<double>> points;
+    points.push_back(initial);
+    while (points.size() < pop_size) points.push_back(bounds.Sample(rng));
+    const std::vector<double> fs = f.EvaluateBatch(context.pool, points);
+    population.reserve(pop_size);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      population.push_back({std::move(points[i]), fs[i]});
+    }
   }
 
   while (!f.Exhausted()) {
     std::sort(population.begin(), population.end(),
-              [](const Member& a, const Member& b) { return a.f < b.f; });
-    std::vector<Member> next(population.begin(),
-                             population.begin() +
-                                 std::min(kElites, population.size()));
+              [](const ScoredPoint& a, const ScoredPoint& b) {
+                return a.f < b.f;
+              });
+    std::vector<ScoredPoint> next(population.begin(),
+                                  population.begin() +
+                                      std::min(kElites, population.size()));
     std::vector<std::vector<double>> children;
     children.reserve(population.size() - next.size());
     while (next.size() + children.size() < population.size()) {
-      const Member& pa = Tournament(population, kTournament, rng);
-      const Member& pb = Tournament(population, kTournament, rng);
+      const ScoredPoint& pa = Tournament(population, kTournament, rng);
+      const ScoredPoint& pb = Tournament(population, kTournament, rng);
       std::vector<double> child(dim);
       for (std::size_t d = 0; d < dim; ++d) {
         // BLX-alpha blend crossover.
@@ -75,11 +96,20 @@ CalibrationResult GaCalibrator::Calibrate(const Objective& objective,
       bounds.Clamp(&child);
       children.push_back(std::move(child));
     }
-    fs = f.EvaluateBatch(context.pool, children);
+    const std::vector<double> fs = f.EvaluateBatch(context.pool, children);
     for (std::size_t i = 0; i < children.size(); ++i) {
       next.push_back({std::move(children[i]), fs[i]});
     }
     population = std::move(next);
+
+    ++iteration;
+    if (checkpointer != nullptr && checkpointer->ShouldSnapshot(iteration)) {
+      sink->Flush();
+      ckpt::Snapshot snapshot = MakeCalibrateSnapshot(
+          name(), iteration, budget, bounds, initial, rng, f);
+      AddPointsSection(&snapshot, kPopulationSection, population);
+      checkpointer->Save(std::move(snapshot));
+    }
   }
   return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }

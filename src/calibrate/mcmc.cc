@@ -1,10 +1,14 @@
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "calibrate/methods.h"
+#include "calibrate/resume.h"
 
 namespace gmr::calibrate {
 namespace {
+
+constexpr char kChainsSection[] = "chains";
 
 /// Concentrated Gaussian log-likelihood up to constants: maximizing it is
 /// minimizing log(RMSE). The scale plays the role of the number of
@@ -64,13 +68,37 @@ CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
   const std::size_t dim = bounds.dim();
   const std::size_t num_chains = std::max<std::size_t>(8, dim / 2);
 
+  obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
+  ckpt::Checkpointer* checkpointer = context.checkpointer;
   std::vector<std::vector<double>> chains(num_chains);
   std::vector<double> lls(num_chains, -1e300);
-  chains[0] = initial;
-  for (std::size_t c = 1; c < num_chains; ++c) {
-    chains[c] = bounds.Sample(rng);
+  std::uint64_t sweep = 0;
+  bool resumed = false;
+  if (checkpointer != nullptr) {
+    if (const ckpt::Snapshot* snapshot = checkpointer->ResumeFor(
+            "calibrate",
+            CalibrateFingerprint(name(), budget, bounds, initial))) {
+      // Chain states checkpoint as scored points whose score slot holds the
+      // chain's log-likelihood (not an objective value).
+      std::vector<ScoredPoint> restored;
+      if (ParsePointsSection(*snapshot, kChainsSection, num_chains,
+                             &restored) &&
+          RestoreCalibrateCommon(*snapshot, &rng, &f)) {
+        for (std::size_t c = 0; c < num_chains; ++c) {
+          chains[c] = std::move(restored[c].x);
+          lls[c] = restored[c].f;
+        }
+        sweep = snapshot->step;
+        resumed = true;
+      }
+    }
   }
-  {
+
+  if (!resumed) {
+    chains[0] = initial;
+    for (std::size_t c = 1; c < num_chains; ++c) {
+      chains[c] = bounds.Sample(rng);
+    }
     const std::vector<double> fs = f.EvaluateBatch(context.pool, chains);
     for (std::size_t c = 0; c < num_chains; ++c) {
       lls[c] = LogLikelihood(fs[c]);
@@ -131,6 +159,20 @@ CalibrationResult DreamCalibrator::Calibrate(const Objective& objective,
         chains[c] = std::move(proposals[c]);
         lls[c] = candidate_ll;
       }
+    }
+
+    ++sweep;
+    if (checkpointer != nullptr && checkpointer->ShouldSnapshot(sweep)) {
+      sink->Flush();
+      ckpt::Snapshot snapshot = MakeCalibrateSnapshot(
+          name(), sweep, budget, bounds, initial, rng, f);
+      std::vector<ScoredPoint> points;
+      points.reserve(num_chains);
+      for (std::size_t c = 0; c < num_chains; ++c) {
+        points.push_back({chains[c], lls[c]});
+      }
+      AddPointsSection(&snapshot, kChainsSection, points);
+      checkpointer->Save(std::move(snapshot));
     }
   }
   return {f.best_x(), f.best_f(), f.used(), f.task_failures()};

@@ -1,0 +1,64 @@
+#ifndef GMR_CALIBRATE_RESUME_H_
+#define GMR_CALIBRATE_RESUME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "calibrate/calibrator.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/snapshot.h"
+#include "common/rng.h"
+
+/// Checkpoint/resume helpers shared by the resumable calibrators (GA,
+/// SCE-UA, DREAM). All three snapshot under the driver name "calibrate" at
+/// the end of each iteration/sweep (their batch barrier); the fingerprint
+/// pins the method, budget, box, and starting point, so a stale directory
+/// from a different calibration is never silently resumed.
+namespace gmr::calibrate {
+
+/// One scored point — the generic population member / complex point /
+/// chain state. For MCMC-family methods the score slot carries the chain's
+/// log-likelihood instead of an objective value.
+struct ScoredPoint {
+  std::vector<double> x;
+  double f = 1e300;
+};
+
+/// Config-identity lines: method, budget, dim, and the exact bit patterns
+/// of the bounds and the expert starting point.
+std::vector<std::string> CalibrateFingerprint(
+    const char* method, std::size_t budget, const BoxBounds& bounds,
+    const std::vector<double>& initial);
+
+/// Builds the snapshot skeleton every calibrator shares: the fingerprint,
+/// rng, and budget (used / task_failures / incumbent) sections. The caller
+/// appends its method-specific point sections.
+ckpt::Snapshot MakeCalibrateSnapshot(const char* method, std::uint64_t step,
+                                     std::size_t budget,
+                                     const BoxBounds& bounds,
+                                     const std::vector<double>& initial,
+                                     const Rng& rng,
+                                     const BudgetedObjective& f);
+
+/// Appends a section holding `points` — one line per point: the score
+/// bits, then the coordinate vector.
+void AddPointsSection(ckpt::Snapshot* snapshot, const std::string& name,
+                      const std::vector<ScoredPoint>& points);
+
+/// Parses a section written by AddPointsSection into `points`. False when
+/// the section is missing or malformed, or when `expected_size` (nonzero)
+/// does not match — the caller then starts fresh.
+bool ParsePointsSection(const ckpt::Snapshot& snapshot,
+                        const std::string& name, std::size_t expected_size,
+                        std::vector<ScoredPoint>* points);
+
+/// Restores the shared rng/budget state. False on any malformed section
+/// with `rng` and `f` untouched. Mutates on success, so callers parse all
+/// method-specific sections into locals first and call this last.
+bool RestoreCalibrateCommon(const ckpt::Snapshot& snapshot, Rng* rng,
+                            BudgetedObjective* f);
+
+}  // namespace gmr::calibrate
+
+#endif  // GMR_CALIBRATE_RESUME_H_

@@ -1,17 +1,18 @@
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "calibrate/methods.h"
+#include "calibrate/resume.h"
 
 namespace gmr::calibrate {
 namespace {
 
-struct Point {
-  std::vector<double> x;
-  double f = 1e300;
-};
+constexpr char kPopulationSection[] = "population";
 
-bool ByFitness(const Point& a, const Point& b) { return a.f < b.f; }
+bool ByFitness(const ScoredPoint& a, const ScoredPoint& b) {
+  return a.f < b.f;
+}
 
 }  // namespace
 
@@ -31,8 +32,27 @@ CalibrationResult SceUaCalibrator::Calibrate(
   const std::size_t subcomplex_size = dim + 1;
   const std::size_t pop_size = num_complexes * complex_size;
 
-  std::vector<Point> population;
-  {
+  obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
+  ckpt::Checkpointer* checkpointer = context.checkpointer;
+  std::vector<ScoredPoint> population;
+  std::uint64_t iteration = 0;
+  bool resumed = false;
+  if (checkpointer != nullptr) {
+    if (const ckpt::Snapshot* snapshot = checkpointer->ResumeFor(
+            "calibrate",
+            CalibrateFingerprint(name(), budget, bounds, initial))) {
+      std::vector<ScoredPoint> restored;
+      if (ParsePointsSection(*snapshot, kPopulationSection, pop_size,
+                             &restored) &&
+          RestoreCalibrateCommon(*snapshot, &rng, &f)) {
+        population = std::move(restored);
+        iteration = snapshot->step;
+        resumed = true;
+      }
+    }
+  }
+
+  if (!resumed) {
     std::vector<std::vector<double>> points;
     points.push_back(initial);
     while (points.size() < pop_size) points.push_back(bounds.Sample(rng));
@@ -159,6 +179,18 @@ CalibrationResult SceUaCalibrator::Calibrate(
       }
     }
     // Implicit shuffle: the next iteration re-sorts and re-stripes.
+
+    ++iteration;
+    if (checkpointer != nullptr && checkpointer->ShouldSnapshot(iteration)) {
+      // One shuffling loop is this method's outer batch barrier: every
+      // complex has folded back into the population and no RNG draw is in
+      // flight, so the snapshot is a clean cut.
+      sink->Flush();
+      ckpt::Snapshot snapshot = MakeCalibrateSnapshot(
+          name(), iteration, budget, bounds, initial, rng, f);
+      AddPointsSection(&snapshot, kPopulationSection, population);
+      checkpointer->Save(std::move(snapshot));
+    }
   }
   return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
 }

@@ -46,6 +46,8 @@ FuzzReport RunFuzz(const FuzzOptions& options, const GenConfig& config) {
     properties.push_back({name, FindExprOracle(name), 0, {}});
   }
   const bool run_derivation = MatchesFilter("derivation", options.filter);
+  const bool run_ckpt_generation =
+      MatchesFilter("ckpt_generation", options.filter);
 
   const int jit_every = std::max(options.jit_every, 1);
   std::mutex mu;
@@ -124,30 +126,44 @@ FuzzReport RunFuzz(const FuzzOptions& options, const GenConfig& config) {
     report.properties.push_back(std::move(row));
   }
 
-  // The derivation oracle spawns whole populations (and uses the pool
-  // itself), so it runs serially over its subsampled indices — nesting
-  // ParallelFor inside a pool worker would deadlock the single-job pool.
-  if (run_derivation && options.iterations > 0) {
+  // The population-level oracles spawn whole generations (and use the pool
+  // themselves), so they run serially over their subsampled indices —
+  // nesting ParallelFor inside a pool worker would deadlock the single-job
+  // pool.
+  if ((run_derivation || run_ckpt_generation) && options.iterations > 0) {
     const core::RiverPriorKnowledge knowledge =
         core::BuildRiverPriorKnowledge();
-    PropertyReport row;
-    row.name = "derivation";
     const auto every =
         static_cast<std::uint64_t>(std::max(options.derivation_every, 1));
-    for (std::uint64_t i = 0; i < options.iterations; i += every) {
-      const std::uint64_t case_seed = CaseSeed(options.seed, i);
-      ++row.cases;
-      const OracleResult verdict = CheckDerivationDeterministic(
-          knowledge.grammar, knowledge.seed_alpha_index, /*count=*/4,
-          /*target_size=*/8, case_seed, options.pool);
-      if (!verdict.ok) {
-        ++row.failures;
-        if (row.first_failure.empty()) row.first_failure = verdict.detail;
+    struct PopulationOracle {
+      const char* name;
+      bool enabled;
+      OracleResult (*check)(const tag::Grammar&, int, std::size_t,
+                            std::size_t, std::uint64_t, ThreadPool*);
+    };
+    const PopulationOracle population_oracles[] = {
+        {"derivation", run_derivation, CheckDerivationDeterministic},
+        {"ckpt_generation", run_ckpt_generation, CheckGenerationRoundTrip},
+    };
+    for (const PopulationOracle& oracle : population_oracles) {
+      if (!oracle.enabled) continue;
+      PropertyReport row;
+      row.name = oracle.name;
+      for (std::uint64_t i = 0; i < options.iterations; i += every) {
+        const std::uint64_t case_seed = CaseSeed(options.seed, i);
+        ++row.cases;
+        const OracleResult verdict = oracle.check(
+            knowledge.grammar, knowledge.seed_alpha_index, /*count=*/4,
+            /*target_size=*/8, case_seed, options.pool);
+        if (!verdict.ok) {
+          ++row.failures;
+          if (row.first_failure.empty()) row.first_failure = verdict.detail;
+        }
       }
+      report.total_cases += row.cases;
+      report.total_failures += row.failures;
+      report.properties.push_back(std::move(row));
     }
-    report.total_cases += row.cases;
-    report.total_failures += row.failures;
-    report.properties.push_back(std::move(row));
   }
   return report;
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "analysis/static_gate.h"
+#include "ckpt/serialize.h"
 #include "common/metrics.h"
 #include "expr/batch_jit.h"
 #include "expr/batch_vm.h"
@@ -297,6 +298,48 @@ OracleResult CheckRoundTrip(const ExprCase& c, const OracleContext& ctx) {
   return OracleResult::Pass();
 }
 
+OracleResult CheckCkptRoundTrip(const ExprCase& c, const OracleContext& ctx) {
+  const std::string once = ckpt::SerializeExpr(*c.tree);
+  std::string error;
+  const expr::ExprPtr reparsed = ckpt::ParseExprLine(once, &error);
+  if (reparsed == nullptr) {
+    return OracleResult::Fail("ckpt line does not reparse: '" + once +
+                              "': " + error);
+  }
+  const std::string twice = ckpt::SerializeExpr(*reparsed);
+  if (twice != once) {
+    return OracleResult::Fail("ckpt codec is not an exact fixpoint: '" +
+                              once + "' re-serializes as '" + twice + "'");
+  }
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const auto ec = MakeEvalContext(vars, c.parameters);
+    const double want = expr::EvalExpr(*c.tree, ec);
+    const double got = expr::EvalExpr(*reparsed, ec);
+    if (!WithinUlps(got, want, 0)) {
+      return OracleResult::Fail(
+          DescribeDisagreement("ckpt-reparsed tree", c, vars, got, want));
+    }
+  }
+  std::vector<double> parameters;
+  if (!ckpt::ParseDoubles(ckpt::SerializeDoubles(c.parameters),
+                          &parameters) ||
+      parameters.size() != c.parameters.size()) {
+    return OracleResult::Fail("parameter vector does not round-trip (seed " +
+                              std::to_string(c.seed) + ")");
+  }
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    // Bit compare, not ==: NaN payloads and signed zeros must survive too.
+    if (ckpt::HexDouble(parameters[i]) != ckpt::HexDouble(c.parameters[i])) {
+      return OracleResult::Fail(
+          "parameter " + std::to_string(i) + " bits changed in round trip (" +
+          ckpt::HexDouble(c.parameters[i]) + " -> " +
+          ckpt::HexDouble(parameters[i]) + ", seed " + std::to_string(c.seed) +
+          ")");
+    }
+  }
+  return OracleResult::Pass();
+}
+
 OracleResult CheckIntervalSound(const ExprCase& c, const OracleContext& ctx) {
   const analysis::DomainEnv env = CaseDomains(c, ctx);
   const analysis::Interval interval = analysis::EvaluateInterval(*c.tree, env);
@@ -360,6 +403,7 @@ struct NamedOracle {
 constexpr NamedOracle kExprOracles[] = {
     {"vm", CheckVmAgrees},         {"simplify", CheckSimplifiedVmAgrees},
     {"jit", CheckJitAgrees},       {"roundtrip", CheckRoundTrip},
+    {"ckpt_roundtrip", CheckCkptRoundTrip},
     {"interval", CheckIntervalSound}, {"gate", CheckGateSound},
     {"batch_vm", CheckBatchVmAgrees},
     {"batch_width", CheckBatchWidthInvariant},
@@ -423,6 +467,61 @@ OracleResult CheckDerivationDeterministic(const tag::Grammar& grammar,
     return OracleResult::Fail("re-expanding the same derivations changed the "
                               "phenotype (seed " +
                               std::to_string(seed) + ")");
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckGenerationRoundTrip(const tag::Grammar& grammar,
+                                      int alpha_index, std::size_t count,
+                                      std::size_t target_size,
+                                      std::uint64_t seed, ThreadPool* pool) {
+  const auto render = [&](const tag::DerivationNode& derivation) {
+    std::string out;
+    for (const auto& e : tag::ExpandToExpressions(grammar, derivation)) {
+      out += expr::ToSExpression(*e);
+      out += '\n';
+    }
+    return out;
+  };
+  const auto population =
+      GenerateDerivations(grammar, alpha_index, count, target_size, seed, pool);
+  Rng rng(CaseSeed(seed, 0xc4b7ULL));
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const tag::DerivationNode& original = *population[i];
+    const std::string once = ckpt::SerializeDerivation(original);
+    std::string error;
+    const tag::DerivationPtr parsed = ckpt::ParseDerivationLine(once, &error);
+    if (parsed == nullptr) {
+      return OracleResult::Fail("derivation " + std::to_string(i) +
+                                " does not reparse: " + error + " (seed " +
+                                std::to_string(seed) + ")");
+    }
+    if (!tag::Validate(grammar, *parsed, &error)) {
+      return OracleResult::Fail("reparsed derivation " + std::to_string(i) +
+                                " fails Validate: " + error + " (seed " +
+                                std::to_string(seed) + ")");
+    }
+    if (ckpt::SerializeDerivation(*parsed) != once) {
+      return OracleResult::Fail("derivation " + std::to_string(i) +
+                                " is not a codec fixpoint (seed " +
+                                std::to_string(seed) + ")");
+    }
+    if (render(*parsed) != render(original)) {
+      return OracleResult::Fail("reparsed derivation " + std::to_string(i) +
+                                " expands to a different phenotype (seed " +
+                                std::to_string(seed) + ")");
+    }
+    // The individual's constant vector must survive with its exact bits.
+    std::vector<double> parameters(4);
+    for (double& p : parameters) p = rng.Uniform(-1e3, 1e3);
+    std::vector<double> back;
+    if (!ckpt::ParseDoubles(ckpt::SerializeDoubles(parameters), &back) ||
+        back != parameters) {
+      return OracleResult::Fail("parameter vector of individual " +
+                                std::to_string(i) +
+                                " does not round-trip (seed " +
+                                std::to_string(seed) + ")");
+    }
   }
   return OracleResult::Pass();
 }

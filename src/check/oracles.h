@@ -97,6 +97,16 @@ OracleResult CheckBatchJitAgrees(const ExprCase& c, const OracleContext& ctx);
 /// reparses as Neg(1.5).)
 OracleResult CheckRoundTrip(const ExprCase& c, const OracleContext& ctx);
 
+/// Checkpoint codec round trip (ckpt/serialize.h): SerializeExpr →
+/// ParseExprLine must be an *exact* fixpoint — the parsed tree
+/// re-serializes to the identical line, evaluates bitwise-identically
+/// (0 ULP) on every sampled context, and the case's parameter vector
+/// survives SerializeDoubles → ParseDoubles with its exact bit patterns.
+/// Stricter than `roundtrip`: the pretty printer may be structurally lossy,
+/// the checkpoint codec may not (resume determinism needs NodeCount-exact
+/// trees).
+OracleResult CheckCkptRoundTrip(const ExprCase& c, const OracleContext& ctx);
+
 /// Interval soundness: EvaluateInterval over the config's variable domains
 /// (parameters pinned to the case's actual values) must contain every
 /// sampled runtime value, and may only produce NaN where the maybe_nan bit
@@ -117,8 +127,8 @@ OracleResult CheckGateSound(const ExprCase& c, const OracleContext& ctx);
 using ExprOracle = OracleResult (*)(const ExprCase&, const OracleContext&);
 
 /// All registered oracle names, in fixed execution order:
-/// vm, simplify, jit, roundtrip, interval, gate, batch_vm, batch_width,
-/// batch_jit.
+/// vm, simplify, jit, roundtrip, ckpt_roundtrip, interval, gate, batch_vm,
+/// batch_width, batch_jit.
 std::vector<std::string> ExprOracleNames();
 
 /// Looks an oracle up by name; nullptr when unknown.
@@ -134,6 +144,18 @@ OracleResult CheckDerivationDeterministic(const tag::Grammar& grammar,
                                           std::size_t target_size,
                                           std::uint64_t seed,
                                           ThreadPool* pool);
+
+/// Whole-generation checkpoint fixpoint: a generated population of `count`
+/// derivations, each paired with a random parameter vector, must survive
+/// the checkpoint codec exactly — every derivation parses back from
+/// SerializeDerivation, Validates against the grammar, re-serializes to
+/// the identical line, and expands to a byte-identical phenotype; every
+/// parameter vector round-trips bit for bit. This is the population half
+/// of the resume contract (ckpt_roundtrip covers single expressions).
+OracleResult CheckGenerationRoundTrip(const tag::Grammar& grammar,
+                                      int alpha_index, std::size_t count,
+                                      std::size_t target_size,
+                                      std::uint64_t seed, ThreadPool* pool);
 
 }  // namespace gmr::check
 

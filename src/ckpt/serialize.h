@@ -1,0 +1,73 @@
+#ifndef GMR_CKPT_SERIALIZE_H_
+#define GMR_CKPT_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "expr/ast.h"
+#include "tag/derivation.h"
+
+/// Bit-exact text serialization for checkpoint payloads.
+///
+/// The repo's pretty printer (`expr::ToString`) round-trips *values* but not
+/// *structure*: `-1.5` reparses as `Neg(1.5)`, which changes NodeCount and
+/// therefore every subsequent RNG node pick in a resumed run. Checkpoints
+/// must reproduce the exact tree, so this module defines its own S-expression
+/// encoding with IEEE-754 doubles spelled as 16 hex digits of their bit
+/// pattern — serialize→parse is an exact structural and bitwise fixpoint
+/// (property-tested by the `ckpt_roundtrip` oracle in src/check/).
+///
+/// Encodings (each value is a single line of space-separated tokens):
+///   double       16 lowercase hex digits of the IEEE-754 bits
+///   expr         (c <hex>) | (p <slot> <name>) | (v <slot> <name>)
+///                | (<op> <expr> <expr>) | (<op> <expr>)   op ∈ + - * / min
+///                max neg log exp; names are %XX-escaped outside
+///                [A-Za-z0-9_.-]
+///   derivation   (d <tree_index> (<hex-lexeme>...) ((<addr> <derivation>)...))
+///   rng state    <s0> <s1> <s2> <s3> <cached-gaussian> <0|1>   (all hex)
+namespace gmr::ckpt {
+
+/// IEEE-754 bits of `value` as 16 lowercase hex digits.
+std::string HexDouble(double value);
+bool ParseHexDouble(const std::string& token, double* value);
+
+std::string HexUint64(std::uint64_t value);
+bool ParseHexUint64(const std::string& token, std::uint64_t* value);
+
+/// %XX-escapes bytes outside [A-Za-z0-9_.-] so names survive tokenization.
+std::string EscapeToken(const std::string& name);
+std::string UnescapeToken(const std::string& token);
+
+/// One-line S-expression of the exact tree (see the header comment).
+std::string SerializeExpr(const expr::Expr& root);
+
+/// Parses a SerializeExpr line. Returns null with *error set on malformed
+/// input. Extra trailing tokens are an error.
+expr::ExprPtr ParseExprLine(const std::string& line, std::string* error);
+
+/// One-line S-expression of a TAG derivation tree.
+std::string SerializeDerivation(const tag::DerivationNode& root);
+
+/// Parses a SerializeDerivation line. Null with *error set on malformed
+/// input. The caller validates against its grammar (tag::Validate).
+tag::DerivationPtr ParseDerivationLine(const std::string& line,
+                                       std::string* error);
+
+/// One line: the full xoshiro256++ state plus the Box-Muller cache.
+std::string SerializeRngState(const RngState& state);
+bool ParseRngState(const std::string& line, RngState* state);
+
+/// One line: `<n> <hex>...` — a double vector, bit-exact.
+std::string SerializeDoubles(const std::vector<double>& values);
+bool ParseDoubles(const std::string& line, std::vector<double>* values);
+
+/// Splits a payload line into whitespace-separated tokens, treating '('
+/// and ')' as standalone tokens.
+std::vector<std::string> TokenizeSExpr(const std::string& line);
+
+}  // namespace gmr::ckpt
+
+#endif  // GMR_CKPT_SERIALIZE_H_

@@ -1,0 +1,127 @@
+#ifndef GMR_CKPT_SNAPSHOT_H_
+#define GMR_CKPT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+
+/// Durable snapshot storage (DESIGN.md §4i).
+///
+/// On-disk layout inside a checkpoint directory:
+///
+///   MANIFEST                    the snapshot chain (rewritten atomically)
+///   snap-<seq>.gmrck            one snapshot file per retained checkpoint
+///
+/// Snapshot file format — line-oriented text, CRC-sealed:
+///
+///   # gmr-ckpt v1
+///   driver <name>
+///   step <n>
+///   section <name> <line-count>
+///   <payload lines...>
+///   ...
+///   crc <8-hex-digit CRC32 of every preceding byte>
+///
+/// MANIFEST format — a hash chain over the snapshot records:
+///
+///   # gmr-ckpt-manifest v1
+///   snap <seq> <step> <file> <file-crc> <chain>
+///
+/// where chain_i = CRC32(chain_{i-1} || "seq step file file-crc"). The
+/// manifest is rewritten whole via write→fsync→rename on every update, so
+/// a crash leaves either the old or the new manifest, never a torn one; a
+/// torn *snapshot* write leaves a stray `.tmp` that is swept on open.
+/// Loading walks the valid chain prefix newest→oldest and returns the
+/// first snapshot whose file CRC verifies — a corrupt or truncated newest
+/// snapshot degrades to its predecessor instead of failing the resume.
+namespace gmr::ckpt {
+
+/// CRC32 (IEEE 802.3, reflected) of `data`, seeded by `crc` so calls chain.
+std::uint32_t Crc32(std::uint32_t crc, const void* data, std::size_t size);
+
+/// One named payload block of a snapshot. Lines must not contain '\n'.
+struct Section {
+  std::string name;
+  std::vector<std::string> lines;
+};
+
+/// A complete checkpoint of one run at one step.
+struct Snapshot {
+  std::string driver;
+  std::uint64_t step = 0;
+  std::vector<Section> sections;
+
+  Section* AddSection(const std::string& name);
+  /// Null when absent.
+  const Section* FindSection(const std::string& name) const;
+};
+
+/// Serializes a snapshot to its exact file bytes (including the crc line).
+std::string EncodeSnapshot(const Snapshot& snapshot);
+
+/// Parses + CRC-verifies snapshot file bytes. Error on any corruption.
+Status DecodeSnapshot(const std::string& bytes, Snapshot* snapshot);
+
+/// Manages the manifest chain and snapshot files in one directory.
+/// Coordinator-only (no internal locking): drivers checkpoint from the
+/// batch barrier, never from worker lanes.
+class SnapshotStore {
+ public:
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::uint64_t step = 0;
+    std::string file;           // basename within dir
+    std::uint32_t file_crc = 0;
+    std::uint32_t chain = 0;
+  };
+
+  /// Opens (creating if needed) the store at `dir`, keeping at most
+  /// `retain` snapshots. Reads the existing MANIFEST, accepting the valid
+  /// chain prefix, and sweeps stray `*.tmp` files from torn writes.
+  SnapshotStore(std::string dir, int retain = 3);
+
+  /// False when the directory could not be created.
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Durably writes `snapshot` (write→fsync→rename, then manifest update,
+  /// then retention pruning), retrying transient failures per `retry`.
+  /// Honors the ckpt_write / ckpt_fsync / ckpt_corrupt fault points.
+  Status Save(const Snapshot& snapshot, const RetryOptions& retry = {});
+
+  /// Loads the newest snapshot that CRC-verifies, walking older entries on
+  /// corruption (the resume_torn fault point truncates reads). On success
+  /// *fallbacks is the number of corrupt snapshots skipped (0 = newest was
+  /// good). Error when no entry verifies or the store is empty.
+  Status LoadLatest(Snapshot* snapshot, int* fallbacks = nullptr);
+
+  /// Deletes every snapshot with step > `step` and rewrites the manifest
+  /// (recomputing the chain). Used by in-process resume tests to rewind a
+  /// finished store to a mid-run checkpoint; symmetric with retention.
+  Status DropNewerThan(std::uint64_t step);
+
+  /// Manifest entries, oldest first (valid chain prefix only).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  int retain() const { return retain_; }
+
+ private:
+  std::string PathFor(const std::string& basename) const;
+  Status WriteFileDurably(const std::string& basename,
+                          const std::string& bytes);
+  Status RewriteManifest();
+  void PruneToRetention();
+
+  std::string dir_;
+  int retain_;
+  bool ok_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gmr::ckpt
+
+#endif  // GMR_CKPT_SNAPSHOT_H_

@@ -55,6 +55,14 @@ bool ParsePoint(const std::string& name, FaultPoint* point) {
     *point = FaultPoint::kPoolTask;
   } else if (name == "batch_compile") {
     *point = FaultPoint::kBatchCompile;
+  } else if (name == "ckpt_write") {
+    *point = FaultPoint::kCkptWrite;
+  } else if (name == "ckpt_fsync") {
+    *point = FaultPoint::kCkptFsync;
+  } else if (name == "ckpt_corrupt") {
+    *point = FaultPoint::kCkptCorrupt;
+  } else if (name == "resume_torn") {
+    *point = FaultPoint::kResumeTorn;
   } else {
     return false;
   }
@@ -170,6 +178,14 @@ const char* FaultPointName(FaultPoint point) {
       return "pool_task";
     case FaultPoint::kBatchCompile:
       return "batch_compile";
+    case FaultPoint::kCkptWrite:
+      return "ckpt_write";
+    case FaultPoint::kCkptFsync:
+      return "ckpt_fsync";
+    case FaultPoint::kCkptCorrupt:
+      return "ckpt_corrupt";
+    case FaultPoint::kResumeTorn:
+      return "resume_torn";
   }
   return "unknown";
 }

@@ -18,7 +18,14 @@
 /// `derivative_nan` (ProcessRunner::Derivatives returns NaN),
 /// `pool_task` (a ThreadPool task throws std::runtime_error),
 /// `batch_compile` (BatchJitSession::CompileBatch reports a failed
-/// generation TU; every affected equation degrades to the batched VM).
+/// generation TU; every affected equation degrades to the batched VM),
+/// `ckpt_write` (snapshot temp-file open/write fails),
+/// `ckpt_fsync` (snapshot fsync fails; the write is treated as not
+/// durable and retried/skipped),
+/// `ckpt_corrupt` (a successfully written snapshot is bit-rotted on
+/// disk after the fact; the loader must fall back to the previous one),
+/// `resume_torn` (a snapshot read is truncated mid-record, simulating a
+/// torn write surviving a crash).
 ///
 /// Modes (per-point invocation counter `c`, starting at 0):
 ///   always        fire on every call
@@ -40,9 +47,13 @@ enum class FaultPoint : int {
   kDerivativeNan,
   kPoolTask,
   kBatchCompile,
+  kCkptWrite,
+  kCkptFsync,
+  kCkptCorrupt,
+  kResumeTorn,
 };
 
-inline constexpr std::size_t kNumFaultPoints = 4;
+inline constexpr std::size_t kNumFaultPoints = 8;
 
 const char* FaultPointName(FaultPoint point);
 

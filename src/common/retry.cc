@@ -1,0 +1,32 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace gmr {
+
+Status RetryWithBackoff(const RetryOptions& options,
+                        const std::function<Status()>& attempt,
+                        const RetrySleeper& sleeper) {
+  const int attempts = std::max(options.max_attempts, 1);
+  double backoff_ms = options.initial_backoff_ms;
+  Status status;
+  for (int i = 0; i < attempts; ++i) {
+    status = attempt();
+    if (status.ok()) return status;
+    if (i + 1 == attempts) break;  // exhausted; skip the final sleep
+    const double sleep_ms =
+        std::min(std::max(backoff_ms, 0.0), options.max_backoff_ms);
+    if (sleeper) {
+      sleeper(sleep_ms);
+    } else if (sleep_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          sleep_ms));
+    }
+    backoff_ms *= options.multiplier;
+  }
+  return status;
+}
+
+}  // namespace gmr

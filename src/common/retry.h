@@ -1,0 +1,37 @@
+#ifndef GMR_COMMON_RETRY_H_
+#define GMR_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace gmr {
+
+/// Bounded retry with exponential backoff for transient failures (disk
+/// write/fsync hiccups, NFS stalls). Deliberately small: no jitter (callers
+/// are coordinators, not stampeding herds) and a hard attempt cap so a
+/// persistent fault degrades in bounded time instead of wedging the run.
+struct RetryOptions {
+  /// Total attempts, including the first (<= 1 means "no retry").
+  int max_attempts = 4;
+  /// Sleep before the first retry; doubles (by `multiplier`) per retry.
+  double initial_backoff_ms = 1.0;
+  double multiplier = 2.0;
+  /// Backoff ceiling, so long ladders stay responsive.
+  double max_backoff_ms = 50.0;
+};
+
+/// Sleep hook, injectable so tests can assert the backoff ladder without
+/// actually sleeping. The default sleeps the calling thread.
+using RetrySleeper = std::function<void(double milliseconds)>;
+
+/// Calls `attempt` until it returns an ok Status or `options.max_attempts`
+/// calls have failed, sleeping the backoff ladder between calls. Returns
+/// the final Status (ok on success, the last error on exhaustion).
+Status RetryWithBackoff(const RetryOptions& options,
+                        const std::function<Status()>& attempt,
+                        const RetrySleeper& sleeper = {});
+
+}  // namespace gmr
+
+#endif  // GMR_COMMON_RETRY_H_

@@ -109,4 +109,18 @@ std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
   return all;
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.cached_gaussian = cached_gaussian_;
+  state.has_cached_gaussian = has_cached_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  cached_gaussian_ = state.cached_gaussian;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+}
+
 }  // namespace gmr

@@ -6,6 +6,15 @@
 
 namespace gmr {
 
+/// Complete serializable generator state: the four xoshiro256++ words plus
+/// the Box-Muller pair cache. Restoring this mid-stream continues the exact
+/// output sequence, including a pending cached Gaussian.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double cached_gaussian = 0.0;
+  bool has_cached_gaussian = false;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256++).
 ///
 /// Every stochastic component in the library takes an `Rng&` so that runs are
@@ -66,6 +75,13 @@ class Rng {
   /// Draws `k` distinct indices from [0, n) (k <= n), in random order.
   std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
                                                     std::size_t k);
+
+  /// Captures the full generator state for checkpointing.
+  RngState SaveState() const;
+
+  /// Restores a previously saved state; the next draws continue that
+  /// stream exactly.
+  void RestoreState(const RngState& state);
 
  private:
   std::uint64_t state_[4];

@@ -61,6 +61,19 @@ class StripedMap {
     }
   }
 
+  /// Visits every (key, value) pair, holding one stripe lock at a time.
+  /// Iteration order is arbitrary (stripe order, then hash-map order) —
+  /// callers needing a stable order (e.g. checkpoint serialization) must
+  /// sort the collected pairs themselves. Only safe for snapshot/export
+  /// use when no concurrent inserts are in flight.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t s = 0; s < num_stripes_; ++s) {
+      std::lock_guard<std::mutex> lock(stripes_[s].mu);
+      for (const auto& entry : stripes_[s].map) fn(entry.first, entry.second);
+    }
+  }
+
   std::size_t num_stripes() const { return num_stripes_; }
 
  private:

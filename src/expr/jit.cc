@@ -1,9 +1,11 @@
 #include "expr/jit.h"
 
 #include <dlfcn.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -112,12 +114,21 @@ void EmitNode(const Expr& node, std::ostringstream& out,
 /// JitScratchDir(); the destructor (static-object teardown at exit) removes
 /// whatever is left — normally nothing, since sources and shared objects
 /// are unlinked eagerly, but a compile killed mid-flight can strand files.
+///
+/// Signal tolerance: SIGKILL (the checkpoint crash drill, a preempted
+/// batch job) never runs the destructor, so the directory name embeds the
+/// owning PID (`gmr_jit_p<pid>_XXXXXX`) and construction first sweeps any
+/// sibling whose owner is no longer alive (kill(pid, 0) => ESRCH). A
+/// killed run's scratch is thus reclaimed by the next run — typically the
+/// resume of the very same job — instead of accreting in TMPDIR.
 class ScratchDirOwner {
  public:
   ScratchDirOwner() {
     const char* tmpdir = std::getenv("TMPDIR");
-    std::string pattern = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
-                          "/gmr_jit_XXXXXX";
+    const std::string base = tmpdir != nullptr ? tmpdir : "/tmp";
+    SweepStaleScratchDirs(base);
+    std::string pattern =
+        base + "/gmr_jit_p" + std::to_string(getpid()) + "_XXXXXX";
     std::vector<char> buffer(pattern.begin(), pattern.end());
     buffer.push_back('\0');
     if (mkdtemp(buffer.data()) != nullptr) {
@@ -134,6 +145,30 @@ class ScratchDirOwner {
   const std::string& path() const { return path_; }
 
  private:
+  /// Removes `gmr_jit_p<pid>_*` directories whose owning process is gone.
+  /// Best effort throughout: TMPDIR races and permission errors are
+  /// ignored, and a live (or undeterminable) owner is left alone.
+  static void SweepStaleScratchDirs(const std::string& base) {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(base, ec);
+    if (ec) return;
+    for (const auto& entry : it) {
+      const std::string name = entry.path().filename().string();
+      constexpr char kPrefix[] = "gmr_jit_p";
+      constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+      if (name.compare(0, kPrefixLen, kPrefix) != 0) continue;
+      char* end = nullptr;
+      const long pid = std::strtol(name.c_str() + kPrefixLen, &end, 10);
+      if (end == name.c_str() + kPrefixLen || *end != '_' || pid <= 0) {
+        continue;
+      }
+      if (pid == static_cast<long>(getpid())) continue;
+      if (kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH) {
+        std::filesystem::remove_all(entry.path(), ec);
+      }
+    }
+  }
+
   std::string path_;
 };
 

@@ -67,6 +67,10 @@ const std::string& JitCompilerCommand();
 /// unlinked eagerly (the .so right after dlopen), and the directory itself
 /// is removed by RAII at process exit — so circuit-breaker trips and
 /// aborted runs no longer strand gmr_jit_* temp files in TMPDIR.
+/// The directory name embeds the owning PID (gmr_jit_p<pid>_XXXXXX);
+/// creation first sweeps siblings whose owner is dead, so a SIGKILLed run
+/// (which never reaches the RAII teardown) is cleaned up by the next
+/// process to JIT — typically its own resume.
 /// Returns the directory path; empty when no scratch dir could be created
 /// (callers fall back to bare TMPDIR stems).
 const std::string& JitScratchDir();

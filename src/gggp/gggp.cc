@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/serialize.h"
 #include "common/check.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -127,6 +130,15 @@ class Evaluator {
 
   std::size_t evaluations() const { return evaluations_; }
 
+  /// Checkpoint hooks (coordinator-only, between batches).
+  double best_prev_full() const {
+    return best_prev_full_.load(std::memory_order_relaxed);
+  }
+  void Restore(double frontier, std::size_t evaluations) {
+    best_prev_full_.store(frontier, std::memory_order_relaxed);
+    evaluations_ = evaluations;
+  }
+
  private:
   const gp::SequentialFitness* fitness_;
   gp::SpeedupConfig config_;
@@ -134,6 +146,127 @@ class Evaluator {
   std::atomic<double> best_prev_full_{1e300};
   std::size_t evaluations_ = 0;
 };
+
+std::vector<std::string> GggpFingerprint(const GggpConfig& config) {
+  return ckpt::MakeFingerprint({
+      {"seed", std::to_string(config.seed)},
+      {"population_size", std::to_string(config.population_size)},
+      {"max_generations", std::to_string(config.max_generations)},
+      {"elite_size", std::to_string(config.elite_size)},
+  });
+}
+
+void SaveGggpCheckpoint(ckpt::Checkpointer* checkpointer,
+                        const GggpConfig& config, int generation,
+                        const std::vector<GggpIndividual>& population,
+                        const Evaluator& evaluator, const Rng& rng,
+                        const GggpResult& result) {
+  ckpt::Snapshot snapshot;
+  snapshot.driver = "gggp";
+  snapshot.step = static_cast<std::uint64_t>(generation);
+  snapshot.AddSection("fingerprint")->lines = GggpFingerprint(config);
+  snapshot.AddSection("rng")->lines = {
+      ckpt::SerializeRngState(rng.SaveState())};
+  ckpt::Section* pop = snapshot.AddSection("population");
+  for (const GggpIndividual& individual : population) {
+    pop->lines.push_back("i " + ckpt::HexDouble(individual.fitness) + " " +
+                         std::to_string(individual.equations.size()));
+    for (const expr::ExprPtr& equation : individual.equations) {
+      pop->lines.push_back(ckpt::SerializeExpr(*equation));
+    }
+    pop->lines.push_back(ckpt::SerializeDoubles(individual.parameters));
+  }
+  ckpt::Section* ev = snapshot.AddSection("evaluator");
+  ev->lines.push_back("frontier " +
+                      ckpt::HexDouble(evaluator.best_prev_full()));
+  ev->lines.push_back("evaluations " +
+                      std::to_string(evaluator.evaluations()));
+  snapshot.AddSection("history")->lines = {
+      ckpt::SerializeDoubles(result.best_fitness_history)};
+  checkpointer->Save(std::move(snapshot));
+}
+
+bool RestoreGggpCheckpoint(const ckpt::Snapshot& snapshot,
+                           const GggpConfig& config,
+                           std::vector<GggpIndividual>* population,
+                           Evaluator* evaluator, Rng* rng, GggpResult* result,
+                           int* start_generation) {
+  const ckpt::Section* rng_section = snapshot.FindSection("rng");
+  RngState rng_state;
+  if (rng_section == nullptr || rng_section->lines.size() != 1 ||
+      !ckpt::ParseRngState(rng_section->lines[0], &rng_state)) {
+    return false;
+  }
+
+  const ckpt::Section* pop_section = snapshot.FindSection("population");
+  if (pop_section == nullptr) return false;
+  std::vector<GggpIndividual> restored;
+  restored.reserve(static_cast<std::size_t>(config.population_size));
+  std::size_t i = 0;
+  while (i < pop_section->lines.size()) {
+    const std::vector<std::string> head =
+        ckpt::TokenizeSExpr(pop_section->lines[i]);
+    GggpIndividual individual;
+    char* end = nullptr;
+    if (head.size() != 3 || head[0] != "i" ||
+        !ckpt::ParseHexDouble(head[1], &individual.fitness)) {
+      return false;
+    }
+    const unsigned long long num_equations =
+        std::strtoull(head[2].c_str(), &end, 10);
+    if (end != head[2].c_str() + head[2].size() ||
+        i + 1 + num_equations + 1 > pop_section->lines.size()) {
+      return false;
+    }
+    ++i;
+    for (unsigned long long eq = 0; eq < num_equations; ++eq, ++i) {
+      std::string error;
+      expr::ExprPtr equation =
+          ckpt::ParseExprLine(pop_section->lines[i], &error);
+      if (equation == nullptr) return false;
+      individual.equations.push_back(std::move(equation));
+    }
+    if (!ckpt::ParseDoubles(pop_section->lines[i], &individual.parameters)) {
+      return false;
+    }
+    ++i;
+    restored.push_back(std::move(individual));
+  }
+  if (restored.size() != static_cast<std::size_t>(config.population_size)) {
+    return false;
+  }
+
+  const ckpt::Section* ev_section = snapshot.FindSection("evaluator");
+  double frontier;
+  std::size_t evaluations;
+  if (ev_section == nullptr || ev_section->lines.size() != 2 ||
+      ev_section->lines[0].compare(0, 9, "frontier ") != 0 ||
+      !ckpt::ParseHexDouble(ev_section->lines[0].substr(9), &frontier)) {
+    return false;
+  }
+  {
+    const std::string& line = ev_section->lines[1];
+    char* end = nullptr;
+    if (line.compare(0, 12, "evaluations ") != 0) return false;
+    evaluations = static_cast<std::size_t>(
+        std::strtoull(line.c_str() + 12, &end, 10));
+    if (end != line.c_str() + line.size()) return false;
+  }
+
+  const ckpt::Section* history_section = snapshot.FindSection("history");
+  std::vector<double> history;
+  if (history_section == nullptr || history_section->lines.size() != 1 ||
+      !ckpt::ParseDoubles(history_section->lines[0], &history)) {
+    return false;
+  }
+
+  rng->RestoreState(rng_state);
+  evaluator->Restore(frontier, evaluations);
+  *population = std::move(restored);
+  result->best_fitness_history = std::move(history);
+  *start_generation = static_cast<int>(snapshot.step) + 1;
+  return true;
+}
 
 const GggpIndividual& Tournament(const std::vector<GggpIndividual>& population,
                                  int size, Rng& rng) {
@@ -181,7 +314,22 @@ GggpResult RunGggp(const GggpConfig& config, const GggpProblem& problem,
   ThreadPool* const pool = pool_lease.pool();
   const std::vector<double> means = gp::PriorMeans(priors);
 
-  if (sink->enabled()) {
+  GggpResult result;
+  std::vector<GggpIndividual> population;
+  int start_generation = 0;
+  bool resumed = false;
+  if (context.checkpointer != nullptr) {
+    const ckpt::Snapshot* snapshot =
+        context.checkpointer->ResumeFor("gggp", GggpFingerprint(config));
+    if (snapshot != nullptr &&
+        RestoreGggpCheckpoint(*snapshot, config, &population, &evaluator,
+                              &rng, &result, &start_generation)) {
+      resumed = true;
+    }
+  }
+
+  // A resumed trace already contains the first segment's manifest.
+  if (!resumed && sink->enabled()) {
     obs::RunManifest manifest = obs::MakeRunManifest("gggp", config.seed);
     manifest.config_fields = {
         {"population_size", static_cast<double>(config.population_size)},
@@ -216,18 +364,17 @@ GggpResult RunGggp(const GggpConfig& config, const GggpProblem& problem,
 
   // Initial population: the input process with progressively more random
   // structural edits (index 0 is the unmodified expert process).
-  std::vector<GggpIndividual> population;
-  population.reserve(static_cast<std::size_t>(config.population_size));
-  while (population.size() <
-         static_cast<std::size_t>(config.population_size)) {
-    GggpIndividual individual;
-    individual.equations = seed_equations;
-    individual.parameters = means;
-    const int edits = static_cast<int>(population.size() % 4);
-    for (int e = 0; e < edits; ++e) mutate_structure(&individual);
-    population.push_back(std::move(individual));
-  }
-  {
+  if (!resumed) {
+    population.reserve(static_cast<std::size_t>(config.population_size));
+    while (population.size() <
+           static_cast<std::size_t>(config.population_size)) {
+      GggpIndividual individual;
+      individual.equations = seed_equations;
+      individual.parameters = means;
+      const int edits = static_cast<int>(population.size() % 4);
+      for (int e = 0; e < edits; ++e) mutate_structure(&individual);
+      population.push_back(std::move(individual));
+    }
     std::vector<GggpIndividual*> batch;
     batch.reserve(population.size());
     for (GggpIndividual& individual : population) {
@@ -236,9 +383,8 @@ GggpResult RunGggp(const GggpConfig& config, const GggpProblem& problem,
     evaluator.EvaluateBatch(pool, batch);
   }
 
-  GggpResult result;
-  for (int generation = 0; generation < config.max_generations;
-       ++generation) {
+  for (int generation = start_generation;
+       generation < config.max_generations; ++generation) {
     const int k = config.sigma_rampdown_generations;
     const int rampdown_start = config.max_generations - k;
     double sigma_scale = 1.0;
@@ -326,6 +472,16 @@ GggpResult RunGggp(const GggpConfig& config, const GggpProblem& problem,
       batch.reserve(pending.size());
       for (std::size_t index : pending) batch.push_back(&population[index]);
       evaluator.EvaluateBatch(pool, batch);
+    }
+
+    // Batch barrier: drain buffered trace events, then checkpoint on the
+    // configured cadence.
+    sink->Flush();
+    if (context.checkpointer != nullptr &&
+        context.checkpointer->ShouldSnapshot(
+            static_cast<std::uint64_t>(generation))) {
+      SaveGggpCheckpoint(context.checkpointer, config, generation, population,
+                         evaluator, rng, result);
     }
   }
 

@@ -1,5 +1,7 @@
 #include "gp/evaluator.h"
 
+
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -404,6 +406,30 @@ double FitnessEvaluator::EvaluateFull(const Individual& individual) const {
   while (eval->Step()) {
   }
   return eval->CurrentFitness();
+}
+
+std::vector<FitnessEvaluator::CacheExport> FitnessEvaluator::ExportCache()
+    const {
+  std::vector<CacheExport> entries;
+  entries.reserve(cache_.size());
+  cache_.ForEach([&entries](const std::uint64_t& key,
+                            const CacheEntry& entry) {
+    entries.push_back(
+        CacheExport{key, entry.fitness, entry.fully_evaluated, entry.outcome});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const CacheExport& a, const CacheExport& b) {
+              return a.key < b.key;
+            });
+  return entries;
+}
+
+void FitnessEvaluator::ImportCache(const std::vector<CacheExport>& entries) {
+  cache_.Clear();
+  for (const CacheExport& entry : entries) {
+    cache_.Insert(entry.key, CacheEntry{entry.fitness, entry.fully_evaluated,
+                                        entry.outcome});
+  }
 }
 
 }  // namespace gmr::gp

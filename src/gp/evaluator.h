@@ -164,6 +164,33 @@ class FitnessEvaluator {
     return best_prev_full_.load(std::memory_order_relaxed);
   }
 
+  /// One exported tree-cache entry (checkpoint serialization). The cache
+  /// is part of the determinism contract: eval_batch trace events report
+  /// cache_hits as a deterministic field, so a resumed run must see the
+  /// exact cache contents the interrupted run had at the checkpoint.
+  struct CacheExport {
+    std::uint64_t key = 0;
+    double fitness = 0.0;
+    bool fully_evaluated = false;
+    EvalOutcome outcome = EvalOutcome::kOk;
+  };
+
+  /// Exports the tree cache sorted by key (stable bytes for snapshots).
+  /// Coordinator-only, between batches.
+  std::vector<CacheExport> ExportCache() const;
+
+  /// Replaces the tree cache with `entries` (resume). Coordinator-only.
+  void ImportCache(const std::vector<CacheExport>& entries);
+
+  /// Restores checkpointed aggregate statistics (resume): totals then
+  /// continue accumulating across segments instead of restarting at zero.
+  void RestoreStats(const EvalStats& stats) { stats_ = stats; }
+
+  /// Restores the checkpointed short-circuiting frontier (resume).
+  void RestoreBestPrevFull(double frontier) {
+    best_prev_full_.store(frontier, std::memory_order_relaxed);
+  }
+
   /// Entries in the shared tree cache.
   std::size_t cache_size() const { return cache_.size(); }
 

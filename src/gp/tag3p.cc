@@ -1,12 +1,97 @@
 #include "gp/tag3p.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/serialize.h"
 #include "common/check.h"
 #include "common/timer.h"
 #include "obs/manifest.h"
 
 namespace gmr::gp {
+namespace {
+
+/// EvalStats as one line: decimal counters, bit-exact hex seconds, then the
+/// outcome histogram. Order matches the struct declaration.
+std::string EncodeEvalStats(const EvalStats& stats) {
+  std::string out = std::to_string(stats.individuals_evaluated);
+  out += " " + std::to_string(stats.cache_hits);
+  out += " " + std::to_string(stats.cache_lookups);
+  out += " " + std::to_string(stats.full_evaluations);
+  out += " " + std::to_string(stats.short_circuited);
+  out += " " + std::to_string(stats.static_rejects);
+  out += " " + std::to_string(stats.time_steps_evaluated);
+  out += " " + ckpt::HexDouble(stats.wall_seconds);
+  out += " " + ckpt::HexDouble(stats.cpu_seconds);
+  out += " " + ckpt::HexDouble(stats.compile_seconds);
+  for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
+    out += " " + std::to_string(stats.outcomes[i]);
+  }
+  return out;
+}
+
+bool ParseCount(const std::string& token, std::size_t* value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *value = static_cast<std::size_t>(std::strtoull(token.c_str(), &end, 10));
+  return end == token.c_str() + token.size();
+}
+
+bool DecodeEvalStats(const std::string& line, EvalStats* stats) {
+  const std::vector<std::string> t = ckpt::TokenizeSExpr(line);
+  if (t.size() != 10 + kNumEvalOutcomes) return false;
+  EvalStats s;
+  if (!ParseCount(t[0], &s.individuals_evaluated) ||
+      !ParseCount(t[1], &s.cache_hits) || !ParseCount(t[2], &s.cache_lookups) ||
+      !ParseCount(t[3], &s.full_evaluations) ||
+      !ParseCount(t[4], &s.short_circuited) ||
+      !ParseCount(t[5], &s.static_rejects) ||
+      !ParseCount(t[6], &s.time_steps_evaluated) ||
+      !ckpt::ParseHexDouble(t[7], &s.wall_seconds) ||
+      !ckpt::ParseHexDouble(t[8], &s.cpu_seconds) ||
+      !ckpt::ParseHexDouble(t[9], &s.compile_seconds)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
+    if (!ParseCount(t[10 + i], &s.outcomes[i])) return false;
+  }
+  *stats = s;
+  return true;
+}
+
+std::string EncodeGenStats(const GenerationStats& stats) {
+  return std::to_string(stats.generation) + " " +
+         ckpt::HexDouble(stats.best_fitness) + " " +
+         ckpt::HexDouble(stats.mean_fitness) + " " +
+         ckpt::HexDouble(stats.best_size) + " " +
+         ckpt::HexDouble(stats.seconds);
+}
+
+bool DecodeGenStats(const std::string& line, GenerationStats* stats) {
+  const std::vector<std::string> t = ckpt::TokenizeSExpr(line);
+  std::size_t generation;
+  GenerationStats g;
+  if (t.size() != 5 || !ParseCount(t[0], &generation) ||
+      !ckpt::ParseHexDouble(t[1], &g.best_fitness) ||
+      !ckpt::ParseHexDouble(t[2], &g.mean_fitness) ||
+      !ckpt::ParseHexDouble(t[3], &g.best_size) ||
+      !ckpt::ParseHexDouble(t[4], &g.seconds)) {
+    return false;
+  }
+  g.generation = static_cast<int>(generation);
+  *stats = g;
+  return true;
+}
+
+bool ParseOutcome(const std::string& token, EvalOutcome* outcome) {
+  std::size_t value;
+  if (!ParseCount(token, &value) || value >= kNumEvalOutcomes) return false;
+  *outcome = static_cast<EvalOutcome>(value);
+  return true;
+}
+
+}  // namespace
 
 Tag3pEngine::Tag3pEngine(const Tag3pProblem& problem, Tag3pConfig config,
                          const obs::RunContext& context)
@@ -17,7 +102,8 @@ Tag3pEngine::Tag3pEngine(const Tag3pProblem& problem, Tag3pConfig config,
       own_rng_(config.seed),
       rng_(context.rng != nullptr ? *context.rng : own_rng_),
       pool_lease_(obs::LeasePool(context, config.speedups.num_threads)),
-      sink_(obs::ResolveSink(context.sink)) {
+      sink_(obs::ResolveSink(context.sink)),
+      checkpointer_(context.checkpointer) {
   GMR_CHECK(grammar_ != nullptr);
   GMR_CHECK_GT(config_.population_size, 0);
   GMR_CHECK_GE(config_.elite_size, 0);
@@ -142,7 +228,24 @@ void Tag3pEngine::LocalSearchBatch(std::vector<Individual>* population,
 }
 
 Tag3pResult Tag3pEngine::Run() {
-  if (sink_->enabled()) {
+  Tag3pResult result;
+  std::vector<Individual> population;
+  int start_generation = 0;
+  bool resumed = false;
+  if (checkpointer_ != nullptr) {
+    const ckpt::Snapshot* snapshot =
+        checkpointer_->ResumeFor("tag3p", CheckpointFingerprint());
+    if (snapshot != nullptr &&
+        RestoreCheckpoint(*snapshot, &population, &result,
+                          &start_generation)) {
+      resumed = true;
+    }
+  }
+
+  // The manifest was already written (and made durable) by the first
+  // segment of a resumed run; re-emitting it would duplicate it in the
+  // continued trace.
+  if (!resumed && sink_->enabled()) {
     obs::RunManifest manifest = obs::MakeRunManifest("tag3p", config_.seed);
     manifest.config_fields = {
         {"population_size", static_cast<double>(config_.population_size)},
@@ -176,17 +279,16 @@ Tag3pResult Tag3pEngine::Run() {
     obs::EmitManifest(sink_, manifest);
   }
 
-  Tag3pResult result;
-  std::vector<Individual> population = InitializePopulation();
-  {
+  if (!resumed) {
+    population = InitializePopulation();
     std::vector<Individual*> batch;
     batch.reserve(population.size());
     for (Individual& individual : population) batch.push_back(&individual);
     evaluator_.EvaluateBatch(batch, pool_lease_.pool());
   }
 
-  for (int generation = 0; generation < config_.max_generations;
-       ++generation) {
+  for (int generation = start_generation;
+       generation < config_.max_generations; ++generation) {
     Timer gen_timer;
     const double sigma_scale = SigmaScale(generation);
 
@@ -301,6 +403,17 @@ Tag3pResult Tag3pEngine::Run() {
       sink_->Emit(std::move(event));
     }
     if (generation_callback_) generation_callback_(stats);
+
+    // Generation end is the batch barrier: drain the trace sink's buffered
+    // tail (an abnormal termination then loses at most the current
+    // generation's events, which the resume re-emits) and checkpoint on
+    // the configured cadence.
+    sink_->Flush();
+    if (checkpointer_ != nullptr &&
+        checkpointer_->ShouldSnapshot(
+            static_cast<std::uint64_t>(generation))) {
+      SaveCheckpoint(generation, population, result);
+    }
   }
 
   std::sort(population.begin(), population.end(),
@@ -310,6 +423,155 @@ Tag3pResult Tag3pEngine::Run() {
   result.best = population.front().Clone();
   result.eval_stats = evaluator_.stats();
   return result;
+}
+
+std::vector<std::string> Tag3pEngine::CheckpointFingerprint() const {
+  return ckpt::MakeFingerprint({
+      {"seed", std::to_string(config_.seed)},
+      {"population_size", std::to_string(config_.population_size)},
+      {"max_generations", std::to_string(config_.max_generations)},
+      {"elite_size", std::to_string(config_.elite_size)},
+      {"local_search_steps", std::to_string(config_.local_search_steps)},
+      {"elite_polish_steps", std::to_string(config_.elite_polish_steps)},
+  });
+}
+
+void Tag3pEngine::SaveCheckpoint(int generation,
+                                 const std::vector<Individual>& population,
+                                 const Tag3pResult& result) {
+  ckpt::Snapshot snapshot;
+  snapshot.driver = "tag3p";
+  snapshot.step = static_cast<std::uint64_t>(generation);
+  snapshot.AddSection("fingerprint")->lines = CheckpointFingerprint();
+  snapshot.AddSection("rng")->lines = {
+      ckpt::SerializeRngState(rng_.SaveState())};
+
+  ckpt::Section* pop = snapshot.AddSection("population");
+  pop->lines.reserve(population.size() * 3);
+  for (const Individual& individual : population) {
+    pop->lines.push_back(
+        "i " + ckpt::HexDouble(individual.fitness) +
+        (individual.fully_evaluated ? " 1 " : " 0 ") +
+        std::to_string(static_cast<int>(individual.outcome)));
+    pop->lines.push_back(ckpt::SerializeDerivation(*individual.genotype));
+    pop->lines.push_back(ckpt::SerializeDoubles(individual.parameters));
+  }
+
+  ckpt::Section* ev = snapshot.AddSection("evaluator");
+  ev->lines.push_back("frontier " +
+                      ckpt::HexDouble(evaluator_.best_prev_full()));
+  ev->lines.push_back("stats " + EncodeEvalStats(evaluator_.stats()));
+
+  // The tree cache is part of the deterministic trajectory (cache_hits is
+  // a deterministic eval_batch field), so it ships with every snapshot.
+  ckpt::Section* cache = snapshot.AddSection("cache");
+  for (const FitnessEvaluator::CacheExport& entry : evaluator_.ExportCache()) {
+    cache->lines.push_back(ckpt::HexUint64(entry.key) + " " +
+                           ckpt::HexDouble(entry.fitness) +
+                           (entry.fully_evaluated ? " 1 " : " 0 ") +
+                           std::to_string(static_cast<int>(entry.outcome)));
+  }
+
+  ckpt::Section* history = snapshot.AddSection("history");
+  for (const GenerationStats& stats : result.history) {
+    history->lines.push_back(EncodeGenStats(stats));
+  }
+
+  checkpointer_->Save(std::move(snapshot));
+}
+
+bool Tag3pEngine::RestoreCheckpoint(const ckpt::Snapshot& snapshot,
+                                    std::vector<Individual>* population,
+                                    Tag3pResult* result,
+                                    int* start_generation) {
+  // Parse everything into locals first: a torn/garbled section must leave
+  // the engine untouched so the caller can fall back to a fresh start.
+  const ckpt::Section* rng_section = snapshot.FindSection("rng");
+  RngState rng_state;
+  if (rng_section == nullptr || rng_section->lines.size() != 1 ||
+      !ckpt::ParseRngState(rng_section->lines[0], &rng_state)) {
+    return false;
+  }
+
+  const ckpt::Section* pop_section = snapshot.FindSection("population");
+  if (pop_section == nullptr || pop_section->lines.size() % 3 != 0 ||
+      pop_section->lines.size() / 3 !=
+          static_cast<std::size_t>(config_.population_size)) {
+    return false;
+  }
+  std::vector<Individual> restored;
+  restored.reserve(pop_section->lines.size() / 3);
+  for (std::size_t i = 0; i < pop_section->lines.size(); i += 3) {
+    const std::vector<std::string> head =
+        ckpt::TokenizeSExpr(pop_section->lines[i]);
+    Individual individual;
+    if (head.size() != 4 || head[0] != "i" ||
+        !ckpt::ParseHexDouble(head[1], &individual.fitness) ||
+        (head[2] != "0" && head[2] != "1") ||
+        !ParseOutcome(head[3], &individual.outcome)) {
+      return false;
+    }
+    individual.fully_evaluated = head[2] == "1";
+    std::string error;
+    individual.genotype =
+        ckpt::ParseDerivationLine(pop_section->lines[i + 1], &error);
+    if (individual.genotype == nullptr ||
+        !tag::Validate(*grammar_, *individual.genotype, &error)) {
+      return false;
+    }
+    if (!ckpt::ParseDoubles(pop_section->lines[i + 2],
+                            &individual.parameters)) {
+      return false;
+    }
+    restored.push_back(std::move(individual));
+  }
+
+  const ckpt::Section* ev_section = snapshot.FindSection("evaluator");
+  double frontier;
+  EvalStats stats;
+  if (ev_section == nullptr || ev_section->lines.size() != 2 ||
+      ev_section->lines[0].compare(0, 9, "frontier ") != 0 ||
+      !ckpt::ParseHexDouble(ev_section->lines[0].substr(9), &frontier) ||
+      ev_section->lines[1].compare(0, 6, "stats ") != 0 ||
+      !DecodeEvalStats(ev_section->lines[1].substr(6), &stats)) {
+    return false;
+  }
+
+  const ckpt::Section* cache_section = snapshot.FindSection("cache");
+  if (cache_section == nullptr) return false;
+  std::vector<FitnessEvaluator::CacheExport> cache_entries;
+  cache_entries.reserve(cache_section->lines.size());
+  for (const std::string& line : cache_section->lines) {
+    const std::vector<std::string> fields = ckpt::TokenizeSExpr(line);
+    FitnessEvaluator::CacheExport entry;
+    if (fields.size() != 4 || !ckpt::ParseHexUint64(fields[0], &entry.key) ||
+        !ckpt::ParseHexDouble(fields[1], &entry.fitness) ||
+        (fields[2] != "0" && fields[2] != "1") ||
+        !ParseOutcome(fields[3], &entry.outcome)) {
+      return false;
+    }
+    entry.fully_evaluated = fields[2] == "1";
+    cache_entries.push_back(entry);
+  }
+
+  const ckpt::Section* history_section = snapshot.FindSection("history");
+  if (history_section == nullptr) return false;
+  std::vector<GenerationStats> history;
+  history.reserve(history_section->lines.size());
+  for (const std::string& line : history_section->lines) {
+    GenerationStats gen_stats;
+    if (!DecodeGenStats(line, &gen_stats)) return false;
+    history.push_back(gen_stats);
+  }
+
+  rng_.RestoreState(rng_state);
+  evaluator_.RestoreStats(stats);
+  evaluator_.RestoreBestPrevFull(frontier);
+  evaluator_.ImportCache(cache_entries);
+  *population = std::move(restored);
+  result->history = std::move(history);
+  *start_generation = static_cast<int>(snapshot.step) + 1;
+  return true;
 }
 
 Tag3pResult RunTag3p(const Tag3pConfig& config, const Tag3pProblem& problem,

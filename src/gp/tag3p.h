@@ -16,6 +16,10 @@
 #include "obs/run_context.h"
 #include "tag/grammar.h"
 
+namespace gmr::ckpt {
+struct Snapshot;
+}  // namespace gmr::ckpt
+
 namespace gmr::gp {
 
 /// Configuration of the TAG3P search (paper Appendix B defaults).
@@ -135,6 +139,18 @@ class Tag3pEngine {
                         const std::vector<std::size_t>& indices);
   double SigmaScale(int generation) const;
 
+  /// Config identity lines a snapshot must match to be resumable.
+  std::vector<std::string> CheckpointFingerprint() const;
+  /// Snapshots the full engine state at the end of `generation`.
+  void SaveCheckpoint(int generation,
+                      const std::vector<Individual>& population,
+                      const Tag3pResult& result);
+  /// Restores state from a snapshot; false on any parse/validation failure
+  /// (the caller then starts fresh — a bad snapshot never aborts a run).
+  bool RestoreCheckpoint(const ckpt::Snapshot& snapshot,
+                         std::vector<Individual>* population,
+                         Tag3pResult* result, int* start_generation);
+
   const tag::Grammar* grammar_;
   ParameterPriors priors_;
   Tag3pConfig config_;
@@ -145,6 +161,7 @@ class Tag3pEngine {
   /// `speedups.num_threads` (null pool() means serial).
   obs::PoolLease pool_lease_;
   obs::TelemetrySink* sink_;
+  ckpt::Checkpointer* checkpointer_;  ///< Null = checkpointing off.
   GenerationCallback generation_callback_;
 };
 

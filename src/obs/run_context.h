@@ -7,6 +7,10 @@
 #include "common/thread_pool.h"
 #include "obs/telemetry.h"
 
+namespace gmr::ckpt {
+class Checkpointer;
+}  // namespace gmr::ckpt
+
 namespace gmr::obs {
 
 /// The shared parameter object of the unified driver API: every search
@@ -19,12 +23,16 @@ namespace gmr::obs {
 ///   - sink: telemetry consumer; null means the NullSink (tracing off).
 ///   - rng: externally owned random stream; null means the driver seeds its
 ///     own from its config (the reproducible default).
+///   - checkpointer: durable snapshot/resume service (src/ckpt/); null
+///     means checkpointing off. Forward-declared so obs does not depend on
+///     ckpt — only drivers that checkpoint include checkpoint.h.
 /// A default-constructed RunContext reproduces the pre-context behavior
 /// exactly, so `Run(config, problem, {})` is always valid.
 struct RunContext {
   ThreadPool* pool = nullptr;
   TelemetrySink* sink = nullptr;
   Rng* rng = nullptr;
+  ckpt::Checkpointer* checkpointer = nullptr;
 
   /// Never-null sink accessor for emission sites.
   TelemetrySink& telemetry() const { return *ResolveSink(sink); }

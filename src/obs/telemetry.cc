@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -104,7 +106,25 @@ std::string SerializeEvent(const TraceEvent& event, std::uint64_t sequence,
 
 JsonlTraceSink::JsonlTraceSink(std::string path, JsonlTraceOptions options)
     : path_(std::move(path)), options_(options) {
-  file_ = std::fopen(path_.c_str(), "w");
+  if (options_.resume) {
+    // Reopen without truncating; discard any bytes written after the
+    // checkpoint being resumed from (those events get re-emitted by the
+    // resumed segment, which keeps final trace bytes identical to an
+    // uninterrupted run).
+    file_ = std::fopen(path_.c_str(), "r+");
+    if (file_ == nullptr) file_ = std::fopen(path_.c_str(), "w");
+    if (file_ != nullptr) {
+      const int fd = fileno(file_);
+      if (ftruncate(fd, static_cast<off_t>(options_.resume_bytes)) != 0) {
+        std::fprintf(stderr, "telemetry: cannot truncate trace file %s\n",
+                     path_.c_str());
+      }
+      std::fseek(file_, 0, SEEK_END);
+      sequence_ = options_.resume_sequence;
+    }
+  } else {
+    file_ = std::fopen(path_.c_str(), "w");
+  }
   if (file_ == nullptr) {
     std::fprintf(stderr, "telemetry: cannot open trace file %s\n",
                  path_.c_str());
@@ -144,6 +164,17 @@ void JsonlTraceSink::Flush() {
   work_cv_.notify_one();
   drain_cv_.wait(lock, [this] { return pending_.empty() && !writing_; });
   std::fflush(file_);
+}
+
+std::uint64_t JsonlTraceSink::DurableFlush() {
+  if (file_ == nullptr) return 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.notify_one();
+  drain_cv_.wait(lock, [this] { return pending_.empty() && !writing_; });
+  std::fflush(file_);
+  fsync(fileno(file_));
+  const long offset = std::ftell(file_);
+  return offset > 0 ? static_cast<std::uint64_t>(offset) : 0;
 }
 
 void JsonlTraceSink::WriterLoop() {

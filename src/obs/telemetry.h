@@ -122,6 +122,16 @@ struct JsonlTraceOptions {
     options.include_environment = false;
     return options;
   }
+
+  /// Resume mode: instead of truncating the trace file, reopen it, discard
+  /// everything past `resume_bytes` (events emitted after the checkpoint
+  /// that is being resumed from — they will be re-emitted by the resumed
+  /// run), and continue sequence numbering at `resume_sequence`. With both
+  /// at their defaults and resume=true, an empty/new file behaves like a
+  /// fresh sink.
+  bool resume = false;
+  std::uint64_t resume_bytes = 0;
+  std::uint64_t resume_sequence = 0;
 };
 
 /// Buffered JSONL sink: one JSON object per line, in emit order. Emit()
@@ -140,6 +150,12 @@ class JsonlTraceSink final : public TelemetrySink {
   bool enabled() const override { return true; }
   void Emit(TraceEvent event) override;
   void Flush() override;
+
+  /// Flush() plus fsync: on return every emitted event is durably on disk
+  /// (survives SIGKILL / power loss). Returns the durable byte offset of
+  /// the file end — the value a checkpoint records so a resumed sink can
+  /// truncate back to exactly this point.
+  std::uint64_t DurableFlush();
 
   /// False when the trace file could not be opened (events are dropped).
   bool ok() const { return file_ != nullptr; }

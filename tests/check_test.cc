@@ -151,7 +151,7 @@ TEST(ShrinkTest, DerivationShrinksToRootWhenAnythingFails) {
 
 TEST(OracleTest, RegistryKnowsEveryOracle) {
   const auto names = ExprOracleNames();
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 10u);
   for (const std::string& name : names) {
     EXPECT_NE(FindExprOracle(name), nullptr) << name;
   }
@@ -218,11 +218,13 @@ TEST(FuzzTest, FilterSelectsProperties) {
   FuzzOptions options;
   options.seed = 11;
   options.iterations = 20;
-  options.filter = "roundtrip";
+  options.filter = "roundtrip";  // substring match: printer and ckpt codecs
   const FuzzReport report = RunFuzz(options);
-  ASSERT_EQ(report.properties.size(), 1u);
+  ASSERT_EQ(report.properties.size(), 2u);
   EXPECT_EQ(report.properties[0].name, "roundtrip");
   EXPECT_EQ(report.properties[0].cases, 20u);
+  EXPECT_EQ(report.properties[1].name, "ckpt_roundtrip");
+  EXPECT_EQ(report.properties[1].cases, 20u);
 }
 
 TEST(CorpusTest, WrittenCounterexampleReplays) {
