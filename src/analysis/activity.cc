@@ -1,0 +1,192 @@
+#include "analysis/activity.h"
+
+#include <cmath>
+
+#include "analysis/dataflow.h"
+#include "common/check.h"
+
+namespace gmr::analysis {
+namespace {
+
+/// The activity instance of the dataflow framework. A nested interval pass
+/// over the same environment supplies the exactness facts that justify
+/// pruning a dependence; every guard requires the runtime value to be
+/// *bit-exactly* independent of the pruned subtree (not merely bounded),
+/// because the activity oracle compares rollouts bitwise.
+struct ActivityDomain {
+  using Value = Activity;
+
+  DataflowPass<IntervalDomain>* intervals;
+
+  Activity Constant(const expr::Expr&) const { return Activity{}; }
+
+  Activity Variable(const expr::Expr& node) const {
+    return Activity{ActivityBit(node.slot()), 0};
+  }
+
+  Activity Parameter(const expr::Expr& node) const {
+    return Activity{0, ActivityBit(node.slot())};
+  }
+
+  Activity Unary(const expr::Expr& node, const Activity& a) const {
+    const expr::Expr& child = *node.children()[0];
+    switch (node.kind()) {
+      case expr::NodeKind::kLog: {
+        // Argument range entirely inside the |x| < kLogEpsilon zero band:
+        // the protected kernel returns exactly 0 for every input.
+        const Interval& c = intervals->Evaluate(child);
+        const double mhi = std::max(std::fabs(c.lo), std::fabs(c.hi));
+        if (!c.maybe_nan && mhi < expr::kLogEpsilon) return Activity{};
+        return a;
+      }
+      case expr::NodeKind::kExp: {
+        // Argument range entirely beyond a clamp edge: constant exp(+/-80).
+        const Interval& c = intervals->Evaluate(child);
+        if (!c.maybe_nan && (c.lo >= expr::kExpArgClamp ||
+                             c.hi <= -expr::kExpArgClamp)) {
+          return Activity{};
+        }
+        return a;
+      }
+      default:
+        return a;
+    }
+  }
+
+  Activity Binary(const expr::Expr& node, const Activity& a,
+                  const Activity& b) const {
+    const expr::Expr& left = *node.children()[0];
+    const expr::Expr& right = *node.children()[1];
+    if (expr::StructurallyEqual(left, right)) {
+      switch (node.kind()) {
+        case expr::NodeKind::kSub:
+        case expr::NodeKind::kDiv:
+          // x - x == 0 and protected x / x == 1 exactly, for finite x.
+          if (intervals->Evaluate(left).IsFinite()) return Activity{};
+          break;
+        case expr::NodeKind::kMin:
+        case expr::NodeKind::kMax:
+          return a;
+        default:
+          break;
+      }
+      return Union(a, b);
+    }
+    switch (node.kind()) {
+      case expr::NodeKind::kMul: {
+        // 0 * finite == 0 exactly (0 * inf would be NaN).
+        const Interval& ia = intervals->Evaluate(left);
+        const Interval& ib = intervals->Evaluate(right);
+        if (IsZeroPoint(ia) && ib.IsFinite()) return Activity{};
+        if (IsZeroPoint(ib) && ia.IsFinite()) return Activity{};
+        break;
+      }
+      case expr::NodeKind::kDiv: {
+        // Denominator range entirely inside the protection band: the
+        // kernel returns the constant 1 for every input.
+        const Interval& ib = intervals->Evaluate(right);
+        if (!ib.maybe_nan && ib.lo > -expr::kDivEpsilon &&
+            ib.hi < expr::kDivEpsilon) {
+          return Activity{};
+        }
+        break;
+      }
+      case expr::NodeKind::kMin: {
+        const Interval& ia = intervals->Evaluate(left);
+        const Interval& ib = intervals->Evaluate(right);
+        if (!ia.maybe_nan && !ib.maybe_nan) {
+          if (ia.hi < ib.lo) return a;
+          if (ib.hi < ia.lo) return b;
+        }
+        break;
+      }
+      case expr::NodeKind::kMax: {
+        const Interval& ia = intervals->Evaluate(left);
+        const Interval& ib = intervals->Evaluate(right);
+        if (!ia.maybe_nan && !ib.maybe_nan) {
+          if (ia.lo > ib.hi) return a;
+          if (ib.lo > ia.hi) return b;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return Union(a, b);
+  }
+
+ private:
+  static Activity Union(const Activity& a, const Activity& b) {
+    Activity out = a;
+    out |= b;
+    return out;
+  }
+
+  static bool IsZeroPoint(const Interval& interval) {
+    return interval.IsPoint() && interval.lo == 0.0;
+  }
+};
+
+}  // namespace
+
+std::uint64_t ActivityBit(int slot) {
+  GMR_CHECK(slot >= 0);
+  return std::uint64_t{1} << (slot < 63 ? slot : 63);
+}
+
+Activity AnalyzeActivity(const expr::Expr& root, const DomainEnv& env) {
+  DataflowPass<IntervalDomain> intervals(IntervalDomain{&env});
+  DataflowPass<ActivityDomain> pass(ActivityDomain{&intervals});
+  return pass.Evaluate(root);
+}
+
+Activity OutputClosureActivity(const std::vector<expr::ExprPtr>& equations,
+                               int output_state, const DomainEnv& env) {
+  const int num_states = static_cast<int>(equations.size());
+  GMR_CHECK(output_state >= 0 && output_state < num_states);
+  std::vector<Activity> per_equation;
+  per_equation.reserve(equations.size());
+  for (const expr::ExprPtr& eq : equations) {
+    GMR_CHECK(eq != nullptr);
+    per_equation.push_back(AnalyzeActivity(*eq, env));
+  }
+
+  std::uint64_t state_mask = 0;
+  for (int s = 0; s < num_states; ++s) state_mask |= ActivityBit(s);
+
+  // Least fixpoint of state reachability from the output: a state is in
+  // the closure when the output's own equation — or any equation already
+  // in the closure — reads its state variable.
+  std::uint64_t active_states = ActivityBit(output_state);
+  for (;;) {
+    std::uint64_t next = active_states;
+    for (int s = 0; s < num_states; ++s) {
+      if (active_states & ActivityBit(s)) {
+        next |= per_equation[static_cast<std::size_t>(s)].variables &
+                state_mask;
+      }
+    }
+    if (next == active_states) break;
+    active_states = next;
+  }
+
+  Activity closure;
+  closure.variables = active_states;  // The output reads its own state.
+  for (int s = 0; s < num_states; ++s) {
+    if (active_states & ActivityBit(s)) {
+      closure |= per_equation[static_cast<std::size_t>(s)];
+    }
+  }
+  return closure;
+}
+
+std::vector<int> InactiveParameters(const Activity& activity,
+                                    int num_parameters) {
+  std::vector<int> inactive;
+  for (int slot = 0; slot < num_parameters && slot < 63; ++slot) {
+    if (!(activity.parameters & ActivityBit(slot))) inactive.push_back(slot);
+  }
+  return inactive;
+}
+
+}  // namespace gmr::analysis

@@ -1,0 +1,66 @@
+#ifndef GMR_ANALYSIS_ACTIVITY_H_
+#define GMR_ANALYSIS_ACTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/interval.h"
+#include "expr/ast.h"
+
+namespace gmr::analysis {
+
+/// One element of the activity lattice: the set of input slots that *may*
+/// influence a subexpression's value, as bitmasks over variable and
+/// parameter slots. The lattice order is subset inclusion; join is
+/// bitwise-or. The complement is the guarantee: a slot outside the mask
+/// provably cannot change the value for any admissible input, so
+/// calibrators can freeze that dimension and perturbing it must leave
+/// rollouts bit-identical (the `activity` fuzz oracle enforces exactly
+/// this).
+///
+/// Slots 0..62 are tracked exactly; any slot >= 63 maps onto the shared
+/// sticky bit 63 (conservative: such slots are never reported inactive).
+struct Activity {
+  std::uint64_t variables = 0;
+  std::uint64_t parameters = 0;
+
+  friend bool operator==(const Activity& a, const Activity& b) {
+    return a.variables == b.variables && a.parameters == b.parameters;
+  }
+
+  Activity& operator|=(const Activity& other) {
+    variables |= other.variables;
+    parameters |= other.parameters;
+    return *this;
+  }
+};
+
+/// The bit representing `slot` (bit 63 for slot >= 63).
+std::uint64_t ActivityBit(int slot);
+
+/// Which slots may influence `root` over `env`. Dependence is pruned only
+/// where the protected runtime value is *exactly* independent of a subtree
+/// — mirroring the liveness rules of the expression linter: x - x and
+/// x / x over finite ranges, 0 times a finite factor, a division whose
+/// denominator range lies entirely inside the protection band, dominated
+/// min/max branches, log over a range fully inside its zero band, exp
+/// with a fully clamped argument. Interval facts come from a nested
+/// interval pass over the same `env`.
+Activity AnalyzeActivity(const expr::Expr& root, const DomainEnv& env);
+
+/// Transitive activity of `output_state` under the equation system: the
+/// union of per-equation activities over the least set of state equations
+/// reachable from the output through state-variable references (slots
+/// < equations.size() are states, in slot order). Parameters of equations
+/// outside the closure provably cannot affect the output trajectory.
+Activity OutputClosureActivity(const std::vector<expr::ExprPtr>& equations,
+                               int output_state, const DomainEnv& env);
+
+/// Parameter slots in [0, num_parameters) provably inactive under
+/// `activity` (slots >= 63 are never reported).
+std::vector<int> InactiveParameters(const Activity& activity,
+                                    int num_parameters);
+
+}  // namespace gmr::analysis
+
+#endif  // GMR_ANALYSIS_ACTIVITY_H_

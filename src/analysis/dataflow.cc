@@ -1,0 +1,28 @@
+#include "analysis/dataflow.h"
+
+namespace gmr::analysis {
+namespace {
+
+void WalkAddressesImpl(
+    const expr::Expr& node, std::vector<int>* address,
+    const std::function<void(const expr::Expr&, const std::vector<int>&)>&
+        visit) {
+  visit(node, *address);
+  for (std::size_t i = 0; i < node.children().size(); ++i) {
+    address->push_back(static_cast<int>(i));
+    WalkAddressesImpl(*node.children()[i], address, visit);
+    address->pop_back();
+  }
+}
+
+}  // namespace
+
+void WalkAddresses(
+    const expr::Expr& root,
+    const std::function<void(const expr::Expr&, const std::vector<int>&)>&
+        visit) {
+  std::vector<int> address;
+  WalkAddressesImpl(root, &address, visit);
+}
+
+}  // namespace gmr::analysis

@@ -23,6 +23,71 @@ void CollectSlotLabels(const tag::ElementaryTree& tree,
   for (const tag::Symbol& label : tree.slot_labels()) out->insert(label);
 }
 
+/// Bottom-up dimension of a TAG (sub)tree. Slots are Any (a lexeme absorbs
+/// its context's dimension, like any numeric constant), foot nodes take
+/// `foot_dim`, wrappers pass through. The first provable mismatch is
+/// recorded in *first_mismatch (inference then recovers with Any, exactly
+/// like the expression-level pass). When `label_dims` is non-null, the
+/// dimension produced at every labeled operator/wrapper node is appended
+/// under its label — the raw material of the label-context map.
+Dim TagTreeDim(const tag::TagNode& node, const UnitsEnv& env,
+               const Dim& foot_dim, std::string* first_mismatch,
+               std::map<tag::Symbol, std::vector<Dim>>* label_dims) {
+  auto record = [&](const Dim& dim) {
+    if (label_dims != nullptr && !node.label.empty()) {
+      (*label_dims)[node.label].push_back(dim);
+    }
+    return dim;
+  };
+  switch (node.kind) {
+    case tag::TagNode::Kind::kLeaf:
+      return AnalyzeUnits(*node.leaf, env).dim;
+    case tag::TagNode::Kind::kSlot:
+      return Dim::Any();
+    case tag::TagNode::Kind::kFoot:
+      return record(foot_dim);
+    case tag::TagNode::Kind::kWrapper:
+      return record(TagTreeDim(*node.children.at(0), env, foot_dim,
+                               first_mismatch, label_dims));
+    case tag::TagNode::Kind::kSystem: {
+      for (const tag::TagNodePtr& child : node.children) {
+        TagTreeDim(*child, env, foot_dim, first_mismatch, label_dims);
+      }
+      return Dim::Any();
+    }
+    case tag::TagNode::Kind::kOperator: {
+      bool mismatch = false;
+      Dim dim;
+      if (node.children.size() == 1) {
+        const Dim a = TagTreeDim(*node.children[0], env, foot_dim,
+                                 first_mismatch, label_dims);
+        dim = ApplyUnaryDim(node.op, a, &mismatch);
+        if (mismatch && first_mismatch != nullptr &&
+            first_mismatch->empty()) {
+          *first_mismatch = std::string(expr::KindName(node.op)) +
+                            " applied to a " + FormatDim(a) + " argument";
+        }
+      } else {
+        const Dim a = TagTreeDim(*node.children.at(0), env, foot_dim,
+                                 first_mismatch, label_dims);
+        const Dim b = TagTreeDim(*node.children.at(1), env, foot_dim,
+                                 first_mismatch, label_dims);
+        dim = ApplyBinaryDim(node.op, a, b, &mismatch);
+        if (mismatch) {
+          dim = Dim::Any();
+          if (first_mismatch != nullptr && first_mismatch->empty()) {
+            *first_mismatch = std::string(expr::KindName(node.op)) +
+                              " combines " + FormatDim(a) + " with " +
+                              FormatDim(b);
+          }
+        }
+      }
+      return record(dim);
+    }
+  }
+  return Dim::Any();
+}
+
 }  // namespace
 
 bool GrammarLintResult::HasErrors() const {
@@ -141,6 +206,65 @@ GrammarLintResult LintGrammar(const tag::Grammar& grammar) {
              (depth == 1 ? " adjunction" : " adjunctions"));
   }
   return result;
+}
+
+GrammarDimensionResult AnalyzeGrammarDimensions(const tag::Grammar& grammar,
+                                                const UnitsEnv& env) {
+  GrammarDimensionResult result;
+
+  // Phase 1: run dimension inference over every alpha tree, recording the
+  // dimension produced at each labeled node. A label's context dimension
+  // is the unique Known dimension it always produces; any disagreement or
+  // unknowable occurrence degrades it to Any (a beta binding such a label
+  // learns nothing about its foot).
+  std::map<tag::Symbol, std::vector<Dim>> label_dims;
+  for (std::size_t i = 0; i < grammar.num_alpha_trees(); ++i) {
+    TagTreeDim(grammar.alpha(static_cast<int>(i)).root(), env, Dim::Any(),
+               nullptr, &label_dims);
+  }
+  for (const auto& [label, dims] : label_dims) {
+    Dim context = dims.front();
+    for (const Dim& d : dims) {
+      if (!d.known || d != context) {
+        context = Dim::Any();
+        break;
+      }
+    }
+    result.label_context[label] = context;
+  }
+
+  // Phase 2: infer each beta with its foot bound to the root label's
+  // context dimension. Only a provable *internal* mismatch flags the beta;
+  // betas whose consistency depends on what they are adjoined onto stay.
+  for (std::size_t i = 0; i < grammar.num_beta_trees(); ++i) {
+    const int index = static_cast<int>(i);
+    const tag::ElementaryTree& beta = grammar.beta(index);
+    Dim foot_dim = Dim::Any();
+    const auto it = result.label_context.find(beta.root_label());
+    if (it != result.label_context.end()) foot_dim = it->second;
+    std::string mismatch;
+    TagTreeDim(beta.root(), env, foot_dim, &mismatch, nullptr);
+    if (mismatch.empty()) continue;
+    result.inconsistent_betas.push_back(index);
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.code = "dimension-inconsistent-beta";
+    d.message = "beta tree '" + beta.name() + "' (root label " +
+                beta.root_label() +
+                ") contains a provable dimension mismatch: " + mismatch +
+                "; every derivation adjoining it is dimensionally "
+                "meaningless and can be pruned from the search";
+    result.diagnostics.push_back(std::move(d));
+  }
+  return result;
+}
+
+std::vector<int> PruneDimensionInconsistentBetas(tag::Grammar* grammar,
+                                                 const UnitsEnv& env) {
+  const GrammarDimensionResult result =
+      AnalyzeGrammarDimensions(*grammar, env);
+  grammar->DisableAdjunction(result.inconsistent_betas);
+  return result.inconsistent_betas;
 }
 
 }  // namespace gmr::analysis

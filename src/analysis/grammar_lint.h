@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/lint.h"
+#include "analysis/units.h"
 #include "tag/grammar.h"
 
 namespace gmr::analysis {
@@ -36,6 +37,41 @@ struct GrammarLintResult {
 /// with no compatible beta are notes (the river grammar intentionally has
 /// interior "Exp" labels with no Exp-rooted betas). Deterministic; pure.
 GrammarLintResult LintGrammar(const tag::Grammar& grammar);
+
+/// Dimension inference lifted to the TAG elementary trees: which beta
+/// trees are provably dimension-inconsistent before any derivation runs,
+/// so the search can prune them from the adjunction candidate lists.
+struct GrammarDimensionResult {
+  /// Context dimension of each label: the dimension of the value produced
+  /// at nodes so labeled across all alpha trees, when it is uniquely Known
+  /// there; Any when the label never appears in an alpha, appears with
+  /// several dimensions, or appears with an unknowable one. A beta's foot
+  /// is bound to its root label's context dimension during inference.
+  std::map<tag::Symbol, Dim> label_context;
+  /// Beta indices with a provable internal dimension mismatch.
+  std::vector<int> inconsistent_betas;
+  /// One "dimension-inconsistent-beta" warning per entry above.
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Infers dimensions over every elementary tree of `grammar` against the
+/// declared `env` (slot lexemes are Any, like numeric constants). A beta
+/// is flagged only when the mismatch is provable from its own structure
+/// plus the foot binding — the verdict is relative to alpha-resident
+/// contexts, so it is surfaced as a warning, not an error: a beta that
+/// *changes* a label's dimension can make later adjunctions at that label
+/// see a different foot dimension. The builtin river grammar's extender
+/// betas all bind Any contexts and are never flagged.
+GrammarDimensionResult AnalyzeGrammarDimensions(const tag::Grammar& grammar,
+                                                const UnitsEnv& env);
+
+/// Runs AnalyzeGrammarDimensions and disables adjunction of every flagged
+/// beta (tag::Grammar::DisableAdjunction — indices stay valid, existing
+/// derivations still expand). Returns the pruned beta indices. Intended to
+/// run once before search starts; on the builtin river grammar it prunes
+/// nothing, so search trajectories are unchanged.
+std::vector<int> PruneDimensionInconsistentBetas(tag::Grammar* grammar,
+                                                 const UnitsEnv& env);
 
 }  // namespace gmr::analysis
 

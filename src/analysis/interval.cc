@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "analysis/dataflow.h"
 #include "common/check.h"
 
 namespace gmr::analysis {
@@ -215,35 +216,39 @@ Interval ApplyBinaryInterval(expr::NodeKind kind, const Interval& a,
   }
 }
 
-Interval EvaluateInterval(const expr::Expr& node, const DomainEnv& env) {
-  switch (node.kind()) {
-    case expr::NodeKind::kConstant:
-      return Interval::Point(node.value());
-    case expr::NodeKind::kVariable: {
-      const auto slot = static_cast<std::size_t>(node.slot());
-      return slot < env.variables.size() ? env.variables[slot]
-                                         : Interval::All();
-    }
-    case expr::NodeKind::kParameter: {
-      const auto slot = static_cast<std::size_t>(node.slot());
-      return slot < env.parameters.size() ? env.parameters[slot]
-                                          : Interval::All();
-    }
-    default:
-      break;
-  }
-  if (node.children().size() == 1) {
-    return ApplyUnaryInterval(node.kind(),
-                              EvaluateInterval(*node.children()[0], env));
-  }
+Interval IntervalDomain::Constant(const expr::Expr& node) const {
+  return Interval::Point(node.value());
+}
+
+Interval IntervalDomain::Variable(const expr::Expr& node) const {
+  const auto slot = static_cast<std::size_t>(node.slot());
+  return slot < env->variables.size() ? env->variables[slot]
+                                      : Interval::All();
+}
+
+Interval IntervalDomain::Parameter(const expr::Expr& node) const {
+  const auto slot = static_cast<std::size_t>(node.slot());
+  return slot < env->parameters.size() ? env->parameters[slot]
+                                       : Interval::All();
+}
+
+Interval IntervalDomain::Unary(const expr::Expr& node,
+                               const Interval& a) const {
+  return ApplyUnaryInterval(node.kind(), a);
+}
+
+Interval IntervalDomain::Binary(const expr::Expr& node, const Interval& a,
+                                const Interval& b) const {
   GMR_CHECK_EQ(node.children().size(), 2u);
   const expr::Expr& left = *node.children()[0];
   const expr::Expr& right = *node.children()[1];
   // Correlation-aware rules for syntactically identical operands: the
   // general transfer functions treat the two occurrences as independent and
-  // lose e.g. the non-negativity of (t - c)^2.
+  // lose e.g. the non-negativity of (t - c)^2. The domain functions are
+  // deterministic, so structurally equal operands carry the same abstract
+  // value; only the combination rule changes.
   if (expr::StructurallyEqual(left, right)) {
-    const Interval x = EvaluateInterval(left, env);
+    const Interval& x = a;
     switch (node.kind()) {
       case expr::NodeKind::kMul:
         return IntervalSquare(x);
@@ -261,8 +266,12 @@ Interval EvaluateInterval(const expr::Expr& node, const DomainEnv& env) {
         return ApplyBinaryInterval(node.kind(), x, x);
     }
   }
-  return ApplyBinaryInterval(node.kind(), EvaluateInterval(left, env),
-                             EvaluateInterval(right, env));
+  return ApplyBinaryInterval(node.kind(), a, b);
+}
+
+Interval EvaluateInterval(const expr::Expr& node, const DomainEnv& env) {
+  DataflowPass<IntervalDomain> pass(IntervalDomain{&env});
+  return pass.Evaluate(node);
 }
 
 }  // namespace gmr::analysis

@@ -100,10 +100,24 @@ Interval ApplyUnaryInterval(expr::NodeKind kind, const Interval& a);
 Interval ApplyBinaryInterval(expr::NodeKind kind, const Interval& a,
                              const Interval& b);
 
-/// Bottom-up interval evaluation of a whole tree over `env`. Uses the
-/// correlation-aware rules for syntactically identical operands:
-/// x - x ⊆ {0}, x / x ⊆ {1} (protected), x * x = square — each still NaN
-/// when x can be infinite, which the result's NaN bit records.
+/// The interval instance of the dataflow framework (analysis/dataflow.h):
+/// a lattice element per subtree, with the correlation-aware rules for
+/// syntactically identical operands (x - x ⊆ {0}, x / x ⊆ {1} protected,
+/// x * x = square — each still NaN when x can be infinite).
+struct IntervalDomain {
+  using Value = Interval;
+  const DomainEnv* env;
+
+  Interval Constant(const expr::Expr& node) const;
+  Interval Variable(const expr::Expr& node) const;
+  Interval Parameter(const expr::Expr& node) const;
+  Interval Unary(const expr::Expr& node, const Interval& a) const;
+  Interval Binary(const expr::Expr& node, const Interval& a,
+                  const Interval& b) const;
+};
+
+/// Bottom-up interval evaluation of a whole tree over `env`: one
+/// DataflowPass<IntervalDomain> per call.
 Interval EvaluateInterval(const expr::Expr& node, const DomainEnv& env);
 
 }  // namespace gmr::analysis

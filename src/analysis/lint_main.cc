@@ -9,21 +9,36 @@
 //                       exit 2 when some file came back clean
 //   --builtin-grammar   additionally lint the built-in river TAG grammar
 //   --no-notes          suppress note-level diagnostics
+//   --severity=<t>      reporting threshold: note | warn | error.
+//                       Diagnostics below the threshold are suppressed and
+//                       the exit code becomes severity-graded: 0 clean,
+//                       1 warnings only, 2 errors (or load/usage errors).
+//                       Without this flag the legacy scheme applies (0/1
+//                       with --strict, 2 reserved for usage/load errors).
 //
 // Model files are linted over the bounded river domains (simulation clamp,
-// physical driver ranges, Table III parameter boxes); findings are
-// node-addressed as <file>:eqN:<child-path>. Exit codes: 0 clean (under the
-// active policy), 1 findings, 2 file/usage errors.
+// physical driver ranges, Table III parameter boxes) and against the river
+// dimension knowledge base: interval findings, units-mismatch findings,
+// mass-balance direction findings, and inactive-parameter findings (live
+// parameters provably outside the B_Phy output closure). Grammar files
+// additionally get dimension-inconsistent-beta findings. Findings are
+// node-addressed as <file>:eqN:<child-path>.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/activity.h"
+#include "analysis/dataflow.h"
 #include "analysis/grammar_io.h"
 #include "analysis/grammar_lint.h"
 #include "analysis/lint.h"
+#include "analysis/sign.h"
+#include "analysis/units.h"
 #include "core/model_io.h"
 #include "core/river_grammar.h"
 #include "river/biology.h"
@@ -38,6 +53,8 @@ struct Options {
   bool require_findings = false;
   bool builtin_grammar = false;
   bool notes = true;
+  /// Reporting threshold as a Severity int, or -1 for the legacy scheme.
+  int severity = -1;
   std::vector<std::string> files;
 };
 
@@ -52,6 +69,23 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->builtin_grammar = true;
     } else if (std::strcmp(arg, "--no-notes") == 0) {
       options->notes = false;
+    } else if (std::strncmp(arg, "--severity=", 11) == 0) {
+      const char* level = arg + 11;
+      if (std::strcmp(level, "note") == 0) {
+        options->severity = static_cast<int>(gmr::analysis::Severity::kNote);
+      } else if (std::strcmp(level, "warn") == 0) {
+        options->severity =
+            static_cast<int>(gmr::analysis::Severity::kWarning);
+      } else if (std::strcmp(level, "error") == 0) {
+        options->severity =
+            static_cast<int>(gmr::analysis::Severity::kError);
+      } else {
+        std::fprintf(stderr,
+                     "gmr_lint: --severity expects note, warn, or error "
+                     "(got %s)\n",
+                     level);
+        return false;
+      }
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "gmr_lint: unknown option %s\n", arg);
       return false;
@@ -100,6 +134,12 @@ void Report(const std::string& path, const Options& options,
     if (d.severity == gmr::analysis::Severity::kNote && !options.notes) {
       continue;
     }
+    // Below the --severity threshold: fully suppressed (neither printed nor
+    // counted toward the exit code).
+    if (options.severity >= 0 &&
+        static_cast<int>(d.severity) < options.severity) {
+      continue;
+    }
     Print(path, d);
     if (d.severity == gmr::analysis::Severity::kError) ++outcome->errors;
     if (d.severity == gmr::analysis::Severity::kWarning) ++outcome->warnings;
@@ -138,6 +178,79 @@ FileOutcome LintModelFile(const std::string& path, const Options& options) {
   const gmr::analysis::LintResult result = gmr::analysis::LintEquations(
       model.equations, gmr::river::LintDomains(), lint_options);
   Report(path, options, result.diagnostics, &outcome);
+
+  // Dimensional consistency and mass-balance direction, per equation,
+  // against the river dimension knowledge base and the same bounded
+  // domains the interval checks use. Both passes report by node pointer
+  // (shared subtrees once); WalkAddresses recovers the first-occurrence
+  // address for the <file>:eqN:<path> format.
+  const gmr::analysis::UnitsEnv units_env = gmr::river::RiverUnitsEnv();
+  std::vector<gmr::analysis::Diagnostic> extra;
+  for (std::size_t eq = 0; eq < model.equations.size(); ++eq) {
+    const gmr::analysis::UnitsResult units =
+        gmr::analysis::AnalyzeUnits(*model.equations[eq], units_env);
+    const gmr::analysis::MassBalanceResult balance =
+        gmr::analysis::CheckMassBalance(*model.equations[eq],
+                                        gmr::river::LintDomains());
+    if (units.findings.empty() && balance.findings.empty()) continue;
+    std::map<const gmr::expr::Expr*, std::vector<int>> addresses;
+    gmr::analysis::WalkAddresses(
+        *model.equations[eq],
+        [&addresses](const gmr::expr::Expr& node,
+                     const std::vector<int>& address) {
+          addresses.emplace(&node, address);
+        });
+    auto attach = [&](const gmr::expr::Expr* node, const char* code,
+                      const std::string& message) {
+      gmr::analysis::Diagnostic d;
+      d.severity = gmr::analysis::Severity::kWarning;
+      d.code = code;
+      d.equation = static_cast<int>(eq);
+      const auto it = addresses.find(node);
+      if (it != addresses.end()) d.address = it->second;
+      d.message = message;
+      extra.push_back(std::move(d));
+    };
+    for (const gmr::analysis::UnitsFinding& f : units.findings) {
+      attach(f.node, f.code, f.message);
+    }
+    for (const gmr::analysis::SignFinding& f : balance.findings) {
+      attach(f.node, f.code, f.message);
+    }
+  }
+
+  // Declared parameters that are syntactically live yet provably outside
+  // the B_Phy output closure: calibration budget spent on them is wasted
+  // (the activity oracle guarantees perturbing them leaves rollouts
+  // bit-identical). Dead parameters are already reported by LintEquations.
+  if (!model.equations.empty()) {
+    const gmr::analysis::Activity closure =
+        gmr::analysis::OutputClosureActivity(model.equations, 0,
+                                             gmr::river::LintDomains());
+    for (std::size_t slot = 0; slot < lint_options.parameter_names.size();
+         ++slot) {
+      const std::string& name = lint_options.parameter_names[slot];
+      if (name.empty() || slot >= 63) continue;
+      const int slot_index = static_cast<int>(slot);
+      if (std::find(result.live_parameters.begin(),
+                    result.live_parameters.end(),
+                    slot_index) == result.live_parameters.end()) {
+        continue;
+      }
+      if ((closure.parameters & gmr::analysis::ActivityBit(slot_index)) !=
+          0) {
+        continue;
+      }
+      gmr::analysis::Diagnostic d;
+      d.severity = gmr::analysis::Severity::kWarning;
+      d.code = "inactive-parameter";
+      d.message = "parameter " + name +
+                  " is referenced but provably cannot affect the B_Phy "
+                  "output trajectory; calibration can freeze it";
+      extra.push_back(std::move(d));
+    }
+  }
+  Report(path, options, extra, &outcome);
   return outcome;
 }
 
@@ -155,6 +268,11 @@ FileOutcome LintGrammarFile(const std::string& path, const Options& options) {
   const gmr::analysis::GrammarLintResult result =
       gmr::analysis::LintGrammar(grammar);
   Report(path, options, result.diagnostics, &outcome);
+  Report(path, options,
+         gmr::analysis::AnalyzeGrammarDimensions(grammar,
+                                                 gmr::river::RiverUnitsEnv())
+             .diagnostics,
+         &outcome);
   return outcome;
 }
 
@@ -165,7 +283,8 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options)) {
     std::fprintf(stderr,
                  "usage: gmr_lint [--strict] [--require-findings] "
-                 "[--builtin-grammar] [--no-notes] <file>...\n");
+                 "[--builtin-grammar] [--no-notes] "
+                 "[--severity=note|warn|error] <file>...\n");
     return 2;
   }
 
@@ -208,12 +327,24 @@ int main(int argc, char** argv) {
     Report("<builtin-river-grammar>", options,
            gmr::analysis::LintGrammar(knowledge.grammar).diagnostics,
            &outcome);
+    Report("<builtin-river-grammar>", options,
+           gmr::analysis::AnalyzeGrammarDimensions(
+               knowledge.grammar, gmr::river::RiverUnitsEnv())
+               .diagnostics,
+           &outcome);
     fold(outcome);
   }
 
   std::printf("gmr_lint: %zu error(s), %zu warning(s)\n", errors, warnings);
   if (any_usage_error) return 2;
   if (options.require_findings) return all_files_have_findings ? 0 : 2;
+  if (options.severity >= 0) {
+    // Severity-graded scheme: 2 errors, 1 warnings, 0 clean (diagnostics
+    // below the threshold were suppressed in Report and count as clean).
+    if (errors > 0) return 2;
+    if (warnings > 0) return 1;
+    return 0;
+  }
   if (errors > 0) return 1;
   if (options.strict && warnings > 0) return 1;
   return 0;

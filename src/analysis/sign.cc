@@ -1,0 +1,215 @@
+#include "analysis/sign.h"
+
+#include "analysis/dataflow.h"
+#include "common/check.h"
+#include "expr/print.h"
+
+namespace gmr::analysis {
+namespace {
+
+constexpr SignSet kValueBits = kSignNeg | kSignZero | kSignPos;
+
+std::string Snippet(const expr::Expr& node) {
+  std::string text = expr::ToString(node);
+  constexpr std::size_t kMaxLength = 48;
+  if (text.size() > kMaxLength) {
+    text.resize(kMaxLength - 3);
+    text += "...";
+  }
+  return text;
+}
+
+SignSet SignAdd(SignSet a, SignSet b) {
+  SignSet out = (a | b) & kSignNaN;
+  // inf - inf is only reachable from opposite-sign operands; the sign
+  // domain cannot see magnitudes, so assume the worst.
+  if (((a & kSignNeg) && (b & kSignPos)) ||
+      ((a & kSignPos) && (b & kSignNeg))) {
+    out |= kSignNaN | kValueBits;
+  }
+  if ((a & kSignNeg) && (b & (kSignNeg | kSignZero))) out |= kSignNeg;
+  if ((b & kSignNeg) && (a & kSignZero)) out |= kSignNeg;
+  if ((a & kSignZero) && (b & kSignZero)) out |= kSignZero;
+  if ((a & kSignPos) && (b & (kSignPos | kSignZero))) out |= kSignPos;
+  if ((b & kSignPos) && (a & kSignZero)) out |= kSignPos;
+  return out;
+}
+
+SignSet SignNeg(SignSet a) {
+  SignSet out = a & (kSignZero | kSignNaN);
+  if (a & kSignNeg) out |= kSignPos;
+  if (a & kSignPos) out |= kSignNeg;
+  return out;
+}
+
+SignSet SignMul(SignSet a, SignSet b) {
+  SignSet out = (a | b) & kSignNaN;
+  // 0 * inf is NaN; a signed operand might be infinite.
+  if (((a & kSignZero) && (b & (kSignNeg | kSignPos))) ||
+      ((b & kSignZero) && (a & (kSignNeg | kSignPos)))) {
+    out |= kSignNaN;
+  }
+  if ((a | b) & kSignZero) out |= kSignZero;
+  if (((a & kSignNeg) && (b & kSignNeg)) ||
+      ((a & kSignPos) && (b & kSignPos))) {
+    out |= kSignPos;
+  }
+  if (((a & kSignNeg) && (b & kSignPos)) ||
+      ((a & kSignPos) && (b & kSignNeg))) {
+    out |= kSignNeg;
+  }
+  return out;
+}
+
+SignSet SignDiv(SignSet a, SignSet b) {
+  SignSet out = (a | b) & kSignNaN;
+  // Any denominator value might fall inside the protection band |b| < eps
+  // (magnitude is invisible here), so the protected constant 1 is always
+  // considered reachable.
+  out |= kSignPos;
+  // inf / inf: both operands signed could both be infinite.
+  if ((a & (kSignNeg | kSignPos)) && (b & (kSignNeg | kSignPos))) {
+    out |= kSignNaN;
+  }
+  if (a & kSignZero) out |= kSignZero;
+  if (((a & kSignNeg) && (b & kSignPos)) ||
+      ((a & kSignPos) && (b & kSignNeg))) {
+    out |= kSignNeg;
+  }
+  return out;
+}
+
+void WalkSpine(const expr::Expr& node, bool positive,
+               DataflowPass<SignDomain>* signs,
+               std::vector<SignFinding>* findings) {
+  switch (node.kind()) {
+    case expr::NodeKind::kAdd:
+      WalkSpine(*node.children()[0], positive, signs, findings);
+      WalkSpine(*node.children()[1], positive, signs, findings);
+      return;
+    case expr::NodeKind::kSub:
+      WalkSpine(*node.children()[0], positive, signs, findings);
+      WalkSpine(*node.children()[1], !positive, signs, findings);
+      return;
+    case expr::NodeKind::kNeg:
+      WalkSpine(*node.children()[0], !positive, signs, findings);
+      return;
+    default:
+      break;
+  }
+  const SignSet s = signs->Evaluate(node);
+  if (s != kSignNeg) return;  // Only pure {-} verdicts are violations.
+  if (positive) {
+    findings->push_back(SignFinding{
+        &node, "gain-term-removes-mass",
+        "gain term '" + Snippet(node) +
+            "' is provably strictly negative over the declared domains; "
+            "this added term can only remove mass"});
+  } else {
+    findings->push_back(SignFinding{
+        &node, "loss-term-adds-mass",
+        "loss term '" + Snippet(node) +
+            "' is provably strictly negative over the declared domains; "
+            "subtracting it can only add mass"});
+  }
+}
+
+}  // namespace
+
+std::string FormatSignSet(SignSet s) {
+  std::string out = "{";
+  const char* const names[] = {"-", "0", "+", "NaN"};
+  const SignSet bits[] = {kSignNeg, kSignZero, kSignPos, kSignNaN};
+  for (int i = 0; i < 4; ++i) {
+    if (!(s & bits[i])) continue;
+    if (out.size() > 1) out += ",";
+    out += names[i];
+  }
+  return out + "}";
+}
+
+SignSet SignOfInterval(const Interval& interval) {
+  SignSet s = 0;
+  if (interval.lo < 0.0) s |= kSignNeg;
+  if (interval.Contains(0.0)) s |= kSignZero;
+  if (interval.hi > 0.0) s |= kSignPos;
+  if (interval.maybe_nan) s |= kSignNaN;
+  return s;
+}
+
+SignSet ApplyUnarySign(expr::NodeKind kind, SignSet a) {
+  switch (kind) {
+    case expr::NodeKind::kNeg:
+      return SignNeg(a);
+    case expr::NodeKind::kLog:
+      // log(|x|) ranges over all of R (0 inside the protection band).
+      return kValueBits | (a & kSignNaN);
+    case expr::NodeKind::kExp:
+      // Clamped exp is always strictly positive and finite.
+      return kSignPos | (a & kSignNaN);
+    default:
+      GMR_CHECK_MSG(false, "not a unary operator");
+      return kSignAll;
+  }
+}
+
+SignSet ApplyBinarySign(expr::NodeKind kind, SignSet a, SignSet b) {
+  switch (kind) {
+    case expr::NodeKind::kAdd:
+      return SignAdd(a, b);
+    case expr::NodeKind::kSub:
+      return SignAdd(a, SignNeg(b));
+    case expr::NodeKind::kMul:
+      return SignMul(a, b);
+    case expr::NodeKind::kDiv:
+      return SignDiv(a, b);
+    case expr::NodeKind::kMin:
+    case expr::NodeKind::kMax:
+      // The kernel `a < b ? ...` selects one operand's value (either one
+      // when NaN is involved), so the union is sound.
+      return a | b;
+    default:
+      GMR_CHECK_MSG(false, "not a binary operator");
+      return kSignAll;
+  }
+}
+
+SignSet SignDomain::Constant(const expr::Expr& node) const {
+  return SignOfInterval(Interval::Point(node.value()));
+}
+
+SignSet SignDomain::Variable(const expr::Expr& node) const {
+  const auto slot = static_cast<std::size_t>(node.slot());
+  return SignOfInterval(slot < env->variables.size() ? env->variables[slot]
+                                                     : Interval::All());
+}
+
+SignSet SignDomain::Parameter(const expr::Expr& node) const {
+  const auto slot = static_cast<std::size_t>(node.slot());
+  return SignOfInterval(slot < env->parameters.size() ? env->parameters[slot]
+                                                      : Interval::All());
+}
+
+SignSet SignDomain::Unary(const expr::Expr& node, SignSet a) const {
+  return ApplyUnarySign(node.kind(), a);
+}
+
+SignSet SignDomain::Binary(const expr::Expr& node, SignSet a,
+                           SignSet b) const {
+  return ApplyBinarySign(node.kind(), a, b);
+}
+
+SignSet EvaluateSign(const expr::Expr& node, const DomainEnv& env) {
+  DataflowPass<SignDomain> pass(SignDomain{&env});
+  return pass.Evaluate(node);
+}
+
+MassBalanceResult CheckMassBalance(const expr::Expr& derivative,
+                                   const DomainEnv& env) {
+  MassBalanceResult result;
+  DataflowPass<SignDomain> signs(SignDomain{&env});
+  WalkSpine(derivative, /*positive=*/true, &signs, &result.findings);
+  return result;
+}
+
+}  // namespace gmr::analysis

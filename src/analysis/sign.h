@@ -1,0 +1,89 @@
+#ifndef GMR_ANALYSIS_SIGN_H_
+#define GMR_ANALYSIS_SIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.h"
+#include "expr/ast.h"
+
+namespace gmr::analysis {
+
+/// One element of the sign lattice: a bitmask over the value classes a
+/// subexpression can produce under the protected scalar semantics. The
+/// lattice order is subset inclusion; join is bitwise-or. Infinite values
+/// count as kSignNeg/kSignPos (the sign pass does not track magnitude —
+/// the interval pass does).
+enum SignBits : std::uint8_t {
+  kSignNeg = 1,   ///< A strictly negative value is reachable.
+  kSignZero = 2,  ///< Exactly zero is reachable.
+  kSignPos = 4,   ///< A strictly positive value is reachable.
+  kSignNaN = 8,   ///< NaN is reachable.
+};
+using SignSet = std::uint8_t;
+constexpr SignSet kSignAll = kSignNeg | kSignZero | kSignPos | kSignNaN;
+
+/// "{-,0,+,NaN}" subset notation for diagnostics, e.g. "{-}" or "{0,+}".
+std::string FormatSignSet(SignSet s);
+
+/// Sign abstraction of an interval-lattice element (the leaf seeding rule
+/// of the sign pass: leaves inherit their sign from the declared domains).
+SignSet SignOfInterval(const Interval& interval);
+
+/// Sign transfer functions over the protected kernels. NaN handling is
+/// deliberately conservative (sound but imprecise): the sign domain cannot
+/// see magnitudes, so any operand combination that could hit an
+/// indeterminate form (opposite-sign addition = inf - inf, zero times a
+/// signed factor = 0 * inf, signed / signed = inf / inf) sets kSignNaN.
+/// The mass-balance check below only fires on NaN-free verdicts, so this
+/// conservatism suppresses findings rather than fabricating them.
+SignSet ApplyUnarySign(expr::NodeKind kind, SignSet a);
+SignSet ApplyBinarySign(expr::NodeKind kind, SignSet a, SignSet b);
+
+/// The sign instance of the dataflow framework.
+struct SignDomain {
+  using Value = SignSet;
+  const DomainEnv* env;
+
+  SignSet Constant(const expr::Expr& node) const;
+  SignSet Variable(const expr::Expr& node) const;
+  SignSet Parameter(const expr::Expr& node) const;
+  SignSet Unary(const expr::Expr& node, SignSet a) const;
+  SignSet Binary(const expr::Expr& node, SignSet a, SignSet b) const;
+};
+
+/// Possible signs of `node` over `env`.
+SignSet EvaluateSign(const expr::Expr& node, const DomainEnv& env);
+
+/// A mass-balance direction violation: a term of a derivative's top-level
+/// sum/difference spine whose sign contradicts its polarity.
+struct SignFinding {
+  const expr::Expr* node = nullptr;
+  /// "loss-term-adds-mass": a subtracted term is provably strictly
+  /// negative, so the "loss" can only inject mass.
+  /// "gain-term-removes-mass": an added term is provably strictly
+  /// negative, so the "gain" can only drain mass.
+  const char* code = "loss-term-adds-mass";
+  std::string message;
+};
+
+struct MassBalanceResult {
+  std::vector<SignFinding> findings;
+  bool Consistent() const { return findings.empty(); }
+};
+
+/// Walks the top-level +/-/neg spine of a derivative right-hand side,
+/// tracking polarity, and flags every term whose sign set is exactly
+/// {kSignNeg} (strictly negative, provably never zero or NaN) yet appears
+/// with the polarity of the opposite direction. Well-formed kinetic terms
+/// are products of non-negative factors (rates, concentrations, response
+/// curves), so they carry a zero or NaN bit and are never flagged; a
+/// finding means the term *always* moves mass against its stated
+/// direction over the declared domains.
+MassBalanceResult CheckMassBalance(const expr::Expr& derivative,
+                                   const DomainEnv& env);
+
+}  // namespace gmr::analysis
+
+#endif  // GMR_ANALYSIS_SIGN_H_

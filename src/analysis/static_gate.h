@@ -1,13 +1,32 @@
 #ifndef GMR_ANALYSIS_STATIC_GATE_H_
 #define GMR_ANALYSIS_STATIC_GATE_H_
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "analysis/interval.h"
+#include "analysis/units.h"
 
 namespace gmr::analysis {
+
+/// Which analysis rule rejected a candidate (kNone = passed). The order is
+/// part of the observability schema: per-rule reject counters are reported
+/// as gate_rule.<GateRuleName> fields of eval_batch events and as
+/// gate_rule_rejects[] in gp::EvalStats, and the verdict cache stores the
+/// rule byte, so renumbering invalidates checkpointed telemetry baselines.
+enum class GateRule : std::uint8_t {
+  kNone = 0,
+  kIntervalNegInf,      ///< Derivative provably -inf everywhere.
+  kIntervalSaturation,  ///< Derivative provably saturates the step clamp.
+  kUnitsMismatch,       ///< Dimensionally inconsistent (opt-in).
+  kSignViolation,       ///< Mass-balance direction violation (opt-in).
+};
+constexpr std::size_t kNumGateRules = 5;
+
+/// Stable lowercase identifier ("none", "interval_neg_inf", ...).
+const char* GateRuleName(GateRule rule);
 
 /// Configuration of the pre-evaluation reject gate. Off by default; when
 /// enabled, FitnessEvaluator runs AnalyzeCandidate on each phenotype before
@@ -30,11 +49,25 @@ struct StaticGateConfig {
   /// integrating. +inf (the default) rejects only provably non-finite
   /// right-hand sides.
   double saturation_rate = std::numeric_limits<double>::infinity();
+  /// Opt-in dimensional-consistency rejection: a candidate with a provable
+  /// units mismatch (AnalyzeSystemUnits over `units`) is rejected. OFF by
+  /// default — the TAG grammar's extender betas intentionally explore
+  /// dimension-mixing forms, so enabling this changes which candidates
+  /// survive (gate-on is then no longer bit-identical to gate-off on
+  /// arbitrary populations; see DESIGN.md §4j).
+  bool check_units = false;
+  UnitsEnv units;
+  /// Opt-in mass-balance direction rejection: a candidate with a
+  /// provably-backwards gain/loss term (CheckMassBalance over `domains`)
+  /// is rejected. OFF by default, same caveat as check_units.
+  bool check_sign = false;
 };
 
 /// Result of the O(tree) static check on one candidate system.
 struct StaticVerdict {
   bool reject = false;
+  /// Which rule rejected (kNone when reject is false).
+  GateRule rule = GateRule::kNone;
   /// Equation that triggered the rejection (-1 when reject is false).
   int equation = -1;
   /// Human-readable reason, e.g. for logging/benchmarks.
@@ -43,9 +76,13 @@ struct StaticVerdict {
 
 /// Interval-evaluates each equation over config.domains and rejects when
 /// some right-hand side is provably -inf everywhere, or provably at or
-/// above config.saturation_rate everywhere. Candidates that merely *may*
-/// diverge pass — the runtime watchdogs (PR 2) own that case; the gate only
-/// takes candidates whose doom is a theorem. Pure and deterministic.
+/// above config.saturation_rate everywhere; with the opt-in passes enabled,
+/// also when some equation is dimensionally inconsistent or violates
+/// mass-balance direction. Candidates that merely *may* diverge pass — the
+/// runtime watchdogs (PR 2) own that case; the interval rules only take
+/// candidates whose doom is a theorem (the opt-in rules reject physically
+/// meaningless candidates that may still integrate fine). Pure and
+/// deterministic.
 StaticVerdict AnalyzeCandidate(const std::vector<expr::ExprPtr>& equations,
                                const StaticGateConfig& config);
 

@@ -1,0 +1,183 @@
+#include "analysis/units.h"
+
+#include <algorithm>
+
+#include "analysis/dataflow.h"
+#include "common/check.h"
+#include "expr/print.h"
+
+namespace gmr::analysis {
+namespace {
+
+const char* const kAxisNames[Dim::kNumAxes] = {"M", "L", "T", "K", "I"};
+
+std::int8_t ClampExponent(int e) {
+  return static_cast<std::int8_t>(std::clamp(e, -120, 120));
+}
+
+/// Truncated printed form of a subexpression for messages (mirrors the
+/// lint.cc snippet policy).
+std::string Snippet(const expr::Expr& node) {
+  std::string text = expr::ToString(node);
+  constexpr std::size_t kMaxLength = 48;
+  if (text.size() > kMaxLength) {
+    text.resize(kMaxLength - 3);
+    text += "...";
+  }
+  return text;
+}
+
+/// The units instance of the dataflow framework. Findings are collected on
+/// the domain (keyed by node pointer); after a mismatch the result degrades
+/// to Any so one bad addition does not cascade into findings at every
+/// ancestor.
+struct UnitsDomain {
+  using Value = Dim;
+
+  const UnitsEnv* env;
+  std::vector<UnitsFinding>* findings;
+
+  Dim Constant(const expr::Expr&) const { return Dim::Any(); }
+
+  Dim Variable(const expr::Expr& node) const {
+    const auto slot = static_cast<std::size_t>(node.slot());
+    return slot < env->variables.size() ? env->variables[slot] : Dim::Any();
+  }
+
+  Dim Parameter(const expr::Expr& node) const {
+    const auto slot = static_cast<std::size_t>(node.slot());
+    return slot < env->parameters.size() ? env->parameters[slot] : Dim::Any();
+  }
+
+  Dim Unary(const expr::Expr& node, const Dim& a) const {
+    bool mismatch = false;
+    const Dim result = ApplyUnaryDim(node.kind(), a, &mismatch);
+    if (mismatch) {
+      findings->push_back(UnitsFinding{
+          &node, "units-transcendental",
+          std::string(expr::KindName(node.kind())) + " argument '" +
+              Snippet(*node.children()[0]) + "' has dimension " +
+              FormatDim(a) +
+              "; transcendental arguments must be dimensionless"});
+    }
+    return result;
+  }
+
+  Dim Binary(const expr::Expr& node, const Dim& a, const Dim& b) const {
+    bool mismatch = false;
+    const Dim result = ApplyBinaryDim(node.kind(), a, b, &mismatch);
+    if (mismatch) {
+      findings->push_back(UnitsFinding{
+          &node, "units-mismatch",
+          std::string(expr::KindName(node.kind())) + " combines '" +
+              Snippet(*node.children()[0]) + "' of dimension " +
+              FormatDim(a) + " with '" + Snippet(*node.children()[1]) +
+              "' of dimension " + FormatDim(b) +
+              "; operands of a sum/difference/comparison must agree"});
+      return Dim::Any();
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+std::string FormatDim(const Dim& dim) {
+  if (!dim.known) return "?";
+  if (dim.IsDimensionless()) return "1";
+  std::string out;
+  for (int axis = 0; axis < Dim::kNumAxes; ++axis) {
+    const int e = dim.exponents[static_cast<std::size_t>(axis)];
+    if (e == 0) continue;
+    if (!out.empty()) out += "*";
+    out += kAxisNames[axis];
+    if (e != 1) out += "^" + std::to_string(e);
+  }
+  return out;
+}
+
+Dim JoinDim(const Dim& a, const Dim& b, bool* mismatch) {
+  if (!a.known) return b;
+  if (!b.known) return a;
+  if (a == b) return a;
+  if (mismatch != nullptr) *mismatch = true;
+  return Dim::Any();
+}
+
+Dim MulDim(const Dim& a, const Dim& b) {
+  if (!a.known || !b.known) return Dim::Any();
+  Dim d = Dim::Dimensionless();
+  for (std::size_t axis = 0; axis < Dim::kNumAxes; ++axis) {
+    d.exponents[axis] = ClampExponent(a.exponents[axis] + b.exponents[axis]);
+  }
+  return d;
+}
+
+Dim DivDim(const Dim& a, const Dim& b) {
+  if (!a.known || !b.known) return Dim::Any();
+  Dim d = Dim::Dimensionless();
+  for (std::size_t axis = 0; axis < Dim::kNumAxes; ++axis) {
+    d.exponents[axis] = ClampExponent(a.exponents[axis] - b.exponents[axis]);
+  }
+  return d;
+}
+
+Dim ApplyUnaryDim(expr::NodeKind kind, const Dim& a, bool* mismatch) {
+  switch (kind) {
+    case expr::NodeKind::kNeg:
+      return a;
+    case expr::NodeKind::kLog:
+    case expr::NodeKind::kExp:
+      // Transcendental arguments must be pure numbers; the result is one
+      // too. An Any argument is fine — a lexeme-scaled term can absorb
+      // the normalization (exp(-C_PT * dT^2) style).
+      if (a.known && !a.IsDimensionless() && mismatch != nullptr) {
+        *mismatch = true;
+      }
+      return Dim::Dimensionless();
+    default:
+      GMR_CHECK_MSG(false, "not a unary operator");
+      return Dim::Any();
+  }
+}
+
+Dim ApplyBinaryDim(expr::NodeKind kind, const Dim& a, const Dim& b,
+                   bool* mismatch) {
+  switch (kind) {
+    case expr::NodeKind::kAdd:
+    case expr::NodeKind::kSub:
+    case expr::NodeKind::kMin:
+    case expr::NodeKind::kMax:
+      return JoinDim(a, b, mismatch);
+    case expr::NodeKind::kMul:
+      return MulDim(a, b);
+    case expr::NodeKind::kDiv:
+      return DivDim(a, b);
+    default:
+      GMR_CHECK_MSG(false, "not a binary operator");
+      return Dim::Any();
+  }
+}
+
+UnitsResult AnalyzeUnits(const expr::Expr& root, const UnitsEnv& env) {
+  UnitsResult result;
+  DataflowPass<UnitsDomain> pass(UnitsDomain{&env, &result.findings});
+  result.dim = pass.Evaluate(root);
+  return result;
+}
+
+SystemUnitsResult AnalyzeSystemUnits(
+    const std::vector<expr::ExprPtr>& equations, const UnitsEnv& env) {
+  SystemUnitsResult result;
+  for (std::size_t i = 0; i < equations.size(); ++i) {
+    GMR_CHECK(equations[i] != nullptr);
+    result.equations.push_back(AnalyzeUnits(*equations[i], env));
+    if (result.first_inconsistent < 0 &&
+        !result.equations.back().Consistent()) {
+      result.first_inconsistent = static_cast<int>(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace gmr::analysis

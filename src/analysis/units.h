@@ -1,0 +1,139 @@
+#ifndef GMR_ANALYSIS_UNITS_H_
+#define GMR_ANALYSIS_UNITS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+
+namespace gmr::analysis {
+
+/// One element of the dimension lattice used by the units pass: either a
+/// known SI-exponent vector over the basis {mass M, length L, time T,
+/// temperature Θ, current I}, or the polymorphic "Any" element. Numeric
+/// constants and grammar lexemes are Any — they absorb whatever dimension
+/// their context requires, exactly like the paper's random scaling
+/// constants R (a lexeme such as 253.4 carries implicit units).
+///
+/// Any ⊔ d = d and Any · d = Any, so Any behaves as both the join identity
+/// and the multiplicative absorber; a provable inconsistency is recorded as
+/// a finding rather than encoded as a ⊤ element (error recovery then
+/// continues with Any, avoiding cascading findings).
+struct Dim {
+  /// Basis indices into `exponents`.
+  enum Axis : int { kMass = 0, kLength, kTime, kTemperature, kCurrent };
+  static constexpr int kNumAxes = 5;
+
+  bool known = false;  ///< false = Any (polymorphic).
+  std::array<std::int8_t, kNumAxes> exponents{};
+
+  static Dim Any() { return Dim{}; }
+  static Dim Dimensionless() { return Dim{true, {}}; }
+  static Dim Of(int mass, int length, int time, int temperature = 0,
+                int current = 0) {
+    Dim d;
+    d.known = true;
+    d.exponents = {static_cast<std::int8_t>(mass),
+                   static_cast<std::int8_t>(length),
+                   static_cast<std::int8_t>(time),
+                   static_cast<std::int8_t>(temperature),
+                   static_cast<std::int8_t>(current)};
+    return d;
+  }
+
+  /// Mass concentration M·L⁻³ (the mg/L and ug/L of Tables III/IV — unit
+  /// *scale* is invisible to exponent vectors, only the physical dimension
+  /// matters).
+  static Dim Concentration() { return Of(1, -3, 0); }
+  /// Irradiance M·T⁻³ (MJ/m²/day: energy per area per time).
+  static Dim Irradiance() { return Of(1, 0, -3); }
+  /// Rate T⁻¹ (1/day).
+  static Dim PerTime() { return Of(0, 0, -1); }
+
+  bool IsDimensionless() const {
+    if (!known) return false;
+    for (const std::int8_t e : exponents) {
+      if (e != 0) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Dim& a, const Dim& b) {
+    return a.known == b.known && (!a.known || a.exponents == b.exponents);
+  }
+  friend bool operator!=(const Dim& a, const Dim& b) { return !(a == b); }
+};
+
+/// "M·L^-3·T^-1", "1" for dimensionless, "?" for Any.
+std::string FormatDim(const Dim& dim);
+
+/// Declared dimensions of the evaluation environment's slots. Slots beyond
+/// either vector are Any (polymorphic, never flagged).
+struct UnitsEnv {
+  std::vector<Dim> variables;
+  std::vector<Dim> parameters;
+};
+
+/// Dimension transfer functions, shared by the expression-level pass and
+/// the TAG elementary-tree inference in grammar_lint:
+///
+///  - join (Add/Sub/Min/Max): Any ⊔ d = d; two different known dimensions
+///    set *mismatch
+///  - product/quotient (Mul/Div): exponent sum/difference, Any absorbing
+///  - transcendental (Log/Exp) and Neg via ApplyUnaryDim: a known
+///    non-dimensionless argument sets *mismatch; the result is
+///    dimensionless (Neg passes through)
+///
+/// `mismatch` may be null when the caller only needs the result dimension.
+Dim JoinDim(const Dim& a, const Dim& b, bool* mismatch);
+Dim MulDim(const Dim& a, const Dim& b);
+Dim DivDim(const Dim& a, const Dim& b);
+Dim ApplyUnaryDim(expr::NodeKind kind, const Dim& a, bool* mismatch);
+Dim ApplyBinaryDim(expr::NodeKind kind, const Dim& a, const Dim& b,
+                   bool* mismatch);
+
+/// One units finding, keyed by node pointer (addresses are attached by the
+/// caller via WalkAddresses; a shared subtree is reported once per
+/// distinct node, not once per occurrence).
+struct UnitsFinding {
+  const expr::Expr* node = nullptr;
+  /// "units-mismatch" (dimension-mismatched addition/comparison) or
+  /// "units-transcendental" (non-dimensionless log/exp argument).
+  const char* code = "units-mismatch";
+  std::string message;
+};
+
+struct UnitsResult {
+  /// Inferred dimension of the analyzed tree.
+  Dim dim;
+  /// Provable dimensional inconsistencies, in bottom-up discovery order.
+  std::vector<UnitsFinding> findings;
+
+  bool Consistent() const { return findings.empty(); }
+};
+
+/// The units instance of the dataflow framework: infers the dimension of
+/// every subtree of `root` over the declared `env` and records provable
+/// inconsistencies. Unlike the interval pass this analyzes *physical
+/// well-formedness*, not numeric behavior: the protected kernels break
+/// dimensional homogeneity by construction (log(|x|), the division band's
+/// constant 1), so a units finding means "physically meaningless", never
+/// "numerically doomed" — see DESIGN.md §4j.
+UnitsResult AnalyzeUnits(const expr::Expr& root, const UnitsEnv& env);
+
+/// Convenience over a whole candidate system: equation index of the first
+/// inconsistent equation (or -1) plus the findings of every equation.
+struct SystemUnitsResult {
+  std::vector<UnitsResult> equations;
+  int first_inconsistent = -1;
+
+  bool Consistent() const { return first_inconsistent < 0; }
+};
+SystemUnitsResult AnalyzeSystemUnits(
+    const std::vector<expr::ExprPtr>& equations, const UnitsEnv& env);
+
+}  // namespace gmr::analysis
+
+#endif  // GMR_ANALYSIS_UNITS_H_

@@ -108,6 +108,46 @@ CalibrationResult Run(const Calibrator& method,
                       const CalibrationConfig& config,
                       const CalibrationProblem& problem,
                       const obs::RunContext& context) {
+  // Reduce to the active subspace when a mask excludes some dimensions:
+  // the method sees a smaller box (bounds, initial, and the objective all
+  // reindexed), inactive parameters stay pinned at their initial values,
+  // and the result is expanded back to the full vector afterwards.
+  const std::size_t full_dim = problem.bounds.dim();
+  std::vector<std::size_t> active_dims;
+  if (!problem.active.empty()) {
+    GMR_CHECK_EQ(problem.active.size(), full_dim);
+    for (std::size_t i = 0; i < full_dim; ++i) {
+      if (problem.active[i] != 0) active_dims.push_back(i);
+    }
+  }
+  const bool reduced =
+      !problem.active.empty() && active_dims.size() < full_dim;
+  BoxBounds bounds;
+  std::vector<double> initial;
+  Objective reduced_objective;
+  const Objective* objective = &problem.objective;
+  if (reduced) {
+    GMR_CHECK_EQ(problem.initial.size(), full_dim);
+    for (const std::size_t i : active_dims) {
+      bounds.lo.push_back(problem.bounds.lo[i]);
+      bounds.hi.push_back(problem.bounds.hi[i]);
+      initial.push_back(problem.initial[i]);
+    }
+    // Safe for concurrent calls (each builds its own full vector), as the
+    // population-based methods require of the objective.
+    reduced_objective = [&problem,
+                         &active_dims](const std::vector<double>& x) {
+      std::vector<double> full = problem.initial;
+      for (std::size_t j = 0; j < active_dims.size(); ++j) {
+        full[active_dims[j]] = x[j];
+      }
+      return problem.objective(full);
+    };
+    objective = &reduced_objective;
+  } else {
+    bounds = problem.bounds;
+    initial = problem.initial;
+  }
   obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
   // A resumed run continues an existing trace whose manifest is already on
   // disk; re-emitting would make the interrupted trace diverge from an
@@ -115,18 +155,20 @@ CalibrationResult Run(const Calibrator& method,
   // identical query below sees the same snapshot without duplicate events.
   bool resuming = false;
   if (context.checkpointer != nullptr) {
+    // Fingerprint the *reduced* problem: the methods resume against the
+    // box and start point they actually search.
     resuming = context.checkpointer->ResumeFor(
                    "calibrate",
-                   CalibrateFingerprint(method.name(), config.budget,
-                                        problem.bounds, problem.initial)) !=
-               nullptr;
+                   CalibrateFingerprint(method.name(), config.budget, bounds,
+                                        initial)) != nullptr;
   }
   if (sink->enabled() && !resuming) {
     obs::RunManifest manifest =
         obs::MakeRunManifest("calibrate", config.seed);
     manifest.config_fields = {
         {"budget", static_cast<double>(config.budget)},
-        {"dim", static_cast<double>(problem.bounds.dim())},
+        {"dim", static_cast<double>(full_dim)},
+        {"active_dim", static_cast<double>(bounds.dim())},
     };
     manifest.config_labels = {{"method", method.name()}};
     manifest.num_threads =
@@ -135,9 +177,15 @@ CalibrationResult Run(const Calibrator& method,
   }
   Rng own_rng(config.seed);
   Rng& rng = context.rng != nullptr ? *context.rng : own_rng;
-  CalibrationResult result =
-      method.Calibrate(problem.objective, problem.bounds, problem.initial,
-                       config.budget, rng, context);
+  CalibrationResult result = method.Calibrate(*objective, bounds, initial,
+                                              config.budget, rng, context);
+  if (reduced && result.best_parameters.size() == active_dims.size()) {
+    std::vector<double> full = problem.initial;
+    for (std::size_t j = 0; j < active_dims.size(); ++j) {
+      full[active_dims[j]] = result.best_parameters[j];
+    }
+    result.best_parameters = std::move(full);
+  }
   if (sink->enabled()) {
     obs::TraceEvent event("calibrate_result");
     event.Label("method", method.name())

@@ -85,6 +85,14 @@ struct CalibrationProblem {
   Objective objective;
   BoxBounds bounds;
   std::vector<double> initial;
+  /// Optional per-dimension activity mask (empty = every dimension is
+  /// active). A zero entry freezes that parameter at its `initial` value:
+  /// Run() hands the method a problem reduced to the active subspace and
+  /// expands the result back, so the method never spends budget exploring
+  /// dimensions that provably cannot change the objective. Produced by the
+  /// activity pass (analysis/activity.h InactiveParameters over the
+  /// candidate's output closure). Must match bounds.dim() when non-empty.
+  std::vector<std::uint8_t> active;
 };
 
 /// Unified driver entry point: runs `method` on `problem` under `config`,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "analysis/activity.h"
 #include "analysis/static_gate.h"
 #include "ckpt/serialize.h"
 #include "common/metrics.h"
@@ -393,6 +394,49 @@ OracleResult CheckGateSound(const ExprCase& c, const OracleContext& ctx) {
   return OracleResult::Pass();
 }
 
+OracleResult CheckActivitySound(const ExprCase& c, const OracleContext& ctx) {
+  // Activity is analyzed over the config's parameter *boxes* (not the
+  // case's pinned values): an inactive verdict then claims independence
+  // from the slot across its whole admissible range, which is exactly what
+  // the perturbation below exercises. Slots beyond the declared boxes are
+  // modeled as unbounded (conservative: they are never reported inactive
+  // through a pruning guard that needs finiteness).
+  analysis::DomainEnv env;
+  env.variables = ctx.config->domains.variables;
+  env.parameters = ctx.config->domains.parameters;
+  env.parameters.resize(c.parameters.size(), analysis::Interval::All());
+  const analysis::Activity activity = analysis::AnalyzeActivity(*c.tree, env);
+  const std::vector<int> inactive = analysis::InactiveParameters(
+      activity, static_cast<int>(c.parameters.size()));
+  if (inactive.empty()) return OracleResult::Pass();
+  // Perturb every provably-inactive slot to an independent in-box value;
+  // the evaluation must not move by a single bit on any sampled context.
+  Rng rng(CaseSeed(c.seed, 0xac7111f7ULL));
+  std::vector<double> perturbed = c.parameters;
+  for (const int slot : inactive) {
+    perturbed[static_cast<std::size_t>(slot)] =
+        SampleInterval(env.parameters[static_cast<std::size_t>(slot)], rng);
+  }
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const double want =
+        expr::EvalExpr(*c.tree, MakeEvalContext(vars, c.parameters));
+    const double got =
+        expr::EvalExpr(*c.tree, MakeEvalContext(vars, perturbed));
+    if (ckpt::HexDouble(got) != ckpt::HexDouble(want)) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "perturbing provably-inactive parameter slots [";
+      for (std::size_t i = 0; i < inactive.size(); ++i) {
+        out << (i ? ", " : "") << inactive[i];
+      }
+      out << "] changed " << expr::ToString(*c.tree) << " from " << want
+          << " to " << got << " (seed " << c.seed << ")";
+      return OracleResult::Fail(out.str());
+    }
+  }
+  return OracleResult::Pass();
+}
+
 namespace {
 
 struct NamedOracle {
@@ -405,6 +449,7 @@ constexpr NamedOracle kExprOracles[] = {
     {"jit", CheckJitAgrees},       {"roundtrip", CheckRoundTrip},
     {"ckpt_roundtrip", CheckCkptRoundTrip},
     {"interval", CheckIntervalSound}, {"gate", CheckGateSound},
+    {"activity", CheckActivitySound},
     {"batch_vm", CheckBatchVmAgrees},
     {"batch_width", CheckBatchWidthInvariant},
     {"batch_jit", CheckBatchJitAgrees},

@@ -122,13 +122,22 @@ OracleResult CheckIntervalSound(const ExprCase& c, const OracleContext& ctx);
 /// anyway, so rejecting without integrating changes no outcome.
 OracleResult CheckGateSound(const ExprCase& c, const OracleContext& ctx);
 
+/// Activity-pass soundness: AnalyzeActivity over the config's variable
+/// domains and parameter *boxes* (so the verdict quantifies over the whole
+/// admissible range, not the case's pinned values) reports the parameter
+/// slots that provably cannot influence the tree. Perturbing every such
+/// slot to an independent in-box value must leave evaluation bitwise
+/// identical on every sampled context — the exact guarantee calibrators
+/// rely on when they freeze inactive dimensions.
+OracleResult CheckActivitySound(const ExprCase& c, const OracleContext& ctx);
+
 /// Registry of the expression-case oracles above, keyed by the short names
 /// used in fuzz property filters and corpus `# property:` headers.
 using ExprOracle = OracleResult (*)(const ExprCase&, const OracleContext&);
 
 /// All registered oracle names, in fixed execution order:
-/// vm, simplify, jit, roundtrip, ckpt_roundtrip, interval, gate, batch_vm,
-/// batch_width, batch_jit.
+/// vm, simplify, jit, roundtrip, ckpt_roundtrip, interval, gate, activity,
+/// batch_vm, batch_width, batch_jit.
 std::vector<std::string> ExprOracleNames();
 
 /// Looks an oracle up by name; nullptr when unknown.

@@ -61,6 +61,11 @@ void EvalStats::Merge(const EvalStats& other) {
   for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
     outcomes[i] += other.outcomes[i];
   }
+  verdict_cache_lookups += other.verdict_cache_lookups;
+  verdict_cache_hits += other.verdict_cache_hits;
+  for (std::size_t i = 0; i < analysis::kNumGateRules; ++i) {
+    gate_rule_rejects[i] += other.gate_rule_rejects[i];
+  }
 }
 
 FitnessEvaluator::FitnessEvaluator(const tag::Grammar* grammar,
@@ -184,11 +189,13 @@ void FitnessEvaluator::EvaluateWith(BatchContext* context,
   if (config_.static_gate.enabled &&
       analysis::ParametersInDomain(individual->parameters,
                                    config_.static_gate.domains)) {
-    if (StaticallyRejected(equations)) {
+    const analysis::GateRule rule = StaticallyRejected(equations, &stats);
+    if (rule != analysis::GateRule::kNone) {
       individual->fitness = kPenaltyFitness;
       individual->fully_evaluated = true;
       individual->outcome = EvalOutcome::kStaticReject;
       ++stats.static_rejects;
+      ++stats.gate_rule_rejects[static_cast<std::size_t>(rule)];
       ++stats.individuals_evaluated;
       ++stats.outcomes[static_cast<std::size_t>(EvalOutcome::kStaticReject)];
       return;
@@ -236,18 +243,23 @@ void FitnessEvaluator::EvaluateWith(BatchContext* context,
   ++stats.outcomes[static_cast<std::size_t>(outcome)];
 }
 
-bool FitnessEvaluator::StaticallyRejected(
-    const std::vector<expr::ExprPtr>& equations) {
+analysis::GateRule FitnessEvaluator::StaticallyRejected(
+    const std::vector<expr::ExprPtr>& equations, EvalStats* stats) {
   // Structure-only key (no parameter bits): the verdict holds for every
   // in-domain parameter vector. Distinct seed from CacheKey so the two
   // cache key spaces cannot collide systematically.
   std::uint64_t key = 0x452821e638d01377ULL;
   for (const auto& eq : equations) key = MixHash(key, eq->StructuralHash());
-  bool reject = false;
-  if (verdict_cache_.Lookup(key, &reject)) return reject;
-  reject = analysis::AnalyzeCandidate(equations, config_.static_gate).reject;
-  verdict_cache_.Insert(key, reject);
-  return reject;
+  ++stats->verdict_cache_lookups;
+  std::uint8_t rule_byte = 0;
+  if (verdict_cache_.Lookup(key, &rule_byte)) {
+    ++stats->verdict_cache_hits;
+    return static_cast<analysis::GateRule>(rule_byte);
+  }
+  const analysis::GateRule rule =
+      analysis::AnalyzeCandidate(equations, config_.static_gate).rule;
+  verdict_cache_.Insert(key, static_cast<std::uint8_t>(rule));
+  return rule;
 }
 
 void FitnessEvaluator::BatchContext::Evaluate(Individual* individual) {
@@ -351,6 +363,15 @@ void FitnessEvaluator::EmitBatchEvent(std::size_t n,
     event.Field(std::string("outcomes.") +
                     EvalOutcomeName(static_cast<EvalOutcome>(i)),
                 static_cast<double>(batch_stats.outcomes[i]));
+  }
+  event.Field("verdict_cache_lookups",
+              static_cast<double>(batch_stats.verdict_cache_lookups))
+      .Field("verdict_cache_hits",
+             static_cast<double>(batch_stats.verdict_cache_hits));
+  for (std::size_t i = 1; i < analysis::kNumGateRules; ++i) {
+    event.Field(std::string("gate_rule.") +
+                    analysis::GateRuleName(static_cast<analysis::GateRule>(i)),
+                static_cast<double>(batch_stats.gate_rule_rejects[i]));
   }
   event.Timing("wall_s", batch_stats.wall_seconds)
       .Timing("cpu_s", batch_stats.cpu_seconds)

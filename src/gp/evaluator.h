@@ -49,6 +49,15 @@ struct EvalStats {
   /// Containment telemetry: computed evaluations by EvalOutcome (cache hits
   /// are not re-counted; index with static_cast<std::size_t>(outcome)).
   std::size_t outcomes[kNumEvalOutcomes] = {};
+  /// Static-gate verdict-cache traffic. Separate from the tree-cache
+  /// counters above: verdict keys are structure-only, so one verdict
+  /// serves every in-domain parameter vector of the same phenotype.
+  std::size_t verdict_cache_lookups = 0;
+  std::size_t verdict_cache_hits = 0;
+  /// Static-gate rejections by analysis rule (index with
+  /// static_cast<std::size_t>(analysis::GateRule); slot 0 = kNone stays
+  /// zero). Sums to static_rejects.
+  std::size_t gate_rule_rejects[analysis::kNumGateRules] = {};
 
   /// Adds every counter of `other` into this (associative and commutative,
   /// so per-thread partial stats can fold in any order).
@@ -228,9 +237,12 @@ class FitnessEvaluator {
   void EvaluateWith(BatchContext* context, Individual* individual);
 
   /// O(tree) static gate check, memoized by structure-only hash in
-  /// verdict_cache_. Sound only when the candidate's parameters lie inside
-  /// the gate's domain boxes (the caller pre-checks ParametersInDomain).
-  bool StaticallyRejected(const std::vector<expr::ExprPtr>& equations);
+  /// verdict_cache_ (the cached byte is the rejecting analysis rule, kNone
+  /// for accepted structures). Sound only when the candidate's parameters
+  /// lie inside the gate's domain boxes (the caller pre-checks
+  /// ParametersInDomain). Charges verdict-cache traffic to `stats`.
+  analysis::GateRule StaticallyRejected(
+      const std::vector<expr::ExprPtr>& equations, EvalStats* stats);
 
   /// Assigns the kTaskFailed penalty to an individual whose evaluation
   /// threw, charging `stats`.
@@ -252,10 +264,11 @@ class FitnessEvaluator {
   std::atomic<double> best_prev_full_{
       std::numeric_limits<double>::infinity()};
   StripedMap<std::uint64_t, CacheEntry> cache_;
-  /// Structure-hash -> reject verdict for the static gate. Separate from
-  /// cache_: verdicts are parameter-independent (valid for every
-  /// in-domain parameter vector), so they survive parameter mutation.
-  StripedMap<std::uint64_t, bool> verdict_cache_;
+  /// Structure-hash -> rejecting rule byte (analysis::GateRule) for the
+  /// static gate. Separate from cache_: verdicts are parameter-independent
+  /// (valid for every in-domain parameter vector), so they survive
+  /// parameter mutation.
+  StripedMap<std::uint64_t, std::uint8_t> verdict_cache_;
 };
 
 }  // namespace gmr::gp

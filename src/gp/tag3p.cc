@@ -28,6 +28,11 @@ std::string EncodeEvalStats(const EvalStats& stats) {
   for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
     out += " " + std::to_string(stats.outcomes[i]);
   }
+  out += " " + std::to_string(stats.verdict_cache_lookups);
+  out += " " + std::to_string(stats.verdict_cache_hits);
+  for (std::size_t i = 0; i < analysis::kNumGateRules; ++i) {
+    out += " " + std::to_string(stats.gate_rule_rejects[i]);
+  }
   return out;
 }
 
@@ -40,7 +45,9 @@ bool ParseCount(const std::string& token, std::size_t* value) {
 
 bool DecodeEvalStats(const std::string& line, EvalStats* stats) {
   const std::vector<std::string> t = ckpt::TokenizeSExpr(line);
-  if (t.size() != 10 + kNumEvalOutcomes) return false;
+  if (t.size() != 10 + kNumEvalOutcomes + 2 + analysis::kNumGateRules) {
+    return false;
+  }
   EvalStats s;
   if (!ParseCount(t[0], &s.individuals_evaluated) ||
       !ParseCount(t[1], &s.cache_hits) || !ParseCount(t[2], &s.cache_lookups) ||
@@ -55,6 +62,14 @@ bool DecodeEvalStats(const std::string& line, EvalStats* stats) {
   }
   for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
     if (!ParseCount(t[10 + i], &s.outcomes[i])) return false;
+  }
+  std::size_t at = 10 + kNumEvalOutcomes;
+  if (!ParseCount(t[at++], &s.verdict_cache_lookups) ||
+      !ParseCount(t[at++], &s.verdict_cache_hits)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < analysis::kNumGateRules; ++i) {
+    if (!ParseCount(t[at++], &s.gate_rule_rejects[i])) return false;
   }
   *stats = s;
   return true;

@@ -1,6 +1,7 @@
 #include "river/variables.h"
 
 #include "common/check.h"
+#include "river/parameters.h"
 
 namespace gmr::river {
 
@@ -37,6 +38,46 @@ std::vector<int> ObservedVariableSlots() {
   std::vector<int> slots;
   for (int slot = kVlgt; slot < kNumVariables; ++slot) slots.push_back(slot);
   return slots;
+}
+
+analysis::UnitsEnv RiverUnitsEnv() {
+  using analysis::Dim;
+  analysis::UnitsEnv env;
+
+  env.variables.assign(kNumVariables, Dim::Any());
+  env.variables[kBPhy] = Dim::Concentration();  // ug/L chlorophyll-a proxy.
+  env.variables[kBZoo] = Dim::Concentration();
+  env.variables[kVlgt] = Dim::Irradiance();  // MJ/m^2/day.
+  env.variables[kVn] = Dim::Concentration();
+  env.variables[kVp] = Dim::Concentration();
+  env.variables[kVsi] = Dim::Concentration();
+  env.variables[kVtmp] = Dim::Of(0, 0, 0, 1);  // Celsius offset: still Θ.
+  env.variables[kVdo] = Dim::Concentration();
+  // Conductivity S/m = A^2·s^3/(kg·m^3): M⁻¹·L⁻³·T³·I².
+  env.variables[kVcd] = Dim::Of(-1, -3, 3, 0, 2);
+  env.variables[kVph] = Dim::Dimensionless();  // -log10 activity.
+  env.variables[kValk] = Dim::Concentration();  // mg/L as CaCO3.
+  env.variables[kVsd] = Dim::Of(0, 1, 0);  // Secchi depth [m].
+
+  env.parameters.assign(kNumParameters, Dim::Any());
+  env.parameters[kCUA] = Dim::PerTime();
+  env.parameters[kCUZ] = Dim::PerTime();
+  env.parameters[kCBRA] = Dim::PerTime();
+  env.parameters[kCBRZ] = Dim::PerTime();
+  env.parameters[kCMFR] = Dim::PerTime();
+  env.parameters[kCDZ] = Dim::PerTime();
+  env.parameters[kCFS] = Dim::Concentration();
+  env.parameters[kCBTP1] = Dim::Of(0, 0, 0, 1);
+  env.parameters[kCBTP2] = Dim::Of(0, 0, 0, 1);
+  env.parameters[kCFmin] = Dim::Concentration();
+  env.parameters[kCBL] = Dim::Irradiance();
+  env.parameters[kCN] = Dim::Concentration();
+  env.parameters[kCP] = Dim::Concentration();
+  env.parameters[kCSI] = Dim::Concentration();
+  env.parameters[kCBMT] = Dim::Dimensionless();
+  env.parameters[kCPT] = Dim::Of(0, 0, 0, -2);  // 1/C^2.
+  env.parameters[kCSH] = Dim::Of(-1, 3, 0);     // L/ug.
+  return env;
 }
 
 }  // namespace gmr::river

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/units.h"
+
 namespace gmr::river {
 
 /// Slot layout of the temporal variables seen by the biological process.
@@ -34,6 +36,15 @@ std::vector<std::string> VariableNames();
 
 /// Slots of the observed (non-state) temporal variables.
 std::vector<int> ObservedVariableSlots();
+
+/// The dimensional knowledge base of the river domain: SI-exponent vectors
+/// for every variable slot of Table IV and every parameter slot of Table
+/// III, in slot order. Unit *scale* (mg/L vs ug/L, day vs second) is
+/// invisible to exponent vectors — only the physical dimension matters, so
+/// concentrations are M·L⁻³ regardless of the reporting unit. This is what
+/// the units pass (analysis/units.h) and the grammar-level dimension
+/// pruning check candidate models against.
+analysis::UnitsEnv RiverUnitsEnv();
 
 }  // namespace gmr::river
 

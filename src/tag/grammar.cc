@@ -1,5 +1,7 @@
 #include "tag/grammar.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace gmr::tag {
@@ -40,6 +42,21 @@ const std::vector<int>& Grammar::BetasWithRootLabel(
   auto it = betas_by_root_.find(label);
   if (it == betas_by_root_.end()) return empty_;
   return it->second;
+}
+
+void Grammar::DisableAdjunction(const std::vector<int>& beta_indices) {
+  for (const int index : beta_indices) {
+    GMR_CHECK_GE(index, 0);
+    GMR_CHECK_LT(static_cast<std::size_t>(index), beta_trees_.size());
+    const Symbol& label =
+        beta_trees_[static_cast<std::size_t>(index)].root_label();
+    auto it = betas_by_root_.find(label);
+    if (it == betas_by_root_.end()) continue;
+    std::vector<int>& candidates = it->second;
+    candidates.erase(std::remove(candidates.begin(), candidates.end(), index),
+                     candidates.end());
+    if (candidates.empty()) betas_by_root_.erase(it);
+  }
 }
 
 SlotSpec Grammar::slot_spec(const Symbol& label) const {

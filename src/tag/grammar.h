@@ -59,6 +59,14 @@ class Grammar {
   /// Lexeme spec for slots labeled `label` (default [0, 1]).
   SlotSpec slot_spec(const Symbol& label) const;
 
+  /// Removes the given beta trees from the adjunction candidate lists
+  /// (BetasWithRootLabel / HasCompatibleBeta), so no new derivation step
+  /// can select them. The trees themselves stay registered: beta(index)
+  /// remains valid and indices of other betas do not shift, so existing
+  /// derivation trees that reference a disabled beta still expand. Used by
+  /// the grammar-level dimension pruning (analysis/grammar_lint.h).
+  void DisableAdjunction(const std::vector<int>& beta_indices);
+
  private:
   std::vector<ElementaryTree> alpha_trees_;
   std::vector<ElementaryTree> beta_trees_;

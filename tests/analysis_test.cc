@@ -12,11 +12,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/activity.h"
+#include "analysis/dataflow.h"
 #include "analysis/grammar_io.h"
 #include "analysis/grammar_lint.h"
 #include "analysis/interval.h"
 #include "analysis/lint.h"
+#include "analysis/sign.h"
 #include "analysis/static_gate.h"
+#include "analysis/units.h"
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -820,6 +824,347 @@ TEST(EvalStatsTest, MergeAddsStaticRejects) {
 TEST(EvalOutcomeTest, StaticRejectNameAndPenaltyClass) {
   EXPECT_STREQ(EvalOutcomeName(EvalOutcome::kStaticReject), "static_reject");
   EXPECT_TRUE(IsPenalizedOutcome(EvalOutcome::kStaticReject));
+}
+
+// ------------------------------------------------------ dataflow framework ----
+
+TEST(DataflowTest, SharedSubtreesAreEvaluatedOncePerPass) {
+  a::DomainEnv env;
+  env.variables = {a::Interval::Of(1.0, 2.0)};
+  const e::ExprPtr x = e::Variable(0, "x");
+  // Add(x, x) shares the x node; the memo must visit it once.
+  const e::ExprPtr sum = e::Add(x, x);
+  a::DataflowPass<a::IntervalDomain> pass(a::IntervalDomain{&env});
+  const a::Interval value = pass.Evaluate(*sum);
+  EXPECT_DOUBLE_EQ(value.lo, 2.0);
+  EXPECT_DOUBLE_EQ(value.hi, 4.0);
+  EXPECT_EQ(pass.nodes_visited(), 2u);
+  // Re-evaluating hits the memo: no new nodes.
+  pass.Evaluate(*sum);
+  EXPECT_EQ(pass.nodes_visited(), 2u);
+}
+
+TEST(DataflowTest, WalkAddressesHandsOutChildIndexPaths) {
+  const e::ExprPtr tree =
+      e::Add(e::Variable(0, "x"), e::Mul(e::Constant(2.0), e::Variable(0, "x")));
+  std::vector<std::vector<int>> addresses;
+  a::WalkAddresses(*tree, [&](const e::Expr&, const std::vector<int>& address) {
+    addresses.push_back(address);
+  });
+  const std::vector<std::vector<int>> want = {
+      {}, {0}, {1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(addresses, want);
+}
+
+// ------------------------------------------------------------- units pass ----
+
+TEST(UnitsTest, FormatDimSpellings) {
+  EXPECT_EQ(a::FormatDim(a::Dim::Any()), "?");
+  EXPECT_EQ(a::FormatDim(a::Dim::Dimensionless()), "1");
+  EXPECT_EQ(a::FormatDim(a::Dim::Concentration()), "M*L^-3");
+  EXPECT_EQ(a::FormatDim(a::Dim::PerTime()), "T^-1");
+}
+
+TEST(UnitsTest, ConstantsArePolymorphic) {
+  const a::UnitsEnv env = river::RiverUnitsEnv();
+  // B_Phy + 3 is fine: the constant absorbs M·L⁻³, like the paper's R.
+  const e::ExprPtr ok =
+      e::Add(e::Variable(river::kBPhy, "B_Phy"), e::Constant(3.0));
+  const a::UnitsResult result = a::AnalyzeUnits(*ok, env);
+  EXPECT_TRUE(result.Consistent());
+  EXPECT_EQ(result.dim, a::Dim::Concentration());
+}
+
+TEST(UnitsTest, MismatchedSumIsFlaggedOnceAndRecoversWithAny) {
+  const a::UnitsEnv env = river::RiverUnitsEnv();
+  // Θ + L is a provable mismatch; the enclosing product must not cascade
+  // into a second finding.
+  const e::ExprPtr bad = e::Mul(
+      e::Add(e::Variable(river::kVtmp, "V_tmp"),
+             e::Variable(river::kVsd, "V_sd")),
+      e::Variable(river::kBPhy, "B_Phy"));
+  const a::UnitsResult result = a::AnalyzeUnits(*bad, env);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_STREQ(result.findings[0].code, "units-mismatch");
+  EXPECT_FALSE(result.dim.known);
+}
+
+TEST(UnitsTest, TranscendentalArgumentsMustBeDimensionless) {
+  const a::UnitsEnv env = river::RiverUnitsEnv();
+  const e::ExprPtr bad = e::Log(e::Variable(river::kVn, "V_n"));
+  const a::UnitsResult result = a::AnalyzeUnits(*bad, env);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_STREQ(result.findings[0].code, "units-transcendental");
+  EXPECT_TRUE(result.dim.IsDimensionless());
+  // A dimensionless ratio is fine: V_n / (C_N + V_n).
+  const e::ExprPtr ok = e::Log(
+      e::Div(e::Variable(river::kVn, "V_n"),
+             e::Add(e::Parameter(river::kCN, "C_N"),
+                    e::Variable(river::kVn, "V_n"))));
+  EXPECT_TRUE(a::AnalyzeUnits(*ok, env).Consistent());
+}
+
+TEST(UnitsTest, ExpertRiverProcessIsDimensionallyConsistent) {
+  const a::SystemUnitsResult result =
+      a::AnalyzeSystemUnits(river::ManualProcess(), river::RiverUnitsEnv());
+  EXPECT_TRUE(result.Consistent());
+  ASSERT_EQ(result.equations.size(), 2u);
+  // Both derivatives come out as concentration per time.
+  EXPECT_EQ(result.equations[0].dim, a::Dim::Of(1, -3, -1));
+  EXPECT_EQ(result.equations[1].dim, a::Dim::Of(1, -3, -1));
+}
+
+// -------------------------------------------------------------- sign pass ----
+
+TEST(SignTest, SignOfIntervalAndFormatting) {
+  EXPECT_EQ(a::SignOfInterval(a::Interval::Of(0.5, 2.0)), a::kSignPos);
+  EXPECT_EQ(a::SignOfInterval(a::Interval::Of(-2.0, -0.5)), a::kSignNeg);
+  EXPECT_EQ(a::SignOfInterval(a::Interval::Of(-1.0, 1.0)),
+            a::kSignNeg | a::kSignZero | a::kSignPos);
+  EXPECT_EQ(a::FormatSignSet(a::kSignNeg), "{-}");
+  EXPECT_EQ(a::FormatSignSet(a::kSignAll), "{-,0,+,NaN}");
+}
+
+TEST(SignTest, ProtectedDivisionAlwaysReachesPositive) {
+  // The protection band maps |denominator| < eps to 1, so every division
+  // can produce a positive value regardless of operand signs.
+  EXPECT_NE(a::ApplyBinarySign(e::NodeKind::kDiv, a::kSignNeg, a::kSignPos) &
+                a::kSignPos,
+            0);
+}
+
+TEST(SignTest, StrictlyNegativeLossTermIsFlagged) {
+  a::DomainEnv env = river::LintDomains();
+  // B_Phy * C_UA - (0 - C_UA) * C_FS: the subtracted product is provably
+  // strictly negative (C_UA in [0.1, 4], C_FS in [4, 6]).
+  const e::ExprPtr eq = e::Sub(
+      e::Mul(e::Variable(river::kBPhy, "B_Phy"),
+             e::Parameter(river::kCUA, "C_UA")),
+      e::Mul(e::Sub(e::Constant(0.0), e::Parameter(river::kCUA, "C_UA")),
+             e::Parameter(river::kCFS, "C_FS")));
+  const a::MassBalanceResult result = a::CheckMassBalance(*eq, env);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_STREQ(result.findings[0].code, "loss-term-adds-mass");
+}
+
+TEST(SignTest, ExpertRiverProcessIsMassBalanceClean) {
+  const a::DomainEnv env = river::LintDomains();
+  for (const e::ExprPtr& eq : river::ManualProcess()) {
+    EXPECT_TRUE(a::CheckMassBalance(*eq, env).Consistent());
+  }
+}
+
+// ---------------------------------------------------------- activity pass ----
+
+TEST(ActivityTest, ExactIndependenceIsPruned) {
+  a::DomainEnv env;
+  env.variables = {a::Interval::Of(1.0, 2.0)};
+  env.parameters = {a::Interval::Of(0.5, 1.5), a::Interval::Of(0.5, 1.5)};
+  const e::ExprPtr x = e::Variable(0, "x");
+  const e::ExprPtr p = e::Parameter(0, "p");
+  // x - x is exactly zero over a finite range: no slot is active.
+  EXPECT_EQ(a::AnalyzeActivity(*e::Sub(x, x), env), a::Activity{});
+  // 0 * p is exactly zero while p stays finite.
+  EXPECT_EQ(a::AnalyzeActivity(*e::Mul(e::Constant(0.0), p), env),
+            a::Activity{});
+  // A plain sum depends on both slots.
+  const a::Activity both = a::AnalyzeActivity(*e::Add(x, p), env);
+  EXPECT_EQ(both.variables, a::ActivityBit(0));
+  EXPECT_EQ(both.parameters, a::ActivityBit(0));
+  // Unbounded ranges disable the pruning guards (x - x could be inf - inf).
+  env.variables[0] = a::Interval::All();
+  EXPECT_EQ(a::AnalyzeActivity(*e::Sub(x, x), env).variables,
+            a::ActivityBit(0));
+}
+
+TEST(ActivityTest, SlotsBeyondSixtyThreeShareTheStickyBit) {
+  EXPECT_EQ(a::ActivityBit(63), a::ActivityBit(200));
+  a::Activity activity;
+  activity.parameters = a::ActivityBit(100);
+  // The sticky bit is never reported inactive.
+  const std::vector<int> inactive = a::InactiveParameters(activity, 70);
+  for (const int slot : inactive) EXPECT_LT(slot, 63);
+}
+
+TEST(ActivityTest, OutputClosureExcludesUnreferencedEquations) {
+  a::DomainEnv env;
+  env.variables = {a::Interval::Of(0.0, 10.0), a::Interval::Of(0.0, 10.0)};
+  env.parameters = {a::Interval::Of(0.1, 4.0), a::Interval::Of(0.0, 0.3)};
+  // eq0 references only state 0; eq1's parameter can never reach output 0.
+  const std::vector<e::ExprPtr> equations = {
+      e::Mul(e::Variable(0, "B_Phy"), e::Parameter(0, "C_UA")),
+      e::Mul(e::Variable(1, "B_Zoo"), e::Parameter(1, "C_UZ")),
+  };
+  const a::Activity closure = a::OutputClosureActivity(equations, 0, env);
+  EXPECT_EQ(closure.variables, a::ActivityBit(0));
+  EXPECT_EQ(closure.parameters, a::ActivityBit(0));
+  const std::vector<int> inactive = a::InactiveParameters(closure, 2);
+  ASSERT_EQ(inactive.size(), 1u);
+  EXPECT_EQ(inactive[0], 1);
+  // Coupling eq0 to state 1 pulls eq1 (and its parameter) into the closure.
+  const std::vector<e::ExprPtr> coupled = {
+      e::Mul(e::Variable(1, "B_Zoo"), e::Parameter(0, "C_UA")),
+      e::Mul(e::Variable(1, "B_Zoo"), e::Parameter(1, "C_UZ")),
+  };
+  const a::Activity full = a::OutputClosureActivity(coupled, 0, env);
+  EXPECT_EQ(full.parameters, a::ActivityBit(0) | a::ActivityBit(1));
+  EXPECT_TRUE(a::InactiveParameters(full, 2).empty());
+}
+
+TEST(ActivityTest, ExpertRiverProcessHasNoInactiveLiveParameters) {
+  // Parameters the expert process never mentions may legitimately be
+  // inactive; what must not happen is a *live* parameter being reported.
+  const a::Activity closure = a::OutputClosureActivity(
+      river::ManualProcess(), river::kBPhy, river::LintDomains());
+  const std::vector<int> inactive =
+      a::InactiveParameters(closure, river::kNumParameters);
+  const a::LintResult lint = a::LintEquations(
+      river::ManualProcess(), river::LintDomains(), a::LintOptions{});
+  for (const int slot : inactive) {
+    for (const int live : lint.live_parameters) {
+      EXPECT_NE(slot, live) << "live parameter reported inactive";
+    }
+  }
+}
+
+// ------------------------------------------------------ grammar dimensions ----
+
+TEST(GrammarDimensionTest, BuiltinRiverGrammarPrunesNothing) {
+  core::RiverPriorKnowledge knowledge = core::BuildRiverPriorKnowledge();
+  const a::GrammarDimensionResult result = a::AnalyzeGrammarDimensions(
+      knowledge.grammar, river::RiverUnitsEnv());
+  EXPECT_TRUE(result.inconsistent_betas.empty());
+  EXPECT_TRUE(result.diagnostics.empty());
+  // Pruning is therefore a no-op: search trajectories are unchanged.
+  const std::size_t betas_before = knowledge.grammar.num_beta_trees();
+  EXPECT_TRUE(a::PruneDimensionInconsistentBetas(&knowledge.grammar,
+                                                 river::RiverUnitsEnv())
+                  .empty());
+  EXPECT_EQ(knowledge.grammar.num_beta_trees(), betas_before);
+}
+
+TEST(GrammarDimensionTest, InternallyMismatchedBetaIsFlaggedAndPruned) {
+  std::istringstream spec(R"(# gmr-grammar v1
+slot R 0.0 1.0
+alpha seed Conc : B_Phy + V_n
+beta grow Conc : FOOT * R
+beta bad Conc : FOOT + (V_tmp + V_sd)
+)");
+  t::Grammar grammar;
+  std::string error;
+  ASSERT_TRUE(a::ParseGrammarSpec(spec, river::RiverSymbols(), &grammar,
+                                  &error))
+      << error;
+  const a::UnitsEnv env = river::RiverUnitsEnv();
+  const a::GrammarDimensionResult result =
+      a::AnalyzeGrammarDimensions(grammar, env);
+  // The alpha pins label Conc to M·L⁻³; 'bad' has an internal Θ + L
+  // mismatch independent of its foot binding.
+  ASSERT_EQ(result.inconsistent_betas.size(), 1u);
+  EXPECT_EQ(grammar.beta(result.inconsistent_betas[0]).name(), "bad");
+  const auto context = result.label_context.find("Conc");
+  ASSERT_NE(context, result.label_context.end());
+  EXPECT_EQ(context->second, a::Dim::Concentration());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].code, "dimension-inconsistent-beta");
+  EXPECT_EQ(result.diagnostics[0].severity, a::Severity::kWarning);
+  // Pruning removes 'bad' from the adjunction candidates while keeping the
+  // tree registered (indices stay stable).
+  const std::vector<int> pruned =
+      a::PruneDimensionInconsistentBetas(&grammar, env);
+  EXPECT_EQ(pruned, result.inconsistent_betas);
+  EXPECT_EQ(grammar.num_beta_trees(), 2u);
+  const std::vector<int> candidates = grammar.BetasWithRootLabel("Conc");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(grammar.beta(candidates[0]).name(), "grow");
+}
+
+// -------------------------------------------------- static gate rule wiring ----
+
+TEST(StaticGateTest, GateRuleNamesAreStable) {
+  EXPECT_STREQ(a::GateRuleName(a::GateRule::kNone), "none");
+  EXPECT_STREQ(a::GateRuleName(a::GateRule::kIntervalNegInf),
+               "interval_neg_inf");
+  EXPECT_STREQ(a::GateRuleName(a::GateRule::kIntervalSaturation),
+               "interval_saturation");
+  EXPECT_STREQ(a::GateRuleName(a::GateRule::kUnitsMismatch),
+               "units_mismatch");
+  EXPECT_STREQ(a::GateRuleName(a::GateRule::kSignViolation),
+               "sign_violation");
+}
+
+TEST(StaticGateTest, UnitsAndSignChecksAreOptIn) {
+  a::StaticGateConfig config;
+  config.enabled = true;
+  config.domains = river::LintDomains();
+  const std::vector<e::ExprPtr> dim_bad{
+      e::Add(e::Variable(river::kVtmp, "V_tmp"),
+             e::Variable(river::kVsd, "V_sd"))};
+  const std::vector<e::ExprPtr> sign_bad{e::Sub(
+      e::Mul(e::Variable(river::kBPhy, "B_Phy"),
+             e::Parameter(river::kCUA, "C_UA")),
+      e::Mul(e::Sub(e::Constant(0.0), e::Parameter(river::kCUA, "C_UA")),
+             e::Parameter(river::kCFS, "C_FS")))};
+  // Default config: neither check runs, neither candidate is rejected.
+  EXPECT_FALSE(a::AnalyzeCandidate(dim_bad, config).reject);
+  EXPECT_FALSE(a::AnalyzeCandidate(sign_bad, config).reject);
+  // Opt in.
+  config.check_units = true;
+  config.units = river::RiverUnitsEnv();
+  config.check_sign = true;
+  {
+    const a::StaticVerdict verdict = a::AnalyzeCandidate(dim_bad, config);
+    EXPECT_TRUE(verdict.reject);
+    EXPECT_EQ(verdict.rule, a::GateRule::kUnitsMismatch);
+    EXPECT_EQ(verdict.equation, 0);
+  }
+  {
+    const a::StaticVerdict verdict = a::AnalyzeCandidate(sign_bad, config);
+    EXPECT_TRUE(verdict.reject);
+    EXPECT_EQ(verdict.rule, a::GateRule::kSignViolation);
+  }
+  // The expert process passes with both checks on.
+  EXPECT_FALSE(a::AnalyzeCandidate(river::ManualProcess(), config).reject);
+}
+
+TEST(EvaluatorGateTest, RuleCountersAndVerdictCacheStats) {
+  GateFixture fx;
+  const river::SimulationConfig sim;
+  const river::RiverFitness fitness =
+      river::RiverFitness::ForTraining(&fx.dataset, sim);
+  gp::SpeedupConfig config;
+  config.static_gate = river::MakeStaticGate(sim, &fx.dataset);
+  gp::FitnessEvaluator evaluator(&fx.knowledge.grammar, &fitness, config);
+
+  gp::Individual first = fx.MakeDivergent(3);
+  gp::Individual second = fx.MakeDivergent(4);
+  evaluator.Evaluate(&first);
+  evaluator.Evaluate(&second);
+  const gp::EvalStats& stats = evaluator.stats();
+  EXPECT_EQ(stats.verdict_cache_lookups, 2u);
+  EXPECT_EQ(stats.verdict_cache_hits, 1u);
+  // Both rejects were interval-saturation rejects of the same structure.
+  EXPECT_EQ(stats.gate_rule_rejects[static_cast<std::size_t>(
+                a::GateRule::kIntervalSaturation)],
+            2u);
+  EXPECT_EQ(stats.gate_rule_rejects[static_cast<std::size_t>(
+                a::GateRule::kIntervalNegInf)],
+            0u);
+}
+
+TEST(EvalStatsTest, MergeAddsVerdictCacheAndRuleCounters) {
+  gp::EvalStats stats;
+  stats.verdict_cache_lookups = 3;
+  stats.verdict_cache_hits = 1;
+  stats.gate_rule_rejects[1] = 2;
+  gp::EvalStats other;
+  other.verdict_cache_lookups = 4;
+  other.verdict_cache_hits = 2;
+  other.gate_rule_rejects[1] = 5;
+  stats.Merge(other);
+  EXPECT_EQ(stats.verdict_cache_lookups, 7u);
+  EXPECT_EQ(stats.verdict_cache_hits, 3u);
+  EXPECT_EQ(stats.gate_rule_rejects[1], 7u);
 }
 
 }  // namespace

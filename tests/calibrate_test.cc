@@ -154,6 +154,37 @@ TEST(CalibratorTest, BudgetedObjectiveTracksIncumbent) {
   EXPECT_DOUBLE_EQ(f.best_f(), 2.0);
 }
 
+TEST(CalibratorTest, ActiveMaskFreezesInactiveDimensions) {
+  // Dimensions 2 and 3 are marked inactive (per the activity pass):
+  // the method searches only the 2-D active subspace, the frozen slots
+  // come back exactly at their initial values, and the frozen slots never
+  // reach the objective with any other value.
+  SphereProblem sphere;
+  CalibrationProblem problem;
+  problem.bounds = sphere.bounds;
+  problem.initial = sphere.initial;
+  problem.active = {1, 1, 0, 0};
+  const Objective inner = sphere.MakeObjective();
+  problem.objective = [&](const std::vector<double>& x) {
+    EXPECT_EQ(x.size(), 4u);
+    EXPECT_DOUBLE_EQ(x[2], sphere.initial[2]);
+    EXPECT_DOUBLE_EQ(x[3], sphere.initial[3]);
+    return inner(x);
+  };
+  CalibrationConfig config;
+  config.budget = 400;
+  config.seed = 7;
+  const auto methods = AllCalibrators();
+  const CalibrationResult result =
+      gmr::calibrate::Run(*methods[0], config, problem);
+  ASSERT_EQ(result.best_parameters.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.best_parameters[2], sphere.initial[2]);
+  EXPECT_DOUBLE_EQ(result.best_parameters[3], sphere.initial[3]);
+  // The active dimensions still improve on the start point's slice.
+  const double start = problem.objective(sphere.initial);
+  EXPECT_LT(result.best_objective, start);
+}
+
 TEST(CalibratorTest, MleConvergesTightlyOnSmoothBowl) {
   // Nelder-Mead should reach far higher precision than the samplers.
   SphereProblem problem;
