@@ -9,6 +9,12 @@
 //                       exit 2 when some file came back clean
 //   --builtin-grammar   additionally lint the built-in river TAG grammar
 //   --no-notes          suppress note-level diagnostics
+//   --preset=<name>     constituent registry model files are linted
+//                       against: plankton2 (default, the legacy two-species
+//                       problem) or transport1..transport5. The preset
+//                       decides the variable layout, the per-constituent
+//                       dimension table, the parameter boxes, and which
+//                       output closure the inactive-parameter check uses.
 //   --severity=<t>      reporting threshold: note | warn | error.
 //                       Diagnostics below the threshold are suppressed and
 //                       the exit code becomes severity-graded: 0 clean,
@@ -42,6 +48,7 @@
 #include "core/model_io.h"
 #include "core/river_grammar.h"
 #include "river/biology.h"
+#include "river/constituents.h"
 #include "river/domains.h"
 #include "river/parameters.h"
 #include "river/variables.h"
@@ -55,8 +62,26 @@ struct Options {
   bool notes = true;
   /// Reporting threshold as a Severity int, or -1 for the legacy scheme.
   int severity = -1;
+  /// Constituent registry model files are linted against.
+  gmr::river::ConstituentSet constituents =
+      gmr::river::ConstituentSet::LegacyPlankton();
   std::vector<std::string> files;
 };
+
+bool ResolvePreset(const char* name, gmr::river::ConstituentSet* set) {
+  const std::string preset = name;
+  if (preset == "plankton2") {
+    *set = gmr::river::ConstituentSet::LegacyPlankton();
+    return true;
+  }
+  for (int n = 1; n <= 5; ++n) {
+    if (preset == "transport" + std::to_string(n)) {
+      *set = gmr::river::ConstituentSet::Transport(n);
+      return true;
+    }
+  }
+  return false;
+}
 
 bool ParseArgs(int argc, char** argv, Options* options) {
   for (int i = 1; i < argc; ++i) {
@@ -69,6 +94,14 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->builtin_grammar = true;
     } else if (std::strcmp(arg, "--no-notes") == 0) {
       options->notes = false;
+    } else if (std::strncmp(arg, "--preset=", 9) == 0) {
+      if (!ResolvePreset(arg + 9, &options->constituents)) {
+        std::fprintf(stderr,
+                     "gmr_lint: --preset expects plankton2 or "
+                     "transport1..transport5 (got %s)\n",
+                     arg + 9);
+        return false;
+      }
     } else if (std::strncmp(arg, "--severity=", 11) == 0) {
       const char* level = arg + 11;
       if (std::strcmp(level, "note") == 0) {
@@ -148,25 +181,27 @@ void Report(const std::string& path, const Options& options,
 
 FileOutcome LintModelFile(const std::string& path, const Options& options) {
   FileOutcome outcome;
+  const gmr::river::ConstituentSet& constituents = options.constituents;
+  const gmr::expr::SymbolTable symbols = gmr::river::SymbolsFor(constituents);
+  const gmr::analysis::DomainEnv domains =
+      gmr::river::LintDomainsFor(constituents);
   gmr::core::SavedModel model;
   std::string error;
-  if (!gmr::core::LoadModel(path, gmr::river::RiverSymbols(), &model,
-                            &error)) {
+  if (!gmr::core::LoadModel(path, symbols, &model, &error)) {
     std::printf("%s:-: error [load-failed] %s\n", path.c_str(),
                 error.c_str());
     outcome.load_failed = true;
     return outcome;
   }
   gmr::analysis::LintOptions lint_options;
-  lint_options.num_states = 2;  // B_Phy, B_Zoo.
-  lint_options.variable_names = gmr::river::VariableNames();
+  lint_options.num_states = static_cast<int>(constituents.size());
+  lint_options.variable_names = constituents.VariableNames();
   // Dead-parameter reporting covers exactly the parameters the file
   // declares; slots the file never mentions are not its business.
   lint_options.parameter_names.assign(model.parameters.size(), "");
   for (const std::string& name : model.declared_parameters) {
-    const auto& table = gmr::river::RiverSymbols().parameters;
-    const auto it = table.find(name);
-    if (it != table.end() &&
+    const auto it = symbols.parameters.find(name);
+    if (it != symbols.parameters.end() &&
         static_cast<std::size_t>(it->second) <
             lint_options.parameter_names.size()) {
       lint_options.parameter_names[static_cast<std::size_t>(it->second)] =
@@ -175,23 +210,23 @@ FileOutcome LintModelFile(const std::string& path, const Options& options) {
   }
   lint_options.note_constant_foldable = options.notes;
   lint_options.note_dominated_branches = options.notes;
-  const gmr::analysis::LintResult result = gmr::analysis::LintEquations(
-      model.equations, gmr::river::LintDomains(), lint_options);
+  const gmr::analysis::LintResult result =
+      gmr::analysis::LintEquations(model.equations, domains, lint_options);
   Report(path, options, result.diagnostics, &outcome);
 
   // Dimensional consistency and mass-balance direction, per equation,
-  // against the river dimension knowledge base and the same bounded
-  // domains the interval checks use. Both passes report by node pointer
-  // (shared subtrees once); WalkAddresses recovers the first-occurrence
-  // address for the <file>:eqN:<path> format.
-  const gmr::analysis::UnitsEnv units_env = gmr::river::RiverUnitsEnv();
+  // against the preset's per-constituent dimension table and the same
+  // bounded domains the interval checks use. Both passes report by node
+  // pointer (shared subtrees once); WalkAddresses recovers the
+  // first-occurrence address for the <file>:eqN:<path> format.
+  const gmr::analysis::UnitsEnv units_env =
+      gmr::river::UnitsEnvFor(constituents);
   std::vector<gmr::analysis::Diagnostic> extra;
   for (std::size_t eq = 0; eq < model.equations.size(); ++eq) {
     const gmr::analysis::UnitsResult units =
         gmr::analysis::AnalyzeUnits(*model.equations[eq], units_env);
     const gmr::analysis::MassBalanceResult balance =
-        gmr::analysis::CheckMassBalance(*model.equations[eq],
-                                        gmr::river::LintDomains());
+        gmr::analysis::CheckMassBalance(*model.equations[eq], domains);
     if (units.findings.empty() && balance.findings.empty()) continue;
     std::map<const gmr::expr::Expr*, std::vector<int>> addresses;
     gmr::analysis::WalkAddresses(
@@ -220,13 +255,26 @@ FileOutcome LintModelFile(const std::string& path, const Options& options) {
   }
 
   // Declared parameters that are syntactically live yet provably outside
-  // the B_Phy output closure: calibration budget spent on them is wasted
-  // (the activity oracle guarantees perturbing them leaves rollouts
-  // bit-identical). Dead parameters are already reported by LintEquations.
-  if (!model.equations.empty()) {
-    const gmr::analysis::Activity closure =
-        gmr::analysis::OutputClosureActivity(model.equations, 0,
-                                             gmr::river::LintDomains());
+  // every observed constituent's output closure: calibration budget spent
+  // on them is wasted (the activity oracle guarantees perturbing them
+  // leaves rollouts bit-identical). A parameter driving any observed
+  // output — sediment as well as nitrate under the five-species transport
+  // registry — is active. Dead parameters are already reported by
+  // LintEquations.
+  std::vector<int> observed = constituents.ObservedConstituents();
+  if (observed.empty()) observed.push_back(constituents.PrimaryObserved());
+  std::string observed_names;
+  gmr::analysis::Activity closure;
+  bool closure_valid = false;
+  for (const int output : observed) {
+    if (static_cast<std::size_t>(output) >= model.equations.size()) continue;
+    closure |= gmr::analysis::OutputClosureActivity(model.equations, output,
+                                                    domains);
+    if (!observed_names.empty()) observed_names += "/";
+    observed_names += constituents.at(static_cast<std::size_t>(output)).name;
+    closure_valid = true;
+  }
+  if (closure_valid) {
     for (std::size_t slot = 0; slot < lint_options.parameter_names.size();
          ++slot) {
       const std::string& name = lint_options.parameter_names[slot];
@@ -245,8 +293,9 @@ FileOutcome LintModelFile(const std::string& path, const Options& options) {
       d.severity = gmr::analysis::Severity::kWarning;
       d.code = "inactive-parameter";
       d.message = "parameter " + name +
-                  " is referenced but provably cannot affect the B_Phy "
-                  "output trajectory; calibration can freeze it";
+                  " is referenced but provably cannot affect the " +
+                  observed_names +
+                  " output trajectory; calibration can freeze it";
       extra.push_back(std::move(d));
     }
   }

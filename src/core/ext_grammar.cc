@@ -1,0 +1,77 @@
+#include "core/ext_grammar.h"
+
+namespace gmr::core {
+
+namespace e = gmr::expr;
+namespace t = gmr::tag;
+
+std::string ConnectorLabel(int ext) { return "ExtC" + std::to_string(ext); }
+std::string ExtenderLabel(int ext) { return "ExtE" + std::to_string(ext); }
+
+t::TagNodePtr ExtOperand::MakeLeaf() const {
+  if (variable_slot < 0) return t::SlotNode("R");
+  return t::LeafNode(e::Variable(variable_slot, name));
+}
+
+t::TagNodePtr ExtOperand::MakeScaled(const t::Symbol& exte) const {
+  if (variable_slot < 0) return t::SlotNode("R");
+  std::vector<t::TagNodePtr> children;
+  children.push_back(
+      t::WrapperNode(exte, t::LeafNode(e::Variable(variable_slot, name))));
+  children.push_back(t::SlotNode("R"));
+  return t::OperatorNode(exte, e::NodeKind::kMul, std::move(children));
+}
+
+ExtOperand VariableOperand(int slot, std::string name) {
+  ExtOperand operand;
+  operand.variable_slot = slot;
+  operand.name = std::move(name);
+  return operand;
+}
+
+ExtOperand RandomOperand() { return ExtOperand{}; }
+
+void AddExtensionBetas(int ext, e::NodeKind connector_op,
+                       const std::vector<ExtOperand>& operands,
+                       t::Grammar* grammar) {
+  const std::string extc = ConnectorLabel(ext);
+  const std::string exte = ExtenderLabel(ext);
+
+  // Connectors: the single allowed operator applied to the seed process,
+  // with the fresh (scaled) operand wrapped in the extender symbol so that
+  // further revisions of the operand go through extender trees only.
+  for (const ExtOperand& operand : operands) {
+    std::vector<t::TagNodePtr> children;
+    children.push_back(t::FootNode(extc));
+    children.push_back(t::WrapperNode(exte, operand.MakeScaled(exte)));
+    grammar->AddBetaTree(t::ElementaryTree(
+        "conn:" + extc + e::KindName(connector_op) + operand.name,
+        t::OperatorNode(extc, connector_op, std::move(children))));
+  }
+
+  // Binary extenders: {+, -, *, /} x operands, foot (the existing
+  // sub-expression) on the left.
+  const e::NodeKind binary_ops[] = {e::NodeKind::kAdd, e::NodeKind::kSub,
+                                    e::NodeKind::kMul, e::NodeKind::kDiv};
+  for (e::NodeKind op : binary_ops) {
+    for (const ExtOperand& operand : operands) {
+      std::vector<t::TagNodePtr> children;
+      children.push_back(t::FootNode(exte));
+      children.push_back(t::WrapperNode(exte, operand.MakeLeaf()));
+      grammar->AddBetaTree(t::ElementaryTree(
+          "ext:" + exte + e::KindName(op) + operand.name,
+          t::OperatorNode(exte, op, std::move(children))));
+    }
+  }
+
+  // Unary extenders: log/exp applied to the existing sub-expression.
+  for (e::NodeKind op : {e::NodeKind::kLog, e::NodeKind::kExp}) {
+    std::vector<t::TagNodePtr> children;
+    children.push_back(t::FootNode(exte));
+    grammar->AddBetaTree(t::ElementaryTree(
+        "ext:" + exte + e::KindName(op),
+        t::OperatorNode(exte, op, std::move(children))));
+  }
+}
+
+}  // namespace gmr::core

@@ -1,0 +1,61 @@
+#ifndef GMR_CORE_EXT_GRAMMAR_H_
+#define GMR_CORE_EXT_GRAMMAR_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "tag/grammar.h"
+
+namespace gmr::core {
+
+/// Shared beta-tree machinery of the GMR prior-knowledge builders
+/// (Section III-B3): every domain grammar — the plankton grammar of
+/// Table II and the transport grammars — generates its revision trees from
+/// the same connector/extender scheme; only the seed alpha tree and the
+/// per-extension operand lists differ.
+
+/// Label of extension point `ext`'s connector symbol ("ExtC3") — the symbol
+/// a seed tree wraps an extensible subprocess in.
+std::string ConnectorLabel(int ext);
+/// Label of extension point `ext`'s extender symbol ("ExtE3") — the symbol
+/// revisions introduced at that point stay adjoinable under.
+std::string ExtenderLabel(int ext);
+
+/// An extension operand: either a concrete temporal variable (slot + display
+/// name under the problem's variable layout) or the random lexeme slot R.
+struct ExtOperand {
+  int variable_slot = -1;  ///< -1 means R.
+  std::string name = "R";
+
+  /// Bare operand (extenders): the variable itself, or the R slot.
+  tag::TagNodePtr MakeLeaf() const;
+
+  /// Scaled operand (connectors): `var * R`. Raw temporal variables span
+  /// orders of magnitude (conductivity in the hundreds, phosphorus in
+  /// thousandths), so a connector that introduced a bare variable would be
+  /// almost always lethal and the revision unreachable by hill climbing.
+  /// Entering with a tunable coefficient R in [0, 1] keeps intermediate
+  /// revisions viable — the "more careful design of alpha- and beta-trees"
+  /// the paper calls for in Section III-A2. Both factors stay extensible.
+  tag::TagNodePtr MakeScaled(const tag::Symbol& exte) const;
+};
+
+/// Operand for variable `slot` displayed as `name`.
+ExtOperand VariableOperand(int slot, std::string name);
+/// The random lexeme operand R.
+ExtOperand RandomOperand();
+
+/// Beta-tree generation for one extension point: "we then generate a list
+/// of beta-trees for each combination of variables and operators"
+/// (Section III-B3). Emits, into `grammar`:
+///  - one connector per operand: `foot <connector_op> (var * R)`;
+///  - binary extenders {+, -, *, /} x operands, foot on the left;
+///  - unary extenders log/exp on the foot.
+void AddExtensionBetas(int ext, expr::NodeKind connector_op,
+                       const std::vector<ExtOperand>& operands,
+                       tag::Grammar* grammar);
+
+}  // namespace gmr::core
+
+#endif  // GMR_CORE_EXT_GRAMMAR_H_

@@ -11,26 +11,48 @@ AccuracyReport EvaluateAccuracy(const std::vector<expr::ExprPtr>& equations,
                                 const std::vector<double>& parameters,
                                 const river::RiverDataset& dataset,
                                 const river::SimulationConfig& simulation) {
+  return EvaluateAccuracy(
+      equations, parameters, dataset, simulation,
+      river::ConstituentSet::LegacyPlankton(
+          dataset.initial_bphy, dataset.initial_bzoo,
+          dataset.test_initial_bphy, dataset.test_initial_bzoo));
+}
+
+AccuracyReport EvaluateAccuracy(const std::vector<expr::ExprPtr>& equations,
+                                const std::vector<double>& parameters,
+                                const river::RiverDataset& dataset,
+                                const river::SimulationConfig& simulation,
+                                const river::ConstituentSet& constituents) {
+  river::SimulationConfig config = simulation;
+  config.num_species = static_cast<int>(constituents.size());
+  const int primary = constituents.PrimaryObserved();
+  const int mapped = constituents.at(static_cast<std::size_t>(primary))
+                         .observed_series;
+  const std::vector<double>& observed =
+      dataset.ObservedSeries(mapped >= 0 ? mapped : 0);
+  const std::size_t p = static_cast<std::size_t>(primary);
+
   AccuracyReport report;
-  const std::vector<double> train_pred = river::SimulateBPhy(
-      equations, parameters, dataset, 0, dataset.train_end,
-      dataset.initial_bphy, dataset.initial_bzoo, simulation,
-      /*compiled=*/true);
+  const std::vector<double> train_pred =
+      river::Simulate(equations, parameters, dataset, 0, dataset.train_end,
+                      constituents, constituents.InitialStates(), config,
+                      /*compiled=*/true)
+          .series[p];
   const std::vector<double> train_obs(
-      dataset.observed_bphy.begin(),
-      dataset.observed_bphy.begin() +
-          static_cast<std::ptrdiff_t>(dataset.train_end));
+      observed.begin(),
+      observed.begin() + static_cast<std::ptrdiff_t>(dataset.train_end));
   report.train_rmse = Rmse(train_pred, train_obs);
   report.train_mae = Mae(train_pred, train_obs);
 
-  const std::vector<double> test_pred = river::SimulateBPhy(
-      equations, parameters, dataset, dataset.train_end, dataset.num_days,
-      dataset.test_initial_bphy, dataset.test_initial_bzoo, simulation,
-      /*compiled=*/true);
+  const std::vector<double> test_pred =
+      river::Simulate(equations, parameters, dataset, dataset.train_end,
+                      dataset.num_days, constituents,
+                      constituents.TestInitialStates(), config,
+                      /*compiled=*/true)
+          .series[p];
   const std::vector<double> test_obs(
-      dataset.observed_bphy.begin() +
-          static_cast<std::ptrdiff_t>(dataset.train_end),
-      dataset.observed_bphy.end());
+      observed.begin() + static_cast<std::ptrdiff_t>(dataset.train_end),
+      observed.end());
   report.test_rmse = Rmse(test_pred, test_obs);
   report.test_mae = Mae(test_pred, test_obs);
   return report;
@@ -41,7 +63,10 @@ GmrRunResult RunGmr(const GmrConfig& config, const GmrProblem& problem,
   const river::RiverDataset& dataset = *problem.dataset;
   const RiverPriorKnowledge& knowledge = *problem.knowledge;
   const river::RiverFitness fitness =
-      river::RiverFitness::ForTraining(&dataset, config.simulation);
+      problem.constituents == nullptr
+          ? river::RiverFitness::ForTraining(&dataset, config.simulation)
+          : river::RiverFitness::ForTrainingWith(
+                &dataset, *problem.constituents, config.simulation);
 
   obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
   if (sink->enabled()) {
@@ -52,6 +77,7 @@ GmrRunResult RunGmr(const GmrConfig& config, const GmrProblem& problem,
     manifest.config_fields = {
         {"train_days", static_cast<double>(dataset.train_end)},
         {"num_days", static_cast<double>(dataset.num_days)},
+        {"num_species", static_cast<double>(fitness.num_states())},
     };
     manifest.num_threads = context.pool != nullptr
                                ? context.pool->num_threads()
@@ -107,9 +133,13 @@ GmrRunResult RunGmr(const GmrConfig& config, const GmrProblem& problem,
       tag::ExpandToExpressions(knowledge.grammar, *result.best.genotype);
   for (auto& eq : result.best_equations) eq = expr::Simplify(eq);
 
-  const AccuracyReport report = EvaluateAccuracy(
-      result.best_equations, result.best.parameters, dataset,
-      config.simulation);
+  const AccuracyReport report =
+      problem.constituents == nullptr
+          ? EvaluateAccuracy(result.best_equations, result.best.parameters,
+                             dataset, config.simulation)
+          : EvaluateAccuracy(result.best_equations, result.best.parameters,
+                             dataset, config.simulation,
+                             *problem.constituents);
   result.train_rmse = report.train_rmse;
   result.train_mae = report.train_mae;
   result.test_rmse = report.test_rmse;
@@ -141,6 +171,20 @@ std::string DescribeModel(const std::vector<expr::ExprPtr>& equations) {
   const char* names[] = {"dB_Phy/dt", "dB_Zoo/dt"};
   for (std::size_t i = 0; i < equations.size(); ++i) {
     out += i < 2 ? names[i] : "eq";
+    out += " = ";
+    out += expr::ToString(*equations[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DescribeModel(const std::vector<expr::ExprPtr>& equations,
+                          const river::ConstituentSet& constituents) {
+  std::string out;
+  for (std::size_t i = 0; i < equations.size(); ++i) {
+    out += i < constituents.size()
+               ? "d" + constituents.at(i).name + "/dt"
+               : "eq";
     out += " = ";
     out += expr::ToString(*equations[i]);
     out += '\n';

@@ -7,6 +7,7 @@
 #include "core/river_grammar.h"
 #include "gp/tag3p.h"
 #include "obs/run_context.h"
+#include "river/constituents.h"
 #include "river/dataset.h"
 #include "river/simulate.h"
 
@@ -40,11 +41,15 @@ struct GmrRunResult {
 };
 
 /// The domain side of a GMR run (unified driver API): the observed river
-/// data plus the expert prior knowledge (grammar, seed process, priors).
-/// Pointees are borrowed and must outlive the run.
+/// data plus the expert prior knowledge (grammar, seed process, priors)
+/// and, optionally, the constituent registry the run revises. A null
+/// `constituents` means the legacy two-species plankton problem (initial
+/// conditions from the dataset) — that path is bit-identical to the
+/// pre-registry driver. Pointees are borrowed and must outlive the run.
 struct GmrProblem {
   const river::RiverDataset* dataset = nullptr;
   const RiverPriorKnowledge* knowledge = nullptr;
+  const river::ConstituentSet* constituents = nullptr;
 };
 
 /// Unified driver entry point: runs genetic model revision on
@@ -72,8 +77,24 @@ AccuracyReport EvaluateAccuracy(const std::vector<expr::ExprPtr>& equations,
                                 const river::RiverDataset& dataset,
                                 const river::SimulationConfig& simulation);
 
+/// Accuracy of an arbitrary constituent registry's process: the primary
+/// observed constituent's free-run trajectory against its mapped series,
+/// train and test windows, initial conditions from the registry. The
+/// legacy overload above equals this one under the dataset's plankton
+/// preset.
+AccuracyReport EvaluateAccuracy(const std::vector<expr::ExprPtr>& equations,
+                                const std::vector<double>& parameters,
+                                const river::RiverDataset& dataset,
+                                const river::SimulationConfig& simulation,
+                                const river::ConstituentSet& constituents);
+
 /// Pretty-prints the revised process for ecological inspection.
 std::string DescribeModel(const std::vector<expr::ExprPtr>& equations);
+
+/// Same, with the equation left-hand sides named from the registry
+/// ("dM_NO3/dt = ...").
+std::string DescribeModel(const std::vector<expr::ExprPtr>& equations,
+                          const river::ConstituentSet& constituents);
 
 }  // namespace gmr::core
 

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "core/ext_grammar.h"
 #include "river/biology.h"
 #include "river/parameters.h"
 #include "river/variables.h"
@@ -14,91 +15,12 @@ namespace e = gmr::expr;
 namespace t = gmr::tag;
 namespace r = gmr::river;
 
-std::string ConnectorLabel(int ext) { return "ExtC" + std::to_string(ext); }
-std::string ExtenderLabel(int ext) { return "ExtE" + std::to_string(ext); }
-
-/// An extension operand: either a concrete temporal variable or the random
-/// lexeme slot R.
-struct Operand {
-  int variable_slot = -1;  // -1 means R.
-
-  /// Bare operand (extenders): the variable itself, or the R slot.
-  t::TagNodePtr MakeLeaf() const {
-    if (variable_slot < 0) return t::SlotNode("R");
-    return t::LeafNode(r::Var(variable_slot));
+std::vector<ExtOperand> Operands(std::vector<int> slots) {
+  std::vector<ExtOperand> operands;
+  for (int slot : slots) {
+    operands.push_back(VariableOperand(slot, r::VariableName(slot)));
   }
-
-  /// Scaled operand (connectors): `var * R`. Raw temporal variables span
-  /// orders of magnitude (conductivity in the hundreds, phosphorus in
-  /// thousandths), so a connector that introduced a bare variable would be
-  /// almost always lethal and the revision unreachable by hill climbing.
-  /// Entering with a tunable coefficient R in [0, 1] keeps intermediate
-  /// revisions viable — the "more careful design of alpha- and beta-trees"
-  /// the paper calls for in Section III-A2. Both factors stay extensible.
-  t::TagNodePtr MakeScaled(const t::Symbol& exte) const {
-    if (variable_slot < 0) return t::SlotNode("R");
-    std::vector<t::TagNodePtr> children;
-    children.push_back(
-        t::WrapperNode(exte, t::LeafNode(r::Var(variable_slot))));
-    children.push_back(t::SlotNode("R"));
-    return t::OperatorNode(exte, e::NodeKind::kMul, std::move(children));
-  }
-
-  std::string Name() const {
-    return variable_slot < 0 ? "R" : r::VariableName(variable_slot);
-  }
-};
-
-/// Beta-tree generation for one extension point: "we then generate a list
-/// of beta-trees for each combination of variables and operators"
-/// (Section III-B3).
-void AddExtensionBetas(int ext, e::NodeKind connector_op,
-                       const std::vector<Operand>& operands,
-                       t::Grammar* grammar) {
-  const std::string extc = ConnectorLabel(ext);
-  const std::string exte = ExtenderLabel(ext);
-
-  // Connectors: the single allowed operator applied to the seed process,
-  // with the fresh (scaled) operand wrapped in the extender symbol so that
-  // further revisions of the operand go through extender trees only.
-  for (const Operand& operand : operands) {
-    std::vector<t::TagNodePtr> children;
-    children.push_back(t::FootNode(extc));
-    children.push_back(t::WrapperNode(exte, operand.MakeScaled(exte)));
-    grammar->AddBetaTree(t::ElementaryTree(
-        "conn:" + extc + e::KindName(connector_op) + operand.Name(),
-        t::OperatorNode(extc, connector_op, std::move(children))));
-  }
-
-  // Binary extenders: {+, -, *, /} x operands, foot (the existing
-  // sub-expression) on the left.
-  const e::NodeKind binary_ops[] = {e::NodeKind::kAdd, e::NodeKind::kSub,
-                                    e::NodeKind::kMul, e::NodeKind::kDiv};
-  for (e::NodeKind op : binary_ops) {
-    for (const Operand& operand : operands) {
-      std::vector<t::TagNodePtr> children;
-      children.push_back(t::FootNode(exte));
-      children.push_back(t::WrapperNode(exte, operand.MakeLeaf()));
-      grammar->AddBetaTree(t::ElementaryTree(
-          "ext:" + exte + e::KindName(op) + operand.Name(),
-          t::OperatorNode(exte, op, std::move(children))));
-    }
-  }
-
-  // Unary extenders: log/exp applied to the existing sub-expression.
-  for (e::NodeKind op : {e::NodeKind::kLog, e::NodeKind::kExp}) {
-    std::vector<t::TagNodePtr> children;
-    children.push_back(t::FootNode(exte));
-    grammar->AddBetaTree(t::ElementaryTree(
-        "ext:" + exte + e::KindName(op),
-        t::OperatorNode(exte, op, std::move(children))));
-  }
-}
-
-std::vector<Operand> Operands(std::vector<int> slots) {
-  std::vector<Operand> operands;
-  for (int slot : slots) operands.push_back(Operand{slot});
-  operands.push_back(Operand{-1});  // R
+  operands.push_back(RandomOperand());
   return operands;
 }
 

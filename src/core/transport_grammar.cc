@@ -1,0 +1,101 @@
+#include "core/transport_grammar.h"
+
+#include <vector>
+
+#include "core/ext_grammar.h"
+#include "river/chemistry.h"
+#include "river/variables.h"
+
+namespace gmr::core {
+namespace {
+
+namespace e = gmr::expr;
+namespace t = gmr::tag;
+namespace r = gmr::river;
+
+/// Operand for legacy driver slot `legacy_slot` under the set's layout
+/// (states first, then the ten Table IV drivers).
+ExtOperand DriverOperand(const r::ConstituentSet& constituents,
+                         int legacy_slot) {
+  return VariableOperand(constituents.driver_slot(legacy_slot - r::kVlgt),
+                         r::VariableName(legacy_slot));
+}
+
+/// The drivers an expert would consider plausible revision material for
+/// species i's whole-equation extension point: the nutrient the species
+/// sources from plus one confounder (temperature, oxygen, transparency,
+/// conductivity) — small lists, like Table II's three-variable rows.
+std::vector<ExtOperand> EquationOperands(const r::ConstituentSet& constituents,
+                                         int species) {
+  std::vector<ExtOperand> operands;
+  switch (species) {
+    case 0:  // M_NO3
+      operands.push_back(DriverOperand(constituents, r::kVn));
+      operands.push_back(DriverOperand(constituents, r::kVtmp));
+      break;
+    case 1:  // M_NH4
+      operands.push_back(DriverOperand(constituents, r::kVn));
+      operands.push_back(DriverOperand(constituents, r::kVdo));
+      break;
+    case 2:  // M_DPH
+      operands.push_back(DriverOperand(constituents, r::kVp));
+      operands.push_back(DriverOperand(constituents, r::kVtmp));
+      break;
+    case 3:  // M_PPH
+      operands.push_back(DriverOperand(constituents, r::kVp));
+      operands.push_back(DriverOperand(constituents, r::kVsd));
+      break;
+    default:  // M_SED
+      operands.push_back(DriverOperand(constituents, r::kVcd));
+      operands.push_back(DriverOperand(constituents, r::kVsd));
+      break;
+  }
+  operands.push_back(RandomOperand());
+  return operands;
+}
+
+}  // namespace
+
+RiverPriorKnowledge BuildTransportPriorKnowledge(
+    const river::ConstituentSet& constituents) {
+  const int n = static_cast<int>(constituents.size());
+  const t::Symbol exp = t::kExpSymbol;
+
+  RiverPriorKnowledge knowledge;
+  knowledge.priors = constituents.priors();
+
+  // Seed alpha: per species, `gain - loss` with the whole equation behind
+  // the additive connector Ext(i+1) and the first-order loss factor behind
+  // the multiplicative connector Ext(n+i+1).
+  std::vector<t::TagNodePtr> equations;
+  equations.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    t::TagNodePtr gain = t::FromExpr(r::TransportGain(constituents, i), exp);
+    t::TagNodePtr loss = t::WrapperNode(
+        ConnectorLabel(n + i + 1),
+        t::FromExpr(r::TransportLoss(constituents, i), exp));
+    std::vector<t::TagNodePtr> eq_children;
+    eq_children.push_back(std::move(gain));
+    eq_children.push_back(std::move(loss));
+    equations.push_back(t::WrapperNode(
+        ConnectorLabel(i + 1),
+        t::OperatorNode(exp, e::NodeKind::kSub, std::move(eq_children))));
+  }
+  knowledge.seed_alpha_index = knowledge.grammar.AddAlphaTree(
+      t::ElementaryTree("seed:" + constituents.preset(),
+                        t::SystemNode(std::move(equations))));
+
+  for (int i = 0; i < n; ++i) {
+    AddExtensionBetas(i + 1, e::NodeKind::kAdd,
+                      EquationOperands(constituents, i), &knowledge.grammar);
+    AddExtensionBetas(n + i + 1, e::NodeKind::kMul,
+                      {DriverOperand(constituents, r::kVtmp), RandomOperand()},
+                      &knowledge.grammar);
+  }
+
+  // "R denotes a random variable between 0 and 1" (Table II).
+  knowledge.grammar.SetSlotSpec("R", tag::SlotSpec{0.0, 1.0});
+  return knowledge;
+}
+
+}  // namespace gmr::core

@@ -1,0 +1,27 @@
+#ifndef GMR_CORE_TRANSPORT_GRAMMAR_H_
+#define GMR_CORE_TRANSPORT_GRAMMAR_H_
+
+#include "core/river_grammar.h"
+#include "river/constituents.h"
+
+namespace gmr::core {
+
+/// Prior knowledge for a transport constituent registry
+/// (ConstituentSet::Transport): the seed alpha tree encodes the expert
+/// linear-reservoir mass balances of river::TransportProcess under one
+/// system root, one equation per species, each written `gain - loss`.
+///
+/// Extension points, for a set of n species (so 2n points in total):
+///   Ext(i+1)     on equation i   — connector +, the species' relevant
+///                                  drivers (nutrients for N/P species,
+///                                  conductivity/depth for sediment) + R;
+///   Ext(n+i+1)   on loss term i  — connector *, variables {V_tmp, R}.
+/// The multiplicative points are where the generator hides its
+/// temperature-modulated nitrification and settling rates, mirroring the
+/// plankton grammar's Ext5-Ext9 design.
+RiverPriorKnowledge BuildTransportPriorKnowledge(
+    const river::ConstituentSet& constituents);
+
+}  // namespace gmr::core
+
+#endif  // GMR_CORE_TRANSPORT_GRAMMAR_H_

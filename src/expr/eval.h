@@ -7,10 +7,11 @@
 
 namespace gmr::expr {
 
-/// Read-only evaluation environment: the temporal-variable slots (Table IV
-/// values imported from observed data at each time step, plus model state
-/// such as B_Phy and B_Zoo) and the constant-parameter slots (Table III
-/// values owned by the individual being evaluated).
+/// Read-only evaluation environment: the temporal-variable slots (the
+/// constituent states declared by the problem's registry, then the Table IV
+/// driver values imported from observed data at each time step) and the
+/// constant-parameter slots (prior-table values owned by the individual
+/// being evaluated).
 struct EvalContext {
   const double* variables = nullptr;
   std::size_t num_variables = 0;

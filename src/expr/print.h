@@ -8,11 +8,12 @@
 namespace gmr::expr {
 
 /// Renders the expression as infix text with minimal parentheses, e.g.
-/// "B_Phy * (mu_Phy - 1.5)". Parameters and variables print their names;
+/// "M_NO3 * (K_NIT - 1.5)". Parameters and variables print the names their
+/// leaves carry (assigned by the constituent registry's symbol table);
 /// unnamed slots print as p<slot> / v<slot>.
 std::string ToString(const Expr& root);
 
-/// Renders the expression as an S-expression, e.g. "(* B_Phy (- mu_Phy
+/// Renders the expression as an S-expression, e.g. "(* M_NO3 (- K_NIT
 /// 1.5))". Useful for unambiguous golden tests.
 std::string ToSExpression(const Expr& root);
 

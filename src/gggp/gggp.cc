@@ -147,12 +147,16 @@ class Evaluator {
   std::size_t evaluations_ = 0;
 };
 
-std::vector<std::string> GggpFingerprint(const GggpConfig& config) {
+std::vector<std::string> GggpFingerprint(const GggpConfig& config,
+                                         std::size_t num_species) {
   return ckpt::MakeFingerprint({
       {"seed", std::to_string(config.seed)},
       {"population_size", std::to_string(config.population_size)},
       {"max_generations", std::to_string(config.max_generations)},
       {"elite_size", std::to_string(config.elite_size)},
+      // State-vector width of the problem: resumes across different
+      // constituent registries are refused.
+      {"num_species", std::to_string(num_species)},
   });
 }
 
@@ -160,11 +164,13 @@ void SaveGggpCheckpoint(ckpt::Checkpointer* checkpointer,
                         const GggpConfig& config, int generation,
                         const std::vector<GggpIndividual>& population,
                         const Evaluator& evaluator, const Rng& rng,
-                        const GggpResult& result) {
+                        const GggpResult& result,
+                        std::size_t num_species) {
   ckpt::Snapshot snapshot;
   snapshot.driver = "gggp";
   snapshot.step = static_cast<std::uint64_t>(generation);
-  snapshot.AddSection("fingerprint")->lines = GggpFingerprint(config);
+  snapshot.AddSection("fingerprint")->lines =
+      GggpFingerprint(config, num_species);
   snapshot.AddSection("rng")->lines = {
       ckpt::SerializeRngState(rng.SaveState())};
   ckpt::Section* pop = snapshot.AddSection("population");
@@ -320,7 +326,8 @@ GggpResult RunGggp(const GggpConfig& config, const GggpProblem& problem,
   bool resumed = false;
   if (context.checkpointer != nullptr) {
     const ckpt::Snapshot* snapshot =
-        context.checkpointer->ResumeFor("gggp", GggpFingerprint(config));
+        context.checkpointer->ResumeFor(
+            "gggp", GggpFingerprint(config, fitness.num_states()));
     if (snapshot != nullptr &&
         RestoreGggpCheckpoint(*snapshot, config, &population, &evaluator,
                               &rng, &result, &start_generation)) {
@@ -481,7 +488,7 @@ GggpResult RunGggp(const GggpConfig& config, const GggpProblem& problem,
         context.checkpointer->ShouldSnapshot(
             static_cast<std::uint64_t>(generation))) {
       SaveGggpCheckpoint(context.checkpointer, config, generation, population,
-                         evaluator, rng, result);
+                         evaluator, rng, result, fitness.num_states());
     }
   }
 

@@ -345,6 +345,7 @@ void FitnessEvaluator::EmitBatchEvent(std::size_t n,
                                       std::size_t task_failures) const {
   obs::TraceEvent event("eval_batch");
   event.Field("n", static_cast<double>(n))
+      .Field("num_species", static_cast<double>(fitness_->num_states()))
       .Field("individuals",
              static_cast<double>(batch_stats.individuals_evaluated))
       .Field("cache_lookups", static_cast<double>(batch_stats.cache_lookups))

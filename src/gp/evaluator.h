@@ -162,6 +162,9 @@ class FitnessEvaluator {
 
   const SpeedupConfig& config() const { return config_; }
 
+  /// The problem this evaluator scores against (borrowed).
+  const SequentialFitness* fitness() const { return fitness_; }
+
   /// Resets bestPrevFull (e.g. between independent runs).
   void ResetBestPrevFull() {
     best_prev_full_.store(std::numeric_limits<double>::infinity(),

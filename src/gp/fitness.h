@@ -53,6 +53,13 @@ class SequentialFitness {
   /// Dimension of the constant-parameter vector the problem expects.
   virtual std::size_t num_parameters() const = 0;
 
+  /// Number of constituent states the problem's phenotypes integrate (the
+  /// species count of a river problem); 0 when the problem has no notion of
+  /// state. Observability plumbing: threaded into eval_batch trace events
+  /// and checkpoint fingerprints so multi-constituent runs are
+  /// distinguishable from the legacy two-species problem.
+  virtual std::size_t num_states() const { return 0; }
+
   /// Starts an evaluation of the given phenotype.
   virtual std::unique_ptr<SequentialEvaluation> Begin(
       const std::vector<expr::ExprPtr>& equations,

@@ -448,6 +448,9 @@ std::vector<std::string> Tag3pEngine::CheckpointFingerprint() const {
       {"elite_size", std::to_string(config_.elite_size)},
       {"local_search_steps", std::to_string(config_.local_search_steps)},
       {"elite_polish_steps", std::to_string(config_.elite_polish_steps)},
+      // State-vector width of the problem: a resume against a checkpoint
+      // written for a different constituent registry is refused.
+      {"num_species", std::to_string(evaluator_.fitness()->num_states())},
   });
 }
 

@@ -1,0 +1,45 @@
+#ifndef GMR_RIVER_CHEMISTRY_H_
+#define GMR_RIVER_CHEMISTRY_H_
+
+#include <vector>
+
+#include "expr/ast.h"
+#include "river/constituents.h"
+
+namespace gmr::river {
+
+/// Builders for the expert transport process over the
+/// ConstituentSet::Transport registries: per-species linear-reservoir mass
+/// balances (the torrentpy INCA-style layout) with nitrification and
+/// sorption/desorption coupling. Each equation `i` is the source/sink
+/// process of constituent `i`, written over the set's variable layout
+/// (states at [0, n), Table IV drivers after) and the
+/// TransportParameterSlot table:
+///
+///   dM_NO3/dt = S_NO3 V_n + K_NIT M_NH4          - K_NO3 M_NO3
+///   dM_NH4/dt = S_NH4 V_n                        - (K_NIT + K_NH4) M_NH4
+///   dM_DPH/dt = S_DPH V_p + K_DES M_PPH          - (K_DPH + K_SOR) M_DPH
+///   dM_PPH/dt = S_PPH V_p + K_SOR M_DPH          - (K_PPH + K_DES) M_PPH
+///   dM_SED/dt = S_SED V_cd                       - K_SED M_SED
+///
+/// (conductivity standing in for the dissolved/suspended load source).
+/// Sets with fewer species drop the coupling terms whose partner state is
+/// absent. These expressions are reused verbatim by the transport seed
+/// alpha tree, so expert knowledge enters the grammar exactly as the
+/// plankton MANUAL process does.
+std::vector<expr::ExprPtr> TransportProcess(const ConstituentSet& constituents);
+
+/// The gain (sources + coupling inflows) and first-order loss factors of
+/// one species' equation, split so the seed alpha tree can attach its
+/// multiplicative extension point to the loss term alone:
+/// equation = gain - loss.
+expr::ExprPtr TransportGain(const ConstituentSet& constituents, int species);
+expr::ExprPtr TransportLoss(const ConstituentSet& constituents, int species);
+
+/// The "true" transport constants of the synthetic scenario generator
+/// (deliberately off the prior means, so calibration has work to do).
+std::vector<double> TrueTransportParameters();
+
+}  // namespace gmr::river
+
+#endif  // GMR_RIVER_CHEMISTRY_H_

@@ -28,6 +28,21 @@ struct RiverDataset {
   /// interpolation).
   std::vector<std::size_t> bphy_sample_days;
 
+  /// Additional observed series for multi-constituent problems, each daily
+  /// over num_days. Constituent::observed_series indexes the combined space:
+  /// series 0 is the primary series (observed_bphy), series k >= 1 maps to
+  /// extra_observed[k - 1].
+  std::vector<std::vector<double>> extra_observed;
+  std::vector<std::string> extra_observed_names;
+
+  const std::vector<double>& ObservedSeries(int index) const {
+    return index <= 0 ? observed_bphy
+                      : extra_observed[static_cast<std::size_t>(index) - 1];
+  }
+  int NumObservedSeries() const {
+    return 1 + static_cast<int>(extra_observed.size());
+  }
+
   /// Per-station routed driver series for the data-driven "-ALL" baselines
   /// (RNN-ALL / ARIMAX-ALL): station_drivers[s][k][t], where k indexes
   /// ObservedVariableSlots() order and s indexes station_names. Empty when

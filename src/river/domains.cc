@@ -18,27 +18,48 @@ analysis::DomainEnv PriorParameterDomains() {
   return env;
 }
 
+/// Generous physical ranges for the ten observed drivers (units of
+/// Table IV, legacy slot order kVlgt..kVsd); every value in the Nakdong
+/// data lies comfortably inside.
+analysis::Interval DriverRange(int k) {
+  switch (kVlgt + k) {
+    case kVlgt: return analysis::Interval::Of(0.0, 45.0);
+    case kVn: return analysis::Interval::Of(0.0, 20.0);
+    case kVp: return analysis::Interval::Of(0.0, 5.0);
+    case kVsi: return analysis::Interval::Of(0.0, 50.0);
+    case kVtmp: return analysis::Interval::Of(-5.0, 40.0);
+    case kVdo: return analysis::Interval::Of(0.0, 30.0);
+    case kVcd: return analysis::Interval::Of(0.0, 5000.0);
+    case kVph: return analysis::Interval::Of(4.0, 12.0);
+    case kValk: return analysis::Interval::Of(0.0, 1000.0);
+    default: return analysis::Interval::Of(0.0, 20.0);  // kVsd
+  }
+}
+
 }  // namespace
 
 analysis::DomainEnv LintDomains(const SimulationConfig& config) {
-  analysis::DomainEnv env = PriorParameterDomains();
-  env.variables.assign(kNumVariables, analysis::Interval::All());
-  env.variables[kBPhy] =
-      analysis::Interval::Of(config.state_min, config.state_max);
-  env.variables[kBZoo] =
-      analysis::Interval::Of(config.state_min, config.state_max);
-  // Generous physical ranges for the observed drivers (units of Table IV);
-  // every value in the Nakdong data lies comfortably inside.
-  env.variables[kVlgt] = analysis::Interval::Of(0.0, 45.0);
-  env.variables[kVn] = analysis::Interval::Of(0.0, 20.0);
-  env.variables[kVp] = analysis::Interval::Of(0.0, 5.0);
-  env.variables[kVsi] = analysis::Interval::Of(0.0, 50.0);
-  env.variables[kVtmp] = analysis::Interval::Of(-5.0, 40.0);
-  env.variables[kVdo] = analysis::Interval::Of(0.0, 30.0);
-  env.variables[kVcd] = analysis::Interval::Of(0.0, 5000.0);
-  env.variables[kVph] = analysis::Interval::Of(4.0, 12.0);
-  env.variables[kValk] = analysis::Interval::Of(0.0, 1000.0);
-  env.variables[kVsd] = analysis::Interval::Of(0.0, 20.0);
+  return LintDomainsFor(ConstituentSet::LegacyPlankton(), config);
+}
+
+analysis::DomainEnv LintDomainsFor(const ConstituentSet& constituents,
+                                   const SimulationConfig& config) {
+  analysis::DomainEnv env;
+  const gp::ParameterPriors& priors = constituents.priors();
+  env.parameters.reserve(priors.size());
+  for (const gp::ParameterPrior& prior : priors) {
+    env.parameters.push_back(analysis::Interval::Of(prior.lo, prior.hi));
+  }
+  env.variables.assign(constituents.num_variables(),
+                       analysis::Interval::All());
+  for (std::size_t s = 0; s < constituents.size(); ++s) {
+    env.variables[s] =
+        analysis::Interval::Of(config.state_min, config.state_max);
+  }
+  for (int k = 0; k < kNumDriverVariables; ++k) {
+    env.variables[static_cast<std::size_t>(constituents.driver_slot(k))] =
+        DriverRange(k);
+  }
   return env;
 }
 

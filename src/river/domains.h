@@ -2,6 +2,7 @@
 #define GMR_RIVER_DOMAINS_H_
 
 #include "analysis/static_gate.h"
+#include "river/constituents.h"
 #include "river/dataset.h"
 #include "river/simulate.h"
 
@@ -14,6 +15,13 @@ namespace gmr::river {
 /// boxes. Tight enough to prove the expert model clean, wide enough that a
 /// clean lint means something.
 analysis::DomainEnv LintDomains(const SimulationConfig& config = {});
+
+/// Same, for an arbitrary constituent registry: every state slot spans the
+/// clamp, the ten drivers keep their physical ranges at the set's layout,
+/// and parameters span the set's prior boxes. Equals LintDomains() under
+/// the legacy plankton preset.
+analysis::DomainEnv LintDomainsFor(const ConstituentSet& constituents,
+                                   const SimulationConfig& config = {});
 
 /// Sound over-approximation of everything the *integrator* can feed an
 /// equation, for the pre-evaluation reject gate: state slots are

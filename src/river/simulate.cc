@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/fault_injection.h"
@@ -21,7 +22,7 @@ ProcessRunner::ProcessRunner(const std::vector<expr::ExprPtr>& equations,
                              const std::vector<double>* parameters,
                              bool compiled, const SimulationConfig& config)
     : equations_(equations), parameters_(parameters), compiled_(compiled) {
-  GMR_CHECK_EQ(equations_.size(), 2u);
+  GMR_CHECK(!equations_.empty());
   GMR_CHECK(parameters_ != nullptr);
   if (!compiled_) return;
   // The bytecode programs are always built: they are the fallback for any
@@ -81,11 +82,13 @@ ProcessRunner::ProcessRunner(const std::vector<expr::ExprPtr>& equations,
 ProcessRunner::~ProcessRunner() = default;
 
 void ProcessRunner::Derivatives(const double* variables,
-                                std::size_t num_variables, double* d_bphy,
-                                double* d_bzoo) const {
+                                std::size_t num_variables,
+                                double* derivatives) const {
+  const std::size_t n = equations_.size();
   if (FaultInjected(FaultPoint::kDerivativeNan)) {
-    *d_bphy = std::numeric_limits<double>::quiet_NaN();
-    *d_bzoo = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t e = 0; e < n; ++e) {
+      derivatives[e] = std::numeric_limits<double>::quiet_NaN();
+    }
     return;
   }
   if (compiled_ && !batch_programs_.empty()) {
@@ -98,15 +101,12 @@ void ProcessRunner::Derivatives(const double* variables,
     bctx.parameters = parameters_->data();
     bctx.num_parameters = parameters_->size();
     bctx.width = 1;
-    if (!batch_fns_.empty() && batch_fns_[0] != nullptr) {
-      batch_fns_[0](variables, parameters_->data(), d_bphy, 1);
-    } else {
-      batch_programs_[0].RunLanes(bctx, d_bphy);
-    }
-    if (!batch_fns_.empty() && batch_fns_[1] != nullptr) {
-      batch_fns_[1](variables, parameters_->data(), d_bzoo, 1);
-    } else {
-      batch_programs_[1].RunLanes(bctx, d_bzoo);
+    for (std::size_t e = 0; e < n; ++e) {
+      if (!batch_fns_.empty() && batch_fns_[e] != nullptr) {
+        batch_fns_[e](variables, parameters_->data(), &derivatives[e], 1);
+      } else {
+        batch_programs_[e].RunLanes(bctx, &derivatives[e]);
+      }
     }
     return;
   }
@@ -116,16 +116,79 @@ void ProcessRunner::Derivatives(const double* variables,
   ctx.parameters = parameters_->data();
   ctx.num_parameters = parameters_->size();
   if (compiled_) {
-    *d_bphy = !jit_programs_.empty() && jit_programs_[0] != nullptr
-                  ? jit_programs_[0]->Run(ctx)
-                  : programs_[0].Run(ctx);
-    *d_bzoo = !jit_programs_.empty() && jit_programs_[1] != nullptr
-                  ? jit_programs_[1]->Run(ctx)
-                  : programs_[1].Run(ctx);
+    for (std::size_t e = 0; e < n; ++e) {
+      derivatives[e] = !jit_programs_.empty() && jit_programs_[e] != nullptr
+                           ? jit_programs_[e]->Run(ctx)
+                           : programs_[e].Run(ctx);
+    }
   } else {
-    *d_bphy = expr::EvalExpr(*equations_[0], ctx);
-    *d_bzoo = expr::EvalExpr(*equations_[1], ctx);
+    for (std::size_t e = 0; e < n; ++e) {
+      derivatives[e] = expr::EvalExpr(*equations_[e], ctx);
+    }
   }
+}
+
+void ProcessRunner::Derivatives(const double* variables,
+                                std::size_t num_variables, double* d_bphy,
+                                double* d_bzoo) const {
+  GMR_CHECK_EQ(equations_.size(), 2u);
+  double out[2];
+  Derivatives(variables, num_variables, out);
+  *d_bphy = out[0];
+  *d_bzoo = out[1];
+}
+
+ConfigError ValidateSimulation(const SimulationConfig& config,
+                               const ConstituentSet& constituents,
+                               std::size_t num_equations) {
+  ConfigError err = constituents.Validate();
+  if (!err.ok()) return err;
+  if (config.num_species < 1 ||
+      static_cast<std::size_t>(config.num_species) != constituents.size()) {
+    return ConfigError::Error(
+        ConfigErrorCode::kSpeciesCountMismatch,
+        "config.num_species=" + std::to_string(config.num_species) +
+            " but constituent set '" + constituents.preset() + "' declares " +
+            std::to_string(constituents.size()) + " species");
+  }
+  if (num_equations != constituents.size()) {
+    return ConfigError::Error(
+        ConfigErrorCode::kSpeciesCountMismatch,
+        "phenotype has " + std::to_string(num_equations) +
+            " process equations for " + std::to_string(constituents.size()) +
+            " constituents");
+  }
+  return ConfigError::Ok();
+}
+
+ConfigError ValidateObservations(const ConstituentSet& constituents,
+                                 const RiverDataset& dataset) {
+  for (const Constituent& c : constituents.constituents()) {
+    if (c.observed_series >= dataset.NumObservedSeries()) {
+      return ConfigError::Error(
+          ConfigErrorCode::kBadObservedSeries,
+          "constituent " + c.name + " observes series " +
+              std::to_string(c.observed_series) + " but the dataset has " +
+              std::to_string(dataset.NumObservedSeries()));
+    }
+  }
+  return ConfigError::Ok();
+}
+
+ConfigError ValidateBatchLanes(
+    const std::vector<std::vector<double>>& parameter_lanes) {
+  if (parameter_lanes.empty()) return ConfigError::Ok();
+  const std::size_t n = parameter_lanes[0].size();
+  for (std::size_t l = 1; l < parameter_lanes.size(); ++l) {
+    if (parameter_lanes[l].size() != n) {
+      return ConfigError::Error(
+          ConfigErrorCode::kParameterLaneMismatch,
+          "batch lane " + std::to_string(l) + " carries " +
+              std::to_string(parameter_lanes[l].size()) +
+              " parameters but lane 0 carries " + std::to_string(n));
+    }
+  }
+  return ConfigError::Ok();
 }
 
 namespace {
@@ -150,32 +213,51 @@ double ClampState(double value, const SimulationConfig& config,
   return value;
 }
 
-/// Shared integration state for SimulateBPhy and RiverEvaluation, including
-/// the divergence watchdogs. Once a watchdog aborts the rollout, every
-/// remaining day predicts config.state_max in O(1) — a deterministic
-/// penalty that keeps the full-horizon RMSE comparable across candidates
-/// (and bit-identical regardless of thread count) while skipping all
-/// further derivative evaluations.
+/// Shared integration state for Simulate and RiverEvaluation over an
+/// arbitrary constituent registry, including the divergence watchdogs.
+/// Once a watchdog aborts the rollout, every remaining day predicts
+/// config.state_max in O(1) — a deterministic penalty that keeps the
+/// full-horizon RMSE comparable across candidates (and bit-identical
+/// regardless of thread count) while skipping all further derivative
+/// evaluations.
+///
+/// Variable layout: constituent states at slots [0, N), then the ten
+/// Table IV drivers — so at N == 2 every index, every arithmetic operation,
+/// and every watchdog decision is exactly the historical two-species
+/// integrator (the bit-identity contract of the legacy preset).
 class Integrator {
  public:
   Integrator(const std::vector<expr::ExprPtr>& equations,
              const std::vector<double>* parameters, bool compiled,
-             const RiverDataset* dataset, double initial_bphy,
-             double initial_bzoo, const SimulationConfig& config)
+             const RiverDataset* dataset,
+             const std::vector<double>& initial_state,
+             const SimulationConfig& config)
       : runner_(equations, parameters, compiled, config),
         dataset_(dataset),
         config_(config),
-        bphy_(ClampState(initial_bphy, config)),
-        bzoo_(ClampState(initial_bzoo, config)) {}
+        num_species_(initial_state.size()),
+        num_variables_(initial_state.size() +
+                       static_cast<std::size_t>(kNumDriverVariables)),
+        vars_(num_variables_, 0.0),
+        d_(num_species_, 0.0),
+        raw_(num_species_, 0.0),
+        k_(4 * num_species_, 0.0) {
+    GMR_CHECK_EQ(equations.size(), num_species_);
+    state_.reserve(num_species_);
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      state_.push_back(ClampState(initial_state[s], config));
+    }
+  }
 
-  /// Integrates one day using the drivers of day `t` and returns the
-  /// end-of-day B_Phy (or the penalty value after a watchdog abort).
-  double AdvanceDay(std::size_t t) {
+  /// Integrates one day using the drivers of day `t`; read the end-of-day
+  /// states through StateOrPenalty.
+  void AdvanceDay(std::size_t t) {
     ++days_simulated_;
-    if (aborted_) return config_.state_max;
-    double variables[kNumVariables];
-    for (int slot = kVlgt; slot < kNumVariables; ++slot) {
-      variables[slot] = dataset_->drivers[static_cast<std::size_t>(slot)][t];
+    if (aborted_) return;
+    double* variables = vars_.data();
+    for (int k = 0; k < kNumDriverVariables; ++k) {
+      variables[num_species_ + static_cast<std::size_t>(k)] =
+          dataset_->drivers[static_cast<std::size_t>(kVlgt + k)][t];
     }
     const double dt = 1.0 / static_cast<double>(config_.substeps);
     for (int step = 0; step < config_.substeps && !aborted_; ++step) {
@@ -191,8 +273,12 @@ class Integrator {
         EulerStep(variables, dt);
       }
     }
-    if (aborted_) return config_.state_max;
-    return bphy_;
+  }
+
+  /// End-of-day state of one constituent, or the penalty value after a
+  /// watchdog abort.
+  double StateOrPenalty(std::size_t species) const {
+    return aborted_ ? config_.state_max : state_[species];
   }
 
   EvalOutcome outcome() const {
@@ -223,25 +309,30 @@ class Integrator {
     days_before_abort_ = days_simulated_ - 1;
   }
 
-  /// Watchdog bookkeeping for one Derivatives call. Returns false (and
-  /// possibly aborts) when any derivative is non-finite.
-  bool NoteDerivatives(double d_bphy, double d_bzoo) {
-    if (std::isfinite(d_bphy) && std::isfinite(d_bzoo)) return true;
+  /// Watchdog bookkeeping for one Derivatives call: ONE increment per call
+  /// when any output is non-finite (not one per species — the historical
+  /// counting contract).
+  void NoteDerivatives(const double* derivatives) {
+    bool all_finite = true;
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      all_finite = all_finite && std::isfinite(derivatives[s]);
+    }
+    if (all_finite) return;
     ++nonfinite_derivatives_;
     if (config_.max_nonfinite_derivatives > 0 &&
         nonfinite_derivatives_ >=
             static_cast<std::size_t>(config_.max_nonfinite_derivatives)) {
       Abort(EvalOutcome::kNonFiniteDerivative);
     }
-    return false;
   }
 
   /// Clamps and commits the end-of-substep state, tracking consecutive
-  /// ceiling saturations for the divergence watchdog.
-  void CommitState(double raw_bphy, double raw_bzoo) {
+  /// ceiling saturations (ORed across species) for the divergence watchdog.
+  void CommitState(const double* raw) {
     bool saturated = false;
-    bphy_ = ClampState(raw_bphy, config_, &saturated);
-    bzoo_ = ClampState(raw_bzoo, config_, &saturated);
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      state_[s] = ClampState(raw[s], config_, &saturated);
+    }
     if (!saturated) {
       consecutive_saturated_ = 0;
       return;
@@ -256,45 +347,54 @@ class Integrator {
   }
 
   void EulerStep(double* variables, double dt) {
-    variables[kBPhy] = bphy_;
-    variables[kBZoo] = bzoo_;
-    double d_bphy = 0.0;
-    double d_bzoo = 0.0;
-    runner_.Derivatives(variables, kNumVariables, &d_bphy, &d_bzoo);
-    NoteDerivatives(d_bphy, d_bzoo);
+    for (std::size_t s = 0; s < num_species_; ++s) variables[s] = state_[s];
+    runner_.Derivatives(variables, num_variables_, d_.data());
+    NoteDerivatives(d_.data());
     if (aborted_) return;
-    CommitState(bphy_ + dt * d_bphy, bzoo_ + dt * d_bzoo);
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      raw_[s] = state_[s] + dt * d_[s];
+    }
+    CommitState(raw_.data());
   }
 
   void Rk4Step(double* variables, double dt) {
-    double k_bphy[4];
-    double k_bzoo[4];
     const double offsets[4] = {0.0, 0.5, 0.5, 1.0};
     for (int stage = 0; stage < 4; ++stage) {
       const double o = offsets[stage];
-      variables[kBPhy] =
-          o == 0.0 ? bphy_ : bphy_ + o * dt * k_bphy[stage - 1];
-      variables[kBZoo] =
-          o == 0.0 ? bzoo_ : bzoo_ + o * dt * k_bzoo[stage - 1];
-      runner_.Derivatives(variables, kNumVariables, &k_bphy[stage],
-                          &k_bzoo[stage]);
-      NoteDerivatives(k_bphy[stage], k_bzoo[stage]);
+      double* k = &k_[static_cast<std::size_t>(stage) * num_species_];
+      const double* k_prev =
+          stage == 0
+              ? nullptr
+              : &k_[static_cast<std::size_t>(stage - 1) * num_species_];
+      for (std::size_t s = 0; s < num_species_; ++s) {
+        variables[s] =
+            o == 0.0 ? state_[s] : state_[s] + o * dt * k_prev[s];
+      }
+      runner_.Derivatives(variables, num_variables_, k);
+      NoteDerivatives(k);
       if (aborted_) return;
     }
-    CommitState(
-        bphy_ + dt / 6.0 *
-                    (k_bphy[0] + 2.0 * k_bphy[1] + 2.0 * k_bphy[2] +
-                     k_bphy[3]),
-        bzoo_ + dt / 6.0 *
-                    (k_bzoo[0] + 2.0 * k_bzoo[1] + 2.0 * k_bzoo[2] +
-                     k_bzoo[3]));
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      raw_[s] = state_[s] +
+                dt / 6.0 *
+                    (k_[0 * num_species_ + s] + 2.0 * k_[1 * num_species_ + s] +
+                     2.0 * k_[2 * num_species_ + s] + k_[3 * num_species_ + s]);
+    }
+    CommitState(raw_.data());
   }
 
   ProcessRunner runner_;
   const RiverDataset* dataset_;
   SimulationConfig config_;
-  double bphy_;
-  double bzoo_;
+  std::size_t num_species_;
+  std::size_t num_variables_;
+  std::vector<double> state_;
+  std::vector<double> vars_;
+  /// Scratch: one derivative per species (Euler), committed raw states, and
+  /// the four RK stage slopes [stage * num_species + species].
+  std::vector<double> d_;
+  std::vector<double> raw_;
+  std::vector<double> k_;
 
   bool aborted_ = false;
   EvalOutcome abort_outcome_ = EvalOutcome::kOk;
@@ -306,13 +406,15 @@ class Integrator {
   std::size_t consecutive_saturated_ = 0;
 };
 
-/// Evaluates both derivative equations for a whole lane block per call
-/// (one lane per parameter vector, SoA layout of batch_vm.h).
+/// Evaluates every derivative equation for a whole lane block per call
+/// (one lane per parameter vector, SoA layout of batch_vm.h). Equation
+/// `e`'s outputs land at derivatives[e * width + lane].
 class BatchRunner {
  public:
   BatchRunner(const std::vector<expr::ExprPtr>& equations,
-              const SimulationConfig& config) {
-    GMR_CHECK_EQ(equations.size(), 2u);
+              const SimulationConfig& config)
+      : num_equations_(equations.size()) {
+    GMR_CHECK(!equations.empty());
     programs_.reserve(equations.size());
     for (const auto& eq : equations) {
       programs_.push_back(expr::CompileBatch(*eq));
@@ -333,11 +435,10 @@ class BatchRunner {
 
   void Derivatives(const double* variables, std::size_t num_variables,
                    const double* parameters, std::size_t num_parameters,
-                   std::size_t width, double* d_bphy, double* d_bzoo) const {
+                   std::size_t width, double* derivatives) const {
     if (FaultInjected(FaultPoint::kDerivativeNan)) {
-      for (std::size_t l = 0; l < width; ++l) {
-        d_bphy[l] = std::numeric_limits<double>::quiet_NaN();
-        d_bzoo[l] = std::numeric_limits<double>::quiet_NaN();
+      for (std::size_t i = 0; i < num_equations_ * width; ++i) {
+        derivatives[i] = std::numeric_limits<double>::quiet_NaN();
       }
       return;
     }
@@ -347,45 +448,53 @@ class BatchRunner {
     ctx.parameters = parameters;
     ctx.num_parameters = num_parameters;
     ctx.width = width;
-    if (!fns_.empty() && fns_[0] != nullptr) {
-      fns_[0](variables, parameters, d_bphy, static_cast<long>(width));
-    } else {
-      programs_[0].RunLanes(ctx, d_bphy);
-    }
-    if (!fns_.empty() && fns_[1] != nullptr) {
-      fns_[1](variables, parameters, d_bzoo, static_cast<long>(width));
-    } else {
-      programs_[1].RunLanes(ctx, d_bzoo);
+    for (std::size_t e = 0; e < num_equations_; ++e) {
+      double* out = derivatives + e * width;
+      if (!fns_.empty() && fns_[e] != nullptr) {
+        fns_[e](variables, parameters, out, static_cast<long>(width));
+      } else {
+        programs_[e].RunLanes(ctx, out);
+      }
     }
   }
 
   bool jit_fallback() const { return jit_fallback_; }
 
  private:
+  std::size_t num_equations_;
   std::vector<expr::BatchProgram> programs_;
   std::vector<expr::BatchJitSession::BatchFn> fns_;
   bool jit_fallback_ = false;
 };
 
 /// Lane-parallel mirror of Integrator: the same watchdog state machine,
-/// replicated per lane over SoA buffers. Every lane's trajectory, counters,
-/// and abort behavior are bit-identical to running the scalar Integrator on
-/// that lane's parameter vector alone (under an equivalent backend): a lane
-/// that trips a watchdog is masked out of commits and bookkeeping — its
-/// remaining days predict state_max — while its neighbors keep integrating.
-/// Masked lanes still flow through the (branch-free) derivative kernels;
-/// their outputs are simply ignored.
+/// replicated per lane over SoA buffers whose lane blocks span
+/// species x lanes (the MassBalanceStore layout). Every lane's trajectory,
+/// counters, and abort behavior are bit-identical to running the scalar
+/// Integrator on that lane's parameter vector alone (under an equivalent
+/// backend): a lane that trips a watchdog is masked out of commits and
+/// bookkeeping — its remaining days predict state_max — while its neighbors
+/// keep integrating. Masked lanes still flow through the (branch-free)
+/// derivative kernels; their outputs are simply ignored.
 class BatchIntegrator {
  public:
   BatchIntegrator(const std::vector<expr::ExprPtr>& equations,
                   const std::vector<std::vector<double>>& parameter_lanes,
-                  const RiverDataset* dataset, double initial_bphy,
-                  double initial_bzoo, const SimulationConfig& config)
+                  const RiverDataset* dataset,
+                  const std::vector<double>& initial_state, int primary,
+                  const SimulationConfig& config)
       : runner_(equations, config),
         dataset_(dataset),
         config_(config),
-        width_(parameter_lanes.size()) {
+        width_(parameter_lanes.size()),
+        num_species_(initial_state.size()),
+        num_variables_(initial_state.size() +
+                       static_cast<std::size_t>(kNumDriverVariables)),
+        primary_(static_cast<std::size_t>(primary)),
+        states_(initial_state.size(), parameter_lanes.size()) {
     GMR_CHECK_GT(width_, 0u);
+    GMR_CHECK_EQ(equations.size(), num_species_);
+    GMR_CHECK_LT(primary_, num_species_);
     num_parameters_ = parameter_lanes[0].size();
     params_.resize(num_parameters_ * width_);
     for (std::size_t l = 0; l < width_; ++l) {
@@ -394,18 +503,21 @@ class BatchIntegrator {
         params_[s * width_ + l] = parameter_lanes[l][s];
       }
     }
-    Lane initial;
-    initial.bphy = ClampState(initial_bphy, config_);
-    initial.bzoo = ClampState(initial_bzoo, config_);
-    lanes_.assign(width_, initial);
-    vars_.resize(static_cast<std::size_t>(kNumVariables) * width_);
-    k_bphy_.resize(4 * width_);
-    k_bzoo_.resize(4 * width_);
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      const double v = ClampState(initial_state[s], config_);
+      double* row = states_.row(s);
+      for (std::size_t l = 0; l < width_; ++l) row[l] = v;
+    }
+    lanes_.assign(width_, Lane{});
+    vars_.resize(num_variables_ * width_);
+    k_.resize(4 * num_species_ * width_);
+    raw_lane_.resize(num_species_);
     stage_live_.resize(width_);
   }
 
   /// Integrates one day for every lane; out[lane] is that lane's end-of-day
-  /// B_Phy (or the penalty value once the lane has aborted).
+  /// primary observed constituent (or the penalty value once the lane has
+  /// aborted).
   void AdvanceDay(std::size_t t, double* out) {
     bool all_aborted = true;
     for (Lane& lane : lanes_) {
@@ -413,10 +525,11 @@ class BatchIntegrator {
       all_aborted = all_aborted && lane.aborted;
     }
     if (!all_aborted) {
-      for (int slot = kVlgt; slot < kNumVariables; ++slot) {
+      for (int k = 0; k < kNumDriverVariables; ++k) {
         const double v =
-            dataset_->drivers[static_cast<std::size_t>(slot)][t];
-        double* row = &vars_[static_cast<std::size_t>(slot) * width_];
+            dataset_->drivers[static_cast<std::size_t>(kVlgt + k)][t];
+        double* row =
+            &vars_[(num_species_ + static_cast<std::size_t>(k)) * width_];
         for (std::size_t l = 0; l < width_; ++l) row[l] = v;
       }
       const double dt = 1.0 / static_cast<double>(config_.substeps);
@@ -441,8 +554,16 @@ class BatchIntegrator {
       }
     }
     for (std::size_t l = 0; l < width_; ++l) {
-      out[l] = lanes_[l].aborted ? config_.state_max : lanes_[l].bphy;
+      out[l] =
+          lanes_[l].aborted ? config_.state_max : states_.at(primary_, l);
     }
+  }
+
+  /// End-of-day state of one constituent in one lane, or the penalty value
+  /// after that lane's watchdog abort.
+  double StateOrPenalty(std::size_t species, std::size_t lane) const {
+    return lanes_[lane].aborted ? config_.state_max
+                                : states_.at(species, lane);
   }
 
   void FillReport(std::size_t lane_index, SimulationReport* report) const {
@@ -462,10 +583,9 @@ class BatchIntegrator {
   }
 
  private:
-  /// One lane's copy of the scalar Integrator's state machine.
+  /// One lane's copy of the scalar Integrator's watchdog state machine
+  /// (the states themselves live in the SoA MassBalanceStore).
   struct Lane {
-    double bphy = 0.0;
-    double bzoo = 0.0;
     bool aborted = false;
     EvalOutcome abort_outcome = EvalOutcome::kOk;
     std::size_t substeps_used = 0;
@@ -476,14 +596,24 @@ class BatchIntegrator {
     std::size_t consecutive_saturated = 0;
   };
 
+  double* StageBlock(int stage) {
+    return &k_[static_cast<std::size_t>(stage) * num_species_ * width_];
+  }
+
   void AbortLane(Lane& lane, EvalOutcome outcome) {
     lane.aborted = true;
     lane.abort_outcome = outcome;
     lane.days_before_abort = lane.days_simulated - 1;
   }
 
-  void NoteDerivatives(Lane& lane, double d_bphy, double d_bzoo) {
-    if (std::isfinite(d_bphy) && std::isfinite(d_bzoo)) return;
+  /// One increment per Derivatives call when any species' output for this
+  /// lane is non-finite (the scalar counting contract).
+  void NoteDerivatives(Lane& lane, std::size_t l, const double* k_block) {
+    bool all_finite = true;
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      all_finite = all_finite && std::isfinite(k_block[s * width_ + l]);
+    }
+    if (all_finite) return;
     ++lane.nonfinite_derivatives;
     if (config_.max_nonfinite_derivatives > 0 &&
         lane.nonfinite_derivatives >=
@@ -492,10 +622,11 @@ class BatchIntegrator {
     }
   }
 
-  void CommitState(Lane& lane, double raw_bphy, double raw_bzoo) {
+  void CommitState(Lane& lane, std::size_t l, const double* raw) {
     bool saturated = false;
-    lane.bphy = ClampState(raw_bphy, config_, &saturated);
-    lane.bzoo = ClampState(raw_bzoo, config_, &saturated);
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      states_.at(s, l) = ClampState(raw[s], config_, &saturated);
+    }
     if (!saturated) {
       lane.consecutive_saturated = 0;
       return;
@@ -510,22 +641,23 @@ class BatchIntegrator {
   }
 
   void EulerStep(double dt) {
-    double* bphy_row = &vars_[static_cast<std::size_t>(kBPhy) * width_];
-    double* bzoo_row = &vars_[static_cast<std::size_t>(kBZoo) * width_];
-    for (std::size_t l = 0; l < width_; ++l) {
-      bphy_row[l] = lanes_[l].bphy;
-      bzoo_row[l] = lanes_[l].bzoo;
+    for (std::size_t s = 0; s < num_species_; ++s) {
+      double* row = &vars_[s * width_];
+      const double* state_row = states_.row(s);
+      for (std::size_t l = 0; l < width_; ++l) row[l] = state_row[l];
     }
-    runner_.Derivatives(vars_.data(), kNumVariables, params_.data(),
-                        num_parameters_, width_, k_bphy_.data(),
-                        k_bzoo_.data());
+    double* k = StageBlock(0);
+    runner_.Derivatives(vars_.data(), num_variables_, params_.data(),
+                        num_parameters_, width_, k);
     for (std::size_t l = 0; l < width_; ++l) {
       Lane& lane = lanes_[l];
       if (lane.aborted) continue;
-      NoteDerivatives(lane, k_bphy_[l], k_bzoo_[l]);
+      NoteDerivatives(lane, l, k);
       if (lane.aborted) continue;
-      CommitState(lane, lane.bphy + dt * k_bphy_[l],
-                  lane.bzoo + dt * k_bzoo_[l]);
+      for (std::size_t s = 0; s < num_species_; ++s) {
+        raw_lane_[s] = states_.at(s, l) + dt * k[s * width_ + l];
+      }
+      CommitState(lane, l, raw_lane_.data());
     }
   }
 
@@ -536,47 +668,43 @@ class BatchIntegrator {
     for (std::size_t l = 0; l < width_; ++l) {
       stage_live_[l] = lanes_[l].aborted ? 0 : 1;
     }
-    double* bphy_row = &vars_[static_cast<std::size_t>(kBPhy) * width_];
-    double* bzoo_row = &vars_[static_cast<std::size_t>(kBZoo) * width_];
     for (int stage = 0; stage < 4; ++stage) {
       const double o = offsets[stage];
-      double* k_bphy = &k_bphy_[static_cast<std::size_t>(stage) * width_];
-      double* k_bzoo = &k_bzoo_[static_cast<std::size_t>(stage) * width_];
-      const double* k_bphy_prev =
-          stage == 0 ? nullptr
-                     : &k_bphy_[static_cast<std::size_t>(stage - 1) * width_];
-      const double* k_bzoo_prev =
-          stage == 0 ? nullptr
-                     : &k_bzoo_[static_cast<std::size_t>(stage - 1) * width_];
-      for (std::size_t l = 0; l < width_; ++l) {
-        bphy_row[l] = o == 0.0 ? lanes_[l].bphy
-                               : lanes_[l].bphy + o * dt * k_bphy_prev[l];
-        bzoo_row[l] = o == 0.0 ? lanes_[l].bzoo
-                               : lanes_[l].bzoo + o * dt * k_bzoo_prev[l];
+      double* k = StageBlock(stage);
+      const double* k_prev = stage == 0 ? nullptr : StageBlock(stage - 1);
+      for (std::size_t s = 0; s < num_species_; ++s) {
+        double* var_row = &vars_[s * width_];
+        const double* state_row = states_.row(s);
+        const double* k_prev_row =
+            k_prev == nullptr ? nullptr : k_prev + s * width_;
+        for (std::size_t l = 0; l < width_; ++l) {
+          var_row[l] = o == 0.0 ? state_row[l]
+                                : state_row[l] + o * dt * k_prev_row[l];
+        }
       }
-      runner_.Derivatives(vars_.data(), kNumVariables, params_.data(),
-                          num_parameters_, width_, k_bphy, k_bzoo);
+      runner_.Derivatives(vars_.data(), num_variables_, params_.data(),
+                          num_parameters_, width_, k);
       for (std::size_t l = 0; l < width_; ++l) {
         if (stage_live_[l] == 0) continue;
-        NoteDerivatives(lanes_[l], k_bphy[l], k_bzoo[l]);
+        NoteDerivatives(lanes_[l], l, k);
         if (lanes_[l].aborted) stage_live_[l] = 0;
       }
     }
+    const double* k0 = StageBlock(0);
+    const double* k1 = StageBlock(1);
+    const double* k2 = StageBlock(2);
+    const double* k3 = StageBlock(3);
     for (std::size_t l = 0; l < width_; ++l) {
       if (stage_live_[l] == 0) continue;
       Lane& lane = lanes_[l];
-      CommitState(
-          lane,
-          lane.bphy + dt / 6.0 *
-                          (k_bphy_[0 * width_ + l] +
-                           2.0 * k_bphy_[1 * width_ + l] +
-                           2.0 * k_bphy_[2 * width_ + l] +
-                           k_bphy_[3 * width_ + l]),
-          lane.bzoo + dt / 6.0 *
-                          (k_bzoo_[0 * width_ + l] +
-                           2.0 * k_bzoo_[1 * width_ + l] +
-                           2.0 * k_bzoo_[2 * width_ + l] +
-                           k_bzoo_[3 * width_ + l]));
+      for (std::size_t s = 0; s < num_species_; ++s) {
+        raw_lane_[s] =
+            states_.at(s, l) +
+            dt / 6.0 *
+                (k0[s * width_ + l] + 2.0 * k1[s * width_ + l] +
+                 2.0 * k2[s * width_ + l] + k3[s * width_ + l]);
+      }
+      CommitState(lane, l, raw_lane_.data());
     }
   }
 
@@ -584,15 +712,29 @@ class BatchIntegrator {
   const RiverDataset* dataset_;
   SimulationConfig config_;
   std::size_t width_;
+  std::size_t num_species_;
+  std::size_t num_variables_;
+  std::size_t primary_;
   std::size_t num_parameters_ = 0;
   std::vector<Lane> lanes_;
+  /// Species x lanes SoA state blocks.
+  MassBalanceStore states_;
   /// SoA blocks: index [slot * width_ + lane].
   std::vector<double> params_;
   std::vector<double> vars_;
-  /// RK stage slopes, [stage * width_ + lane]; Euler uses stage 0 only.
-  std::vector<double> k_bphy_;
-  std::vector<double> k_bzoo_;
+  /// RK stage slopes, [(stage * num_species + species) * width_ + lane];
+  /// Euler uses stage 0 only.
+  std::vector<double> k_;
+  /// Per-lane raw-state scratch for CommitState.
+  std::vector<double> raw_lane_;
   std::vector<char> stage_live_;
+};
+
+/// One observation binding of a fitness problem: constituent state index ->
+/// dataset observed-series index.
+struct ObservationBinding {
+  std::size_t species = 0;
+  int series = 0;
 };
 
 class RiverEvaluation : public gp::SequentialEvaluation {
@@ -600,21 +742,27 @@ class RiverEvaluation : public gp::SequentialEvaluation {
   RiverEvaluation(const std::vector<expr::ExprPtr>& equations,
                   const std::vector<double>& parameters, bool compiled,
                   const RiverDataset* dataset, std::size_t t_begin,
-                  std::size_t t_end, double initial_bphy,
-                  double initial_bzoo, const SimulationConfig& config)
+                  std::size_t t_end,
+                  const std::vector<double>& initial_state,
+                  std::vector<ObservationBinding> observations,
+                  const SimulationConfig& config)
       : parameters_(parameters),
-        integrator_(equations, &parameters_, compiled, dataset, initial_bphy,
-                    initial_bzoo, config),
+        integrator_(equations, &parameters_, compiled, dataset,
+                    initial_state, config),
         dataset_(dataset),
+        observations_(std::move(observations)),
         t_(t_begin),
         t_end_(t_end) {}
 
   bool Step() override {
     GMR_CHECK_LT(t_, t_end_);
-    const double predicted = integrator_.AdvanceDay(t_);
-    const double observed = dataset_->observed_bphy[t_];
-    const double error = predicted - observed;
-    sse_ += error * error;
+    integrator_.AdvanceDay(t_);
+    for (const ObservationBinding& binding : observations_) {
+      const double predicted = integrator_.StateOrPenalty(binding.species);
+      const double observed = dataset_->ObservedSeries(binding.series)[t_];
+      const double error = predicted - observed;
+      sse_ += error * error;
+    }
     ++steps_;
     ++t_;
     return t_ < t_end_;
@@ -622,7 +770,10 @@ class RiverEvaluation : public gp::SequentialEvaluation {
 
   double CurrentFitness() const override {
     if (steps_ == 0) return 0.0;
-    return std::sqrt(sse_ / static_cast<double>(steps_));
+    // RMSE over days x observed constituents; with a single observed
+    // series this is exactly the historical sqrt(sse / steps).
+    return std::sqrt(
+        sse_ / static_cast<double>(steps_ * observations_.size()));
   }
 
   std::size_t steps_taken() const override { return steps_; }
@@ -635,49 +786,85 @@ class RiverEvaluation : public gp::SequentialEvaluation {
   std::vector<double> parameters_;
   Integrator integrator_;
   const RiverDataset* dataset_;
+  std::vector<ObservationBinding> observations_;
   std::size_t t_;
   std::size_t t_end_;
   double sse_ = 0.0;
   std::size_t steps_ = 0;
 };
 
-}  // namespace
-
-std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
-                                 const std::vector<double>& parameters,
-                                 const RiverDataset& dataset,
-                                 std::size_t t_begin, std::size_t t_end,
-                                 double initial_bphy, double initial_bzoo,
-                                 const SimulationConfig& config,
-                                 bool compiled, SimulationReport* report) {
-  GMR_CHECK_LE(t_end, dataset.num_days);
-  GMR_CHECK_LE(t_begin, t_end);
-  Integrator integrator(equations, &parameters, compiled, &dataset,
-                        initial_bphy, initial_bzoo, config);
-  std::vector<double> predicted;
-  predicted.reserve(t_end - t_begin);
-  for (std::size_t t = t_begin; t < t_end; ++t) {
-    predicted.push_back(integrator.AdvanceDay(t));
+std::vector<ObservationBinding> BindObservations(
+    const ConstituentSet& constituents) {
+  std::vector<ObservationBinding> observations;
+  for (std::size_t i = 0; i < constituents.size(); ++i) {
+    const Constituent& c = constituents.at(i);
+    if (c.observed_series >= 0) {
+      observations.push_back(ObservationBinding{i, c.observed_series});
+    }
   }
-  if (report != nullptr) integrator.FillReport(report);
-  return predicted;
+  // A problem with no mapped observation still needs a defined fitness;
+  // fall back to the primary state against the primary series.
+  if (observations.empty()) {
+    observations.push_back(ObservationBinding{
+        static_cast<std::size_t>(constituents.PrimaryObserved()), 0});
+  }
+  return observations;
 }
 
-BatchSimulationResult BatchSimulateBPhy(
+}  // namespace
+
+SimulationTrajectory Simulate(const std::vector<expr::ExprPtr>& equations,
+                              const std::vector<double>& parameters,
+                              const RiverDataset& dataset,
+                              std::size_t t_begin, std::size_t t_end,
+                              const ConstituentSet& constituents,
+                              const std::vector<double>& initial_state,
+                              const SimulationConfig& config, bool compiled,
+                              SimulationReport* report) {
+  GMR_CHECK_LE(t_end, dataset.num_days);
+  GMR_CHECK_LE(t_begin, t_end);
+  const ConfigError err =
+      ValidateSimulation(config, constituents, equations.size());
+  GMR_CHECK_MSG(err.ok(), err.message.c_str());
+  GMR_CHECK_EQ(initial_state.size(), constituents.size());
+  Integrator integrator(equations, &parameters, compiled, &dataset,
+                        initial_state, config);
+  SimulationTrajectory trajectory;
+  trajectory.series.resize(constituents.size());
+  for (auto& series : trajectory.series) series.reserve(t_end - t_begin);
+  for (std::size_t t = t_begin; t < t_end; ++t) {
+    integrator.AdvanceDay(t);
+    for (std::size_t s = 0; s < constituents.size(); ++s) {
+      trajectory.series[s].push_back(integrator.StateOrPenalty(s));
+    }
+  }
+  if (report != nullptr) integrator.FillReport(report);
+  return trajectory;
+}
+
+BatchSimulationResult BatchSimulate(
     const std::vector<expr::ExprPtr>& equations,
     const std::vector<std::vector<double>>& parameter_lanes,
     const RiverDataset& dataset, std::size_t t_begin, std::size_t t_end,
-    double initial_bphy, double initial_bzoo,
+    const ConstituentSet& constituents,
+    const std::vector<double>& initial_state,
     const SimulationConfig& config) {
   GMR_CHECK_LE(t_end, dataset.num_days);
   GMR_CHECK_LE(t_begin, t_end);
+  ConfigError err = ValidateSimulation(config, constituents, equations.size());
+  GMR_CHECK_MSG(err.ok(), err.message.c_str());
+  err = ValidateBatchLanes(parameter_lanes);
+  GMR_CHECK_MSG(err.ok(), err.message.c_str());
+  GMR_CHECK_EQ(initial_state.size(), constituents.size());
   BatchSimulationResult result;
   result.width = parameter_lanes.size();
+  result.num_species = constituents.size();
   result.predicted.resize(result.width);
   result.reports.resize(result.width);
   if (result.width == 0) return result;
   BatchIntegrator integrator(equations, parameter_lanes, &dataset,
-                             initial_bphy, initial_bzoo, config);
+                             initial_state, constituents.PrimaryObserved(),
+                             config);
   std::vector<double> day(result.width, 0.0);
   for (auto& lane : result.predicted) lane.reserve(t_end - t_begin);
   for (std::size_t t = t_begin; t < t_end; ++t) {
@@ -692,19 +879,69 @@ BatchSimulationResult BatchSimulateBPhy(
   return result;
 }
 
+std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
+                                 const std::vector<double>& parameters,
+                                 const RiverDataset& dataset,
+                                 std::size_t t_begin, std::size_t t_end,
+                                 double initial_bphy, double initial_bzoo,
+                                 const SimulationConfig& config,
+                                 bool compiled, SimulationReport* report) {
+  const ConstituentSet constituents = ConstituentSet::LegacyPlankton(
+      initial_bphy, initial_bzoo, initial_bphy, initial_bzoo);
+  SimulationConfig cfg = config;
+  cfg.num_species = 2;
+  SimulationTrajectory trajectory =
+      Simulate(equations, parameters, dataset, t_begin, t_end, constituents,
+               {initial_bphy, initial_bzoo}, cfg, compiled, report);
+  return std::move(trajectory.series[0]);
+}
+
+BatchSimulationResult BatchSimulateBPhy(
+    const std::vector<expr::ExprPtr>& equations,
+    const std::vector<std::vector<double>>& parameter_lanes,
+    const RiverDataset& dataset, std::size_t t_begin, std::size_t t_end,
+    double initial_bphy, double initial_bzoo,
+    const SimulationConfig& config) {
+  const ConstituentSet constituents = ConstituentSet::LegacyPlankton(
+      initial_bphy, initial_bzoo, initial_bphy, initial_bzoo);
+  SimulationConfig cfg = config;
+  cfg.num_species = 2;
+  return BatchSimulate(equations, parameter_lanes, dataset, t_begin, t_end,
+                       constituents, {initial_bphy, initial_bzoo}, cfg);
+}
+
 RiverFitness::RiverFitness(const RiverDataset* dataset, std::size_t t_begin,
-                           std::size_t t_end, double initial_bphy,
-                           double initial_bzoo, SimulationConfig config)
+                           std::size_t t_end, ConstituentSet constituents,
+                           std::vector<double> initial_state,
+                           SimulationConfig config)
     : dataset_(dataset),
       t_begin_(t_begin),
       t_end_(t_end),
-      initial_bphy_(initial_bphy),
-      initial_bzoo_(initial_bzoo),
+      constituents_(std::move(constituents)),
+      initial_state_(std::move(initial_state)),
       config_(config) {
   GMR_CHECK(dataset_ != nullptr);
   GMR_CHECK_LT(t_begin_, t_end_);
   GMR_CHECK_LE(t_end_, dataset_->num_days);
+  ConfigError err =
+      ValidateSimulation(config_, constituents_, constituents_.size());
+  GMR_CHECK_MSG(err.ok(), err.message.c_str());
+  err = ValidateObservations(constituents_, *dataset_);
+  GMR_CHECK_MSG(err.ok(), err.message.c_str());
+  GMR_CHECK_EQ(initial_state_.size(), constituents_.size());
 }
+
+RiverFitness::RiverFitness(const RiverDataset* dataset, std::size_t t_begin,
+                           std::size_t t_end, double initial_bphy,
+                           double initial_bzoo, SimulationConfig config)
+    : RiverFitness(dataset, t_begin, t_end,
+                   ConstituentSet::LegacyPlankton(initial_bphy, initial_bzoo,
+                                                  initial_bphy, initial_bzoo),
+                   {initial_bphy, initial_bzoo},
+                   [&config] {
+                     config.num_species = 2;
+                     return config;
+                   }()) {}
 
 RiverFitness RiverFitness::ForTraining(const RiverDataset* dataset,
                                        SimulationConfig config) {
@@ -719,7 +956,25 @@ RiverFitness RiverFitness::ForTest(const RiverDataset* dataset,
                       config);
 }
 
-std::size_t RiverFitness::num_parameters() const { return kNumParameters; }
+RiverFitness RiverFitness::ForTrainingWith(const RiverDataset* dataset,
+                                           const ConstituentSet& constituents,
+                                           SimulationConfig config) {
+  config.num_species = static_cast<int>(constituents.size());
+  return RiverFitness(dataset, 0, dataset->train_end, constituents,
+                      constituents.InitialStates(), config);
+}
+
+RiverFitness RiverFitness::ForTestWith(const RiverDataset* dataset,
+                                       const ConstituentSet& constituents,
+                                       SimulationConfig config) {
+  config.num_species = static_cast<int>(constituents.size());
+  return RiverFitness(dataset, dataset->train_end, dataset->num_days,
+                      constituents, constituents.TestInitialStates(), config);
+}
+
+std::size_t RiverFitness::num_parameters() const {
+  return constituents_.num_parameters();
+}
 
 bool RiverFitness::WantsBatchPreparation() const {
   return config_.compiled_backend == CompiledBackend::kBatchJit;
@@ -731,7 +986,7 @@ void RiverFitness::PrepareBatch(
       config_.batch_jit_session != nullptr ? config_.batch_jit_session
                                            : expr::BatchJitSession::Default();
   std::vector<const expr::Expr*> roots;
-  roots.reserve(2 * phenotypes.size());
+  roots.reserve(constituents_.size() * phenotypes.size());
   for (const auto& equations : phenotypes) {
     for (const auto& eq : equations) roots.push_back(eq.get());
   }
@@ -742,9 +997,12 @@ std::unique_ptr<gp::SequentialEvaluation> RiverFitness::Begin(
     const std::vector<expr::ExprPtr>& equations,
     const std::vector<double>& parameters,
     bool use_compiled_backend) const {
+  const ConfigError err =
+      ValidateSimulation(config_, constituents_, equations.size());
+  GMR_CHECK_MSG(err.ok(), err.message.c_str());
   return std::make_unique<RiverEvaluation>(
       equations, parameters, use_compiled_backend, dataset_, t_begin_,
-      t_end_, initial_bphy_, initial_bzoo_, config_);
+      t_end_, initial_state_, BindObservations(constituents_), config_);
 }
 
 }  // namespace gmr::river

@@ -12,11 +12,12 @@
 #include "expr/compile.h"
 #include "expr/jit.h"
 #include "gp/fitness.h"
+#include "river/constituents.h"
 #include "river/dataset.h"
 
 namespace gmr::river {
 
-/// Time-stepping scheme for the biological process.
+/// Time-stepping scheme for the constituent processes.
 enum class IntegrationMethod {
   kEuler,  ///< Forward Euler (the default; cheap and robust under clamping).
   kRk4,    ///< Classic 4th-order Runge-Kutta (drivers held constant within
@@ -40,17 +41,23 @@ enum class CompiledBackend {
                     ///< failure, and run-wide once the breaker opens.
 };
 
-/// Numerical integration settings for the biological process.
+/// Numerical integration settings for the constituent processes.
 struct SimulationConfig {
   IntegrationMethod method = IntegrationMethod::kEuler;
   /// Substeps per day; >1 improves stability of fast grazing dynamics
   /// without changing the daily fitness cases.
   int substeps = 2;
-  /// Biomass clamp: keeps candidate processes (which may be wildly wrong
+  /// State clamp: keeps candidate processes (which may be wildly wrong
   /// during search) from producing NaN/Inf cascades. Divergent candidates
   /// hit the clamp and collect a large but finite error.
   double state_min = 0.01;
   double state_max = 1e4;
+
+  /// Number of constituent states the rollout integrates. Must match both
+  /// the ConstituentSet and the equation count — validated with a typed
+  /// ConfigError at construction of every runner/fitness (never silently
+  /// truncated). The default matches the legacy two-species preset.
+  int num_species = 2;
 
   /// Backend used when the evaluator requests compiled evaluation.
   CompiledBackend compiled_backend = CompiledBackend::kBytecodeVm;
@@ -80,6 +87,23 @@ struct SimulationConfig {
   std::size_t substep_budget = 0;
 };
 
+/// Validates that the config's species count agrees with the constituent
+/// registry and the phenotype's equation count. Every simulation/fitness
+/// entry point calls this before touching state.
+ConfigError ValidateSimulation(const SimulationConfig& config,
+                               const ConstituentSet& constituents,
+                               std::size_t num_equations);
+
+/// Validates that every observation mapping of the set points at a series
+/// the dataset actually carries (kBadObservedSeries otherwise).
+ConfigError ValidateObservations(const ConstituentSet& constituents,
+                                 const RiverDataset& dataset);
+
+/// Validates that every batch lane carries the same parameter count
+/// (kParameterLaneMismatch otherwise — never silently truncated).
+ConfigError ValidateBatchLanes(
+    const std::vector<std::vector<double>>& parameter_lanes);
+
 /// What happened inside one simulation rollout (all counters are totals for
 /// the rollout).
 struct SimulationReport {
@@ -99,9 +123,9 @@ struct SimulationReport {
   std::size_t clamp_saturations = 0;
 };
 
-/// Evaluates the two process derivatives (dB_Phy/dt, dB_Zoo/dt) through the
-/// configured backend: interpreted tree walking, compiled bytecode, or
-/// native JIT ("runtime compilation").
+/// Evaluates the per-constituent process derivatives (one equation per
+/// state slot) through the configured backend: interpreted tree walking,
+/// compiled bytecode, or native JIT ("runtime compilation").
 class ProcessRunner {
  public:
   ProcessRunner(const std::vector<expr::ExprPtr>& equations,
@@ -117,10 +141,17 @@ class ProcessRunner {
 
   ~ProcessRunner();
 
-  /// Computes both derivatives for the given variable vector (layout of
-  /// variables.h, parameters bound at construction).
+  /// Computes every constituent derivative for the given variable vector
+  /// (layout of the problem's ConstituentSet, parameters bound at
+  /// construction). `derivatives` has one slot per equation.
+  void Derivatives(const double* variables, std::size_t num_variables,
+                   double* derivatives) const;
+
+  /// Deprecated two-species signature; forwards to the generic overload.
   void Derivatives(const double* variables, std::size_t num_variables,
                    double* d_bphy, double* d_bzoo) const;
+
+  std::size_t num_equations() const { return equations_.size(); }
 
   /// True when any equation degraded from a JIT backend to a VM.
   bool jit_fallback() const { return jit_fallback_; }
@@ -142,9 +173,61 @@ class ProcessRunner {
   bool jit_fallback_ = false;
 };
 
-/// Simulates the biological process over dataset days [t_begin, t_end),
-/// returning the predicted B_Phy series (one value per day). When `report`
-/// is non-null it is filled with the rollout's containment telemetry.
+/// Full multi-constituent rollout trajectory: series[species][day] is the
+/// end-of-day state of that constituent (or the state_max penalty value on
+/// every day after a watchdog abort).
+struct SimulationTrajectory {
+  std::vector<std::vector<double>> series;
+};
+
+/// Simulates the constituent processes over dataset days [t_begin, t_end)
+/// from the given per-species initial state. When `report` is non-null it
+/// is filled with the rollout's containment telemetry.
+SimulationTrajectory Simulate(const std::vector<expr::ExprPtr>& equations,
+                              const std::vector<double>& parameters,
+                              const RiverDataset& dataset,
+                              std::size_t t_begin, std::size_t t_end,
+                              const ConstituentSet& constituents,
+                              const std::vector<double>& initial_state,
+                              const SimulationConfig& config, bool compiled,
+                              SimulationReport* report = nullptr);
+
+/// Result of one batched rollout: `width` independent parameter lanes
+/// integrated in lockstep through the same equations.
+struct BatchSimulationResult {
+  std::size_t width = 0;
+  /// Species count of the rollout's constituent registry (the SoA lane
+  /// blocks span num_species x width).
+  std::size_t num_species = 0;
+  /// predicted[lane][day]: the primary observed constituent's trajectory,
+  /// bit-identical to the scalar Simulate of that lane's parameter vector
+  /// (under an equivalent backend).
+  std::vector<std::vector<double>> predicted;
+  /// Per-lane containment telemetry; a diverging lane is masked out of
+  /// further derivative evaluations without perturbing its neighbors.
+  std::vector<SimulationReport> reports;
+};
+
+/// Simulates the constituent processes for `parameter_lanes.size()`
+/// parameter vectors at once in structure-of-arrays layout (lane blocks
+/// span species x lanes): each compiled equation call advances a whole
+/// lane block. Equations are evaluated through the batched VM, or through
+/// generation-JIT symbols when the config selects kBatchJit (degrading
+/// per-equation to the batched VM). Every lane's watchdog semantics match
+/// the scalar rollout exactly: a lane that trips a watchdog is masked out
+/// (its remaining days predict state_max) while the surviving lanes keep
+/// integrating.
+BatchSimulationResult BatchSimulate(
+    const std::vector<expr::ExprPtr>& equations,
+    const std::vector<std::vector<double>>& parameter_lanes,
+    const RiverDataset& dataset, std::size_t t_begin, std::size_t t_end,
+    const ConstituentSet& constituents,
+    const std::vector<double>& initial_state,
+    const SimulationConfig& config);
+
+/// Deprecated two-species entry point: thin wrapper over Simulate with the
+/// legacy plankton preset, returning the B_Phy series. New callers should
+/// build a ConstituentSet and call Simulate.
 std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
                                  const std::vector<double>& parameters,
                                  const RiverDataset& dataset,
@@ -154,26 +237,8 @@ std::vector<double> SimulateBPhy(const std::vector<expr::ExprPtr>& equations,
                                  bool compiled,
                                  SimulationReport* report = nullptr);
 
-/// Result of one batched rollout: `width` independent parameter lanes
-/// integrated in lockstep through the same pair of equations.
-struct BatchSimulationResult {
-  std::size_t width = 0;
-  /// predicted[lane][day]: bit-identical to the scalar SimulateBPhy of that
-  /// lane's parameter vector (under an equivalent backend).
-  std::vector<std::vector<double>> predicted;
-  /// Per-lane containment telemetry; a diverging lane is masked out of
-  /// further derivative evaluations without perturbing its neighbors.
-  std::vector<SimulationReport> reports;
-};
-
-/// Simulates the biological process for `parameter_lanes.size()` parameter
-/// vectors at once in structure-of-arrays layout: each compiled equation
-/// call advances a whole lane block. Equations are evaluated through the
-/// batched VM, or through generation-JIT symbols when the config selects
-/// kBatchJit (degrading per-equation to the batched VM). Every lane's
-/// watchdog semantics match the scalar rollout exactly: a lane that trips a
-/// watchdog is masked out (its remaining days predict state_max) while the
-/// surviving lanes keep integrating.
+/// Deprecated two-species batch entry point: thin wrapper over
+/// BatchSimulate with the legacy plankton preset.
 BatchSimulationResult BatchSimulateBPhy(
     const std::vector<expr::ExprPtr>& equations,
     const std::vector<std::vector<double>>& parameter_lanes,
@@ -181,25 +246,45 @@ BatchSimulationResult BatchSimulateBPhy(
     double initial_bphy, double initial_bzoo, const SimulationConfig& config);
 
 /// The river fitness problem: one fitness case per day; fitness is the
-/// running RMSE between simulated and observed B_Phy (the paper's fitness
-/// function). Supports both evaluation backends as required by
-/// gp::SequentialFitness.
+/// running RMSE between the simulated and observed series of every
+/// observed constituent (the paper's fitness function for the legacy
+/// single-observation problem). Supports both evaluation backends as
+/// required by gp::SequentialFitness.
 class RiverFitness : public gp::SequentialFitness {
  public:
-  /// Evaluates days [t_begin, t_end) starting from the given initial state.
+  /// Evaluates days [t_begin, t_end) of `constituents` starting from the
+  /// given per-species initial state.
+  RiverFitness(const RiverDataset* dataset, std::size_t t_begin,
+               std::size_t t_end, ConstituentSet constituents,
+               std::vector<double> initial_state,
+               SimulationConfig config = SimulationConfig{});
+
+  /// Deprecated two-species constructor (legacy plankton preset).
   RiverFitness(const RiverDataset* dataset, std::size_t t_begin,
                std::size_t t_end, double initial_bphy, double initial_bzoo,
                SimulationConfig config = SimulationConfig{});
 
-  /// Convenience: the training-period fitness of `dataset`.
+  /// Convenience: the training-period fitness of `dataset` under the
+  /// legacy plankton preset.
   static RiverFitness ForTraining(const RiverDataset* dataset,
                                   SimulationConfig config = {});
-  /// Convenience: the test-period fitness of `dataset`.
+  /// Convenience: the test-period fitness of `dataset` under the legacy
+  /// plankton preset.
   static RiverFitness ForTest(const RiverDataset* dataset,
                               SimulationConfig config = {});
 
+  /// Training/test-window fitness of an arbitrary constituent registry
+  /// (initial states from the registry's declarations).
+  static RiverFitness ForTrainingWith(const RiverDataset* dataset,
+                                      const ConstituentSet& constituents,
+                                      SimulationConfig config = {});
+  static RiverFitness ForTestWith(const RiverDataset* dataset,
+                                  const ConstituentSet& constituents,
+                                  SimulationConfig config = {});
+
   std::size_t num_cases() const override { return t_end_ - t_begin_; }
   std::size_t num_parameters() const override;
+  std::size_t num_states() const override { return constituents_.size(); }
 
   std::unique_ptr<gp::SequentialEvaluation> Begin(
       const std::vector<expr::ExprPtr>& equations,
@@ -214,13 +299,14 @@ class RiverFitness : public gp::SequentialFitness {
       const override;
 
   const RiverDataset& dataset() const { return *dataset_; }
+  const ConstituentSet& constituents() const { return constituents_; }
 
  private:
   const RiverDataset* dataset_;
   std::size_t t_begin_;
   std::size_t t_end_;
-  double initial_bphy_;
-  double initial_bzoo_;
+  ConstituentSet constituents_;
+  std::vector<double> initial_state_;
   SimulationConfig config_;
 };
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "river/chemistry.h"
 #include "river/parameters.h"
 #include "river/variables.h"
 
@@ -378,6 +379,118 @@ RiverDataset GenerateNakdongLike(const SyntheticConfig& config) {
   dataset.test_initial_bphy = dataset.observed_bphy[dataset.train_end];
   dataset.test_initial_bzoo = sink_truth.bzoo[dataset.train_end];
   return dataset;
+}
+
+namespace {
+
+/// Transport truth derivatives: the expert linear-reservoir process of
+/// river/chemistry.h plus (optionally) the hidden temperature modulations
+/// of nitrification and sediment settling.
+void TransportTruthDerivatives(const double* m, std::size_t n,
+                               const std::vector<std::vector<double>>& drivers,
+                               std::size_t t, const std::vector<double>& p,
+                               bool hidden, double* d) {
+  const double v_n = drivers[kVn][t];
+  const double v_p = drivers[kVp][t];
+  const double v_cd = drivers[kVcd][t];
+  const double v_tmp = drivers[kVtmp][t];
+  const double k_nit =
+      p[kKNit] * (hidden ? 0.04 * v_tmp + 0.35 : 1.0);
+  const double k_sed =
+      p[kKSed] * (hidden ? 0.02 * v_tmp + 0.6 : 1.0);
+  d[0] = p[kSNo3] * v_n - p[kKNo3] * m[0];
+  if (n > 1) {
+    d[0] += k_nit * m[1];
+    d[1] = p[kSNh4] * v_n - (k_nit + p[kKNh4]) * m[1];
+  }
+  if (n > 2) d[2] = p[kSDph] * v_p - p[kKDph] * m[2];
+  if (n > 3) {
+    d[2] += p[kKDes] * m[3] - p[kKSor] * m[2];
+    d[3] = p[kSPph] * v_p + p[kKSor] * m[2] -
+           (p[kKPph] + p[kKDes]) * m[3];
+  }
+  if (n > 4) d[4] = p[kSSed] * v_cd - k_sed * m[4];
+}
+
+}  // namespace
+
+TransportScenario GenerateTransportScenario(const SyntheticConfig& config,
+                                            int num_species) {
+  TransportScenario scenario;
+  scenario.constituents = ConstituentSet::Transport(num_species);
+  scenario.true_parameters = TrueTransportParameters();
+  // Drivers (and the train/test split) come from the full Nakdong pipeline;
+  // the plankton primary series is replaced below by the scenario's own.
+  scenario.dataset = GenerateNakdongLike(config);
+  RiverDataset& dataset = scenario.dataset;
+  ConstituentSet& constituents = scenario.constituents;
+
+  const std::size_t n = constituents.size();
+  const std::size_t num_days = dataset.num_days;
+  // A noise stream decoupled from the driver/plankton generator, so the
+  // scenario's observations do not perturb the shared driver history.
+  Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // Integrate the hidden truth on the routed sink drivers (end-of-day
+  // states, like the plankton truth run).
+  std::vector<std::vector<double>> truth(n, std::vector<double>(num_days));
+  std::vector<double> m = constituents.InitialStates();
+  std::vector<double> d(n, 0.0);
+  const int substeps = 2;
+  const double dt = 1.0 / static_cast<double>(substeps);
+  for (std::size_t t = 0; t < num_days; ++t) {
+    for (int step = 0; step < substeps; ++step) {
+      TransportTruthDerivatives(m.data(), n, dataset.drivers, t,
+                                scenario.true_parameters,
+                                config.plant_hidden_structure, d.data());
+      for (std::size_t s = 0; s < n; ++s) {
+        m[s] = Clamp(m[s] + dt * d[s], 1e-3, 1e4);
+      }
+    }
+    for (std::size_t s = 0; s < n; ++s) truth[s][t] = m[s];
+  }
+
+  // Observations: noisy weekly nitrate becomes the primary series; the
+  // five-species scenario adds bi-weekly sediment as extra series 1.
+  std::vector<double> sampled(num_days);
+  for (std::size_t t = 0; t < num_days; ++t) {
+    sampled[t] = std::max(
+        1e-3,
+        truth[0][t] * (1.0 + rng.Gaussian(0.0, config.observation_noise)));
+  }
+  dataset.observed_bphy = Resample(sampled, config.sink_sample_interval_days,
+                                   &dataset.bphy_sample_days);
+  dataset.extra_observed.clear();
+  dataset.extra_observed_names.clear();
+  if (n == 5) {
+    for (std::size_t t = 0; t < num_days; ++t) {
+      sampled[t] = std::max(
+          1e-3,
+          truth[4][t] * (1.0 + rng.Gaussian(0.0, config.observation_noise)));
+    }
+    dataset.extra_observed.push_back(
+        Resample(sampled, config.other_sample_interval_days, nullptr));
+    dataset.extra_observed_names.push_back("M_SED");
+  }
+
+  // Initial conditions: observed constituents start from their (noisy,
+  // interpolated) series, latent constituents from the truth — the same
+  // convention the plankton generator uses for B_Phy/B_Zoo.
+  for (std::size_t s = 0; s < n; ++s) {
+    Constituent& c = constituents.mutable_at(s);
+    const int series = c.observed_series;
+    const std::vector<double>& source =
+        series >= 0 ? dataset.ObservedSeries(series) : truth[s];
+    c.initial_state = source.front();
+    c.test_initial_state = source[dataset.train_end];
+  }
+  // The legacy initial fields track the (replaced) primary series so stale
+  // plankton initials cannot leak into a transport run.
+  dataset.initial_bphy = dataset.observed_bphy.front();
+  dataset.test_initial_bphy = dataset.observed_bphy[dataset.train_end];
+  dataset.initial_bzoo = n > 1 ? truth[1].front() : 0.0;
+  dataset.test_initial_bzoo = n > 1 ? truth[1][dataset.train_end] : 0.0;
+  return scenario;
 }
 
 }  // namespace gmr::river

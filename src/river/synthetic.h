@@ -2,7 +2,9 @@
 #define GMR_RIVER_SYNTHETIC_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "river/constituents.h"
 #include "river/dataset.h"
 #include "river/network.h"
 
@@ -54,6 +56,32 @@ RiverDataset GenerateNakdongLike(const SyntheticConfig& config);
 /// process (deliberately off the prior means of Table III, so calibration
 /// has work to do). Exposed for tests and experiment documentation.
 std::vector<double> TrueParameters();
+
+/// A generated multi-constituent scenario: the Nakdong-like drivers plus a
+/// hidden transport truth per species, packaged with the constituent
+/// registry (initial conditions filled from the truth) so it plugs straight
+/// into the generic RiverFitness / RunGmr path.
+struct TransportScenario {
+  /// Drivers from GenerateNakdongLike; the primary observed series
+  /// (ObservedSeries(0)) carries noisy weekly nitrate instead of
+  /// chlorophyll-a, and the five-species scenario adds bi-weekly sediment
+  /// as extra series 1.
+  RiverDataset dataset;
+  ConstituentSet constituents;
+  /// The generator's transport constants (TrueTransportParameters()).
+  std::vector<double> true_parameters;
+};
+
+/// Generates a transport scenario over the first `num_species` of
+/// {M_NO3, M_NH4, M_DPH, M_PPH, M_SED}. The ground truth integrates the
+/// expert linear-reservoir process of river/chemistry.h; when
+/// `config.plant_hidden_structure` is set, nitrification and sediment
+/// settling are temperature-modulated (K_NIT x (0.04 V_tmp + 0.35),
+/// K_SED x (0.02 V_tmp + 0.6)) — hidden mechanisms reachable by the
+/// transport grammar's multiplicative {V_tmp, R} extension points.
+/// Deterministic in `config.seed`.
+TransportScenario GenerateTransportScenario(const SyntheticConfig& config,
+                                            int num_species = 5);
 
 }  // namespace gmr::river
 

@@ -1,0 +1,491 @@
+// Multi-constituent transport tests (ctest labels `transport` + `prop`):
+// the constituent registry's typed validation, the legacy two-species
+// preset's 0-ULP differential oracle against the deprecated B_Phy entry
+// points (interpreter / VM / batch backends), batch-vs-scalar agreement at
+// five species, channel mass conservation under both advection schemes
+// (including watchdog aborts), and a small end-to-end GMR revision of the
+// five-species scenario with a checkpoint/resume round trip.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/snapshot.h"
+#include "core/gmr.h"
+#include "core/transport_grammar.h"
+#include "expr/ast.h"
+#include "expr/print.h"
+#include "gp/parameter_prior.h"
+#include "obs/run_context.h"
+#include "river/biology.h"
+#include "river/chemistry.h"
+#include "river/constituents.h"
+#include "river/parameters.h"
+#include "river/simulate.h"
+#include "river/synthetic.h"
+#include "river/transport.h"
+#include "river/variables.h"
+
+namespace gmr::river {
+namespace {
+
+namespace e = gmr::expr;
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- helpers ----
+
+RiverDataset SmallDataset() {
+  SyntheticConfig config;
+  config.years = 3;
+  config.train_years = 2;
+  config.seed = 7;
+  return GenerateNakdongLike(config);
+}
+
+TransportScenario SmallScenario(int num_species) {
+  SyntheticConfig config;
+  config.years = 3;
+  config.train_years = 2;
+  config.seed = 21;
+  return GenerateTransportScenario(config, num_species);
+}
+
+std::uint64_t Bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+/// Exact bit equality of two trajectories — the 0-ULP oracle.
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(Bits(a[i]), Bits(b[i])) << what << " diverges at day " << i
+                                      << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+// -------------------------------------------------- registry validation ----
+
+TEST(ConstituentSetTest, TypedValidationErrors) {
+  ConstituentSet set;
+  EXPECT_EQ(set.Validate().code, ConfigErrorCode::kEmptySet);
+
+  EXPECT_EQ(set.Add({"", analysis::Dim::Concentration(), 1.0, 1.0, -1}).code,
+            ConfigErrorCode::kEmptyName);
+  ASSERT_TRUE(set.Add({"M_NO3", analysis::Dim::Concentration(), 2.0, 2.0, 0})
+                  .ok());
+  EXPECT_EQ(
+      set.Add({"M_NO3", analysis::Dim::Concentration(), 1.0, 1.0, -1}).code,
+      ConfigErrorCode::kDuplicateName);
+  Constituent bad{"M_NH4", analysis::Dim::Concentration(),
+                  std::nan(""), 1.0, -1};
+  EXPECT_EQ(set.Add(bad).code, ConfigErrorCode::kBadInitialState);
+  EXPECT_TRUE(set.Validate().ok());
+}
+
+TEST(ConstituentSetTest, SpeciesCountMismatchIsTyped) {
+  const ConstituentSet set = ConstituentSet::Transport(5);
+  SimulationConfig config;
+  config.num_species = 2;  // Stale legacy default against a 5-species set.
+  const auto equations = TransportProcess(set);
+  const ConfigError err = ValidateSimulation(config, set, equations.size());
+  EXPECT_EQ(err.code, ConfigErrorCode::kSpeciesCountMismatch);
+  EXPECT_NE(err.message.find("num_species"), std::string::npos);
+
+  config.num_species = 5;
+  EXPECT_TRUE(ValidateSimulation(config, set, equations.size()).ok());
+  // Equation count disagreeing with the registry is the same typed error.
+  EXPECT_EQ(ValidateSimulation(config, set, 2).code,
+            ConfigErrorCode::kSpeciesCountMismatch);
+}
+
+TEST(ConstituentSetTest, ObservationAndLaneValidation) {
+  const RiverDataset dataset = SmallDataset();
+  ConstituentSet set = ConstituentSet::Transport(2);
+  EXPECT_TRUE(ValidateObservations(set, dataset).ok());
+  set.mutable_at(0).observed_series = 7;  // No such series in the dataset.
+  EXPECT_EQ(ValidateObservations(set, dataset).code,
+            ConfigErrorCode::kBadObservedSeries);
+
+  const std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {1.0}};
+  EXPECT_EQ(ValidateBatchLanes(ragged).code,
+            ConfigErrorCode::kParameterLaneMismatch);
+  EXPECT_TRUE(ValidateBatchLanes({{1.0, 2.0}, {3.0, 4.0}}).ok());
+}
+
+TEST(ConstituentSetTest, TransportRegistryLayout) {
+  const ConstituentSet set = ConstituentSet::Transport(5);
+  EXPECT_EQ(set.preset(), "transport5");
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_EQ(set.at(0).name, "M_NO3");
+  EXPECT_EQ(set.at(4).name, "M_SED");
+  EXPECT_EQ(set.num_variables(), 5u + kNumDriverVariables);
+  // Drivers keep the legacy order after the states: V_lgt is first.
+  EXPECT_EQ(set.driver_slot(0), 5);
+  EXPECT_EQ(set.VariableNames()[5], VariableName(kVlgt));
+  EXPECT_EQ(set.PrimaryObserved(), 0);
+  const auto observed = set.ObservedConstituents();
+  ASSERT_EQ(observed.size(), 2u);  // Nitrate + sediment.
+  EXPECT_EQ(observed[0], 0);
+  EXPECT_EQ(observed[1], 4);
+  EXPECT_EQ(set.num_parameters(),
+            static_cast<std::size_t>(kNumTransportParameters));
+  EXPECT_EQ(set.parameter_dims().size(), set.num_parameters());
+
+  // Truncated registries observe nitrate only and share the full parameter
+  // table (slots stay stable across species counts).
+  const ConstituentSet two = ConstituentSet::Transport(2);
+  EXPECT_EQ(two.preset(), "transport2");
+  EXPECT_EQ(two.ObservedConstituents().size(), 1u);
+  EXPECT_EQ(two.num_parameters(), set.num_parameters());
+  EXPECT_EQ(TransportProcess(two).size(), 2u);
+}
+
+TEST(ConstituentSetTest, LegacyPlanktonPinsHistoricalLayout) {
+  const ConstituentSet legacy = ConstituentSet::LegacyPlankton();
+  EXPECT_EQ(legacy.preset(), "plankton2");
+  ASSERT_EQ(legacy.size(), 2u);
+  EXPECT_EQ(legacy.at(0).name, "B_Phy");
+  EXPECT_EQ(legacy.at(1).name, "B_Zoo");
+  EXPECT_EQ(legacy.at(1).observed_series, -1);  // Zooplankton is latent.
+  const auto names = legacy.VariableNames();
+  ASSERT_EQ(names.size(), static_cast<std::size_t>(kNumVariables));
+  for (int v = 0; v < kNumVariables; ++v) {
+    EXPECT_EQ(names[static_cast<std::size_t>(v)], VariableName(v));
+  }
+}
+
+// ----------------------------------- legacy 0-ULP differential oracle ----
+
+TEST(LegacyPresetTest, SimulateMatchesDeprecatedBPhyEntryPoint) {
+  const RiverDataset dataset = SmallDataset();
+  const auto equations = ManualProcess();
+  const auto parameters = gp::PriorMeans(RiverParameterPriors());
+  const ConstituentSet legacy = ConstituentSet::LegacyPlankton(
+      dataset.initial_bphy, dataset.initial_bzoo, dataset.test_initial_bphy,
+      dataset.test_initial_bzoo);
+  const std::vector<double> initial = {dataset.initial_bphy,
+                                       dataset.initial_bzoo};
+
+  struct Backend {
+    const char* name;
+    bool compiled;
+    CompiledBackend backend;
+  };
+  const Backend backends[] = {
+      {"interpreter", false, CompiledBackend::kBytecodeVm},
+      {"bytecode-vm", true, CompiledBackend::kBytecodeVm},
+      {"batch-vm", true, CompiledBackend::kBatchVm},
+  };
+  for (const Backend& b : backends) {
+    SimulationConfig config;
+    config.compiled_backend = b.backend;
+    const std::vector<double> deprecated = SimulateBPhy(
+        equations, parameters, dataset, 0, dataset.train_end,
+        dataset.initial_bphy, dataset.initial_bzoo, config, b.compiled);
+    const SimulationTrajectory generic =
+        Simulate(equations, parameters, dataset, 0, dataset.train_end, legacy,
+                 initial, config, b.compiled);
+    ASSERT_EQ(generic.series.size(), 2u);
+    ExpectBitIdentical(deprecated, generic.series[0], b.name);
+  }
+}
+
+TEST(LegacyPresetTest, BatchSimulateMatchesDeprecatedBPhyEntryPoint) {
+  const RiverDataset dataset = SmallDataset();
+  const auto equations = ManualProcess();
+  const auto means = gp::PriorMeans(RiverParameterPriors());
+  std::vector<std::vector<double>> lanes = {means, means, means};
+  for (std::size_t i = 0; i < lanes[1].size(); ++i) lanes[1][i] *= 1.1;
+  for (std::size_t i = 0; i < lanes[2].size(); ++i) lanes[2][i] *= 0.9;
+
+  const ConstituentSet legacy = ConstituentSet::LegacyPlankton(
+      dataset.initial_bphy, dataset.initial_bzoo, dataset.test_initial_bphy,
+      dataset.test_initial_bzoo);
+  SimulationConfig config;
+  config.compiled_backend = CompiledBackend::kBatchVm;
+  const BatchSimulationResult deprecated =
+      BatchSimulateBPhy(equations, lanes, dataset, 0, dataset.train_end,
+                        dataset.initial_bphy, dataset.initial_bzoo, config);
+  const BatchSimulationResult generic = BatchSimulate(
+      equations, lanes, dataset, 0, dataset.train_end, legacy,
+      {dataset.initial_bphy, dataset.initial_bzoo}, config);
+  EXPECT_EQ(deprecated.num_species, 2u);
+  EXPECT_EQ(generic.num_species, 2u);
+  ASSERT_EQ(deprecated.predicted.size(), generic.predicted.size());
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    ExpectBitIdentical(deprecated.predicted[lane], generic.predicted[lane],
+                       "batch lane");
+  }
+}
+
+TEST(LegacyPresetTest, AccuracyOverloadsAgreeBitwise) {
+  const RiverDataset dataset = SmallDataset();
+  const auto equations = ManualProcess();
+  const auto parameters = gp::PriorMeans(RiverParameterPriors());
+  const core::AccuracyReport legacy = core::EvaluateAccuracy(
+      equations, parameters, dataset, SimulationConfig{});
+  const core::AccuracyReport generic = core::EvaluateAccuracy(
+      equations, parameters, dataset, SimulationConfig{},
+      ConstituentSet::LegacyPlankton(dataset.initial_bphy, dataset.initial_bzoo,
+                                     dataset.test_initial_bphy,
+                                     dataset.test_initial_bzoo));
+  EXPECT_EQ(Bits(legacy.train_rmse), Bits(generic.train_rmse));
+  EXPECT_EQ(Bits(legacy.train_mae), Bits(generic.train_mae));
+  EXPECT_EQ(Bits(legacy.test_rmse), Bits(generic.test_rmse));
+  EXPECT_EQ(Bits(legacy.test_mae), Bits(generic.test_mae));
+}
+
+// --------------------------------------------- transport batch vs scalar ----
+
+TEST(TransportSimulateTest, BatchMatchesScalarAtFiveSpecies) {
+  const TransportScenario scenario = SmallScenario(5);
+  const auto equations = TransportProcess(scenario.constituents);
+  ASSERT_EQ(equations.size(), 5u);
+
+  std::vector<std::vector<double>> lanes = {
+      scenario.true_parameters,
+      gp::PriorMeans(scenario.constituents.priors()),
+      scenario.true_parameters};
+  for (std::size_t i = 0; i < lanes[2].size(); ++i) lanes[2][i] *= 1.25;
+
+  SimulationConfig config;
+  config.num_species = 5;
+  config.compiled_backend = CompiledBackend::kBatchVm;
+  const std::vector<double> initial = scenario.constituents.InitialStates();
+  const BatchSimulationResult batch = BatchSimulate(
+      equations, lanes, scenario.dataset, 0, scenario.dataset.train_end,
+      scenario.constituents, initial, config);
+  EXPECT_EQ(batch.num_species, 5u);
+  ASSERT_EQ(batch.predicted.size(), lanes.size());
+
+  const int primary = scenario.constituents.PrimaryObserved();
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const SimulationTrajectory scalar = Simulate(
+        equations, lanes[lane], scenario.dataset, 0,
+        scenario.dataset.train_end, scenario.constituents, initial, config,
+        /*compiled=*/true);
+    ExpectBitIdentical(batch.predicted[lane],
+                       scalar.series[static_cast<std::size_t>(primary)],
+                       "transport lane");
+  }
+}
+
+TEST(TransportSimulateTest, TruthParametersTrackNoisyObservations) {
+  // The generator's hidden truth should sit well inside the clamp box and
+  // produce a trajectory correlated with the observed nitrate series — the
+  // signal the end-to-end revision recovers.
+  const TransportScenario scenario = SmallScenario(5);
+  const auto equations = TransportProcess(scenario.constituents);
+  SimulationConfig config;
+  config.num_species = 5;
+  SimulationReport report;
+  const SimulationTrajectory truth = Simulate(
+      equations, scenario.true_parameters, scenario.dataset, 0,
+      scenario.dataset.train_end, scenario.constituents,
+      scenario.constituents.InitialStates(), config, /*compiled=*/true,
+      &report);
+  EXPECT_FALSE(report.aborted);
+  for (const auto& series : truth.series) {
+    for (double v : series) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_LT(v, config.state_max);
+    }
+  }
+}
+
+// ------------------------------------------------- channel conservation ----
+
+/// |Residual| must vanish relative to the gross mass moved through the
+/// budget — the telescoping identity of the discrete update.
+void ExpectConserved(const ChannelMassBudget& budget, const char* what) {
+  const double scale = std::fabs(budget.initial) + std::fabs(budget.inflow) +
+                       std::fabs(budget.outflow) +
+                       std::fabs(budget.reaction) +
+                       std::fabs(budget.clamp_correction) + 1.0;
+  EXPECT_LE(std::fabs(budget.Residual()), 1e-8 * scale) << what;
+}
+
+TEST(ChannelConservationTest, BothSchemesConserveMass) {
+  const TransportScenario scenario = SmallScenario(5);
+  const auto equations = TransportProcess(scenario.constituents);
+  SimulationConfig config;
+  config.num_species = 5;
+
+  for (AdvectionScheme scheme :
+       {AdvectionScheme::kUpwind, AdvectionScheme::kQuick}) {
+    ChannelConfig channel;
+    channel.scheme = scheme;
+    channel.num_cells = 6;
+    ASSERT_TRUE(ValidateChannel(channel, scenario.constituents).ok());
+    // Explicit stepping must be inside the stability region.
+    ASSERT_LT(channel.Courant(config.substeps), 1.0);
+
+    const ChannelResult result = SimulateChannel(
+        equations, scenario.true_parameters, scenario.dataset, 0, 120,
+        scenario.constituents, config, channel);
+    EXPECT_FALSE(result.report.aborted) << AdvectionSchemeName(scheme);
+    ASSERT_EQ(result.budgets.size(), 5u);
+    ASSERT_EQ(result.outlet.size(), 5u);
+    EXPECT_EQ(result.final_state.num_species(), 5u);
+    EXPECT_EQ(result.final_state.width(),
+              static_cast<std::size_t>(channel.num_cells));
+    for (std::size_t s = 0; s < result.budgets.size(); ++s) {
+      ExpectConserved(result.budgets[s], AdvectionSchemeName(scheme));
+    }
+    for (const auto& series : result.outlet) {
+      for (double v : series) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(ChannelConservationTest, BudgetStaysExactAcrossWatchdogAbort) {
+  // A deliberately explosive process: d/dt = exp(8 * M_NO3) saturates the
+  // clamp within a few days and trips the watchdog. The reach aborts as a
+  // unit; the committed-substep budget must still telescope exactly.
+  const TransportScenario scenario = SmallScenario(1);
+  const std::vector<e::ExprPtr> explosive = {
+      e::Exp(e::Mul(e::Constant(8.0), e::Variable(0, "M_NO3")))};
+  SimulationConfig config;
+  config.num_species = 1;
+  config.max_saturated_substeps = 4;
+
+  for (AdvectionScheme scheme :
+       {AdvectionScheme::kUpwind, AdvectionScheme::kQuick}) {
+    ChannelConfig channel;
+    channel.scheme = scheme;
+    channel.num_cells = 4;
+    const ChannelResult result = SimulateChannel(
+        explosive, scenario.true_parameters, scenario.dataset, 0, 60,
+        scenario.constituents, config, channel);
+    EXPECT_TRUE(result.report.aborted) << AdvectionSchemeName(scheme);
+    EXPECT_EQ(result.report.outcome, EvalOutcome::kClampSaturated);
+    ASSERT_EQ(result.budgets.size(), 1u);
+    ExpectConserved(result.budgets[0], AdvectionSchemeName(scheme));
+    // Post-abort outlet samples deterministically predict the penalty.
+    ASSERT_FALSE(result.outlet[0].empty());
+    EXPECT_EQ(result.outlet[0].back(), config.state_max);
+  }
+}
+
+TEST(ChannelConservationTest, GeometryValidationIsTyped) {
+  const ConstituentSet set = ConstituentSet::Transport(2);
+  ChannelConfig channel;
+  channel.num_cells = 0;
+  EXPECT_FALSE(ValidateChannel(channel, set).ok());
+  channel.num_cells = 4;
+  channel.velocity = -1.0;
+  EXPECT_FALSE(ValidateChannel(channel, set).ok());
+  channel.velocity = 100.0;
+  channel.inflow = {1.0};  // Wrong length for a two-species registry.
+  EXPECT_EQ(ValidateChannel(channel, set).code,
+            ConfigErrorCode::kSpeciesCountMismatch);
+  channel.inflow = {1.0, 0.5};
+  EXPECT_TRUE(ValidateChannel(channel, set).ok());
+}
+
+// ------------------------------------------------------- fitness widths ----
+
+TEST(TransportFitnessTest, StateAndParameterWidthsFollowRegistry) {
+  const TransportScenario scenario = SmallScenario(5);
+  const RiverFitness fitness = RiverFitness::ForTrainingWith(
+      &scenario.dataset, scenario.constituents);
+  EXPECT_EQ(fitness.num_states(), 5u);
+  EXPECT_EQ(fitness.num_parameters(),
+            static_cast<std::size_t>(kNumTransportParameters));
+  EXPECT_EQ(fitness.num_cases(), scenario.dataset.train_end);
+
+  const RiverDataset dataset = SmallDataset();
+  const RiverFitness legacy = RiverFitness::ForTraining(&dataset);
+  EXPECT_EQ(legacy.num_states(), 2u);
+}
+
+// --------------------------------------------- end-to-end GMR + resume ----
+
+core::GmrConfig TinyGmrConfig() {
+  core::GmrConfig config;
+  config.tag3p.population_size = 12;
+  config.tag3p.max_generations = 3;
+  config.tag3p.local_search_steps = 1;
+  config.tag3p.sigma_rampdown_generations = 2;
+  config.tag3p.seed = 33;
+  return config;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string path = testing::TempDir() + "/transport_test_" + name;
+  std::error_code ignore;
+  fs::remove_all(path, ignore);
+  fs::create_directories(path);
+  return path;
+}
+
+/// DescribeModel text + bitwise accuracy: a complete digest of one run.
+std::string Digest(const core::GmrRunResult& result,
+                   const ConstituentSet& constituents) {
+  std::string digest = core::DescribeModel(result.best_equations,
+                                           constituents);
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "\ntrain=%llx test=%llx",
+                static_cast<unsigned long long>(Bits(result.train_rmse)),
+                static_cast<unsigned long long>(Bits(result.test_rmse)));
+  return digest + buffer;
+}
+
+TEST(TransportEndToEndTest, FiveSpeciesGmrRunsAndResumesIdentically) {
+  const TransportScenario scenario = SmallScenario(5);
+  const core::RiverPriorKnowledge knowledge =
+      core::BuildTransportPriorKnowledge(scenario.constituents);
+  EXPECT_EQ(knowledge.priors.size(),
+            static_cast<std::size_t>(kNumTransportParameters));
+
+  const core::GmrConfig config = TinyGmrConfig();
+  const core::GmrProblem problem{&scenario.dataset, &knowledge,
+                                 &scenario.constituents};
+  const std::string dir = FreshDir("resume5");
+
+  auto run_segment = [&] {
+    ckpt::CheckpointOptions options;
+    options.dir = dir;
+    options.every_steps = 1;
+    options.retain = 64;
+    ckpt::Checkpointer checkpointer(options);
+    obs::RunContext context;
+    context.checkpointer = &checkpointer;
+    return core::RunGmr(config, problem, context);
+  };
+
+  const core::GmrRunResult full = run_segment();
+  ASSERT_EQ(full.best_equations.size(), 5u);
+  EXPECT_TRUE(std::isfinite(full.train_rmse));
+  EXPECT_TRUE(std::isfinite(full.test_rmse));
+  const std::string description =
+      core::DescribeModel(full.best_equations, scenario.constituents);
+  EXPECT_NE(description.find("dM_NO3/dt"), std::string::npos);
+  EXPECT_NE(description.find("dM_SED/dt"), std::string::npos);
+
+  // Rewind the snapshot store to a mid-run step, as if the process had
+  // been killed there, and rerun: the continuation must reproduce the
+  // uninterrupted result bit-identically.
+  {
+    ckpt::SnapshotStore store(dir, /*retain=*/64);
+    ASSERT_GE(store.entries().size(), 2u);
+    const std::uint64_t mid =
+        store.entries()[(store.entries().size() - 1) / 2].step;
+    ASSERT_TRUE(store.DropNewerThan(mid).ok());
+  }
+  const core::GmrRunResult resumed = run_segment();
+  EXPECT_EQ(Digest(full, scenario.constituents),
+            Digest(resumed, scenario.constituents));
+}
+
+}  // namespace
+}  // namespace gmr::river
