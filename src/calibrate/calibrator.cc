@@ -1,6 +1,7 @@
 #include "calibrate/calibrator.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "calibrate/resume.h"
 #include "ckpt/checkpoint.h"
@@ -125,7 +126,9 @@ CalibrationResult Run(const Calibrator& method,
   BoxBounds bounds;
   std::vector<double> initial;
   Objective reduced_objective;
+  GradientObjective reduced_gradient;
   const Objective* objective = &problem.objective;
+  const GradientObjective* gradient = &problem.gradient;
   if (reduced) {
     GMR_CHECK_EQ(problem.initial.size(), full_dim);
     for (const std::size_t i : active_dims) {
@@ -144,6 +147,30 @@ CalibrationResult Run(const Calibrator& method,
       return problem.objective(full);
     };
     objective = &reduced_objective;
+    if (problem.gradient) {
+      // The reduced gradient evaluates the full gradient at the expanded
+      // point and slices out the active dimensions; frozen (provably
+      // inactive) dimensions never reach the method. A full-side failure
+      // (size mismatch) propagates as an all-NaN reduced gradient.
+      reduced_gradient = [&problem, &active_dims](
+                             const std::vector<double>& x,
+                             std::vector<double>* g) {
+        std::vector<double> full = problem.initial;
+        for (std::size_t j = 0; j < active_dims.size(); ++j) {
+          full[active_dims[j]] = x[j];
+        }
+        std::vector<double> full_g;
+        const double value = problem.gradient(full, &full_g);
+        g->assign(x.size(), std::numeric_limits<double>::quiet_NaN());
+        if (full_g.size() == full.size()) {
+          for (std::size_t j = 0; j < active_dims.size(); ++j) {
+            (*g)[j] = full_g[active_dims[j]];
+          }
+        }
+        return value;
+      };
+      gradient = &reduced_gradient;
+    }
   } else {
     bounds = problem.bounds;
     initial = problem.initial;
@@ -177,8 +204,12 @@ CalibrationResult Run(const Calibrator& method,
   }
   Rng own_rng(config.seed);
   Rng& rng = context.rng != nullptr ? *context.rng : own_rng;
-  CalibrationResult result = method.Calibrate(*objective, bounds, initial,
-                                              config.budget, rng, context);
+  CalibrationResult result =
+      problem.gradient
+          ? method.CalibrateWithGradient(*objective, *gradient, bounds,
+                                         initial, config.budget, rng, context)
+          : method.Calibrate(*objective, bounds, initial, config.budget, rng,
+                             context);
   if (reduced && result.best_parameters.size() == active_dims.size()) {
     std::vector<double> full = problem.initial;
     for (std::size_t j = 0; j < active_dims.size(); ++j) {

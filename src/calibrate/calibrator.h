@@ -32,6 +32,17 @@ BoxBounds BoundsFromPriors(const gp::ParameterPriors& priors);
 /// MANUAL process in the river task).
 using Objective = std::function<double(const std::vector<double>&)>;
 
+/// Gradient-reporting objective: returns the objective value and fills
+/// `*gradient` (resized to the query dimension) with ∂f/∂x. A failed
+/// gradient — reverse-mode tape unavailable, non-finite adjoints — is
+/// signaled by non-finite entries (or a size mismatch); gradient-based
+/// methods then degrade to their derivative-free path instead of
+/// trusting a poisoned direction. One call is charged one budget unit,
+/// exactly like a value evaluation (the adjoint costs a small constant
+/// factor of the forward rollout, not 2·dim of it).
+using GradientObjective =
+    std::function<double(const std::vector<double>&, std::vector<double>*)>;
+
 struct CalibrationResult {
   std::vector<double> best_parameters;
   double best_objective = 0.0;
@@ -71,6 +82,19 @@ class Calibrator {
     return Calibrate(objective, bounds, initial, budget, rng,
                      obs::RunContext{});
   }
+
+  /// Gradient-aware entry point, dispatched by Run() when the problem
+  /// carries a GradientObjective. The default ignores the gradient and
+  /// runs the derivative-free Calibrate, so every method accepts
+  /// gradient-carrying problems; L-BFGS/Adam override this to actually
+  /// consume it.
+  virtual CalibrationResult CalibrateWithGradient(
+      const Objective& objective, const GradientObjective& gradient,
+      const BoxBounds& bounds, const std::vector<double>& initial,
+      std::size_t budget, Rng& rng, const obs::RunContext& context) const {
+    (void)gradient;
+    return Calibrate(objective, bounds, initial, budget, rng, context);
+  }
 };
 
 /// Method-independent calibration settings, the config side of the unified
@@ -93,6 +117,12 @@ struct CalibrationProblem {
   /// activity pass (analysis/activity.h InactiveParameters over the
   /// candidate's output closure). Must match bounds.dim() when non-empty.
   std::vector<std::uint8_t> active;
+  /// Optional exact gradient of `objective` (the reverse-mode discrete
+  /// adjoint of the rollout; see grad/adjoint.h). When set, Run() hands
+  /// the method the gradient-aware entry point — reduced to the active
+  /// subspace exactly like the objective. Empty keeps every method on its
+  /// derivative-free path.
+  GradientObjective gradient;
 };
 
 /// Unified driver entry point: runs `method` on `problem` under `config`,

@@ -1,0 +1,417 @@
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "calibrate/methods.h"
+#include "calibrate/resume.h"
+#include "common/check.h"
+
+namespace gmr::calibrate {
+namespace {
+
+constexpr char kCurrentSection[] = "current";
+constexpr char kGradientSection[] = "gradient";
+constexpr char kSMemSection[] = "smem";
+constexpr char kYMemSection[] = "ymem";
+constexpr char kAdamMSection[] = "adam_m";
+constexpr char kAdamVSection[] = "adam_v";
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+bool AllFinite(const std::vector<double>& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+/// Budget-accounted gradient access shared by L-BFGS and Adam. Every
+/// evaluation — value-only, adjoint gradient, or finite-difference probe —
+/// routes through one BudgetedObjective, so the budget, incumbent, and
+/// containment accounting are identical to the derivative-free methods'.
+/// An adjoint gradient call is charged one unit (it costs a small constant
+/// factor of a rollout); the FD fallback charges 2·dim units per gradient,
+/// with probes clamped into the box (a probe can become the incumbent, so
+/// it must be feasible).
+class GradientAccount {
+ public:
+  GradientAccount(const Objective& objective, const GradientObjective* gradient,
+                  const BoxBounds& bounds, std::size_t budget)
+      : objective_(&objective),
+        gradient_(gradient != nullptr && *gradient ? gradient : nullptr),
+        bounds_(&bounds),
+        dispatch_([this](const std::vector<double>& x) {
+          if (grad_out_ != nullptr) {
+            std::vector<double>* g = grad_out_;
+            grad_out_ = nullptr;
+            return (*gradient_)(x, g);
+          }
+          return (*objective_)(x);
+        }),
+        f_(&dispatch_, budget) {}
+
+  BudgetedObjective& f() { return f_; }
+  bool has_adjoint() const { return gradient_ != nullptr; }
+
+  double Value(const std::vector<double>& x) { return f_(x); }
+
+  /// Evaluates f and ∂f/∂x. False when the gradient is untrustworthy
+  /// (non-finite entries, dimension mismatch, failed/contained probes):
+  /// the caller degrades to derivative-free search.
+  bool ValueAndGradient(const std::vector<double>& x, double* value,
+                        std::vector<double>* g) {
+    if (gradient_ != nullptr) {
+      grad_out_ = g;
+      g->clear();
+      *value = f_(x);
+      grad_out_ = nullptr;  // not consumed when the budget was exhausted
+      return *value < 1e300 && g->size() == x.size() && AllFinite(*g);
+    }
+    *value = f_(x);
+    if (*value >= 1e300) return false;
+    g->assign(x.size(), 0.0);
+    std::vector<double> probe = x;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double span = bounds_->hi[i] - bounds_->lo[i];
+      const double h =
+          std::max(1e-6 * std::max(std::abs(x[i]), 1.0), 1e-9 * span);
+      const double xp = std::min(x[i] + h, bounds_->hi[i]);
+      const double xm = std::max(x[i] - h, bounds_->lo[i]);
+      if (xp == xm) continue;  // degenerate (zero-width) dimension
+      probe[i] = xp;
+      const double fp = f_(probe);
+      probe[i] = xm;
+      const double fm = f_(probe);
+      probe[i] = x[i];
+      if (fp >= 1e300 || fm >= 1e300) return false;
+      (*g)[i] = (fp - fm) / (xp - xm);
+    }
+    return AllFinite(*g);
+  }
+
+ private:
+  const Objective* objective_;
+  const GradientObjective* gradient_;
+  const BoxBounds* bounds_;
+  std::vector<double>* grad_out_ = nullptr;
+  Objective dispatch_;
+  BudgetedObjective f_;
+};
+
+/// Permanent degrade: gradient information failed (or the local search
+/// converged with budget left), so the remaining budget goes to the
+/// derivative-free MLE simplex, restarted from the gradient incumbent. The
+/// two accounts merge; the better incumbent wins.
+CalibrationResult DegradeToDerivativeFree(const Objective& objective,
+                                          const BoxBounds& bounds,
+                                          const std::vector<double>& initial,
+                                          std::size_t budget, Rng& rng,
+                                          const obs::RunContext& context,
+                                          BudgetedObjective& f) {
+  const std::vector<double> start =
+      f.best_x().empty() ? initial : f.best_x();
+  const std::size_t remaining = budget - std::min(budget, f.used());
+  CalibrationResult result{f.best_x(), f.best_f(), f.used(),
+                           f.task_failures()};
+  if (remaining == 0) return result;
+  // The nested run gets a bare context: checkpoints of the outer gradient
+  // run must not be overwritten by the inner method's (differently
+  // fingerprinted) snapshots.
+  obs::RunContext inner_context;
+  inner_context.sink = context.sink;
+  const CalibrationResult inner = MleCalibrator().Calibrate(
+      objective, bounds, start, remaining, rng, inner_context);
+  result.evaluations += inner.evaluations;
+  result.failed_evaluations += inner.failed_evaluations;
+  if (inner.best_objective < result.best_objective) {
+    result.best_parameters = inner.best_parameters;
+    result.best_objective = inner.best_objective;
+  }
+  return result;
+}
+
+struct LbfgsState {
+  std::vector<double> x;
+  double fx = 1e300;
+  std::vector<double> g;
+  std::vector<ScoredPoint> s_mem;  // score slot carries rho = 1/(s·y)
+  std::vector<ScoredPoint> y_mem;
+};
+
+/// Two-loop recursion over the (s, y) memory; steepest descent when empty.
+std::vector<double> LbfgsDirection(const LbfgsState& state) {
+  std::vector<double> q = state.g;
+  const std::size_t m = state.s_mem.size();
+  std::vector<double> alpha(m, 0.0);
+  for (std::size_t i = m; i-- > 0;) {
+    alpha[i] = state.s_mem[i].f * Dot(state.s_mem[i].x, q);
+    for (std::size_t d = 0; d < q.size(); ++d) {
+      q[d] -= alpha[i] * state.y_mem[i].x[d];
+    }
+  }
+  if (m > 0) {
+    const double yy = Dot(state.y_mem[m - 1].x, state.y_mem[m - 1].x);
+    if (yy > 0.0) {
+      const double gamma =
+          Dot(state.s_mem[m - 1].x, state.y_mem[m - 1].x) / yy;
+      for (double& qi : q) qi *= gamma;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const double beta = state.s_mem[i].f * Dot(state.y_mem[i].x, q);
+    for (std::size_t d = 0; d < q.size(); ++d) {
+      q[d] += (alpha[i] - beta) * state.s_mem[i].x[d];
+    }
+  }
+  for (double& qi : q) qi = -qi;
+  return q;
+}
+
+}  // namespace
+
+CalibrationResult LbfgsCalibrator::Calibrate(
+    const Objective& objective, const BoxBounds& bounds,
+    const std::vector<double>& initial, std::size_t budget, Rng& rng,
+    const obs::RunContext& context) const {
+  return CalibrateWithGradient(objective, GradientObjective{}, bounds,
+                               initial, budget, rng, context);
+}
+
+CalibrationResult LbfgsCalibrator::CalibrateWithGradient(
+    const Objective& objective, const GradientObjective& gradient,
+    const BoxBounds& bounds, const std::vector<double>& initial,
+    std::size_t budget, Rng& rng, const obs::RunContext& context) const {
+  constexpr std::size_t kMemory = 5;
+  constexpr int kMaxLinesearch = 25;
+  constexpr double kArmijo = 1e-4;
+  constexpr double kCurvatureFloor = 1e-12;
+
+  GradientAccount account(objective, &gradient, bounds, budget);
+  BudgetedObjective& f = account.f();
+  f.AttachTelemetry(context.sink, name());
+  obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
+  ckpt::Checkpointer* checkpointer = context.checkpointer;
+
+  LbfgsState state;
+  std::uint64_t iteration = 0;
+  bool resumed = false;
+  if (checkpointer != nullptr) {
+    if (const ckpt::Snapshot* snapshot = checkpointer->ResumeFor(
+            "calibrate",
+            CalibrateFingerprint(name(), budget, bounds, initial))) {
+      std::vector<ScoredPoint> current;
+      std::vector<ScoredPoint> grad_point;
+      LbfgsState restored;
+      if (ParsePointsSection(*snapshot, kCurrentSection, 1, &current) &&
+          ParsePointsSection(*snapshot, kGradientSection, 1, &grad_point) &&
+          ParsePointsSection(*snapshot, kSMemSection, 0, &restored.s_mem) &&
+          ParsePointsSection(*snapshot, kYMemSection, 0, &restored.y_mem) &&
+          restored.s_mem.size() == restored.y_mem.size() &&
+          RestoreCalibrateCommon(*snapshot, &rng, &f)) {
+        state = std::move(restored);
+        state.x = std::move(current[0].x);
+        state.fx = current[0].f;
+        state.g = std::move(grad_point[0].x);
+        iteration = snapshot->step;
+        resumed = true;
+      }
+    }
+  }
+
+  if (!resumed) {
+    state.x = initial;
+    bounds.Clamp(&state.x);
+    if (!account.ValueAndGradient(state.x, &state.fx, &state.g)) {
+      return DegradeToDerivativeFree(objective, bounds, initial, budget, rng,
+                                     context, f);
+    }
+  }
+
+  while (!f.Exhausted()) {
+    std::vector<double> direction = LbfgsDirection(state);
+    if (Dot(direction, state.g) >= 0.0) {
+      // Memory produced an ascent (or null) direction: reset to steepest
+      // descent.
+      state.s_mem.clear();
+      state.y_mem.clear();
+      direction = state.g;
+      for (double& d : direction) d = -d;
+    }
+    // Projected backtracking: candidates are clamped into the box and the
+    // Armijo decrease is measured along the projected displacement.
+    bool accepted = false;
+    std::vector<double> xt;
+    double ft = 1e300;
+    double t = 1.0;
+    for (int ls = 0; ls < kMaxLinesearch && !f.Exhausted(); ++ls, t *= 0.5) {
+      xt = state.x;
+      for (std::size_t d = 0; d < xt.size(); ++d) {
+        xt[d] += t * direction[d];
+      }
+      bounds.Clamp(&xt);
+      if (xt == state.x) break;  // projection absorbed the whole step
+      std::vector<double> displacement(xt.size());
+      for (std::size_t d = 0; d < xt.size(); ++d) {
+        displacement[d] = xt[d] - state.x[d];
+      }
+      const double slope = Dot(state.g, displacement);
+      ft = account.Value(xt);
+      if (ft < state.fx + kArmijo * std::min(slope, 0.0) && ft < 1e300) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      // Converged (or the line search ran dry): hand the leftover budget
+      // to the derivative-free path rather than idling.
+      return DegradeToDerivativeFree(objective, bounds, initial, budget, rng,
+                                     context, f);
+    }
+    std::vector<double> g_next;
+    double f_next = 1e300;
+    if (!account.ValueAndGradient(xt, &f_next, &g_next)) {
+      return DegradeToDerivativeFree(objective, bounds, initial, budget, rng,
+                                     context, f);
+    }
+    ScoredPoint s;
+    ScoredPoint y;
+    s.x.resize(xt.size());
+    y.x.resize(xt.size());
+    for (std::size_t d = 0; d < xt.size(); ++d) {
+      s.x[d] = xt[d] - state.x[d];
+      y.x[d] = g_next[d] - state.g[d];
+    }
+    const double sy = Dot(s.x, y.x);
+    if (sy > kCurvatureFloor) {
+      s.f = 1.0 / sy;  // rho rides in the score slot
+      y.f = 0.0;
+      state.s_mem.push_back(std::move(s));
+      state.y_mem.push_back(std::move(y));
+      if (state.s_mem.size() > kMemory) {
+        state.s_mem.erase(state.s_mem.begin());
+        state.y_mem.erase(state.y_mem.begin());
+      }
+    }
+    state.x = std::move(xt);
+    state.fx = f_next;
+    state.g = std::move(g_next);
+
+    ++iteration;
+    if (checkpointer != nullptr && checkpointer->ShouldSnapshot(iteration)) {
+      sink->Flush();
+      ckpt::Snapshot snapshot = MakeCalibrateSnapshot(
+          name(), iteration, budget, bounds, initial, rng, f);
+      AddPointsSection(&snapshot, kCurrentSection, {{state.x, state.fx}});
+      AddPointsSection(&snapshot, kGradientSection, {{state.g, 0.0}});
+      AddPointsSection(&snapshot, kSMemSection, state.s_mem);
+      AddPointsSection(&snapshot, kYMemSection, state.y_mem);
+      checkpointer->Save(std::move(snapshot));
+    }
+  }
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
+}
+
+CalibrationResult AdamCalibrator::Calibrate(
+    const Objective& objective, const BoxBounds& bounds,
+    const std::vector<double>& initial, std::size_t budget, Rng& rng,
+    const obs::RunContext& context) const {
+  return CalibrateWithGradient(objective, GradientObjective{}, bounds,
+                               initial, budget, rng, context);
+}
+
+CalibrationResult AdamCalibrator::CalibrateWithGradient(
+    const Objective& objective, const GradientObjective& gradient,
+    const BoxBounds& bounds, const std::vector<double>& initial,
+    std::size_t budget, Rng& rng, const obs::RunContext& context) const {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEpsilon = 1e-8;
+  constexpr double kLrSpanFraction = 0.02;
+
+  GradientAccount account(objective, &gradient, bounds, budget);
+  BudgetedObjective& f = account.f();
+  f.AttachTelemetry(context.sink, name());
+  obs::TelemetrySink* sink = obs::ResolveSink(context.sink);
+  ckpt::Checkpointer* checkpointer = context.checkpointer;
+  const std::size_t dim = bounds.dim();
+
+  std::vector<double> x;
+  double fx = 1e300;
+  std::vector<double> g;
+  std::vector<double> m(dim, 0.0);
+  std::vector<double> v(dim, 0.0);
+  std::uint64_t iteration = 0;
+  bool resumed = false;
+  if (checkpointer != nullptr) {
+    if (const ckpt::Snapshot* snapshot = checkpointer->ResumeFor(
+            "calibrate",
+            CalibrateFingerprint(name(), budget, bounds, initial))) {
+      std::vector<ScoredPoint> current;
+      std::vector<ScoredPoint> grad_point;
+      std::vector<ScoredPoint> m_point;
+      std::vector<ScoredPoint> v_point;
+      if (ParsePointsSection(*snapshot, kCurrentSection, 1, &current) &&
+          ParsePointsSection(*snapshot, kGradientSection, 1, &grad_point) &&
+          ParsePointsSection(*snapshot, kAdamMSection, 1, &m_point) &&
+          ParsePointsSection(*snapshot, kAdamVSection, 1, &v_point) &&
+          RestoreCalibrateCommon(*snapshot, &rng, &f)) {
+        x = std::move(current[0].x);
+        fx = current[0].f;
+        g = std::move(grad_point[0].x);
+        m = std::move(m_point[0].x);
+        v = std::move(v_point[0].x);
+        iteration = snapshot->step;
+        resumed = true;
+      }
+    }
+  }
+
+  if (!resumed) {
+    x = initial;
+    bounds.Clamp(&x);
+    if (!account.ValueAndGradient(x, &fx, &g)) {
+      return DegradeToDerivativeFree(objective, bounds, initial, budget, rng,
+                                     context, f);
+    }
+  }
+
+  while (!f.Exhausted()) {
+    ++iteration;
+    const double bias1 =
+        1.0 - std::pow(kBeta1, static_cast<double>(iteration));
+    const double bias2 =
+        1.0 - std::pow(kBeta2, static_cast<double>(iteration));
+    for (std::size_t d = 0; d < dim; ++d) {
+      m[d] = kBeta1 * m[d] + (1.0 - kBeta1) * g[d];
+      v[d] = kBeta2 * v[d] + (1.0 - kBeta2) * g[d] * g[d];
+      const double m_hat = m[d] / bias1;
+      const double v_hat = v[d] / bias2;
+      const double lr = kLrSpanFraction * (bounds.hi[d] - bounds.lo[d]);
+      x[d] -= lr * m_hat / (std::sqrt(v_hat) + kEpsilon);
+    }
+    bounds.Clamp(&x);
+    if (!account.ValueAndGradient(x, &fx, &g)) {
+      return DegradeToDerivativeFree(objective, bounds, initial, budget, rng,
+                                     context, f);
+    }
+    if (checkpointer != nullptr && checkpointer->ShouldSnapshot(iteration)) {
+      sink->Flush();
+      ckpt::Snapshot snapshot = MakeCalibrateSnapshot(
+          name(), iteration, budget, bounds, initial, rng, f);
+      AddPointsSection(&snapshot, kCurrentSection, {{x, fx}});
+      AddPointsSection(&snapshot, kGradientSection, {{g, 0.0}});
+      AddPointsSection(&snapshot, kAdamMSection, {{m, 0.0}});
+      AddPointsSection(&snapshot, kAdamVSection, {{v, 0.0}});
+      checkpointer->Save(std::move(snapshot));
+    }
+  }
+  return {f.best_x(), f.best_f(), f.used(), f.task_failures()};
+}
+
+}  // namespace gmr::calibrate

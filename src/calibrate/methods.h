@@ -130,7 +130,50 @@ class DeMczCalibrator : public Calibrator {
                               const obs::RunContext& context) const override;
 };
 
-/// All nine calibrators, in Table V order.
+/// (j) L-BFGS: limited-memory quasi-Newton with projected backtracking
+/// line search, consuming the exact reverse-mode rollout gradient when the
+/// problem carries one (grad/adjoint.h) and central finite differences
+/// otherwise. Gradient failures — tape faults, non-finite adjoints — and
+/// line-search convergence degrade permanently to the derivative-free MLE
+/// simplex on the remaining budget. Deterministic: the gradient path draws
+/// no random numbers.
+class LbfgsCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "L-BFGS"; }
+  using Calibrator::Calibrate;
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
+  CalibrationResult CalibrateWithGradient(
+      const Objective& objective, const GradientObjective& gradient,
+      const BoxBounds& bounds, const std::vector<double>& initial,
+      std::size_t budget, Rng& rng,
+      const obs::RunContext& context) const override;
+};
+
+/// (k) Adam: first-order moment-adaptive descent with per-dimension step
+/// sizes scaled to the box span. Same gradient sourcing and degrade
+/// discipline as L-BFGS.
+class AdamCalibrator : public Calibrator {
+ public:
+  const char* name() const override { return "Adam"; }
+  using Calibrator::Calibrate;
+  CalibrationResult Calibrate(const Objective& objective,
+                              const BoxBounds& bounds,
+                              const std::vector<double>& initial,
+                              std::size_t budget, Rng& rng,
+                              const obs::RunContext& context) const override;
+  CalibrationResult CalibrateWithGradient(
+      const Objective& objective, const GradientObjective& gradient,
+      const BoxBounds& bounds, const std::vector<double>& initial,
+      std::size_t budget, Rng& rng,
+      const obs::RunContext& context) const override;
+};
+
+/// All eleven calibrators: the nine Table V baselines in table order, then
+/// the two gradient-based methods.
 std::vector<std::unique_ptr<Calibrator>> AllCalibrators();
 
 }  // namespace gmr::calibrate

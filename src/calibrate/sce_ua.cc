@@ -206,6 +206,8 @@ std::vector<std::unique_ptr<Calibrator>> AllCalibrators() {
   calibrators.push_back(std::make_unique<DreamCalibrator>());
   calibrators.push_back(std::make_unique<SceUaCalibrator>());
   calibrators.push_back(std::make_unique<DeMczCalibrator>());
+  calibrators.push_back(std::make_unique<LbfgsCalibrator>());
+  calibrators.push_back(std::make_unique<AdamCalibrator>());
   return calibrators;
 }
 

@@ -15,6 +15,7 @@
 #include "expr/parser.h"
 #include "expr/print.h"
 #include "expr/simplify.h"
+#include "grad/tape.h"
 #include "tag/derivation.h"
 
 namespace gmr::check {
@@ -437,6 +438,141 @@ OracleResult CheckActivitySound(const ExprCase& c, const OracleContext& ctx) {
   return OracleResult::Pass();
 }
 
+OracleResult CheckGradcheck(const ExprCase& c, const OracleContext& ctx) {
+  const std::size_t num_params = c.parameters.size();
+  // Same env model as the activity oracle: variable domains from the
+  // config, parameter *boxes* (so pruning verdicts quantify over the
+  // admissible range), unbounded beyond the declared slots.
+  analysis::DomainEnv env;
+  env.variables = ctx.config->domains.variables;
+  env.parameters = ctx.config->domains.parameters;
+  env.parameters.resize(num_params, analysis::Interval::All());
+  const int num_vars = static_cast<int>(env.variables.size());
+  const grad::Tape tape(*c.tree, static_cast<int>(num_params), num_vars,
+                        nullptr);
+  const grad::Tape pruned(*c.tree, static_cast<int>(num_params), num_vars,
+                          &env);
+  const std::vector<int> inactive = analysis::InactiveParameters(
+      analysis::AnalyzeActivity(*c.tree, env),
+      static_cast<int>(num_params));
+  std::vector<double> values(tape.size());
+  std::vector<double> pruned_values(pruned.size());
+  std::vector<double> cotangents(std::max(tape.size(), pruned.size()));
+  std::vector<double> adj(num_params);
+  std::vector<double> state_adj(static_cast<std::size_t>(num_vars));
+  std::vector<double> pruned_adj(num_params);
+  std::vector<double> pruned_state_adj(static_cast<std::size_t>(num_vars));
+
+  const auto fail = [&c](const std::string& what) {
+    std::ostringstream out;
+    out.precision(17);
+    out << what << " on " << expr::ToString(*c.tree) << " (seed " << c.seed
+        << ")";
+    return OracleResult::Fail(out.str());
+  };
+
+  for (const auto& vars : SampleContexts(c, ctx)) {
+    const auto ec = MakeEvalContext(vars, c.parameters);
+    const double want = expr::EvalExpr(*c.tree, ec);
+    const double f0 = tape.Forward(ec, values.data());
+    if (ckpt::HexDouble(f0) != ckpt::HexDouble(want)) {
+      return fail("tape forward value disagrees with interpreter: got " +
+                  std::to_string(f0) + ", want " + std::to_string(want));
+    }
+    const double pruned_f0 = pruned.Forward(ec, pruned_values.data());
+    if (ckpt::HexDouble(pruned_f0) != ckpt::HexDouble(want)) {
+      return fail("pruned tape forward value disagrees with interpreter");
+    }
+    std::fill(adj.begin(), adj.end(), 0.0);
+    std::fill(state_adj.begin(), state_adj.end(), 0.0);
+    tape.Reverse(values.data(), 1.0, adj.data(), state_adj.data(),
+                 cotangents.data());
+    std::fill(pruned_adj.begin(), pruned_adj.end(), 0.0);
+    std::fill(pruned_state_adj.begin(), pruned_state_adj.end(), 0.0);
+    pruned.Reverse(pruned_values.data(), 1.0, pruned_adj.data(),
+                   pruned_state_adj.data(), cotangents.data());
+    // Zero-gradient guarantee: a provably-inactive parameter's adjoint is
+    // exactly 0.0 on the pruned tape, whatever the runtime values did.
+    for (const int slot : inactive) {
+      if (pruned_adj[static_cast<std::size_t>(slot)] != 0.0) {
+        return fail("activity-pruned parameter slot " +
+                    std::to_string(slot) + " has nonzero adjoint");
+      }
+    }
+    // Finite-difference band check per parameter slot.
+    if (!std::isfinite(f0) || std::abs(f0) > 1e100) continue;
+    std::vector<double> probe = c.parameters;
+    for (std::size_t i = 0; i < num_params; ++i) {
+      const double p = c.parameters[i];
+      const double h = 1e-6 * std::max(std::abs(p), 1.0);
+      const auto eval_at = [&](double value) {
+        probe[i] = value;
+        const double f = expr::EvalExpr(*c.tree, MakeEvalContext(vars, probe));
+        probe[i] = p;
+        return f;
+      };
+      const double fp = eval_at(p + h);
+      const double fm = eval_at(p - h);
+      const double fp2 = eval_at(p + 0.5 * h);
+      const double fm2 = eval_at(p - 0.5 * h);
+      if (!std::isfinite(fp) || !std::isfinite(fm) || !std::isfinite(fp2) ||
+          !std::isfinite(fm2) || std::abs(fp) > 1e100 ||
+          std::abs(fm) > 1e100) {
+        continue;  // probe left the representable regime; FD is meaningless
+      }
+      const double noise = (std::abs(f0) + std::abs(fp) + std::abs(fm)) *
+                           1e-16 / h;
+      const double central = (fp - fm) / (2.0 * h);
+      const double central_half = (fp2 - fm2) / h;
+      const double right = (fp - f0) / h;
+      const double left = (f0 - fm) / h;
+      const auto tol = [&](double est) {
+        return 5e-3 * std::max(std::abs(adj[i]), std::abs(est)) + 1e-6 +
+               1e3 * noise;
+      };
+      // Self-consistency: when halving h moves the central estimate by
+      // more than the acceptance band, the function is kinked (a clamp or
+      // protection-band boundary sits inside the stencil) and a secant
+      // proves nothing either way.
+      if (std::abs(central - central_half) > tol(central)) continue;
+      // Both tapes face the same FD band. Strict pruned==unpruned equality
+      // would be wrong: pruning drops mathematically-zero flows that the
+      // unpruned tape computes with rounding residue (e.g. the w/p and
+      // w*p/(p*p) halves of d(p/p) round differently), so the pruned
+      // adjoint can be the *more* exact of the two.
+      for (const double* candidate : {&adj[i], &pruned_adj[i]}) {
+        const char* which = candidate == &adj[i] ? "" : "pruned ";
+        if (!std::isfinite(*candidate)) {
+          return fail(std::string("non-finite ") + which + "adjoint for slot " +
+                      std::to_string(i) +
+                      " where finite differences are finite and consistent");
+        }
+        const double a = *candidate;
+        const bool accepted =
+            std::abs(a - central) <= tol(central) ||
+            std::abs(a - central_half) <= tol(central_half) ||
+            std::abs(a - right) <= tol(right) ||
+            std::abs(a - left) <= tol(left);
+        if (!accepted) {
+          std::ostringstream out;
+          out.precision(17);
+          out << which << "adjoint " << a << " for slot " << i
+              << " disagrees with finite differences (central " << central
+              << ", half-step " << central_half << ", right " << right
+              << ", left " << left << ", h " << h << ") on "
+              << expr::ToString(*c.tree) << ", vars [";
+          for (std::size_t v = 0; v < vars.size(); ++v) {
+            out << (v ? ", " : "") << vars[v];
+          }
+          out << "], seed " << c.seed;
+          return OracleResult::Fail(out.str());
+        }
+      }
+    }
+  }
+  return OracleResult::Pass();
+}
+
 namespace {
 
 struct NamedOracle {
@@ -453,6 +589,7 @@ constexpr NamedOracle kExprOracles[] = {
     {"batch_vm", CheckBatchVmAgrees},
     {"batch_width", CheckBatchWidthInvariant},
     {"batch_jit", CheckBatchJitAgrees},
+    {"gradcheck", CheckGradcheck},
 };
 
 }  // namespace

@@ -131,13 +131,25 @@ OracleResult CheckGateSound(const ExprCase& c, const OracleContext& ctx);
 /// rely on when they freeze inactive dimensions.
 OracleResult CheckActivitySound(const ExprCase& c, const OracleContext& ctx);
 
+/// Reverse-mode gradient check (grad/tape.h): on every sampled context the
+/// tape's forward value must agree bitwise (0 ULP) with the tree
+/// interpreter — pruned and unpruned alike — the activity-pruned tape's
+/// adjoints must match the unpruned tape's exactly (with every
+/// provably-inactive parameter's adjoint exactly 0.0), and each unpruned
+/// parameter adjoint must agree with central finite differences within a
+/// relative band that widens with the FD cancellation noise floor. Slots
+/// where the FD estimates disagree among themselves (clamp kinks, band
+/// boundaries — places where a secant slope is meaningless) are skipped; a
+/// non-finite adjoint where FD is finite and self-consistent is a failure.
+OracleResult CheckGradcheck(const ExprCase& c, const OracleContext& ctx);
+
 /// Registry of the expression-case oracles above, keyed by the short names
 /// used in fuzz property filters and corpus `# property:` headers.
 using ExprOracle = OracleResult (*)(const ExprCase&, const OracleContext&);
 
 /// All registered oracle names, in fixed execution order:
 /// vm, simplify, jit, roundtrip, ckpt_roundtrip, interval, gate, activity,
-/// batch_vm, batch_width, batch_jit.
+/// batch_vm, batch_width, batch_jit, gradcheck.
 std::vector<std::string> ExprOracleNames();
 
 /// Looks an oracle up by name; nullptr when unknown.

@@ -63,6 +63,10 @@ bool ParsePoint(const std::string& name, FaultPoint* point) {
     *point = FaultPoint::kCkptCorrupt;
   } else if (name == "resume_torn") {
     *point = FaultPoint::kResumeTorn;
+  } else if (name == "tape_alloc") {
+    *point = FaultPoint::kTapeAlloc;
+  } else if (name == "adjoint_nan") {
+    *point = FaultPoint::kAdjointNan;
   } else {
     return false;
   }
@@ -186,6 +190,10 @@ const char* FaultPointName(FaultPoint point) {
       return "ckpt_corrupt";
     case FaultPoint::kResumeTorn:
       return "resume_torn";
+    case FaultPoint::kTapeAlloc:
+      return "tape_alloc";
+    case FaultPoint::kAdjointNan:
+      return "adjoint_nan";
   }
   return "unknown";
 }

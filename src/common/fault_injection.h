@@ -25,7 +25,12 @@
 /// `ckpt_corrupt` (a successfully written snapshot is bit-rotted on
 /// disk after the fact; the loader must fall back to the previous one),
 /// `resume_torn` (a snapshot read is truncated mid-record, simulating a
-/// torn write surviving a crash).
+/// torn write surviving a crash),
+/// `tape_alloc` (building a reverse-mode gradient tape fails as if
+/// allocation were exhausted; gradient consumers degrade to
+/// derivative-free paths),
+/// `adjoint_nan` (the discrete-adjoint reverse sweep produces a NaN
+/// cotangent; gradients come back flagged invalid, never silently wrong).
 ///
 /// Modes (per-point invocation counter `c`, starting at 0):
 ///   always        fire on every call
@@ -51,9 +56,11 @@ enum class FaultPoint : int {
   kCkptFsync,
   kCkptCorrupt,
   kResumeTorn,
+  kTapeAlloc,
+  kAdjointNan,
 };
 
-inline constexpr std::size_t kNumFaultPoints = 8;
+inline constexpr std::size_t kNumFaultPoints = 10;
 
 const char* FaultPointName(FaultPoint point);
 

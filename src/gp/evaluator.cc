@@ -66,6 +66,9 @@ void EvalStats::Merge(const EvalStats& other) {
   for (std::size_t i = 0; i < analysis::kNumGateRules; ++i) {
     gate_rule_rejects[i] += other.gate_rule_rejects[i];
   }
+  gradient_evaluations += other.gradient_evaluations;
+  tape_nodes += other.tape_nodes;
+  linesearch_steps += other.linesearch_steps;
 }
 
 FitnessEvaluator::FitnessEvaluator(const tag::Grammar* grammar,
@@ -374,6 +377,12 @@ void FitnessEvaluator::EmitBatchEvent(std::size_t n,
                     analysis::GateRuleName(static_cast<analysis::GateRule>(i)),
                 static_cast<double>(batch_stats.gate_rule_rejects[i]));
   }
+  event
+      .Field("gradient_evaluations",
+             static_cast<double>(batch_stats.gradient_evaluations))
+      .Field("tape_nodes", static_cast<double>(batch_stats.tape_nodes))
+      .Field("linesearch_steps",
+             static_cast<double>(batch_stats.linesearch_steps));
   event.Timing("wall_s", batch_stats.wall_seconds)
       .Timing("cpu_s", batch_stats.cpu_seconds)
       .Timing("compile_s", batch_stats.compile_seconds);

@@ -58,6 +58,12 @@ struct EvalStats {
   /// static_cast<std::size_t>(analysis::GateRule); slot 0 = kNone stays
   /// zero). Sums to static_rejects.
   std::size_t gate_rule_rejects[analysis::kNumGateRules] = {};
+  /// Gradient side-channel telemetry (elite constant polish): adjoint
+  /// gradient evaluations, total reverse-mode tape nodes linearized for
+  /// them, and line-search (descent candidate) evaluations spent polishing.
+  std::size_t gradient_evaluations = 0;
+  std::size_t tape_nodes = 0;
+  std::size_t linesearch_steps = 0;
 
   /// Adds every counter of `other` into this (associative and commutative,
   /// so per-thread partial stats can fold in any order).
@@ -151,6 +157,16 @@ class FitnessEvaluator {
 
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats{}; }
+
+  /// Folds gradient side-channel telemetry (elite constant polish) into the
+  /// aggregate statistics. Coordinator-only: the gradient polish runs
+  /// between evaluation batches, never inside one.
+  void NoteGradientWork(std::size_t gradient_evals, std::size_t tape_nodes,
+                        std::size_t linesearch_steps) {
+    stats_.gradient_evaluations += gradient_evals;
+    stats_.tape_nodes += tape_nodes;
+    stats_.linesearch_steps += linesearch_steps;
+  }
 
   /// Attaches a telemetry sink: every RunBatch barrier then emits one
   /// "eval_batch" event from the coordinator (workers never emit, so event

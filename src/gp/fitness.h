@@ -84,6 +84,34 @@ class SequentialFitness {
   }
 };
 
+/// Optional gradient side-channel of a fitness problem: exact derivatives
+/// of the problem's fitness with respect to the constant-parameter vector
+/// for a fixed phenotype. Implemented by the reverse-mode discrete adjoint
+/// (grad::RiverGradientFitness); declared here so the gp layer can consume
+/// gradients — elite constant polish in TAG3P — without depending on the
+/// grad library.
+class GradientFitness {
+ public:
+  /// Gradient-evaluation telemetry folded into EvalStats.
+  struct GradientStats {
+    std::size_t tape_nodes = 0;
+    std::size_t pruned_nodes = 0;
+  };
+
+  virtual ~GradientFitness() = default;
+
+  /// Evaluates fitness and its exact parameter gradient at `parameters`.
+  /// Returns false when no trustworthy gradient exists (tape construction
+  /// failed, adjoints came back non-finite); `*value` still carries the
+  /// fitness. Aborted rollouts are NOT failures: the deterministic penalty
+  /// tail contributes exactly zero gradient, never NaN. Must be safe to
+  /// call concurrently.
+  virtual bool EvaluateGradient(const std::vector<expr::ExprPtr>& equations,
+                                const std::vector<double>& parameters,
+                                double* value, std::vector<double>* gradient,
+                                GradientStats* stats) const = 0;
+};
+
 /// Extrapolates an intermediate fitness observed after `steps` of
 /// `total_steps` cases to an estimate of the final fitness (the EXTRAPOLATE
 /// hook of Algorithm 1).

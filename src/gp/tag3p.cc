@@ -1,6 +1,7 @@
 #include "gp/tag3p.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "ckpt/checkpoint.h"
@@ -33,6 +34,9 @@ std::string EncodeEvalStats(const EvalStats& stats) {
   for (std::size_t i = 0; i < analysis::kNumGateRules; ++i) {
     out += " " + std::to_string(stats.gate_rule_rejects[i]);
   }
+  out += " " + std::to_string(stats.gradient_evaluations);
+  out += " " + std::to_string(stats.tape_nodes);
+  out += " " + std::to_string(stats.linesearch_steps);
   return out;
 }
 
@@ -45,7 +49,7 @@ bool ParseCount(const std::string& token, std::size_t* value) {
 
 bool DecodeEvalStats(const std::string& line, EvalStats* stats) {
   const std::vector<std::string> t = ckpt::TokenizeSExpr(line);
-  if (t.size() != 10 + kNumEvalOutcomes + 2 + analysis::kNumGateRules) {
+  if (t.size() != 10 + kNumEvalOutcomes + 2 + analysis::kNumGateRules + 3) {
     return false;
   }
   EvalStats s;
@@ -70,6 +74,11 @@ bool DecodeEvalStats(const std::string& line, EvalStats* stats) {
   }
   for (std::size_t i = 0; i < analysis::kNumGateRules; ++i) {
     if (!ParseCount(t[at++], &s.gate_rule_rejects[i])) return false;
+  }
+  if (!ParseCount(t[at++], &s.gradient_evaluations) ||
+      !ParseCount(t[at++], &s.tape_nodes) ||
+      !ParseCount(t[at++], &s.linesearch_steps)) {
+    return false;
   }
   *stats = s;
   return true;
@@ -112,6 +121,7 @@ Tag3pEngine::Tag3pEngine(const Tag3pProblem& problem, Tag3pConfig config,
                          const obs::RunContext& context)
     : grammar_(problem.grammar),
       priors_(problem.priors),
+      gradient_(problem.gradient),
       config_(config),
       evaluator_(problem.grammar, problem.fitness, config.speedups),
       own_rng_(config.seed),
@@ -395,6 +405,64 @@ Tag3pResult Tag3pEngine::Run() {
       }
     }
 
+    // Gradient-informed constant polish (see
+    // Tag3pConfig::elite_gradient_steps): projected steepest descent with
+    // step halving on the elite's parameters, driven by the exact
+    // reverse-mode rollout gradient. RNG-free; acceptance only on strict
+    // improvement, evaluated through the evaluator so cache/frontier
+    // discipline is preserved.
+    if (config_.elite_gradient_steps > 0 && gradient_ != nullptr &&
+        !priors_.empty()) {
+      Individual* incumbent = &population.front();
+      for (Individual& individual : population) {
+        if (individual.fitness < incumbent->fitness) incumbent = &individual;
+      }
+      // The polish only moves parameters, never the genotype, so the
+      // phenotype is fixed for the whole descent.
+      const std::vector<expr::ExprPtr> equations =
+          evaluator_.Phenotype(*incumbent);
+      double trust = 1.0;
+      for (int step = 0; step < config_.elite_gradient_steps; ++step) {
+        double value = 0.0;
+        std::vector<double> grad;
+        GradientFitness::GradientStats grad_stats;
+        const bool trustworthy = gradient_->EvaluateGradient(
+            equations, incumbent->parameters, &value, &grad, &grad_stats);
+        evaluator_.NoteGradientWork(1, grad_stats.tape_nodes, 0);
+        if (!trustworthy || grad.size() != incumbent->parameters.size()) {
+          break;  // no usable descent direction (tape fault, NaN adjoint)
+        }
+        double grad_max = 0.0;
+        for (const double g : grad) grad_max = std::max(grad_max, std::abs(g));
+        if (grad_max == 0.0) break;  // flat (e.g. fully aborted rollout)
+        bool accepted = false;
+        for (int halve = 0; halve < 6 && !accepted; ++halve) {
+          Individual candidate = incumbent->Clone();
+          bool moved = false;
+          for (std::size_t i = 0; i < candidate.parameters.size(); ++i) {
+            const double span = priors_[i].hi - priors_[i].lo;
+            double p = candidate.parameters[i] -
+                       trust * 0.1 * span * (grad[i] / grad_max);
+            p = std::min(std::max(p, priors_[i].lo), priors_[i].hi);
+            moved = moved || p != candidate.parameters[i];
+            candidate.parameters[i] = p;
+          }
+          if (moved) {
+            evaluator_.Evaluate(&candidate);
+            evaluator_.NoteGradientWork(0, 0, 1);
+            if (candidate.fitness < incumbent->fitness) {
+              *incumbent = std::move(candidate);
+              accepted = true;
+              break;
+            }
+          }
+          trust *= 0.5;
+        }
+        if (!accepted) break;
+        trust = std::min(1.0, trust * 2.0);
+      }
+    }
+
     GenerationStats stats;
     stats.generation = generation;
     const Individual* best = &population.front();
@@ -448,6 +516,8 @@ std::vector<std::string> Tag3pEngine::CheckpointFingerprint() const {
       {"elite_size", std::to_string(config_.elite_size)},
       {"local_search_steps", std::to_string(config_.local_search_steps)},
       {"elite_polish_steps", std::to_string(config_.elite_polish_steps)},
+      {"elite_gradient_steps",
+       std::to_string(config_.elite_gradient_steps)},
       // State-vector width of the problem: a resume against a checkpoint
       // written for a different constituent registry is refused.
       {"num_species", std::to_string(evaluator_.fitness()->num_states())},

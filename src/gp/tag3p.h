@@ -53,6 +53,17 @@ struct Tag3pConfig {
   /// Gaussian drift. 0 disables.
   int elite_polish_steps = 25;
 
+  /// Gradient-informed elite constant polish (extension, DESIGN.md §4l):
+  /// projected steepest-descent steps (with step halving) on the elite's
+  /// parameter vector, driven by the problem's exact reverse-mode gradient
+  /// (Tag3pProblem::gradient). RNG-free — candidate construction and
+  /// acceptance draw no random numbers — so runs stay deterministic under
+  /// kFrozenFrontier; watchdog-aborted rollouts carry the deterministic
+  /// penalty gradient (never NaN) and simply fail to improve. 0 (the
+  /// default) disables, leaving legacy runs bit-identical. Ignored when
+  /// the problem has no gradient side-channel.
+  int elite_gradient_steps = 0;
+
   /// Gaussian-mutation sigma "ramped down linearly in the final k
   /// generations".
   int sigma_rampdown_generations = 20;
@@ -72,6 +83,11 @@ struct Tag3pProblem {
   const tag::Grammar* grammar = nullptr;
   const SequentialFitness* fitness = nullptr;
   ParameterPriors priors;
+  /// Optional gradient side-channel of `fitness` (borrowed; e.g.
+  /// grad::RiverGradientFitness over the same window). Enables
+  /// Tag3pConfig::elite_gradient_steps; null keeps the search purely
+  /// derivative-free.
+  const GradientFitness* gradient = nullptr;
 };
 
 /// Per-generation search telemetry.
@@ -153,6 +169,7 @@ class Tag3pEngine {
 
   const tag::Grammar* grammar_;
   ParameterPriors priors_;
+  const GradientFitness* gradient_;  ///< Borrowed; null = no polish.
   Tag3pConfig config_;
   FitnessEvaluator evaluator_;
   Rng own_rng_;  ///< Used unless the context supplies an external stream.

@@ -1,0 +1,227 @@
+#include "grad/tape.h"
+
+#include <algorithm>
+#include <limits>
+#include <new>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+
+namespace gmr::grad {
+namespace {
+
+/// Wanted-bit mask for slots [0, count) in the Activity bit layout (slot
+/// >= 63 shares the sticky bit, so large layouts stay conservative).
+std::uint64_t WantedMask(int count) {
+  std::uint64_t mask = 0;
+  for (int slot = 0; slot < count && slot <= 63; ++slot) {
+    mask |= analysis::ActivityBit(slot);
+  }
+  return mask;
+}
+
+struct Builder {
+  std::vector<TapeNode>* nodes;
+  std::unordered_map<const expr::Expr*, std::int32_t> memo;
+
+  std::int32_t Visit(const expr::Expr& node) {
+    const auto it = memo.find(&node);
+    if (it != memo.end()) return it->second;
+    TapeNode out;
+    out.kind = node.kind();
+    switch (node.kind()) {
+      case expr::NodeKind::kConstant:
+        out.constant = node.value();
+        break;
+      case expr::NodeKind::kParameter:
+      case expr::NodeKind::kVariable:
+        out.slot = node.slot();
+        break;
+      default:
+        out.a = Visit(*node.children()[0]);
+        if (node.children().size() > 1) out.b = Visit(*node.children()[1]);
+        break;
+    }
+    const auto index = static_cast<std::int32_t>(nodes->size());
+    nodes->push_back(out);
+    memo.emplace(&node, index);
+    return index;
+  }
+};
+
+}  // namespace
+
+Tape::Tape(const expr::Expr& root, int num_parameters,
+           int num_state_variables, const analysis::DomainEnv* prune_env)
+    : num_parameters_(num_parameters),
+      num_state_variables_(num_state_variables) {
+  if (FaultInjected(FaultPoint::kTapeAlloc)) throw std::bad_alloc();
+  Builder builder{&nodes_, {}};
+  root_ = builder.Visit(root);
+  const std::uint64_t wanted_params = WantedMask(num_parameters_);
+  const std::uint64_t wanted_vars = WantedMask(num_state_variables_);
+  if (prune_env == nullptr) {
+    // No env, no pruning: every node keeps its cotangent slot and the root
+    // is conservatively reported fully active.
+    root_activity_.parameters = wanted_params;
+    root_activity_.variables = wanted_vars;
+    live_nodes_ = nodes_.size();
+    return;
+  }
+  // Per-node activity over the env decides liveness: a node whose value is
+  // provably independent of every wanted slot needs no adjoint, and the
+  // reverse sweep never pushes through it. Subtree queries share the
+  // pointer memo of each AnalyzeActivity call; tapes are built once per
+  // gradient evaluation (not per time step), so the nested queries are off
+  // the hot path.
+  struct Marker {
+    const analysis::DomainEnv* env;
+    std::uint64_t wanted_params;
+    std::uint64_t wanted_vars;
+    std::unordered_map<const expr::Expr*, analysis::Activity> memo;
+
+    const analysis::Activity& Of(const expr::Expr& node) {
+      const auto it = memo.find(&node);
+      if (it != memo.end()) return it->second;
+      return memo.emplace(&node, analysis::AnalyzeActivity(node, *env))
+          .first->second;
+    }
+    bool Live(const expr::Expr& node) {
+      const analysis::Activity& activity = Of(node);
+      return (activity.parameters & wanted_params) != 0 ||
+             (activity.variables & wanted_vars) != 0;
+    }
+  };
+  Marker marker{prune_env, wanted_params, wanted_vars, {}};
+  // Replay the builder's traversal so liveness lands on the right slots.
+  for (const auto& [node, index] : builder.memo) {
+    nodes_[static_cast<std::size_t>(index)].live = marker.Live(*node);
+  }
+  root_activity_ = marker.Of(root);
+  root_activity_.parameters &= wanted_params;
+  root_activity_.variables &= wanted_vars;
+  live_nodes_ = 0;
+  for (const TapeNode& node : nodes_) live_nodes_ += node.live ? 1 : 0;
+}
+
+double Tape::Forward(const expr::EvalContext& ctx, double* values) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const TapeNode& node = nodes_[i];
+    switch (node.kind) {
+      case expr::NodeKind::kConstant:
+        values[i] = node.constant;
+        break;
+      case expr::NodeKind::kParameter:
+        GMR_CHECK_LT(static_cast<std::size_t>(node.slot), ctx.num_parameters);
+        values[i] = ctx.parameters[node.slot];
+        break;
+      case expr::NodeKind::kVariable:
+        GMR_CHECK_LT(static_cast<std::size_t>(node.slot), ctx.num_variables);
+        values[i] = ctx.variables[node.slot];
+        break;
+      default:
+        values[i] = node.b >= 0
+                        ? expr::ApplyBinary(node.kind, values[node.a],
+                                            values[node.b])
+                        : expr::ApplyUnary(node.kind, values[node.a]);
+        break;
+    }
+  }
+  return root_ >= 0 ? values[root_] : 0.0;
+}
+
+void Tape::Reverse(const double* values, double seed,
+                   double* parameter_adjoint, double* state_adjoint,
+                   double* cotangents) const {
+  std::fill(cotangents, cotangents + nodes_.size(), 0.0);
+  if (root_ < 0 || !nodes_[static_cast<std::size_t>(root_)].live) return;
+  if (FaultInjected(FaultPoint::kAdjointNan)) {
+    seed = std::numeric_limits<double>::quiet_NaN();
+  }
+  cotangents[root_] = seed;
+  // A push into a dead operand is dropped: the activity pass proved that
+  // operand's value constant over every wanted slot, so all derivative
+  // flow through it is exactly zero. A zero cotangent is also dropped —
+  // this is what makes pruned parameters come back as exactly 0.0 instead
+  // of a rounding residue, and keeps 0 * inf from minting NaNs on paths
+  // whose true derivative is zero.
+  const auto push = [this, cotangents](std::int32_t index, double dw) {
+    if (nodes_[static_cast<std::size_t>(index)].live) cotangents[index] += dw;
+  };
+  for (std::int32_t i = root_; i >= 0; --i) {
+    const TapeNode& node = nodes_[static_cast<std::size_t>(i)];
+    if (!node.live) continue;
+    const double w = cotangents[i];
+    if (w == 0.0) continue;
+    switch (node.kind) {
+      case expr::NodeKind::kConstant:
+        break;
+      case expr::NodeKind::kParameter:
+        if (node.slot < num_parameters_) parameter_adjoint[node.slot] += w;
+        break;
+      case expr::NodeKind::kVariable:
+        if (node.slot < num_state_variables_) state_adjoint[node.slot] += w;
+        break;
+      case expr::NodeKind::kAdd:
+        push(node.a, w);
+        push(node.b, w);
+        break;
+      case expr::NodeKind::kSub:
+        push(node.a, w);
+        push(node.b, -w);
+        break;
+      case expr::NodeKind::kNeg:
+        push(node.a, -w);
+        break;
+      case expr::NodeKind::kMul:
+        push(node.a, w * values[node.b]);
+        push(node.b, w * values[node.a]);
+        break;
+      case expr::NodeKind::kDiv: {
+        const double b = values[node.b];
+        const double m = b < 0.0 ? -b : b;
+        // Inside the protection band the kernel is the constant 1.
+        if (m < expr::kDivEpsilon) break;
+        push(node.a, w / b);
+        push(node.b, -w * values[node.a] / (b * b));
+        break;
+      }
+      case expr::NodeKind::kMin:
+        // Route to the branch the value kernel selected (`a < b ? a : b`,
+        // so ties and NaN comparisons fall to the right operand).
+        if (values[node.a] < values[node.b]) {
+          push(node.a, w);
+        } else {
+          push(node.b, w);
+        }
+        break;
+      case expr::NodeKind::kMax:
+        if (values[node.a] > values[node.b]) {
+          push(node.a, w);
+        } else {
+          push(node.b, w);
+        }
+        break;
+      case expr::NodeKind::kLog: {
+        const double a = values[node.a];
+        const double m = a < 0.0 ? -a : a;
+        // Inside the zero band the kernel is the constant 0; outside,
+        // d log|a| / da = 1/a on both signs.
+        if (m < expr::kLogEpsilon) break;
+        push(node.a, w / a);
+        break;
+      }
+      case expr::NodeKind::kExp: {
+        const double a = values[node.a];
+        // A clamped argument is flat; otherwise d exp(a)/da is the node's
+        // own forward value.
+        if (a > expr::kExpArgClamp || a < -expr::kExpArgClamp) break;
+        push(node.a, w * values[i]);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace gmr::grad

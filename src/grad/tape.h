@@ -1,0 +1,111 @@
+#ifndef GMR_GRAD_TAPE_H_
+#define GMR_GRAD_TAPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/activity.h"
+#include "analysis/interval.h"
+#include "expr/ast.h"
+#include "expr/eval.h"
+
+/// Reverse-mode autodiff over the expression AST.
+///
+/// A Tape linearizes one expression tree into post-order slots with
+/// pointer-memoized CSE (shared subtrees — the AST shares structure across
+/// individuals by construction — occupy one slot, exactly like the
+/// DataflowPass memo). The forward sweep applies the *protected* scalar
+/// kernels of expr/eval.h verbatim, so tape values are bit-identical
+/// (0 ULP) to expr::EvalExpr. The reverse sweep propagates cotangents with
+/// the derivative of whichever kernel branch the forward value actually
+/// took: a protected division inside its |b| < kDivEpsilon band is the
+/// constant 1 and pushes nothing; log inside its zero band pushes nothing;
+/// a clamped exp argument pushes nothing; min/max route the cotangent to
+/// the branch the value kernel selected (ties to the right operand, as in
+/// `a < b ? a : b`). Gradients are therefore exact derivatives of the
+/// protected evaluation semantics — not of the unprotected textbook
+/// expression — which is what the finite-difference gradcheck oracle
+/// verifies.
+///
+/// When a domain environment is supplied, the activity pass
+/// (analysis/activity.h) prunes the tape: a node whose value is provably
+/// independent of every *wanted* slot (all parameters, plus the state
+/// variables below `num_state_variables`) is marked dead and never
+/// receives or pushes a cotangent. Dead-node pruning plus the exact branch
+/// rules above give the zero-gradient guarantee: a parameter the activity
+/// pass reports inactive at the root accumulates an adjoint of exactly
+/// 0.0 — never a rounding residue.
+namespace gmr::grad {
+
+/// One linearized node. `a`/`b` are tape indices of the operands (-1 when
+/// absent); leaves carry their slot or literal instead.
+struct TapeNode {
+  expr::NodeKind kind = expr::NodeKind::kConstant;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t slot = -1;
+  double constant = 0.0;
+  /// False when the activity pass proved the node's value independent of
+  /// every wanted slot; dead nodes are skipped by the reverse sweep.
+  bool live = true;
+};
+
+class Tape {
+ public:
+  /// Linearizes `root`. Adjoints are accumulated for parameter slots in
+  /// [0, num_parameters) and variable slots in [0, num_state_variables)
+  /// (the constituent states of a rollout; driver variables are exogenous
+  /// data and never differentiated). When `prune_env` is non-null the
+  /// activity pass runs over it and dead subtrees are pruned — the env
+  /// must soundly contain every runtime value the tape will see.
+  ///
+  /// Hosts the `tape_alloc` fault point: when armed, construction throws
+  /// std::bad_alloc so gradient consumers exercise their derivative-free
+  /// degradation path.
+  Tape(const expr::Expr& root, int num_parameters, int num_state_variables,
+       const analysis::DomainEnv* prune_env);
+
+  /// Tape length in nodes (== value/cotangent buffer length).
+  std::size_t size() const { return nodes_.size(); }
+  /// Nodes the activity pass kept (== size() when pruning was off).
+  std::size_t live_nodes() const { return live_nodes_; }
+  std::size_t pruned_nodes() const { return nodes_.size() - live_nodes_; }
+  int num_parameters() const { return num_parameters_; }
+  int num_state_variables() const { return num_state_variables_; }
+
+  /// Activity of the root over the construction env (everything active
+  /// when no env was supplied). A parameter outside this mask is
+  /// structurally zero-gradient — the lint check and the calibrators'
+  /// frozen dimensions key off exactly this.
+  const analysis::Activity& root_activity() const { return root_activity_; }
+
+  const std::vector<TapeNode>& nodes() const { return nodes_; }
+
+  /// Forward sweep: fills `values` (length size()) in tape order and
+  /// returns the root value, bit-identical to expr::EvalExpr(root, ctx).
+  double Forward(const expr::EvalContext& ctx, double* values) const;
+
+  /// Reverse sweep over `values` from a Forward call on the same context.
+  /// Seeds the root cotangent with `seed` and accumulates (+=) into
+  /// `parameter_adjoint` (length >= num_parameters) and, when
+  /// num_state_variables > 0, `state_adjoint` (length >=
+  /// num_state_variables). `cotangents` is caller-provided scratch of
+  /// length size() (zeroed here). Hosts the `adjoint_nan` fault point:
+  /// when armed, the seed is poisoned to NaN so downstream validity checks
+  /// must flag the gradient instead of trusting it.
+  void Reverse(const double* values, double seed, double* parameter_adjoint,
+               double* state_adjoint, double* cotangents) const;
+
+ private:
+  std::vector<TapeNode> nodes_;
+  int root_ = -1;
+  int num_parameters_ = 0;
+  int num_state_variables_ = 0;
+  std::size_t live_nodes_ = 0;
+  analysis::Activity root_activity_;
+};
+
+}  // namespace gmr::grad
+
+#endif  // GMR_GRAD_TAPE_H_

@@ -206,6 +206,10 @@ TraceSummary SummarizeTrace(const std::vector<TraceRecord>& records) {
       point.cum_static_rejects = cum_static_rejects;
       point.cum_hit_rate = cum_lookups > 0 ? cum_hits / cum_lookups : 0;
       summary.batches.push_back(point);
+      summary.gradient_evaluations +=
+          record.FindNumber("gradient_evaluations");
+      summary.tape_nodes += record.FindNumber("tape_nodes");
+      summary.linesearch_steps += record.FindNumber("linesearch_steps");
       for (std::size_t i = 0; i < kNumEvalOutcomes; ++i) {
         const std::string key =
             std::string("outcomes.") +

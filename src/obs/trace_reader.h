@@ -74,6 +74,13 @@ struct TraceSummary {
   double static_reject_rate = 0;  // static rejects / individuals
   double cache_hit_rate = 0;      // hits / lookups over the whole run
 
+  // Gradient side-channel totals summed over all eval batches (0 in traces
+  // written before the adjoint counters existed, or when elite gradient
+  // polish is off).
+  double gradient_evaluations = 0;
+  double tape_nodes = 0;
+  double linesearch_steps = 0;
+
   double final_best_fitness = 0;
   bool has_final_best = false;
 };

@@ -60,7 +60,8 @@ TEST_P(CalibratorSuite, ImprovesOnSphere) {
                             problem.initial, /*budget=*/1500, rng);
   EXPECT_LT(result.best_objective, 0.5 * problem.InitialValue())
       << calibrator->name();
-  // All nine methods should get at least near the optimum on a smooth bowl.
+  // All eleven methods should get at least near the optimum on a smooth
+  // bowl.
   EXPECT_LT(result.best_objective, 5.0) << calibrator->name();
 }
 
@@ -112,7 +113,7 @@ TEST_P(CalibratorSuite, DeterministicForSameSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllMethods, CalibratorSuite, ::testing::Range(0, 9),
+    AllMethods, CalibratorSuite, ::testing::Range(0, 11),
     [](const ::testing::TestParamInfo<int>& info) {
       const auto all = AllCalibrators();
       std::string name = all[static_cast<std::size_t>(info.param)]->name();
@@ -124,7 +125,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(CalibratorTest, AllCalibratorsHaveDistinctNames) {
   const auto all = AllCalibrators();
-  ASSERT_EQ(all.size(), 9u);
+  ASSERT_EQ(all.size(), 11u);
   for (std::size_t i = 0; i < all.size(); ++i) {
     for (std::size_t j = i + 1; j < all.size(); ++j) {
       EXPECT_STRNE(all[i]->name(), all[j]->name());

@@ -972,8 +972,10 @@ DriverRun RunSphereCalibration(const calibrate::Calibrator& method,
   calibrate::CalibrationConfig config;
   config.budget = 400;
   config.seed = 33;
-  calibrate::CalibrationProblem problem{sphere.MakeObjective(), sphere.bounds,
-                                        sphere.initial};
+  calibrate::CalibrationProblem problem;
+  problem.objective = sphere.MakeObjective();
+  problem.bounds = sphere.bounds;
+  problem.initial = sphere.initial;
 
   DriverRun run;
   const std::string trace_path = dir + "/trace.jsonl";
